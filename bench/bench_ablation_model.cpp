@@ -1,0 +1,135 @@
+// Ablation: what the failure model's two key design choices buy.
+//
+//  (a) out-of-bid semantics — first-passage (an instance terminated
+//      mid-interval stays gone) vs the paper's literal Eq. 5 occupancy
+//      (fraction of time above the bid), which understates risk;
+//  (b) sojourn memory — the semi-Markov sojourn law vs a memoryless
+//      (geometric) approximation with the same means, i.e. "is the
+//      non-memoryless sojourn structure worth modeling?" (§3.1 argues yes).
+//
+// Each variant drives the same Jupiter bidding framework over a 6-week
+// replay of the lock service at a 3 h interval.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "replay/sweep.hpp"
+
+using namespace jupiter;
+
+namespace {
+
+/// Jupiter variant whose failure models use the memoryless sojourn law.
+class MemorylessJupiter : public BiddingStrategy {
+ public:
+  MemorylessJupiter(const TraceBook& book, ServiceSpec spec,
+                    SimTime history_start, OnlineBidder::Options opts)
+      : book_(book),
+        spec_(std::move(spec)),
+        history_start_(history_start),
+        bidder_(opts) {}
+
+  std::string name() const override { return "Jupiter/memoryless"; }
+
+  StrategyDecision decide(const MarketSnapshot& snapshot, SimTime now,
+                          const std::vector<ZoneBid>& held) override {
+    std::vector<int> zones;
+    for (const auto& st : snapshot) zones.push_back(st.zone);
+    FailureModelBook models = FailureModelBook::train(
+        book_, spec_.kind, zones, history_start_, now, spec_.baseline_fp);
+    FailureModelBook mem;
+    for (int z : zones) mem.set(z, models.model(z).memoryless());
+    BidDecision d = bidder_.decide(mem, snapshot, spec_);
+    StrategyDecision out;
+    for (const auto& e : d.bids) {
+      PriceTick bid = e.bid;
+      for (const auto& h : held) {
+        if (h.zone == e.zone && h.bid >= e.bid) bid = h.bid;
+      }
+      out.spot_bids.push_back(ZoneBid{e.zone, bid});
+    }
+    return out;
+  }
+
+ private:
+  const TraceBook& book_;
+  ServiceSpec spec_;
+  SimTime history_start_;
+  OnlineBidder bidder_;
+};
+
+void print_ablation() {
+  // The storage service at a 1 h interval is where estimator quality
+  // shows: theta(3,5) tolerates a single failure, larger-n configurations
+  // get loose per-node budgets, and an estimator that understates risk
+  // places bids that die mid-interval.
+  Scenario sc = make_scenario(InstanceKind::kM3Large, /*train_weeks=*/13,
+                              /*replay_weeks=*/6, kExperimentSeed + 9);
+  ServiceSpec spec = ServiceSpec::storage_service();
+  const TimeDelta interval = kHour;
+  ReplayConfig cfg = make_replay_config(sc, spec, interval);
+  OnlineBidder::Options bopts{.horizon_minutes =
+                                  static_cast<int>(interval / kMinute),
+                              .max_nodes = 9};
+
+  struct Row {
+    const char* label;
+    ReplayResult result;
+  };
+  std::vector<Row> rows;
+  {
+    JupiterStrategy s(sc.book, spec, sc.history_start, bopts,
+                      OobEstimator::kFirstPassage);
+    rows.push_back({"first-passage + semi-Markov (ours)",
+                    replay_strategy(sc.book, s, cfg)});
+  }
+  {
+    JupiterStrategy s(sc.book, spec, sc.history_start, bopts,
+                      OobEstimator::kOccupancy);
+    rows.push_back({"occupancy (paper Eq. 5 literal)",
+                    replay_strategy(sc.book, s, cfg)});
+  }
+  {
+    MemorylessJupiter s(sc.book, spec, sc.history_start, bopts);
+    rows.push_back(
+        {"first-passage + memoryless sojourns", replay_strategy(sc.book, s, cfg)});
+  }
+  Money base = baseline_cost(spec, sc.replay_end - sc.replay_start);
+
+  std::printf(
+      "Model ablation: storage service, 6-week replay, 1 h interval\n");
+  std::printf("  %-38s %-12s %-14s %s\n", "variant", "cost", "availability",
+              "oob events");
+  for (const auto& r : rows) {
+    std::printf("  %-38s %-12s %-14.6f %d\n", r.label,
+                r.result.cost.str().c_str(), r.result.availability(),
+                r.result.out_of_bid_events);
+  }
+  std::printf("  baseline (on-demand): %s\n", base.str().c_str());
+  std::printf(
+      "\nreading: compare out-of-bid events and availability — the\n"
+      "occupancy estimator understates risk (more surprise terminations for\n"
+      "the availability it promises), while memoryless sojourns misjudge\n"
+      "freshly-changed prices and pay for the churn in replacements.\n");
+}
+
+void BM_memoryless_conversion(benchmark::State& state) {
+  std::vector<int> zone = {0};
+  TraceBook book = TraceBook::synthetic(zone, InstanceKind::kM1Small,
+                                        SimTime(0), SimTime(13 * kWeek), 9);
+  SemiMarkovChain chain =
+      SemiMarkovChain::estimate(book.trace(0, InstanceKind::kM1Small));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chain.to_memoryless());
+  }
+}
+BENCHMARK(BM_memoryless_conversion);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_ablation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

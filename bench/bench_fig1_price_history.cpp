@@ -1,0 +1,99 @@
+// Figure 1: a two-hour spot price history for a "us-east-1a.linux.m1.small"
+// instance — the fluctuation pattern that motivates the semi-Markov model
+// (the paper's sample shows $0.0071 -> $0.0081 -> up to $0.0117 within two
+// hours).  We print the same 9:00-11:00 style excerpt from the synthetic
+// us-east-1a trace plus summary statistics of its change process.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "cloud/region.hpp"
+#include "cloud/trace_book.hpp"
+#include "market/price_process.hpp"
+#include "replay/workloads.hpp"
+
+using namespace jupiter;
+
+namespace {
+
+void print_zone(const TraceBook& book, int zone) {
+  const SpotTrace& trace = book.trace(zone, InstanceKind::kM1Small);
+  const auto& zi = all_zones()[static_cast<std::size_t>(zone)];
+
+  // A 2-hour window one week in ("9:00 AM - 11:00 AM").
+  SimTime from(kWeek + 9 * kHour);
+  SimTime to = from + 2 * kHour;
+  std::printf("\n%s.linux.m1.small, 2 h window:\n", zi.name.c_str());
+  std::printf("  %-10s %s\n", "minute", "price");
+  SpotTrace window = trace.slice(from, to);
+  for (const auto& p : window.points()) {
+    std::printf("  %-10lld %s\n",
+                static_cast<long long>((p.at - from) / kMinute),
+                p.price.money().str().c_str());
+  }
+  const auto& pts = trace.points();
+  double changes_per_day =
+      static_cast<double>(pts.size()) /
+      (static_cast<double>((trace.last_change() - trace.start())) / kDay);
+  std::printf("  change points over 2 weeks: %zu (%.1f per day); range %s "
+              ".. %s (on-demand %s)\n",
+              pts.size(), changes_per_day,
+              trace.points().front().price.money().str().c_str(),
+              trace.max_price(trace.start(), SimTime(2 * kWeek))
+                  .money()
+                  .str()
+                  .c_str(),
+              on_demand_price_zone(zone, InstanceKind::kM1Small).str().c_str());
+}
+
+void print_figure1() {
+  std::vector<int> zones = experiment_zone_indices();
+  TraceBook book = TraceBook::synthetic(zones, InstanceKind::kM1Small,
+                                        SimTime(0), SimTime(2 * kWeek),
+                                        kExperimentSeed);
+  std::printf(
+      "Figure 1: spot price histories (paper shows us-east-1a on June 24th "
+      "2014)\n");
+  // The paper's zone plus the churniest zone of this seed (zone
+  // personalities differ; the 2014 plot was of a lively one).
+  int churniest = zones.front();
+  std::size_t most = 0;
+  for (int z : zones) {
+    std::size_t n = book.trace(z, InstanceKind::kM1Small).size();
+    if (n > most) {
+      most = n;
+      churniest = z;
+    }
+  }
+  print_zone(book, zones.front());  // us-east-1a
+  if (churniest != zones.front()) print_zone(book, churniest);
+}
+
+void BM_trace_generation_week(benchmark::State& state) {
+  ZoneProfile zp = draw_zone_profile(0, PriceTick(440), 1);
+  for (auto _ : state) {
+    SpotTrace tr = generate_zone_trace(zp, SimTime(0), SimTime(kWeek));
+    benchmark::DoNotOptimize(tr);
+  }
+}
+BENCHMARK(BM_trace_generation_week);
+
+void BM_price_at_lookup(benchmark::State& state) {
+  ZoneProfile zp = draw_zone_profile(0, PriceTick(440), 1);
+  SpotTrace tr = generate_zone_trace(zp, SimTime(0), SimTime(4 * kWeek));
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    t = (t + 987654) % (4 * kWeek);
+    benchmark::DoNotOptimize(tr.price_at(SimTime(t)));
+  }
+}
+BENCHMARK(BM_price_at_lookup);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

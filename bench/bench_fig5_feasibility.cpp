@@ -1,0 +1,94 @@
+// Figure 5: the one-week feasibility run (§5.4) — total spot instance cost
+// of the distributed lock service (m1.small) and the erasure-coded storage
+// service (m3.large) under Jupiter and Extra(0, 0.1), against the
+// on-demand baseline, with a 1-hour bidding interval.
+//
+// Paper numbers for calibration: lock service $6.91 under Jupiter (about
+// one sixth of the baseline), storage service $16.53; both services stayed
+// available all week under Jupiter while Extra(0,0.1) failed for the
+// storage service.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/framework.hpp"
+#include "replay/sweep.hpp"
+
+using namespace jupiter;
+
+namespace {
+
+/// The paper's feasibility experiment was a *live* run, not a replay: the
+/// framework actually held instances on EC2 for a week.  This drives the
+/// same week through the event-driven stack — CloudProvider lifecycle,
+/// pre-boundary replacement, view-change membership — and cross-checks the
+/// replay numbers.
+void live_run(const ServiceSpec& spec) {
+  Scenario sc = make_scenario(spec.kind, /*train_weeks=*/13,
+                              /*replay_weeks=*/1);
+  Simulator sim;
+  CloudProvider provider(sim, sc.book, kExperimentSeed);
+  JupiterStrategy strategy(sc.book, spec, sc.history_start,
+                           {.horizon_minutes = 60, .max_nodes = 9});
+  BiddingFramework fw(sim, provider, sc.book, strategy, spec, sc.zones,
+                      {.interval = kHour, .lead_time = 700});
+  fw.start(sc.replay_start);
+  sim.run_until(sc.replay_end);
+  std::printf(
+      "  live run, %-16s Jupiter: cost %-10s availability %.6f (%d "
+      "bidding rounds)\n",
+      spec.name.c_str(), fw.total_cost().str().c_str(), fw.availability(),
+      fw.rebids());
+  fw.stop();
+}
+
+void run_service(const ServiceSpec& spec, std::vector<FeasibilityBar>& bars) {
+  Scenario sc = make_scenario(spec.kind, /*train_weeks=*/13,
+                              /*replay_weeks=*/1);
+  SweepOptions opts;
+  opts.intervals = {kHour};
+  opts.extras = {{0, 0.1}};
+  auto cells = run_sweep(sc, spec, opts);
+  for (const auto& c : cells) {
+    bars.push_back(FeasibilityBar{spec.name, c.strategy, c.result.cost,
+                                  c.result.availability()});
+  }
+  Money base = baseline_cost(spec, sc.replay_end - sc.replay_start);
+  bars.push_back(FeasibilityBar{spec.name, "Baseline", base, 1.0});
+}
+
+void print_figure5() {
+  std::printf("Figure 5: one-week feasibility run (1 h bidding interval)\n");
+  std::vector<FeasibilityBar> bars;
+  run_service(ServiceSpec::lock_service(), bars);
+  run_service(ServiceSpec::storage_service(), bars);
+  print_feasibility(std::cout, bars);
+  std::printf(
+      "\npaper: lock $6.91 (Jupiter) vs $36.96 baseline; storage $16.53 vs "
+      "$117.60 baseline; both Jupiter runs fully available\n");
+
+  std::printf("\nevent-driven live runs (full instance lifecycle):\n");
+  live_run(ServiceSpec::lock_service());
+  live_run(ServiceSpec::storage_service());
+}
+
+void BM_one_week_replay_extra(benchmark::State& state) {
+  static Scenario sc = make_scenario(InstanceKind::kM1Small, 2, 1, 77);
+  ServiceSpec spec = ServiceSpec::lock_service();
+  for (auto _ : state) {
+    ExtraStrategy strat(spec, 0, 0.1);
+    ReplayConfig cfg = make_replay_config(sc, spec, kHour);
+    benchmark::DoNotOptimize(replay_strategy(sc.book, strat, cfg));
+  }
+}
+BENCHMARK(BM_one_week_replay_extra);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure5();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

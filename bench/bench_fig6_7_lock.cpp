@@ -1,0 +1,86 @@
+// Figures 6 & 7: 11-week cost and availability of the distributed lock
+// service ("linux.m1.small") under Jupiter, Extra(0,0.2), Extra(2,0.2) and
+// the on-demand baseline, for bidding intervals of 1/3/6/9/12 hours.
+//
+// The table is regenerated on every run from the canonical scenario seed;
+// the google-benchmark cases below measure the per-decision cost of the
+// bidding algorithm at several horizons.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/online_bidder.hpp"
+#include "replay/sweep.hpp"
+
+using namespace jupiter;
+
+namespace {
+
+void print_figures() {
+  Scenario sc = make_scenario(InstanceKind::kM1Small, /*train_weeks=*/13,
+                              /*replay_weeks=*/11);
+  ServiceSpec spec = ServiceSpec::lock_service();
+  auto cells = run_sweep(sc, spec);
+  Money base = baseline_cost(spec, sc.replay_end - sc.replay_start);
+
+  std::printf("\n");
+  print_cost_sweep(std::cout,
+                   "Figure 6: lock service cost over 11 weeks (USD)", cells,
+                   base);
+  std::printf("\n");
+  print_availability_sweep(
+      std::cout, "Figure 7: lock service availability over 11 weeks", cells);
+
+  if (const SweepCell* best = best_jupiter_cell(cells)) {
+    double reduction = 1.0 - best->result.cost.dollars() / base.dollars();
+    std::printf(
+        "\nheadline: best Jupiter interval %lldh, cost %s, reduction %s "
+        "(paper: 81.23%%), availability %.6f\n",
+        static_cast<long long>(best->interval / kHour),
+        best->result.cost.str().c_str(), percent(reduction).c_str(),
+        best->result.availability());
+  }
+  std::printf("\nCSV:\n");
+  sweep_to_csv(std::cout, cells);
+}
+
+// ---- microbenchmarks: one bidding decision at various horizons ----
+
+void BM_bidding_decision(benchmark::State& state) {
+  static Scenario sc = make_scenario(InstanceKind::kM1Small, 13, 1, 7);
+  ServiceSpec spec = ServiceSpec::lock_service();
+  FailureModelBook models = FailureModelBook::train(
+      sc.book, spec.kind, sc.zones, sc.history_start, sc.replay_start);
+  MarketSnapshot snap =
+      snapshot_at(sc.book, spec.kind, sc.zones, sc.replay_start);
+  OnlineBidder bidder(
+      {.horizon_minutes = static_cast<int>(state.range(0)), .max_nodes = 9});
+  for (auto _ : state) {
+    BidDecision d = bidder.decide(models, snap, spec);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_bidding_decision)->Arg(60)->Arg(360)->Arg(720);
+
+void BM_model_training(benchmark::State& state) {
+  static Scenario sc = make_scenario(InstanceKind::kM1Small, 13, 1, 7);
+  int zone = sc.zones.front();
+  const SpotTrace& trace = sc.book.trace(zone, InstanceKind::kM1Small);
+  PriceTick od = PriceTick::from_money(
+      on_demand_price_zone(zone, InstanceKind::kM1Small));
+  for (auto _ : state) {
+    auto model = ZoneFailureModel::train(trace, od);
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_model_training);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figures();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Performance microbenchmarks for the failure model pipeline: training,
+// transient analyses (occupancy and first-passage), bid search, and the
+// full bidding decision at each horizon the experiments use.
+#include <benchmark/benchmark.h>
+
+#include "core/failure_model.hpp"
+#include "core/online_bidder.hpp"
+#include "replay/workloads.hpp"
+
+using namespace jupiter;
+
+namespace {
+
+struct Fixture {
+  Fixture() {
+    sc = make_scenario(InstanceKind::kM1Small, 13, 1, 19);
+    models = FailureModelBook::train(sc.book, InstanceKind::kM1Small,
+                                     sc.zones, sc.history_start,
+                                     sc.replay_start);
+    snap = snapshot_at(sc.book, InstanceKind::kM1Small, sc.zones,
+                       sc.replay_start);
+  }
+  Scenario sc;
+  FailureModelBook models;
+  MarketSnapshot snap;
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_train_one_zone(benchmark::State& state) {
+  Fixture& f = fixture();
+  const SpotTrace& tr = f.sc.book.trace(f.sc.zones[0], InstanceKind::kM1Small);
+  PriceTick od = PriceTick::from_money(
+      on_demand_price_zone(f.sc.zones[0], InstanceKind::kM1Small));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ZoneFailureModel::train(tr, od));
+  }
+}
+BENCHMARK(BM_train_one_zone);
+
+void BM_occupancy_transient(benchmark::State& state) {
+  Fixture& f = fixture();
+  const auto& chain = f.models.model(f.sc.zones[0]).chain();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        chain.average_occupancy(0, 0, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_occupancy_transient)->Arg(60)->Arg(360)->Arg(720);
+
+void BM_first_passage_single(benchmark::State& state) {
+  Fixture& f = fixture();
+  const auto& chain = f.models.model(f.sc.zones[0]).chain();
+  int top = chain.state_count() - 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        chain.hit_one(0, 0, static_cast<int>(state.range(0)), top / 2));
+  }
+}
+BENCHMARK(BM_first_passage_single)->Arg(60)->Arg(360)->Arg(720);
+
+void BM_min_bid_search(benchmark::State& state) {
+  Fixture& f = fixture();
+  const auto& model = f.models.model(f.sc.zones[0]);
+  const auto& st = f.snap[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.min_bid_for_fp(st, 60, 0.0103));
+  }
+}
+BENCHMARK(BM_min_bid_search);
+
+void BM_full_decision(benchmark::State& state) {
+  Fixture& f = fixture();
+  OnlineBidder bidder(
+      {.horizon_minutes = static_cast<int>(state.range(0)), .max_nodes = 9});
+  ServiceSpec spec = ServiceSpec::lock_service();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bidder.decide(f.models, f.snap, spec));
+  }
+}
+BENCHMARK(BM_full_decision)->Arg(60)->Arg(360)->Arg(720);
+
+}  // namespace
+
+BENCHMARK_MAIN();

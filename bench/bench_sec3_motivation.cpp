@@ -1,0 +1,79 @@
+// Section 3's motivating example, reproduced quantitatively:
+//  * 5 nodes with FP = 0.01 give availability 0.9999901494 (~25.5 s
+//    downtime per month);
+//  * naively replacing them with spot instances bid at the current spot
+//    price destroys that availability (the paper estimates > 1500 s of
+//    downtime in June 2014) — we replay exactly that naive strategy
+//    (Extra(0, 0)) for a month and report the measured downtime.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "quorum/availability.hpp"
+#include "replay/sweep.hpp"
+
+using namespace jupiter;
+
+namespace {
+
+void print_section3() {
+  std::vector<double> fp(5, 0.01);
+  double a = availability(AcceptanceSet::majority(5), fp);
+  double month_secs = 30.0 * 24 * 3600;
+  std::printf("Section 3 example\n");
+  std::printf("  5 on-demand nodes, FP = 0.01, majority quorums:\n");
+  std::printf("    availability      = %.10f (paper: 0.9999901494)\n", a);
+  std::printf("    downtime / month  = %.1f s (paper: ~25.5 s)\n",
+              (1.0 - a) * month_secs);
+
+  // Naive spot replacement: bid exactly the current spot price each hour.
+  Scenario sc = make_scenario(InstanceKind::kM1Small, /*train_weeks=*/4,
+                              /*replay_weeks=*/4, kExperimentSeed + 3);
+  ServiceSpec spec = ServiceSpec::lock_service();
+  ExtraStrategy naive(spec, 0, 0.0);
+  ReplayConfig cfg = make_replay_config(sc, spec, kHour);
+  ReplayResult r = replay_strategy(sc.book, naive, cfg);
+  double month_downtime =
+      static_cast<double>(r.downtime) * (month_secs / (4.0 * 7 * 24 * 3600));
+  std::printf(
+      "  naive spot replacement (bid == spot price, 4-week replay):\n");
+  std::printf("    availability      = %.6f\n", r.availability());
+  std::printf("    downtime / month  = %.0f s (paper: > 1500 s)\n",
+              month_downtime);
+  std::printf("    out-of-bid events = %d\n", r.out_of_bid_events);
+}
+
+void BM_availability_eq1(benchmark::State& state) {
+  std::vector<double> fp(5, 0.01);
+  AcceptanceSet a = AcceptanceSet::majority(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(availability(a, fp));
+  }
+}
+BENCHMARK(BM_availability_eq1);
+
+void BM_availability_poisson_binomial(benchmark::State& state) {
+  std::vector<double> fp(static_cast<std::size_t>(state.range(0)), 0.01);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        availability_tolerate(fp, static_cast<int>(fp.size() / 2)));
+  }
+}
+BENCHMARK(BM_availability_poisson_binomial)->Arg(5)->Arg(9)->Arg(17);
+
+void BM_optimal_acceptance_exhaustive(benchmark::State& state) {
+  std::vector<double> fp = {0.01, 0.1, 0.1, 0.2, 0.05};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimal_acceptance_set_exhaustive(fp));
+  }
+}
+BENCHMARK(BM_optimal_acceptance_exhaustive);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_section3();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Table 1: Amazon EC2 regions and availability zones, plus the 17-zone
+// experiment subset (§5.2).  Microbenchmarks cover zone lookups.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "cloud/instance_type.hpp"
+#include "cloud/region.hpp"
+
+using namespace jupiter;
+
+namespace {
+
+void print_table1() {
+  std::printf("Table 1: Amazon EC2 Regions and Availability Zones\n");
+  std::printf("%-18s %-12s %s\n", "Region", "Location", "Availability Zones");
+  int total = 0;
+  for (const auto& r : ec2_regions()) {
+    std::printf("%-18s %-12s %d\n", r.name.c_str(), r.location.c_str(),
+                r.az_count);
+    total += r.az_count;
+  }
+  std::printf("total AZs: %d; experiment subset: %zu zones\n", total,
+              experiment_zone_indices().size());
+  std::printf("\nexperiment zones with on-demand prices:\n");
+  for (int z : experiment_zone_indices()) {
+    const auto& zi = all_zones()[static_cast<std::size_t>(z)];
+    std::printf("  %-18s m1.small %-9s m3.large %s\n", zi.name.c_str(),
+                on_demand_price_zone(z, InstanceKind::kM1Small).str().c_str(),
+                on_demand_price_zone(z, InstanceKind::kM3Large).str().c_str());
+  }
+}
+
+void BM_zone_lookup_by_name(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zone_index_by_name("ap-northeast-1b"));
+  }
+}
+BENCHMARK(BM_zone_lookup_by_name);
+
+void BM_on_demand_price(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(on_demand_price_zone(13, InstanceKind::kM3Large));
+  }
+}
+BENCHMARK(BM_on_demand_price);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

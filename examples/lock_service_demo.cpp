@@ -1,0 +1,89 @@
+// Distributed lock service demo (the paper's first evaluation case, §5.1.1).
+//
+// Spins up a Chubby-like lock service as a 5-node Paxos group on the
+// simulator, walks two clients through session/lock lifecycle, then crashes
+// the leader mid-flight to show that the lock table — and its safety — ride
+// through fail-over.
+//
+//   ./build/examples/lock_service_demo
+#include <cstdio>
+#include <map>
+
+#include "lock/lock_service.hpp"
+#include "paxos/group.hpp"
+
+using namespace jupiter;
+using namespace jupiter::lock;
+
+int main() {
+  Simulator sim;
+  paxos::SimNetwork net(sim, 2015);
+  std::map<paxos::NodeId, LockServiceState*> sms;
+  paxos::Group group(
+      sim, net, paxos::Replica::Options{},
+      [&sms](paxos::NodeId id) {
+        auto sm = std::make_unique<LockServiceState>();
+        sms[id] = sm.get();
+        return sm;
+      },
+      607);
+
+  std::printf("=== Chubby-style lock service on a 5-node Paxos group ===\n");
+  group.bootstrap(5);
+  sim.run_until(sim.now() + 200);
+  paxos::NodeId leader = group.leader_id();
+  std::printf("[%s] leader elected: node %d\n", sim.now().str().c_str(),
+              leader);
+
+  LockClient alice(group, sim, "alice", 36000);
+  LockClient bob(group, sim, "bob", 36000);
+  alice.open_session();
+  bob.open_session();
+  sim.run_until(sim.now() + 60);
+
+  alice.acquire("/ls/cell/master", [&](LockResponse r) {
+    std::printf("[%s] alice acquire /ls/cell/master -> %s\n",
+                sim.now().str().c_str(),
+                r.status == LockStatus::kOk ? "OK" : "denied");
+  });
+  sim.run_until(sim.now() + 60);
+
+  bob.acquire("/ls/cell/master", [&](LockResponse r) {
+    std::printf("[%s] bob   acquire /ls/cell/master -> %s (owner: %s)\n",
+                sim.now().str().c_str(),
+                r.status == LockStatus::kOk ? "OK" : "held-by-other",
+                r.owner.c_str());
+  });
+  sim.run_until(sim.now() + 60);
+
+  std::printf("[%s] crashing the leader (node %d)...\n",
+              sim.now().str().c_str(), leader);
+  group.crash(leader);
+
+  // Bob keeps retrying; once a new leader emerges and alice releases, he
+  // gets the lock.
+  bob.acquire_blocking("/ls/cell/master", [&](LockResponse r) {
+    std::printf("[%s] bob   eventually %s /ls/cell/master\n",
+                sim.now().str().c_str(),
+                r.status == LockStatus::kOk ? "acquired" : "failed on");
+  }, 4000);
+  sim.run_until(sim.now() + 600);
+  paxos::NodeId new_leader = group.leader_id();
+  std::printf("[%s] new leader: node %d\n", sim.now().str().c_str(),
+              new_leader);
+
+  alice.release("/ls/cell/master", [&](LockResponse r) {
+    std::printf("[%s] alice release -> %s\n", sim.now().str().c_str(),
+                r.status == LockStatus::kOk ? "OK" : "not-held");
+  });
+  sim.run_until(sim.now() + 1200);
+
+  if (new_leader >= 0) {
+    auto owner = sms[new_leader]->owner_of("/ls/cell/master");
+    std::printf("[%s] final owner at the leader's state machine: %s\n",
+                sim.now().str().c_str(), owner ? owner->c_str() : "(none)");
+  }
+  std::printf("done: %lld messages delivered through the simulated WAN\n",
+              static_cast<long long>(net.messages_delivered()));
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Erasure-coded storage service demo (the paper's second case, §5.1.2).
+//
+// Runs a key-value store replicated with RS-Paxos theta(3,5): the leader
+// codes every command into Reed-Solomon chunks so each follower stores a
+// third of the bytes.  The demo writes objects, shows the chunk footprint,
+// kills the leader, and finally rebuilds the entire store from just three
+// followers' chunk logs — the any-m-of-n guarantee in action.
+//
+//   ./build/examples/storage_service_demo
+#include <cstdio>
+#include <map>
+
+#include "paxos/group.hpp"
+#include "storage/kv_store.hpp"
+
+using namespace jupiter;
+using namespace jupiter::storage;
+
+int main() {
+  Simulator sim;
+  paxos::SimNetwork net(sim, 44);
+  std::map<paxos::NodeId, KvStoreState*> sms;
+  paxos::Replica::Options opts;
+  opts.policy.kind = paxos::QuorumPolicy::Kind::kRsPaxos;
+  opts.policy.rs_m = 3;
+  paxos::Group group(
+      sim, net, opts,
+      [&sms](paxos::NodeId id) {
+        auto sm = std::make_unique<KvStoreState>();
+        sms[id] = sm.get();
+        return sm;
+      },
+      808);
+
+  std::printf("=== RS-Paxos theta(3,5) storage service ===\n");
+  std::printf("write quorum: %d of 5 (quorums intersect in >= 3 nodes)\n",
+              opts.policy.quorum(5));
+  group.bootstrap(5);
+  sim.run_until(sim.now() + 200);
+  paxos::NodeId leader = group.leader_id();
+  std::printf("[%s] leader: node %d\n", sim.now().str().c_str(), leader);
+
+  KvClient client(group);
+  std::size_t total_payload = 0;
+  for (int i = 0; i < 8; ++i) {
+    std::string key = "object/" + std::to_string(i);
+    std::vector<std::uint8_t> value(1500 + static_cast<std::size_t>(i) * 300,
+                                    static_cast<std::uint8_t>('a' + i));
+    total_payload += value.size();
+    client.put(key, value, nullptr);
+    sim.run_until(sim.now() + 30);
+  }
+  sim.run_until(sim.now() + 300);
+
+  std::printf("\nwrote 8 objects, %zu payload bytes total\n", total_payload);
+  for (paxos::NodeId id : group.node_ids()) {
+    std::printf("  node %d: %zu keys materialized, %zu chunks (%llu bytes)\n",
+                id, sms[id]->keys(), sms[id]->chunk_count(),
+                static_cast<unsigned long long>(sms[id]->chunk_bytes()));
+  }
+  std::printf("value bytes on the wire: %llu (vs ~%zu for full "
+              "replication to 4 followers, accept+chosen)\n",
+              static_cast<unsigned long long>(net.value_bytes_sent()),
+              2 * 4 * total_payload);
+
+  std::printf("\n[%s] crashing the leader...\n", sim.now().str().c_str());
+  group.crash(leader);
+  sim.run_until(sim.now() + 900);
+  paxos::NodeId new_leader = group.leader_id();
+  std::printf("[%s] new leader: node %d (state rebuilt from chunks: %zu "
+              "keys)\n",
+              sim.now().str().c_str(), new_leader,
+              new_leader >= 0 ? sms[new_leader]->keys() : 0);
+  bool got = false;
+  client.get("object/3", [&](KvResponse r) {
+    got = r.status == KvStatus::kOk;
+    std::printf("[%s] get object/3 after failover -> %s (%zu bytes)\n",
+                sim.now().str().c_str(), got ? "OK" : "miss",
+                r.value.size());
+  });
+  sim.run_until(sim.now() + 300);
+
+  // Disaster recovery: rebuild the entire store from any 3 chunk logs.
+  std::vector<const KvStoreState*> followers;
+  for (paxos::NodeId id : group.node_ids()) {
+    if (id != leader && id != new_leader && followers.size() < 3) {
+      followers.push_back(sms[id]);
+    }
+  }
+  KvStoreState recovered;
+  std::size_t n = KvStoreState::reconstruct_into(followers, 3, recovered);
+  std::printf("\ndisaster recovery from 3 chunk logs: %zu commands "
+              "reconstructed, %zu keys restored\n",
+              n, recovered.keys());
+  auto v = recovered.get("object/5");
+  std::printf("  spot check object/5: %s\n",
+              v && !v->empty() && (*v)[0] == 'f' ? "intact" : "CORRUPT");
+  return 0;
+}

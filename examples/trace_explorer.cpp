@@ -1,0 +1,89 @@
+// Trace explorer: generate synthetic spot price traces, inspect their
+// statistics, train the semi-Markov failure model and read bid curves off
+// it — the "data science" side of the bidding framework.
+//
+//   ./build/examples/trace_explorer [zone-name]
+#include <cstdio>
+#include <string>
+
+#include "cloud/region.hpp"
+#include "cloud/trace_book.hpp"
+#include "core/failure_model.hpp"
+#include "replay/workloads.hpp"
+#include "util/stats.hpp"
+
+using namespace jupiter;
+
+int main(int argc, char** argv) {
+  std::string zone_name = argc > 1 ? argv[1] : "us-east-1a";
+  int zone = zone_index_by_name(zone_name);
+  if (zone < 0) {
+    std::fprintf(stderr, "unknown zone '%s'\n", zone_name.c_str());
+    return 1;
+  }
+  const InstanceKind kind = InstanceKind::kM1Small;
+  std::vector<int> zones = {zone};
+  TraceBook book = TraceBook::synthetic(zones, kind, SimTime(0),
+                                        SimTime(14 * kWeek), kExperimentSeed);
+  const SpotTrace& trace = book.trace(zone, kind);
+  Money od = on_demand_price_zone(zone, kind);
+
+  std::printf("=== %s %s: 14 weeks of synthetic spot prices ===\n",
+              zone_name.c_str(), instance_type_info(kind).name);
+  if (auto zp = book.profile(zone, kind)) {
+    std::printf("ground truth: base %.1f%% of on-demand, spike %.1f%%, "
+                "mean base sojourn %.0f min\n",
+                zp->base_frac * 100, zp->spike_frac * 100,
+                zp->mean_sojourn_base);
+  }
+
+  // Price statistics, time-weighted.
+  RunningStats per_minute;
+  for (SimTime t(0); t < SimTime(14 * kWeek); t += kMinute) {
+    per_minute.add(trace.price_at(t).dollars());
+  }
+  std::printf("on-demand %s; spot mean %s (%.1f%% of on-demand), min %s, "
+              "max %s\n",
+              od.str().c_str(),
+              Money::from_dollars(per_minute.mean()).str().c_str(),
+              100.0 * per_minute.mean() / od.dollars(),
+              Money::from_dollars(per_minute.min()).str().c_str(),
+              Money::from_dollars(per_minute.max()).str().c_str());
+  std::printf("%zu price changes (%.1f per day)\n", trace.size(),
+              static_cast<double>(trace.size()) / (14 * 7));
+
+  // Sojourn distribution.
+  std::vector<double> sojourns;
+  const auto& pts = trace.points();
+  for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
+    sojourns.push_back(static_cast<double>(pts[i + 1].at - pts[i].at) /
+                       kMinute);
+  }
+  std::printf("sojourn minutes: p50 %.0f, p90 %.0f, p99 %.0f (heavy tail -> "
+              "semi-Markov, not Markov)\n",
+              percentile(sojourns, 0.5), percentile(sojourns, 0.9),
+              percentile(sojourns, 0.99));
+
+  // Train the failure model on 13 weeks and print the bid curve.
+  ZoneFailureModel model = ZoneFailureModel::train(
+      trace.slice(SimTime(0), SimTime(13 * kWeek)), PriceTick::from_money(od));
+  MarketSnapshot snap = snapshot_at(book, kind, zones, SimTime(13 * kWeek));
+  std::printf("\nbid curve at t=13w (price %s, held %d min), 1 h horizon:\n",
+              snap[0].price.money().str().c_str(), snap[0].age_minutes);
+  std::printf("  %-10s %-22s %s\n", "bid", "P(out-of-bid in 1 h)",
+              "FP (Eq. 4)");
+  BidCurve curve = model.bid_curve(snap[0], 60);
+  for (int s = 0; s < model.chain().state_count(); ++s) {
+    PriceTick bid = model.chain().state_price(s);
+    if (bid < snap[0].price) continue;
+    if (bid >= PriceTick::from_money(od)) break;
+    std::printf("  %-10s %-22.6f %.6f\n", bid.money().str().c_str(),
+                curve.oob_at_index(s), curve.fp_at(bid));
+  }
+  for (double target : {0.05, 0.023, 0.0103}) {
+    auto bid = model.min_bid_for_fp(snap[0], 60, target);
+    std::printf("  min bid for FP <= %-7.4f : %s\n", target,
+                bid ? bid->money().str().c_str() : "(infeasible)");
+  }
+  return 0;
+}

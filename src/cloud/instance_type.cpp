@@ -1,0 +1,96 @@
+#include "cloud/instance_type.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "cloud/region.hpp"
+
+namespace jupiter {
+
+namespace {
+
+constexpr InstanceTypeInfo kTypes[] = {
+    {"linux.m1.small", 1, 1.7},
+    {"linux.m1.medium", 1, 3.75},
+    {"linux.m3.medium", 1, 3.75},
+    {"linux.m3.large", 2, 7.5},
+    {"linux.c3.large", 2, 3.75},
+};
+
+// Per-region on-demand prices in micro-dollars/hour, region order matching
+// ec2_regions().  m1.small spans $0.044-0.061 and m3.large $0.14-0.201 as
+// the paper reports; other types follow the same regional spread.
+constexpr std::array<std::int64_t, 9> kM1Small = {
+    44'000, 44'000, 47'000, 47'000, 50'000, 58'000, 61'000, 58'000, 61'000};
+constexpr std::array<std::int64_t, 9> kM1Medium = {
+    87'000, 87'000, 95'000, 95'000, 101'000, 117'000, 122'000, 117'000, 122'000};
+constexpr std::array<std::int64_t, 9> kM3Medium = {
+    70'000, 70'000, 77'000, 73'000, 79'000, 98'000, 101'000, 93'000, 100'000};
+constexpr std::array<std::int64_t, 9> kM3Large = {
+    140'000, 140'000, 154'000, 146'000, 158'000, 176'000, 183'000, 186'000, 201'000};
+constexpr std::array<std::int64_t, 9> kC3Large = {
+    105'000, 105'000, 120'000, 120'000, 129'000, 132'000, 128'000, 132'000, 163'000};
+
+const std::array<std::int64_t, 9>& price_table(InstanceKind kind) {
+  switch (kind) {
+    case InstanceKind::kM1Small:
+      return kM1Small;
+    case InstanceKind::kM1Medium:
+      return kM1Medium;
+    case InstanceKind::kM3Medium:
+      return kM3Medium;
+    case InstanceKind::kM3Large:
+      return kM3Large;
+    case InstanceKind::kC3Large:
+      return kC3Large;
+    default:
+      throw std::out_of_range("bad instance kind");
+  }
+}
+
+}  // namespace
+
+const InstanceTypeInfo& instance_type_info(InstanceKind kind) {
+  auto idx = static_cast<std::size_t>(kind);
+  if (idx >= std::size(kTypes)) throw std::out_of_range("bad instance kind");
+  return kTypes[idx];
+}
+
+InstanceKind instance_kind_by_name(const std::string& name) {
+  for (int i = 0; i < kInstanceKindCount; ++i) {
+    if (name == kTypes[static_cast<std::size_t>(i)].name) {
+      return static_cast<InstanceKind>(i);
+    }
+  }
+  throw std::invalid_argument("unknown instance type: " + name);
+}
+
+Money on_demand_price(int region, InstanceKind kind) {
+  const auto& table = price_table(kind);
+  if (region < 0 || region >= static_cast<int>(table.size())) {
+    throw std::out_of_range("bad region");
+  }
+  return Money(table[static_cast<std::size_t>(region)]);
+}
+
+Money on_demand_price_zone(int zone_index, InstanceKind kind) {
+  const auto& zones = all_zones();
+  if (zone_index < 0 || zone_index >= static_cast<int>(zones.size())) {
+    throw std::out_of_range("bad zone index");
+  }
+  return on_demand_price(zones[static_cast<std::size_t>(zone_index)].region,
+                         kind);
+}
+
+Money cheapest_on_demand_price(InstanceKind kind) {
+  const auto& table = price_table(kind);
+  std::int64_t best = table[0];
+  for (auto p : table) best = std::min(best, p);
+  return Money(best);
+}
+
+Money spot_bid_cap(int region, InstanceKind kind) {
+  return on_demand_price(region, kind) * 4;
+}
+
+}  // namespace jupiter

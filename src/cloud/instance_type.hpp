@@ -1,0 +1,49 @@
+// Instance types and on-demand pricing (paper §2.1, §5.2).
+//
+// The evaluation uses "linux.m1.small" (lock service) and "linux.m3.large"
+// (storage service).  On-demand prices vary by region; the paper quotes
+// $0.044-0.061/h for m1.small and $0.14-0.201/h for m3.large, which our
+// per-region tables reproduce exactly at the extremes.
+#pragma once
+
+#include <string>
+
+#include "util/money.hpp"
+
+namespace jupiter {
+
+enum class InstanceKind {
+  kM1Small,
+  kM1Medium,
+  kM3Medium,
+  kM3Large,
+  kC3Large,
+  kCount,
+};
+
+inline constexpr int kInstanceKindCount = static_cast<int>(InstanceKind::kCount);
+
+struct InstanceTypeInfo {
+  const char* name;  // "linux.m1.small"
+  int vcpus;
+  double memory_gb;
+};
+
+const InstanceTypeInfo& instance_type_info(InstanceKind kind);
+
+InstanceKind instance_kind_by_name(const std::string& name);
+
+/// On-demand hourly price of `kind` in `region` (index into ec2_regions()).
+Money on_demand_price(int region, InstanceKind kind);
+
+/// On-demand hourly price in the zone (zones inherit their region's price).
+Money on_demand_price_zone(int zone_index, InstanceKind kind);
+
+/// Cheapest on-demand price across all regions — what the paper's baseline
+/// deployments pay ("5 instances in the cheapest availability zones").
+Money cheapest_on_demand_price(InstanceKind kind);
+
+/// EC2's spot bid upper limit: four times the on-demand price (§2.1).
+Money spot_bid_cap(int region, InstanceKind kind);
+
+}  // namespace jupiter

@@ -1,0 +1,84 @@
+#include "cloud/region.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace jupiter {
+
+const std::vector<RegionInfo>& ec2_regions() {
+  static const std::vector<RegionInfo> kRegions = {
+      {"us-east-1", "Virginia", 4},      {"us-west-2", "Oregon", 3},
+      {"us-west-1", "California", 3},    {"eu-west-1", "Ireland", 3},
+      {"eu-central-1", "Frankfurt", 2},  {"ap-southeast-1", "Singapore", 2},
+      {"ap-northeast-1", "Tokyo", 3},    {"ap-southeast-2", "Sydney", 2},
+      {"sa-east-1", "Sao Paulo", 2},
+  };
+  return kRegions;
+}
+
+const std::vector<ZoneInfo>& all_zones() {
+  static const std::vector<ZoneInfo> kZones = [] {
+    std::vector<ZoneInfo> zones;
+    const auto& regions = ec2_regions();
+    for (int r = 0; r < static_cast<int>(regions.size()); ++r) {
+      for (int a = 0; a < regions[static_cast<std::size_t>(r)].az_count; ++a) {
+        char letter = static_cast<char>('a' + a);
+        zones.push_back(ZoneInfo{
+            r, letter,
+            regions[static_cast<std::size_t>(r)].name + letter});
+      }
+    }
+    return zones;
+  }();
+  return kZones;
+}
+
+const std::vector<int>& experiment_zone_indices() {
+  static const std::vector<int> kSubset = [] {
+    // Deterministic 17-of-24 selection: drop the last AZ of every region
+    // that has 3 or more (us-east-1d, us-west-2c, us-west-1c, eu-west-1c,
+    // ap-northeast-1c), then drop the second AZ of the two most expensive
+    // 2-AZ regions (ap-southeast-2b, sa-east-1b) — 24 - 7 = 17.
+    std::vector<int> subset;
+    const auto& zones = all_zones();
+    const auto& regions = ec2_regions();
+    for (int i = 0; i < static_cast<int>(zones.size()); ++i) {
+      const auto& z = zones[static_cast<std::size_t>(i)];
+      int azs = regions[static_cast<std::size_t>(z.region)].az_count;
+      int pos = z.letter - 'a';
+      if (azs >= 3 && pos == azs - 1) continue;
+      const std::string& rn = regions[static_cast<std::size_t>(z.region)].name;
+      if ((rn == "ap-southeast-2" || rn == "sa-east-1") && pos == 1) continue;
+      subset.push_back(i);
+    }
+    if (subset.size() != 17) throw std::logic_error("expected 17 zones");
+    return subset;
+  }();
+  return kSubset;
+}
+
+int zone_index_by_name(const std::string& name) {
+  static const std::unordered_map<std::string, int> kByName = [] {
+    std::unordered_map<std::string, int> m;
+    const auto& zones = all_zones();
+    for (int i = 0; i < static_cast<int>(zones.size()); ++i) {
+      m.emplace(zones[static_cast<std::size_t>(i)].name, i);
+    }
+    return m;
+  }();
+  auto it = kByName.find(name);
+  return it == kByName.end() ? -1 : it->second;
+}
+
+double region_startup_mean_seconds(int region) {
+  // Per-region startup means in [250, 650] s, spread deterministically so
+  // geography matters (Mao & Humphrey measured 200-700 s with regional
+  // variation being the dominant factor).
+  static const double kMeans[] = {280, 260, 320, 380, 410, 520, 470, 560, 620};
+  if (region < 0 || region >= static_cast<int>(std::size(kMeans))) {
+    throw std::out_of_range("bad region");
+  }
+  return kMeans[static_cast<std::size_t>(region)];
+}
+
+}  // namespace jupiter

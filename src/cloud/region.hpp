@@ -1,0 +1,45 @@
+// Amazon EC2 geography as of the paper (Table 1): 9 regions, 24 availability
+// zones.  Highly available services place at most one instance per AZ so
+// that both hardware failures and out-of-bid failures are independent
+// across replicas (paper §2.1, §3.2).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace jupiter {
+
+struct RegionInfo {
+  std::string name;      // e.g. "us-east-1"
+  std::string location;  // e.g. "Virginia"
+  int az_count;          // Table 1
+};
+
+/// The nine regions of Table 1, in the paper's order.
+const std::vector<RegionInfo>& ec2_regions();
+
+/// Zone identifier: index into the flattened AZ list.
+struct ZoneInfo {
+  int region;        // index into ec2_regions()
+  char letter;       // 'a', 'b', ...
+  std::string name;  // "us-east-1a"
+};
+
+/// All 24 AZs, flattened region-major ("us-east-1a", "us-east-1b", ...).
+const std::vector<ZoneInfo>& all_zones();
+
+/// The 17-zone subset the paper's experiments run over (§5.2).  Chosen
+/// deterministically: the first ceil(az_count * 17 / 24) zones of each
+/// region, trimmed to exactly 17.
+const std::vector<int>& experiment_zone_indices();
+
+/// Lookup by name; returns -1 if unknown.
+int zone_index_by_name(const std::string& name);
+
+/// Mean VM startup latency for a region, in seconds.  Startup times are
+/// 200-700 s and vary mainly by region (Mao & Humphrey; paper §4).
+/// Deterministic per region; per-launch jitter is applied by the provider.
+double region_startup_mean_seconds(int region);
+
+}  // namespace jupiter

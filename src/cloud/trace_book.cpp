@@ -1,0 +1,96 @@
+#include "cloud/trace_book.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "cloud/region.hpp"
+
+namespace jupiter {
+
+void TraceBook::set(int zone, InstanceKind kind, SpotTrace trace) {
+  traces_[{zone, static_cast<int>(kind)}] = std::move(trace);
+}
+
+bool TraceBook::has(int zone, InstanceKind kind) const {
+  return traces_.contains({zone, static_cast<int>(kind)});
+}
+
+const SpotTrace& TraceBook::trace(int zone, InstanceKind kind) const {
+  auto it = traces_.find({zone, static_cast<int>(kind)});
+  if (it == traces_.end()) throw std::out_of_range("no trace for zone/type");
+  return it->second;
+}
+
+std::vector<int> TraceBook::zones_for(InstanceKind kind) const {
+  std::vector<int> zones;
+  for (const auto& [key, _] : traces_) {
+    if (key.second == static_cast<int>(kind)) zones.push_back(key.first);
+  }
+  return zones;
+}
+
+std::optional<ZoneProfile> TraceBook::profile(int zone,
+                                              InstanceKind kind) const {
+  auto it = profiles_.find({zone, static_cast<int>(kind)});
+  if (it == profiles_.end()) return std::nullopt;
+  return it->second;
+}
+
+TraceBook TraceBook::synthetic(std::span<const int> zones, InstanceKind kind,
+                               SimTime from, SimTime to, std::uint64_t seed) {
+  TraceBook book;
+  for (int zone : zones) {
+    Money od = on_demand_price_zone(zone, kind);
+    std::uint64_t type_seed =
+        seed * 0x100000001B3ULL + static_cast<std::uint64_t>(kind) + 1;
+    ZoneProfile zp = draw_zone_profile(static_cast<std::size_t>(zone),
+                                       PriceTick::from_money(od), type_seed);
+    book.profiles_[{zone, static_cast<int>(kind)}] = zp;
+    book.traces_[{zone, static_cast<int>(kind)}] =
+        generate_zone_trace(zp, from, to);
+  }
+  return book;
+}
+
+void TraceBook::save_dir(const std::string& dir) const {
+  std::filesystem::create_directories(dir);
+  for (const auto& [key, trace] : traces_) {
+    const auto& zone = all_zones().at(static_cast<std::size_t>(key.first));
+    auto kind = static_cast<InstanceKind>(key.second);
+    std::string path = dir + "/" + zone.name + "." +
+                       instance_type_info(kind).name + ".csv";
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("cannot write " + path);
+    trace.save_csv(os);
+  }
+}
+
+TraceBook TraceBook::load_dir(const std::string& dir) {
+  TraceBook book;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".csv") continue;
+    std::string stem = entry.path().stem().string();  // "<zone>.<type>"
+    auto dot = stem.find('.');
+    if (dot == std::string::npos) continue;
+    int zone = zone_index_by_name(stem.substr(0, dot));
+    if (zone < 0) continue;
+    InstanceKind kind = instance_kind_by_name(stem.substr(dot + 1));
+    std::ifstream is(entry.path());
+    if (!is) throw std::runtime_error("cannot read " + entry.path().string());
+    book.set(zone, kind, SpotTrace::load_csv(is));
+  }
+  return book;
+}
+
+void TraceBook::merge(TraceBook other) {
+  for (auto& [key, trace] : other.traces_) {
+    traces_[key] = std::move(trace);
+  }
+  for (auto& [key, prof] : other.profiles_) {
+    profiles_[key] = prof;
+  }
+}
+
+}  // namespace jupiter

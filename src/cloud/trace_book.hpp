@@ -1,0 +1,56 @@
+// TraceBook: the spot price history of every (availability zone, instance
+// type) pair in a scenario.  The replay engine reads it directly; the
+// CloudProvider serves prices from it in live-run mode; the failure model
+// trains on slices of it.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cloud/instance_type.hpp"
+#include "market/price_process.hpp"
+#include "market/spot_trace.hpp"
+
+namespace jupiter {
+
+class TraceBook {
+ public:
+  void set(int zone, InstanceKind kind, SpotTrace trace);
+  bool has(int zone, InstanceKind kind) const;
+  const SpotTrace& trace(int zone, InstanceKind kind) const;
+
+  /// Zones with a trace for `kind`, ascending.
+  std::vector<int> zones_for(InstanceKind kind) const;
+
+  /// The ground-truth profile used to generate a zone's trace, if this book
+  /// was produced by `synthetic` (tests compare estimator vs truth).
+  std::optional<ZoneProfile> profile(int zone, InstanceKind kind) const;
+
+  /// Generates traces for all `zones` of one instance type over [from, to).
+  /// Each zone gets an independent profile and sampling stream derived from
+  /// (zone index, kind, seed); regenerating with the same arguments is
+  /// bit-identical.
+  static TraceBook synthetic(std::span<const int> zones, InstanceKind kind,
+                             SimTime from, SimTime to, std::uint64_t seed);
+
+  /// Merges another book into this one (disjoint or overwriting).
+  void merge(TraceBook other);
+
+  /// Persists every trace as `<dir>/<zone-name>.<type>.csv` (creates the
+  /// directory).  Ground-truth profiles are not persisted — a book loaded
+  /// from disk is indistinguishable from one collected from a real market.
+  void save_dir(const std::string& dir) const;
+
+  /// Loads every `*.csv` trace previously written by save_dir.
+  static TraceBook load_dir(const std::string& dir);
+
+ private:
+  using Key = std::pair<int, int>;  // (zone, kind)
+  std::map<Key, SpotTrace> traces_;
+  std::map<Key, ZoneProfile> profiles_;
+};
+
+}  // namespace jupiter

@@ -1,0 +1,40 @@
+// Exhaustive reference solver for the bidding NLP (§3.2).
+//
+// The paper notes the optimization is NP-hard (traverse space m^n over m
+// candidate prices and n zones) and justifies the Fig. 3 greedy as "a good
+// and near optimal solution in practice" — without measuring the gap.
+// This solver closes that loop: it enumerates every zone subset and every
+// combination of candidate bids (the state prices of each zone's model,
+// which is where the FP step function actually changes), checks the
+// availability constraint exactly (Poisson-binomial over heterogeneous
+// FPs), and returns the true minimum bid-sum.
+//
+// Strictly a validation tool: cost is sum over n of C(zones, n) * prod of
+// per-zone candidate counts.  Keep zones <= ~8 and per-zone states small
+// (tests use toy chains); the greedy-vs-optimal comparison lives in
+// tests/test_exhaustive_bidder.cpp.
+#pragma once
+
+#include <optional>
+
+#include "core/online_bidder.hpp"
+
+namespace jupiter {
+
+struct ExhaustiveOptions {
+  int max_nodes = 7;
+  /// Safety valve: give up (return nullopt) beyond this many candidate
+  /// combinations rather than hang.
+  std::uint64_t max_combinations = 50'000'000;
+  int horizon_minutes = 60;
+};
+
+/// True optimum of the §3.2 program, or nullopt if the constraint is
+/// infeasible at every configuration (or the search space exceeds the
+/// valve).  The returned decision has satisfies_constraint == true.
+std::optional<BidDecision> exhaustive_decide(const FailureModelBook& models,
+                                             const MarketSnapshot& snapshot,
+                                             const ServiceSpec& spec,
+                                             const ExhaustiveOptions& opts);
+
+}  // namespace jupiter

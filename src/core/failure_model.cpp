@@ -1,0 +1,192 @@
+#include "core/failure_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace jupiter {
+
+ZoneFailureModel::ZoneFailureModel(SemiMarkovChain chain, PriceTick on_demand,
+                                   double fp_prime, OobEstimator est)
+    : chain_(std::move(chain)),
+      on_demand_(on_demand),
+      fp_prime_(fp_prime),
+      estimator_(est) {
+  if (fp_prime < 0 || fp_prime >= 1) throw std::invalid_argument("bad FP'");
+}
+
+ZoneFailureModel ZoneFailureModel::train(const SpotTrace& history,
+                                         PriceTick on_demand, double fp_prime,
+                                         OobEstimator est) {
+  if (history.empty()) throw std::invalid_argument("empty training trace");
+  return ZoneFailureModel(SemiMarkovChain::estimate(history), on_demand,
+                          fp_prime, est);
+}
+
+double ZoneFailureModel::out_of_bid_probability(const MarketZoneState& st,
+                                                int horizon_minutes,
+                                                PriceTick bid) const {
+  if (bid < st.price) return 1.0;  // would not even launch
+  int state = chain_.nearest_state(st.price);
+  if (estimator_ == OobEstimator::kFirstPassage) {
+    return chain_.hit_probability(state, st.age_minutes, horizon_minutes, bid);
+  }
+  return chain_.exceed_probability(state, st.age_minutes, horizon_minutes,
+                                   bid);
+}
+
+double ZoneFailureModel::estimate_fp(const MarketZoneState& st,
+                                     int horizon_minutes,
+                                     PriceTick bid) const {
+  // Eq. 14: FP = 1 for b <= p (the paper's strict inequality corresponds to
+  // its "price exceeds bid" launch rule; ours launches at equality, so only
+  // bids strictly below the price are hopeless a priori — but an equal bid
+  // dies at the first move, which the exceedance term captures).
+  if (bid < st.price) return 1.0;
+  // Forced below on-demand (§4.2); honor the stricter of the model's cap
+  // and the snapshot's.
+  if (bid >= std::min(on_demand_, st.on_demand)) return 1.0;
+  return compose(out_of_bid_probability(st, horizon_minutes, bid));
+}
+
+std::optional<PriceTick> ZoneFailureModel::min_bid_for_fp(
+    const MarketZoneState& st, int horizon_minutes, double fp_target) const {
+  return bid_curve(st, horizon_minutes).min_bid_for_fp(fp_target);
+}
+
+double ZoneFailureModel::best_achievable_fp(const MarketZoneState& st,
+                                            int horizon_minutes) const {
+  PriceTick cap = st.on_demand - 1;
+  if (cap < st.price) return 1.0;
+  return estimate_fp(st, horizon_minutes, cap);
+}
+
+BidCurve::BidCurve(const SemiMarkovChain* chain, int state, int age,
+                   int horizon, PriceTick current_price, PriceTick on_demand,
+                   double fp_prime, OobEstimator estimator)
+    : chain_(chain),
+      state_(state),
+      age_(age),
+      horizon_(horizon),
+      current_price_(current_price),
+      on_demand_(on_demand),
+      fp_prime_(fp_prime),
+      estimator_(estimator),
+      cache_(static_cast<std::size_t>(chain->state_count()), 0.0),
+      known_(static_cast<std::size_t>(chain->state_count()), 0) {
+  if (estimator_ == OobEstimator::kOccupancy) {
+    // Occupancy exceedance comes from a single forward pass; fill eagerly.
+    cache_ = chain_->exceed_curve(state_, age_, horizon_);
+    std::fill(known_.begin(), known_.end(), 1);
+  }
+}
+
+double BidCurve::oob_at_index(int i) const {
+  auto idx = static_cast<std::size_t>(i);
+  if (!known_[idx]) {
+    cache_[idx] = chain_->hit_one(state_, age_, horizon_, i);
+    known_[idx] = 1;
+  }
+  return cache_[idx];
+}
+
+double BidCurve::fp_at(PriceTick bid) const {
+  if (bid < current_price_ || bid >= on_demand_) return 1.0;
+  // Out-of-bid probability at `bid` equals the value at the largest state
+  // price <= bid (the curve is a right-continuous step function of the bid).
+  const auto& ps = prices();
+  int idx = -1;
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    if (ps[i] <= bid) {
+      idx = static_cast<int>(i);
+    } else {
+      break;
+    }
+  }
+  // Bid below every known state: everything the chain can visit exceeds it.
+  double oob = idx < 0 ? 1.0 : oob_at_index(idx);
+  return 1.0 - (1.0 - fp_prime_) * (1.0 - oob);
+}
+
+std::optional<PriceTick> BidCurve::min_bid_for_fp(double fp_target) const {
+  if (fp_target >= 1.0) fp_target = 1.0;
+  double max_oob = 1.0 - (1.0 - fp_target) / (1.0 - fp_prime_);
+  if (max_oob < 0) return std::nullopt;
+  const auto& ps = prices();
+  int lo = -1, hi = -1;
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    if (ps[i] < current_price_) continue;
+    if (ps[i] >= on_demand_) break;
+    if (lo < 0) lo = static_cast<int>(i);
+    hi = static_cast<int>(i);
+  }
+  if (lo < 0) return std::nullopt;
+  // The out-of-bid probability is nonincreasing in the threshold index, so
+  // binary search finds the cheapest feasible bid with O(log) transient
+  // analyses instead of one per candidate.
+  if (oob_at_index(hi) > max_oob) return std::nullopt;
+  while (lo < hi) {
+    int mid = lo + (hi - lo) / 2;
+    if (oob_at_index(mid) <= max_oob) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return ps[static_cast<std::size_t>(lo)];
+}
+
+double BidCurve::best_achievable_fp() const {
+  PriceTick cap = on_demand_ - 1;
+  return fp_at(cap);
+}
+
+BidCurve ZoneFailureModel::bid_curve(const MarketZoneState& st,
+                                     int horizon_minutes) const {
+  int state = chain_.nearest_state(st.price);
+  return BidCurve(&chain_, state, st.age_minutes, horizon_minutes, st.price,
+                  std::min(on_demand_, st.on_demand), fp_prime_, estimator_);
+}
+
+void FailureModelBook::set(int zone, ZoneFailureModel model) {
+  auto it = std::lower_bound(
+      models_.begin(), models_.end(), zone,
+      [](const auto& kv, int z) { return kv.first < z; });
+  if (it != models_.end() && it->first == zone) {
+    it->second = std::move(model);
+  } else {
+    models_.emplace(it, zone, std::move(model));
+  }
+}
+
+bool FailureModelBook::has(int zone) const {
+  auto it = std::lower_bound(
+      models_.begin(), models_.end(), zone,
+      [](const auto& kv, int z) { return kv.first < z; });
+  return it != models_.end() && it->first == zone;
+}
+
+const ZoneFailureModel& FailureModelBook::model(int zone) const {
+  auto it = std::lower_bound(
+      models_.begin(), models_.end(), zone,
+      [](const auto& kv, int z) { return kv.first < z; });
+  if (it == models_.end() || it->first != zone) {
+    throw std::out_of_range("no model for zone");
+  }
+  return it->second;
+}
+
+FailureModelBook FailureModelBook::train(const TraceBook& book,
+                                         InstanceKind kind,
+                                         const std::vector<int>& zones,
+                                         SimTime from, SimTime to,
+                                         double fp_prime, OobEstimator est) {
+  FailureModelBook out;
+  for (int zone : zones) {
+    SpotTrace slice = book.trace(zone, kind).slice(from, to);
+    PriceTick od = PriceTick::from_money(on_demand_price_zone(zone, kind));
+    out.set(zone, ZoneFailureModel::train(slice, od, fp_prime, est));
+  }
+  return out;
+}
+
+}  // namespace jupiter

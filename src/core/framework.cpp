@@ -1,0 +1,230 @@
+#include "core/framework.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace jupiter {
+
+BiddingFramework::BiddingFramework(Simulator& sim, CloudProvider& provider,
+                                   const TraceBook& book,
+                                   BiddingStrategy& strategy, ServiceSpec spec,
+                                   std::vector<int> zones, Options opts,
+                                   ServiceAdapter* adapter)
+    : sim_(sim),
+      provider_(provider),
+      book_(book),
+      strategy_(strategy),
+      spec_(std::move(spec)),
+      zones_(std::move(zones)),
+      opts_(opts),
+      adapter_(adapter) {
+  provider_.subscribe([this](CloudProvider::InstanceId id, InstanceState st) {
+    on_instance_event(id, st);
+  });
+}
+
+void BiddingFramework::start(SimTime at) {
+  running_ = true;
+  started_ = at;
+  last_eval_ = at;
+  was_up_ = false;
+  // The very first interval cannot pre-launch in the past: decide and
+  // launch right at `at`, then settle into the prelaunch/boundary cadence.
+  sim_.schedule_at(at, [this, at] {
+    if (!running_) return;
+    decide_and_prelaunch(at);
+    apply_boundary(at);  // also arms the next prelaunch/boundary pair
+  });
+}
+
+void BiddingFramework::stop() {
+  if (!running_) return;
+  refresh_quorum_state();
+  running_ = false;
+  for (const auto& h : holdings_) {
+    if (provider_.record(h.id).state != InstanceState::kTerminated) {
+      provider_.terminate(h.id);
+    }
+  }
+  holdings_.clear();
+  notify_membership();
+}
+
+int BiddingFramework::quorum_needed() const {
+  // Quorums are over the replication view: instances that have joined.
+  // Pre-launched replacements only enter the view once they are up (a Paxos
+  // node is added by view change after it has caught up).
+  int n = 0;
+  for (const auto& h : holdings_) {
+    if (h.joined) ++n;
+  }
+  if (n == 0) return 1;
+  return spec_.quorum(n);
+}
+
+void BiddingFramework::decide_and_prelaunch(SimTime boundary) {
+  if (!running_) return;
+  ++rebids_;
+  MarketSnapshot snapshot = snapshot_at(book_, spec_.kind, zones_, sim_.now());
+  std::vector<ZoneBid> held;
+  for (const auto& h : holdings_) {
+    if (h.spot && provider_.record(h.id).state != InstanceState::kTerminated) {
+      held.push_back(ZoneBid{h.zone, h.bid});
+    }
+  }
+  pending_ = strategy_.decide(snapshot, sim_.now(), held);
+  pending_valid_ = true;
+
+  // Launch everything new now so it is (likely) ready by the boundary.
+  // "Keep" means: same zone, same kind of holding, and for spot the same
+  // bid — EC2 cannot change the bid of a live instance.
+  auto keeps_spot = [&](const Holding& h) {
+    if (!h.spot) return false;
+    if (provider_.record(h.id).state == InstanceState::kTerminated) return false;
+    for (const auto& b : pending_.spot_bids) {
+      if (b.zone == h.zone && b.bid == h.bid) return true;
+    }
+    return false;
+  };
+  auto keeps_od = [&](const Holding& h) {
+    if (h.spot) return false;
+    if (provider_.record(h.id).state == InstanceState::kTerminated) return false;
+    return std::find(pending_.on_demand_zones.begin(),
+                     pending_.on_demand_zones.end(),
+                     h.zone) != pending_.on_demand_zones.end();
+  };
+
+  for (auto& h : holdings_) {
+    h.retiring = !(keeps_spot(h) || keeps_od(h));
+  }
+
+  auto zone_held_live = [&](int zone, bool spot, PriceTick bid) {
+    for (const auto& h : holdings_) {
+      if (h.zone == zone && h.spot == spot && !h.retiring &&
+          (!spot || h.bid == bid)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (const auto& b : pending_.spot_bids) {
+    if (zone_held_live(b.zone, true, b.bid)) continue;
+    auto id = provider_.request_spot(b.zone, spec_.kind, b.bid);
+    if (id == 0) continue;  // price already above the bid
+    bool up = provider_.is_up(id);
+    holdings_.push_back(Holding{id, b.zone, b.bid, true, false, up});
+  }
+  for (int zone : pending_.on_demand_zones) {
+    if (zone_held_live(zone, false, PriceTick())) continue;
+    auto id = provider_.launch_on_demand(zone, spec_.kind);
+    holdings_.push_back(Holding{id, zone, PriceTick(), false, false, false});
+  }
+  refresh_quorum_state();
+  notify_membership();
+  (void)boundary;
+}
+
+void BiddingFramework::apply_boundary(SimTime boundary) {
+  if (!running_) return;
+  refresh_quorum_state();
+  // Retire the instances that did not survive the reconciliation.
+  for (auto& h : holdings_) {
+    if (h.retiring &&
+        provider_.record(h.id).state != InstanceState::kTerminated) {
+      provider_.terminate(h.id);
+    }
+  }
+  std::erase_if(holdings_, [&](const Holding& h) {
+    return provider_.record(h.id).state == InstanceState::kTerminated;
+  });
+  notify_membership();
+  refresh_quorum_state();
+
+  SimTime next = boundary + opts_.interval;
+  sim_.schedule_at(next - opts_.lead_time,
+                   [this, next] { decide_and_prelaunch(next); });
+  sim_.schedule_at(next, [this, next] { apply_boundary(next); });
+}
+
+void BiddingFramework::on_instance_event(CloudProvider::InstanceId id,
+                                         InstanceState st) {
+  if (!running_) return;
+  bool ours = false;
+  for (const auto& h : holdings_) {
+    if (h.id == id) {
+      ours = true;
+      break;
+    }
+  }
+  if (!ours) return;
+  refresh_quorum_state();
+  if (st == InstanceState::kRunning) {
+    for (auto& h : holdings_) {
+      if (h.id == id && !h.joined) {
+        h.joined = true;  // view change: the caught-up node joins
+        notify_membership();
+      }
+    }
+    refresh_quorum_state();
+  } else if (st == InstanceState::kTerminated) {
+    // Out-of-bid kill (user terminations happen via apply_boundary/stop).
+    std::erase_if(holdings_, [&](const Holding& h) { return h.id == id; });
+    notify_membership();
+    refresh_quorum_state();
+  }
+}
+
+void BiddingFramework::refresh_quorum_state() {
+  SimTime now = sim_.now();
+  if (now > last_eval_) {
+    if (!was_up_) downtime_ += now - last_eval_;
+    last_eval_ = now;
+  }
+  int up = 0;
+  bool any_joined = false;
+  for (const auto& h : holdings_) {
+    if (!h.joined) continue;
+    any_joined = true;
+    if (provider_.is_up(h.id)) ++up;
+  }
+  was_up_ = any_joined && up >= quorum_needed();
+}
+
+void BiddingFramework::notify_membership() {
+  if (!adapter_) return;
+  std::vector<CloudProvider::InstanceId> members;
+  members.reserve(holdings_.size());
+  for (const auto& h : holdings_) {
+    if (h.joined) members.push_back(h.id);
+  }
+  adapter_->on_membership(members);
+}
+
+TimeDelta BiddingFramework::downtime_seconds() const {
+  TimeDelta extra = 0;
+  if (sim_.now() > last_eval_ && !was_up_) extra = sim_.now() - last_eval_;
+  return downtime_ + extra;
+}
+
+TimeDelta BiddingFramework::elapsed_seconds() const {
+  return std::max<TimeDelta>(0, sim_.now() - started_);
+}
+
+double BiddingFramework::availability() const {
+  TimeDelta elapsed = elapsed_seconds();
+  if (elapsed <= 0) return 1.0;
+  return 1.0 - static_cast<double>(downtime_seconds()) /
+                   static_cast<double>(elapsed);
+}
+
+std::vector<CloudProvider::InstanceId> BiddingFramework::members() const {
+  std::vector<CloudProvider::InstanceId> m;
+  for (const auto& h : holdings_) {
+    if (h.joined) m.push_back(h.id);
+  }
+  return m;
+}
+
+}  // namespace jupiter

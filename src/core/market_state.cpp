@@ -1,0 +1,22 @@
+#include "core/market_state.hpp"
+
+namespace jupiter {
+
+MarketSnapshot snapshot_at(const TraceBook& book, InstanceKind kind,
+                           const std::vector<int>& zones, SimTime t) {
+  MarketSnapshot snap;
+  snap.reserve(zones.size());
+  for (int zone : zones) {
+    const SpotTrace& trace = book.trace(zone, kind);
+    std::size_t seg = trace.segment_at(t);
+    MarketZoneState st;
+    st.zone = zone;
+    st.price = trace.points()[seg].price;
+    st.age_minutes = static_cast<int>((t - trace.points()[seg].at) / kMinute);
+    st.on_demand = PriceTick::from_money(on_demand_price_zone(zone, kind));
+    snap.push_back(st);
+  }
+  return snap;
+}
+
+}  // namespace jupiter

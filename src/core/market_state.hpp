@@ -1,0 +1,39 @@
+// Point-in-time view of the spot market that bidding strategies consume.
+#pragma once
+
+#include <vector>
+
+#include "cloud/instance_type.hpp"
+#include "cloud/trace_book.hpp"
+#include "util/money.hpp"
+#include "util/time.hpp"
+
+namespace jupiter {
+
+/// What a bidder can observe about one availability zone at decision time:
+/// the current spot price, how long it has been in force (the semi-Markov
+/// "age" that conditions the sojourn law), and the zone's on-demand price
+/// (the bid ceiling the framework enforces, §4.2).
+struct MarketZoneState {
+  int zone = -1;
+  PriceTick price;
+  int age_minutes = 0;
+  PriceTick on_demand;
+};
+
+using MarketSnapshot = std::vector<MarketZoneState>;
+
+/// A bid placed (or to be placed) in one zone.
+struct ZoneBid {
+  int zone = -1;
+  PriceTick bid;
+
+  friend bool operator==(const ZoneBid&, const ZoneBid&) = default;
+};
+
+/// Builds the snapshot for `zones` from the trace book at time `t`.
+/// The price age is derived from the last change point at or before `t`.
+MarketSnapshot snapshot_at(const TraceBook& book, InstanceKind kind,
+                           const std::vector<int>& zones, SimTime t);
+
+}  // namespace jupiter

@@ -1,0 +1,31 @@
+#include "core/service_spec.hpp"
+
+#include "quorum/availability.hpp"
+
+namespace jupiter {
+
+double ServiceSpec::target_availability() const {
+  return availability_equal(baseline_nodes, tolerate(baseline_nodes),
+                            baseline_fp);
+}
+
+ServiceSpec ServiceSpec::lock_service() {
+  ServiceSpec s;
+  s.name = "lock-service";
+  s.kind = InstanceKind::kM1Small;
+  s.rule = QuorumRule::kMajority;
+  s.baseline_nodes = 5;
+  return s;
+}
+
+ServiceSpec ServiceSpec::storage_service() {
+  ServiceSpec s;
+  s.name = "storage-service";
+  s.kind = InstanceKind::kM3Large;
+  s.rule = QuorumRule::kErasure;
+  s.erasure_m = 3;
+  s.baseline_nodes = 5;
+  return s;
+}
+
+}  // namespace jupiter

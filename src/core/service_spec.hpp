@@ -1,0 +1,60 @@
+// What kind of distributed service is being bid for (paper §5.1-§5.2).
+//
+// The quorum rule determines how many simultaneous node failures an n-node
+// deployment tolerates, which is what couples the bidding decision to the
+// availability constraint:
+//   * kMajority — Paxos replication (the lock service): tolerate
+//     floor((n-1)/2);
+//   * kErasure  — RS-Paxos with theta(m, n) coding (the storage service):
+//     quorums must pairwise intersect in >= m nodes, so the write quorum is
+//     ceil((n+m)/2) and the system tolerates floor((n-m)/2).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "cloud/instance_type.hpp"
+
+namespace jupiter {
+
+enum class QuorumRule { kMajority, kErasure };
+
+struct ServiceSpec {
+  std::string name = "service";
+  InstanceKind kind = InstanceKind::kM1Small;
+  QuorumRule rule = QuorumRule::kMajority;
+  int erasure_m = 3;       ///< data chunks (kErasure only)
+  int baseline_nodes = 5;  ///< size of the on-demand reference deployment
+  double baseline_fp = 0.01;  ///< per-node FP of the reference deployment
+  double epsilon = 1e-6;      ///< tolerated availability slack (Eq. 10)
+
+  /// Simultaneous failures an n-node deployment tolerates; negative when n
+  /// is too small to operate at all (e.g. fewer nodes than data chunks).
+  int tolerate(int n) const {
+    switch (rule) {
+      case QuorumRule::kMajority:
+        return (n - 1) / 2;
+      case QuorumRule::kErasure:
+        return n >= erasure_m ? (n - erasure_m) / 2 : -1;
+    }
+    throw std::logic_error("bad quorum rule");
+  }
+
+  /// Quorum (minimum live nodes) of an n-node deployment.
+  int quorum(int n) const { return n - tolerate(n); }
+
+  /// Smallest deployable size (quorum must exist).
+  int min_nodes() const {
+    return rule == QuorumRule::kErasure ? erasure_m : 1;
+  }
+
+  /// Availability of the on-demand reference deployment — the constraint's
+  /// right-hand side (Eq. 10).
+  double target_availability() const;
+
+  /// Standard specs of the two evaluated systems.
+  static ServiceSpec lock_service();
+  static ServiceSpec storage_service();
+};
+
+}  // namespace jupiter

@@ -1,0 +1,51 @@
+#include "ec/gf256.hpp"
+
+#include <stdexcept>
+
+namespace jupiter {
+
+const GF256::Tables& GF256::tables() {
+  static const Tables t = [] {
+    Tables tab{};
+    unsigned x = 1;
+    for (int i = 0; i < 255; ++i) {
+      tab.exp[static_cast<std::size_t>(i)] = static_cast<Elem>(x);
+      tab.log[x] = i;
+      x <<= 1;
+      if (x & 0x100) x ^= kPoly;
+    }
+    for (int i = 255; i < 512; ++i) {
+      tab.exp[static_cast<std::size_t>(i)] =
+          tab.exp[static_cast<std::size_t>(i - 255)];
+    }
+    tab.log[0] = -1;  // undefined; guarded by callers
+    return tab;
+  }();
+  return t;
+}
+
+GF256::Elem GF256::inv(Elem a) {
+  if (a == 0) throw std::domain_error("GF256: inverse of zero");
+  const Tables& t = tables();
+  return t.exp[static_cast<std::size_t>(255 - t.log[a])];
+}
+
+GF256::Elem GF256::div(Elem a, Elem b) {
+  if (b == 0) throw std::domain_error("GF256: division by zero");
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  int s = t.log[a] - t.log[b];
+  if (s < 0) s += 255;
+  return t.exp[static_cast<std::size_t>(s)];
+}
+
+GF256::Elem GF256::pow(Elem a, int e) {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  long long s = static_cast<long long>(t.log[a]) * e % 255;
+  if (s < 0) s += 255;
+  return t.exp[static_cast<std::size_t>(s)];
+}
+
+}  // namespace jupiter

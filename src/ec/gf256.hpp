@@ -1,0 +1,54 @@
+// GF(2^8) arithmetic for Reed-Solomon coding.
+//
+// Field: GF(2)[x] / (x^8 + x^4 + x^3 + x^2 + 1), the 0x11D polynomial used
+// by most storage codes.  Multiplication/division run through log/exp
+// tables built once at startup; addition is XOR.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace jupiter {
+
+class GF256 {
+ public:
+  using Elem = std::uint8_t;
+
+  static constexpr unsigned kPoly = 0x11D;  // x^8+x^4+x^3+x^2+1
+  static constexpr int kFieldSize = 256;
+
+  static Elem add(Elem a, Elem b) { return a ^ b; }
+  static Elem sub(Elem a, Elem b) { return a ^ b; }  // char 2: sub == add
+
+  static Elem mul(Elem a, Elem b) {
+    if (a == 0 || b == 0) return 0;
+    const Tables& t = tables();
+    int s = t.log[a] + t.log[b];
+    if (s >= 255) s -= 255;
+    return t.exp[s];
+  }
+
+  static Elem inv(Elem a);
+
+  static Elem div(Elem a, Elem b);
+
+  /// a^e for e >= 0 (0^0 == 1 by convention).
+  static Elem pow(Elem a, int e);
+
+  /// The generator element (0x02) raised to i — distinct for i in [0, 255).
+  static Elem alpha_pow(int i) {
+    const Tables& t = tables();
+    i %= 255;
+    if (i < 0) i += 255;
+    return t.exp[i];
+  }
+
+ private:
+  struct Tables {
+    std::array<Elem, 512> exp;  // doubled to skip the mod in hot paths
+    std::array<int, 256> log;
+  };
+  static const Tables& tables();
+};
+
+}  // namespace jupiter

@@ -1,0 +1,102 @@
+#include "ec/gf_matrix.hpp"
+
+#include <stdexcept>
+
+namespace jupiter {
+
+GFMatrix GFMatrix::identity(std::size_t n) {
+  GFMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+GFMatrix GFMatrix::vandermonde(std::size_t rows, std::size_t cols) {
+  if (rows >= GF256::kFieldSize) throw std::invalid_argument("too many rows");
+  GFMatrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m.at(r, c) = GF256::pow(static_cast<GF256::Elem>(r + 1),
+                              static_cast<int>(c));
+    }
+  }
+  return m;
+}
+
+GFMatrix GFMatrix::mul(const GFMatrix& other) const {
+  if (cols_ != other.rows_) throw std::invalid_argument("shape mismatch");
+  GFMatrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      GF256::Elem a = at(r, k);
+      if (a == 0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        out.at(r, c) = GF256::add(out.at(r, c), GF256::mul(a, other.at(k, c)));
+      }
+    }
+  }
+  return out;
+}
+
+GFMatrix GFMatrix::inverted() const {
+  if (rows_ != cols_) throw std::invalid_argument("not square");
+  std::size_t n = rows_;
+  GFMatrix a(*this);
+  GFMatrix inv = identity(n);
+  for (std::size_t col = 0; col < n; ++col) {
+    // Find a pivot.
+    std::size_t pivot = col;
+    while (pivot < n && a.at(pivot, col) == 0) ++pivot;
+    if (pivot == n) throw std::domain_error("singular matrix");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(a.at(pivot, c), a.at(col, c));
+        std::swap(inv.at(pivot, c), inv.at(col, c));
+      }
+    }
+    // Scale pivot row to 1.
+    GF256::Elem piv = a.at(col, col);
+    GF256::Elem piv_inv = GF256::inv(piv);
+    for (std::size_t c = 0; c < n; ++c) {
+      a.at(col, c) = GF256::mul(a.at(col, c), piv_inv);
+      inv.at(col, c) = GF256::mul(inv.at(col, c), piv_inv);
+    }
+    // Eliminate the column elsewhere.
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      GF256::Elem f = a.at(r, col);
+      if (f == 0) continue;
+      for (std::size_t c = 0; c < n; ++c) {
+        a.at(r, c) = GF256::add(a.at(r, c), GF256::mul(f, a.at(col, c)));
+        inv.at(r, c) = GF256::add(inv.at(r, c), GF256::mul(f, inv.at(col, c)));
+      }
+    }
+  }
+  return inv;
+}
+
+GFMatrix GFMatrix::select_rows(const std::vector<std::size_t>& rows) const {
+  GFMatrix out(rows.size(), cols_);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i] >= rows_) throw std::out_of_range("row index");
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out.at(i, c) = at(rows[i], c);
+    }
+  }
+  return out;
+}
+
+std::vector<GF256::Elem> GFMatrix::apply(
+    const std::vector<GF256::Elem>& x) const {
+  if (x.size() != cols_) throw std::invalid_argument("vector size");
+  std::vector<GF256::Elem> y(rows_, 0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    GF256::Elem acc = 0;
+    for (std::size_t c = 0; c < cols_; ++c) {
+      acc = GF256::add(acc, GF256::mul(at(r, c), x[c]));
+    }
+    y[r] = acc;
+  }
+  return y;
+}
+
+}  // namespace jupiter

@@ -1,0 +1,51 @@
+// Dense matrices over GF(256): the little linear algebra Reed-Solomon needs
+// (multiplication, Gauss-Jordan inversion, Vandermonde construction).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ec/gf256.hpp"
+
+namespace jupiter {
+
+class GFMatrix {
+ public:
+  GFMatrix() = default;
+  GFMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+  static GFMatrix identity(std::size_t n);
+
+  /// Vandermonde: a[r][c] = (r+1)^c.  Rows are distinct non-zero points, so
+  /// every square submatrix of the full matrix is invertible — the property
+  /// that lets any m of n coded chunks reconstruct the data.
+  static GFMatrix vandermonde(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  GF256::Elem at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  GF256::Elem& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+
+  GFMatrix mul(const GFMatrix& other) const;
+
+  /// Gauss-Jordan inverse; throws std::domain_error if singular.
+  GFMatrix inverted() const;
+
+  /// New matrix from a subset of rows.
+  GFMatrix select_rows(const std::vector<std::size_t>& rows) const;
+
+  /// Row-vector product: y = M * x (x sized cols()).
+  std::vector<GF256::Elem> apply(const std::vector<GF256::Elem>& x) const;
+
+  friend bool operator==(const GFMatrix&, const GFMatrix&) = default;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<GF256::Elem> data_;
+};
+
+}  // namespace jupiter

@@ -1,0 +1,121 @@
+#include "ec/reed_solomon.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace jupiter {
+
+ReedSolomon::ReedSolomon(int m, int n) : m_(m), n_(n) {
+  if (m < 1 || n < m || n >= GF256::kFieldSize) {
+    throw std::invalid_argument("bad theta(m, n)");
+  }
+  GFMatrix v = GFMatrix::vandermonde(static_cast<std::size_t>(n),
+                                     static_cast<std::size_t>(m));
+  // Right-normalize: V * (top m rows)^-1 makes the top the identity while
+  // preserving invertibility of every m-row submatrix.
+  std::vector<std::size_t> top(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) top[static_cast<std::size_t>(i)] = static_cast<std::size_t>(i);
+  matrix_ = v.mul(v.select_rows(top).inverted());
+}
+
+std::vector<Chunk> ReedSolomon::encode_chunks(
+    const std::vector<Chunk>& data) const {
+  if (static_cast<int>(data.size()) != m_) {
+    throw std::invalid_argument("need exactly m data chunks");
+  }
+  std::size_t len = data[0].size();
+  for (const auto& c : data) {
+    if (c.size() != len) throw std::invalid_argument("unequal chunk sizes");
+  }
+  std::vector<Chunk> out(static_cast<std::size_t>(n_), Chunk(len, 0));
+  // Systematic: copy data rows, compute parity rows.
+  for (int i = 0; i < m_; ++i) out[static_cast<std::size_t>(i)] = data[static_cast<std::size_t>(i)];
+  for (int r = m_; r < n_; ++r) {
+    Chunk& row = out[static_cast<std::size_t>(r)];
+    for (int c = 0; c < m_; ++c) {
+      GF256::Elem f = matrix_.at(static_cast<std::size_t>(r),
+                                 static_cast<std::size_t>(c));
+      if (f == 0) continue;
+      const Chunk& src = data[static_cast<std::size_t>(c)];
+      for (std::size_t b = 0; b < len; ++b) {
+        row[b] = GF256::add(row[b], GF256::mul(f, src[b]));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Chunk> ReedSolomon::encode(
+    const std::vector<std::uint8_t>& data) const {
+  std::size_t chunk_len =
+      (data.size() + static_cast<std::size_t>(m_) - 1) /
+      static_cast<std::size_t>(m_);
+  if (chunk_len == 0) chunk_len = 1;  // keep chunks non-empty
+  std::vector<Chunk> split(static_cast<std::size_t>(m_),
+                           Chunk(chunk_len, 0));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    split[i / chunk_len][i % chunk_len] = data[i];
+  }
+  return encode_chunks(split);
+}
+
+std::optional<std::vector<Chunk>> ReedSolomon::reconstruct(
+    const std::vector<std::pair<int, Chunk>>& have) const {
+  // Deduplicate indices, keep the first m.
+  std::vector<std::pair<int, const Chunk*>> rows;
+  for (const auto& [idx, chunk] : have) {
+    if (idx < 0 || idx >= n_) throw std::out_of_range("chunk index");
+    bool dup = false;
+    for (const auto& [i, _] : rows) {
+      if (i == idx) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) rows.emplace_back(idx, &chunk);
+    if (static_cast<int>(rows.size()) == m_) break;
+  }
+  if (static_cast<int>(rows.size()) < m_) return std::nullopt;
+
+  std::size_t len = rows[0].second->size();
+  for (const auto& [_, c] : rows) {
+    if (c->size() != len) throw std::invalid_argument("unequal chunk sizes");
+  }
+
+  std::vector<std::size_t> idxs;
+  idxs.reserve(rows.size());
+  for (const auto& [i, _] : rows) idxs.push_back(static_cast<std::size_t>(i));
+  GFMatrix dec = matrix_.select_rows(idxs).inverted();
+
+  std::vector<Chunk> data(static_cast<std::size_t>(m_), Chunk(len, 0));
+  for (int r = 0; r < m_; ++r) {
+    Chunk& dst = data[static_cast<std::size_t>(r)];
+    for (int c = 0; c < m_; ++c) {
+      GF256::Elem f = dec.at(static_cast<std::size_t>(r),
+                             static_cast<std::size_t>(c));
+      if (f == 0) continue;
+      const Chunk& src = *rows[static_cast<std::size_t>(c)].second;
+      for (std::size_t b = 0; b < len; ++b) {
+        dst[b] = GF256::add(dst[b], GF256::mul(f, src[b]));
+      }
+    }
+  }
+  return data;
+}
+
+std::optional<std::vector<std::uint8_t>> ReedSolomon::decode(
+    const std::vector<std::pair<int, Chunk>>& have,
+    std::size_t original_size) const {
+  auto data = reconstruct(have);
+  if (!data) return std::nullopt;
+  std::vector<std::uint8_t> out;
+  out.reserve((*data).size() * (*data)[0].size());
+  for (const auto& c : *data) out.insert(out.end(), c.begin(), c.end());
+  if (out.size() < original_size) {
+    throw std::invalid_argument("original_size larger than decoded data");
+  }
+  out.resize(original_size);
+  return out;
+}
+
+}  // namespace jupiter

@@ -1,0 +1,57 @@
+// Systematic Reed-Solomon erasure coding theta(m, n) (paper §5.1.2).
+//
+// The original object is split into m data chunks; k = n - m parity chunks
+// are generated so that *any* m of the n chunks reconstruct the data.  The
+// encode matrix is an n x m Vandermonde right-normalized so its top m rows
+// are the identity (systematic: the first m chunks are the data verbatim).
+// Every m-row submatrix stays invertible under that normalization, which is
+// the any-m-of-n guarantee RS-Paxos relies on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ec/gf_matrix.hpp"
+
+namespace jupiter {
+
+using Chunk = std::vector<std::uint8_t>;
+
+class ReedSolomon {
+ public:
+  /// theta(m, n): m data chunks, n total.  Requires 1 <= m <= n < 256.
+  ReedSolomon(int m, int n);
+
+  int data_chunks() const { return m_; }
+  int total_chunks() const { return n_; }
+  int parity_chunks() const { return n_ - m_; }
+
+  /// Splits `data` into m chunks (zero-padded to a multiple of m) and
+  /// returns all n coded chunks.  Chunk size is ceil(size / m); the original
+  /// size must be carried out-of-band (RS-Paxos stores it in the log entry).
+  std::vector<Chunk> encode(const std::vector<std::uint8_t>& data) const;
+
+  /// Encodes pre-split chunks (all the same size).
+  std::vector<Chunk> encode_chunks(const std::vector<Chunk>& data) const;
+
+  /// Reconstructs the m data chunks from any >= m available chunks.
+  /// `have[i]` pairs a chunk index in [0, n) with its contents.  Returns
+  /// nullopt if fewer than m distinct chunks are supplied.
+  std::optional<std::vector<Chunk>> reconstruct(
+      const std::vector<std::pair<int, Chunk>>& have) const;
+
+  /// Reconstructs and concatenates the data chunks, trimming to
+  /// `original_size`.
+  std::optional<std::vector<std::uint8_t>> decode(
+      const std::vector<std::pair<int, Chunk>>& have,
+      std::size_t original_size) const;
+
+  const GFMatrix& encode_matrix() const { return matrix_; }
+
+ private:
+  int m_, n_;
+  GFMatrix matrix_;  // n x m, top m rows identity
+};
+
+}  // namespace jupiter

@@ -1,0 +1,220 @@
+#include "lock/lock_service.hpp"
+
+#include <algorithm>
+
+namespace jupiter::lock {
+
+std::vector<std::uint8_t> LockCommand::encode() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(op));
+  w.str(session);
+  w.str(path);
+  w.i64(now);
+  w.i64(lease);
+  return w.take();
+}
+
+LockCommand LockCommand::decode(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  LockCommand c;
+  c.op = static_cast<LockOp>(r.u8());
+  c.session = r.str();
+  c.path = r.str();
+  c.now = r.i64();
+  c.lease = r.i64();
+  return c;
+}
+
+std::vector<std::uint8_t> LockResponse::encode() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(status));
+  w.str(owner);
+  return w.take();
+}
+
+LockResponse LockResponse::decode(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  LockResponse resp;
+  resp.status = static_cast<LockStatus>(r.u8());
+  resp.owner = r.str();
+  return resp;
+}
+
+void LockServiceState::expire_sessions(std::int64_t now) {
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (it->second.expires <= now) {
+      for (const auto& path : it->second.held) {
+        auto lk = locks_.find(path);
+        if (lk != locks_.end() && lk->second == it->first) locks_.erase(lk);
+      }
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+LockResponse LockServiceState::handle(const LockCommand& cmd) {
+  expire_sessions(cmd.now);
+  LockResponse resp;
+  switch (cmd.op) {
+    case LockOp::kOpenSession: {
+      Session& s = sessions_[cmd.session];
+      s.expires = cmd.now + cmd.lease;
+      break;
+    }
+    case LockOp::kKeepAlive: {
+      auto it = sessions_.find(cmd.session);
+      if (it == sessions_.end()) {
+        resp.status = LockStatus::kNoSession;
+      } else {
+        it->second.expires = cmd.now + std::max<std::int64_t>(cmd.lease, 1);
+      }
+      break;
+    }
+    case LockOp::kCloseSession: {
+      auto it = sessions_.find(cmd.session);
+      if (it != sessions_.end()) {
+        for (const auto& path : it->second.held) {
+          auto lk = locks_.find(path);
+          if (lk != locks_.end() && lk->second == cmd.session) locks_.erase(lk);
+        }
+        sessions_.erase(it);
+      }
+      break;
+    }
+    case LockOp::kAcquire:
+    case LockOp::kTryAcquire: {
+      auto sess = sessions_.find(cmd.session);
+      if (sess == sessions_.end()) {
+        resp.status = LockStatus::kNoSession;
+        break;
+      }
+      auto lk = locks_.find(cmd.path);
+      if (lk == locks_.end()) {
+        locks_[cmd.path] = cmd.session;
+        sess->second.held.push_back(cmd.path);
+      } else if (lk->second == cmd.session) {
+        // Re-acquire by the owner is a no-op success (advisory lock).
+      } else {
+        resp.status = LockStatus::kHeldByOther;
+        resp.owner = lk->second;
+      }
+      break;
+    }
+    case LockOp::kRelease: {
+      auto lk = locks_.find(cmd.path);
+      if (lk == locks_.end() || lk->second != cmd.session) {
+        resp.status = LockStatus::kNotHeld;
+        break;
+      }
+      locks_.erase(lk);
+      auto sess = sessions_.find(cmd.session);
+      if (sess != sessions_.end()) {
+        auto& held = sess->second.held;
+        held.erase(std::remove(held.begin(), held.end(), cmd.path),
+                   held.end());
+      }
+      break;
+    }
+    case LockOp::kGetOwner: {
+      auto lk = locks_.find(cmd.path);
+      if (lk == locks_.end()) {
+        resp.status = LockStatus::kNotHeld;
+      } else {
+        resp.owner = lk->second;
+      }
+      break;
+    }
+  }
+  return resp;
+}
+
+std::vector<std::uint8_t> LockServiceState::apply(
+    const std::vector<std::uint8_t>& command) {
+  return handle(LockCommand::decode(command)).encode();
+}
+
+std::optional<std::string> LockServiceState::owner_of(
+    const std::string& path) const {
+  auto it = locks_.find(path);
+  if (it == locks_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t LockServiceState::held_locks() const { return locks_.size(); }
+std::size_t LockServiceState::open_sessions() const { return sessions_.size(); }
+
+LockClient::LockClient(paxos::Group& group, Simulator& sim,
+                       std::string session, std::int64_t lease_seconds)
+    : group_(group), sim_(sim), session_(std::move(session)),
+      lease_(lease_seconds) {}
+
+void LockClient::send(LockCommand cmd, Callback cb) {
+  cmd.session = session_;
+  cmd.now = sim_.now().seconds();
+  group_.submit(cmd.encode(),
+                [cb](bool ok, const std::vector<std::uint8_t>& bytes) {
+                  if (!cb) return;
+                  if (!ok) {
+                    LockResponse r;
+                    r.status = LockStatus::kExpired;
+                    cb(r);
+                    return;
+                  }
+                  cb(LockResponse::decode(bytes));
+                });
+}
+
+void LockClient::open_session(Callback cb) {
+  LockCommand c;
+  c.op = LockOp::kOpenSession;
+  c.lease = lease_;
+  send(std::move(c), std::move(cb));
+}
+
+void LockClient::keep_alive(Callback cb) {
+  LockCommand c;
+  c.op = LockOp::kKeepAlive;
+  c.lease = lease_;
+  send(std::move(c), std::move(cb));
+}
+
+void LockClient::acquire(const std::string& path, Callback cb) {
+  LockCommand c;
+  c.op = LockOp::kAcquire;
+  c.path = path;
+  send(std::move(c), std::move(cb));
+}
+
+void LockClient::release(const std::string& path, Callback cb) {
+  LockCommand c;
+  c.op = LockOp::kRelease;
+  c.path = path;
+  send(std::move(c), std::move(cb));
+}
+
+void LockClient::get_owner(const std::string& path, Callback cb) {
+  LockCommand c;
+  c.op = LockOp::kGetOwner;
+  c.path = path;
+  send(std::move(c), std::move(cb));
+}
+
+void LockClient::acquire_blocking(const std::string& path, Callback cb,
+                                  TimeDelta deadline) {
+  SimTime give_up = sim_.now() + deadline;
+  auto attempt = std::make_shared<std::function<void()>>();
+  *attempt = [this, path, cb, give_up, attempt] {
+    acquire(path, [this, path, cb, give_up, attempt](LockResponse r) {
+      if (r.status == LockStatus::kOk || sim_.now() >= give_up) {
+        if (cb) cb(r);
+        return;
+      }
+      sim_.schedule_after(5, [attempt] { (*attempt)(); });
+    });
+  };
+  (*attempt)();
+}
+
+}  // namespace jupiter::lock

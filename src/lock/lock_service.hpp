@@ -1,0 +1,117 @@
+// Chubby-like distributed lock service (paper §5.1.1).
+//
+// The replicated state machine keeps a table of advisory locks with
+// lease-bound sessions: clients open a session, keep it alive, and acquire
+// or release named locks.  Lease expiry is deterministic because every
+// command carries the leader's timestamp — replicas never read their own
+// clocks during apply().
+//
+// Interface mirrors Chubby's shape at miniature scale: a file-system-ish
+// lock namespace, advisory semantics (acquire fails instead of blocking;
+// clients retry), and sessions whose expiry releases everything they held.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "paxos/group.hpp"
+#include "paxos/replica.hpp"
+#include "util/bytes.hpp"
+
+namespace jupiter::lock {
+
+enum class LockOp : std::uint8_t {
+  kOpenSession = 1,
+  kKeepAlive = 2,
+  kCloseSession = 3,
+  kAcquire = 4,
+  kTryAcquire = 5,  // same as acquire (advisory); kept for API parity
+  kRelease = 6,
+  kGetOwner = 7,
+};
+
+struct LockCommand {
+  LockOp op = LockOp::kGetOwner;
+  std::string session;    // client session name
+  std::string path;       // lock path, e.g. "/ls/cell/leader"
+  std::int64_t now = 0;   // leader-stamped seconds (drives lease expiry)
+  std::int64_t lease = 0; // session lease length (kOpenSession)
+
+  std::vector<std::uint8_t> encode() const;
+  static LockCommand decode(const std::vector<std::uint8_t>& bytes);
+};
+
+enum class LockStatus : std::uint8_t {
+  kOk = 0,
+  kHeldByOther = 1,
+  kNotHeld = 2,
+  kNoSession = 3,
+  kExpired = 4,
+};
+
+struct LockResponse {
+  LockStatus status = LockStatus::kOk;
+  std::string owner;  // kGetOwner / kHeldByOther
+
+  std::vector<std::uint8_t> encode() const;
+  static LockResponse decode(const std::vector<std::uint8_t>& bytes);
+};
+
+/// The replicated lock table.
+class LockServiceState : public paxos::StateMachine {
+ public:
+  std::vector<std::uint8_t> apply(
+      const std::vector<std::uint8_t>& command) override;
+
+  // Introspection (tests / monitoring; reads of the local replica state).
+  std::optional<std::string> owner_of(const std::string& path) const;
+  std::size_t held_locks() const;
+  std::size_t open_sessions() const;
+
+ private:
+  struct Session {
+    std::int64_t expires = 0;
+    std::vector<std::string> held;
+  };
+
+  void expire_sessions(std::int64_t now);
+  LockResponse handle(const LockCommand& cmd);
+
+  std::map<std::string, Session> sessions_;
+  std::map<std::string, std::string> locks_;  // path -> session
+};
+
+/// Client library: wraps a Paxos group with the Chubby-style RPC surface.
+/// All calls are asynchronous; callbacks fire when the command commits.
+class LockClient {
+ public:
+  using Callback = std::function<void(LockResponse)>;
+
+  LockClient(paxos::Group& group, Simulator& sim, std::string session,
+             std::int64_t lease_seconds = 60);
+
+  void open_session(Callback cb = nullptr);
+  void keep_alive(Callback cb = nullptr);
+  void acquire(const std::string& path, Callback cb);
+  void release(const std::string& path, Callback cb);
+  void get_owner(const std::string& path, Callback cb);
+
+  /// Acquire with retry until success or deadline.
+  void acquire_blocking(const std::string& path, Callback cb,
+                        TimeDelta deadline = 600);
+
+  const std::string& session() const { return session_; }
+
+ private:
+  void send(LockCommand cmd, Callback cb);
+
+  paxos::Group& group_;
+  Simulator& sim_;
+  std::string session_;
+  std::int64_t lease_;
+};
+
+}  // namespace jupiter::lock

@@ -1,0 +1,51 @@
+#include "market/billing.hpp"
+
+#include <stdexcept>
+
+namespace jupiter {
+
+SpotBill bill_spot_instance(const SpotTrace& trace, SimTime start,
+                            SimTime requested_end, PriceTick bid) {
+  if (requested_end <= start) {
+    throw std::invalid_argument("empty spot instance lifetime");
+  }
+  SpotBill bill;
+  if (trace.price_at(start) > bid) {
+    bill.end = start;
+    bill.reason = SpotEnd::kNeverRan;
+    return bill;
+  }
+
+  auto exceed = trace.first_exceed(start, bid);
+  bool out_of_bid = exceed.has_value() && *exceed < requested_end;
+  SimTime end = out_of_bid ? *exceed : requested_end;
+  bill.end = end;
+  bill.reason = out_of_bid ? SpotEnd::kOutOfBid : SpotEnd::kRanToEnd;
+
+  // Instance-hours are anchored at the launch instant.
+  for (SimTime hs = start; hs < end; hs += kHour) {
+    SimTime he = hs + kHour;
+    if (he <= end) {
+      // Completed hour: charged at the last spot price within it.
+      bill.charge += trace.last_price_in(hs, he).money();
+      ++bill.hours_charged;
+    } else {
+      // Partial final hour.
+      if (out_of_bid) break;  // provider termination: free
+      // User termination: charged like on-demand, at the price in force.
+      bill.charge += trace.last_price_in(hs, end).money();
+      ++bill.hours_charged;
+      break;
+    }
+  }
+  return bill;
+}
+
+Money bill_on_demand(Money hourly_price, SimTime start, SimTime end) {
+  if (end <= start) return Money(0);
+  std::int64_t secs = end - start;
+  std::int64_t hours = (secs + kHour - 1) / kHour;
+  return hourly_price * hours;
+}
+
+}  // namespace jupiter

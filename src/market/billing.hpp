@@ -1,0 +1,53 @@
+// Spot-market billing rules (paper §2.1, §3.2).
+//
+// Amazon EC2 circa 2014 charged spot instances *hourly at the spot price*,
+// not at the bid:
+//   * each completed instance-hour is charged at the last spot price seen in
+//     that hour;
+//   * if the provider terminates the instance mid-hour (out-of-bid), the
+//     partial hour is free;
+//   * if the *user* terminates mid-hour, the partial hour is charged in full
+//     (same as on-demand billing);
+//   * the instance launches only if bid > current spot price, and dies at
+//     the first instant the price strictly exceeds the bid.
+//
+// These rules are what make the paper's cost accounting non-trivial: the
+// realized cost of a high bid is still the (low) spot price, so bidding high
+// buys availability nearly for free until the bid crosses into on-demand
+// territory.
+#pragma once
+
+#include "market/spot_trace.hpp"
+#include "util/money.hpp"
+#include "util/time.hpp"
+
+namespace jupiter {
+
+enum class SpotEnd {
+  kRanToEnd,    // alive at requested_end; user terminated it there
+  kOutOfBid,    // provider killed it: spot price exceeded the bid
+  kNeverRan,    // price was already above the bid at start
+};
+
+struct SpotBill {
+  SimTime end;          ///< actual termination instant (== start if kNeverRan)
+  SpotEnd reason = SpotEnd::kNeverRan;
+  Money charge;         ///< total charge over the instance's life
+  int hours_charged = 0;
+};
+
+/// Simulates the billing of one spot instance requested at `start` with
+/// `bid`, intended to run until `requested_end` (where the *user*
+/// terminates it, e.g. at the next bidding-interval boundary).  The trace
+/// must cover [start, requested_end).
+///
+/// Launch rule: the instance starts iff trace.price_at(start) <= bid
+/// (a bid equal to the current price is accepted; it fails the moment the
+/// price moves strictly above it).
+SpotBill bill_spot_instance(const SpotTrace& trace, SimTime start,
+                            SimTime requested_end, PriceTick bid);
+
+/// On-demand billing: every started hour is charged in full.
+Money bill_on_demand(Money hourly_price, SimTime start, SimTime end);
+
+}  // namespace jupiter

@@ -1,0 +1,219 @@
+#include "market/price_process.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace jupiter {
+
+namespace {
+
+// Price-level ladder as multiples of the zone's base price.  Levels 0-2 are
+// the "calm" band where the price spends most of its time; 6-8 are elevated
+// pressure; the spike level is appended separately at a fraction of the
+// on-demand price.
+constexpr double kLevelMul[] = {0.82, 0.90, 1.00, 1.08, 1.18,
+                                1.32, 1.55, 1.90, 2.40};
+constexpr int kNumLevels = static_cast<int>(std::size(kLevelMul));
+
+const std::vector<int>& sojourn_support_impl() {
+  static const std::vector<int> kSupport = {1,  2,  3,  4,   6,   8,
+                                            11, 15, 21, 30,  42,  60,
+                                            85, 120, 170, 240, 340, 480};
+  return kSupport;
+}
+
+/// Probability mass of an exponential(mean) falling into the support cell
+/// around kSupport[idx] (cells split at midpoints between support values).
+double exp_cell_mass(double mean, std::size_t idx) {
+  const auto& sup = sojourn_support_impl();
+  double lo = idx == 0 ? 0.0
+                       : 0.5 * (static_cast<double>(sup[idx - 1]) +
+                                static_cast<double>(sup[idx]));
+  double hi = idx + 1 == sup.size()
+                  ? 1e18
+                  : 0.5 * (static_cast<double>(sup[idx]) +
+                           static_cast<double>(sup[idx + 1]));
+  return std::exp(-lo / mean) - std::exp(-hi / mean);
+}
+
+/// Sojourn pmf over the support: a 65/35 mixture of a short and a long
+/// discretized exponential.  The mixture is deliberately *not* memoryless in
+/// minutes — holding time elapsed carries information, which is precisely
+/// what the semi-Markov estimator exploits and the memoryless ablation
+/// throws away.
+std::vector<double> sojourn_pmf(double mean) {
+  const auto& sup = sojourn_support_impl();
+  std::vector<double> pmf(sup.size(), 0.0);
+  double short_mean = std::max(1.0, mean / 3.0);
+  double long_mean = std::max(2.0, mean * 2.2);
+  for (std::size_t i = 0; i < sup.size(); ++i) {
+    pmf[i] = 0.65 * exp_cell_mass(short_mean, i) +
+             0.35 * exp_cell_mass(long_mean, i);
+  }
+  double total = 0;
+  for (double p : pmf) total += p;
+  for (double& p : pmf) p /= total;
+  return pmf;
+}
+
+double level_mean_sojourn(const ZoneProfile& zp, int level) {
+  if (level <= 2) return zp.mean_sojourn_base;
+  if (level <= 5) return 0.5 * (zp.mean_sojourn_base + zp.mean_sojourn_high);
+  if (level < kNumLevels) return zp.mean_sojourn_high;
+  return zp.mean_sojourn_spike;  // the spike state
+}
+
+}  // namespace
+
+std::vector<int> sojourn_support() { return sojourn_support_impl(); }
+
+ZoneProfile draw_zone_profile(std::size_t index, PriceTick on_demand,
+                              std::uint64_t type_seed) {
+  std::uint64_t mix = type_seed;
+  splitmix64(mix);
+  Rng rng(mix ^ (0x9E3779B97F4A7C15ULL * (index + 1)));
+  ZoneProfile zp;
+  zp.on_demand = on_demand;
+  // Three zone personalities, echoing what 2014 EC2 traces actually looked
+  // like:
+  //  * placid (~40%): the price sits at its base level for many hours at a
+  //    time with rare, small excursions — the zones where a conservative
+  //    bid is essentially never out-of-bid (and where the paper's 5-node
+  //    configurations live);
+  //  * normal (~40%): visible intraday churn, occasional sub-on-demand
+  //    spikes — a margin bid survives most hours but not all;
+  //  * spiky (~20%): excursions clear the on-demand price, so *no* capped
+  //    bid is fully safe — the zones that defeat Extra(m, p) heuristics and
+  //    that the failure model steers away from.
+  double personality = rng.uniform();
+  if (personality < 0.40) {  // placid
+    zp.base_frac = rng.uniform(0.13, 0.19);
+    zp.upward_bias = rng.uniform(0.22, 0.30);
+    zp.jump_rate = rng.uniform(0.004, 0.012);
+    zp.spike_rate = rng.uniform(0.0005, 0.002);
+    zp.spike_frac = rng.uniform(0.30, 0.60);
+    zp.mean_sojourn_base = rng.uniform(240.0, 700.0);
+    zp.mean_sojourn_high = rng.uniform(15.0, 40.0);
+    zp.mean_sojourn_spike = rng.uniform(4.0, 10.0);
+  } else if (personality < 0.80) {  // normal
+    zp.base_frac = rng.uniform(0.15, 0.24);
+    zp.upward_bias = rng.uniform(0.26, 0.36);
+    zp.jump_rate = rng.uniform(0.012, 0.045);
+    zp.spike_rate = rng.uniform(0.0015, 0.009);
+    zp.spike_frac = rng.uniform(0.35, 0.70);
+    zp.mean_sojourn_base = rng.uniform(55.0, 140.0);
+    zp.mean_sojourn_high = rng.uniform(12.0, 30.0);
+    zp.mean_sojourn_spike = rng.uniform(4.0, 12.0);
+  } else {  // spiky
+    zp.base_frac = rng.uniform(0.14, 0.22);
+    zp.upward_bias = rng.uniform(0.28, 0.38);
+    zp.jump_rate = rng.uniform(0.02, 0.06);
+    zp.spike_rate = rng.uniform(0.004, 0.015);
+    zp.spike_frac = rng.uniform(1.05, 1.40);
+    zp.mean_sojourn_base = rng.uniform(45.0, 110.0);
+    zp.mean_sojourn_high = rng.uniform(10.0, 24.0);
+    zp.mean_sojourn_spike = rng.uniform(5.0, 15.0);
+  }
+  zp.seed = rng();
+  return zp;
+}
+
+SemiMarkovChain make_ground_truth_chain(const ZoneProfile& zp) {
+  if (zp.on_demand.value() <= 0) throw std::invalid_argument("bad on-demand");
+  double base = zp.base_frac * static_cast<double>(zp.on_demand.value());
+  std::vector<PriceTick> level_price(kNumLevels);
+  std::int32_t prev = 0;
+  for (int level = 0; level < kNumLevels; ++level) {
+    auto t = static_cast<std::int32_t>(std::lround(kLevelMul[level] * base));
+    t = std::max({t, 1, prev + 1});  // keep the ladder strictly increasing
+    level_price[static_cast<std::size_t>(level)] = PriceTick(t);
+    prev = t;
+  }
+  auto spike_t = static_cast<std::int32_t>(
+      std::lround(zp.spike_frac * static_cast<double>(zp.on_demand.value())));
+  // The spike must sit strictly above the ladder (very low spike_frac with a
+  // high base could otherwise interleave and scramble the regime semantics).
+  PriceTick spike(std::max(spike_t, prev + 1));
+
+  std::vector<PriceTick> prices(level_price);
+  prices.push_back(spike);
+  SemiMarkovChain chain(prices);
+  // State indices follow sorted price order; the ladder is strictly
+  // increasing with the spike on top, so index == level and the spike is
+  // last — assert the mapping rather than assume it.
+  for (int level = 0; level < kNumLevels; ++level) {
+    if (chain.find_state(level_price[static_cast<std::size_t>(level)]) != level) {
+      throw std::logic_error("price ladder ordering violated");
+    }
+  }
+  const int spike_idx = chain.state_count() - 1;
+
+  for (int level = 0; level < kNumLevels; ++level) {
+    // Next-state marginal from this level.
+    std::vector<std::pair<int, double>> marg;
+    double up = zp.upward_bias;
+    double down = 1.0 - zp.upward_bias - zp.jump_rate - zp.spike_rate;
+    if (level + 1 < kNumLevels) {
+      marg.emplace_back(level + 1, up);
+    } else {
+      marg.emplace_back(spike_idx, up);  // topmost level boils over
+    }
+    if (level > 0) {
+      marg.emplace_back(level - 1, down);
+    } else {
+      // Floor level: "down" pressure re-routes into holding via an upward
+      // bounce split between +1 and +2.
+      marg.emplace_back(1, down * 0.7);
+      marg.emplace_back(std::min(2, kNumLevels - 1), down * 0.3);
+    }
+    // Multi-level jumps.
+    int j2 = std::min(level + 2, kNumLevels - 1);
+    int j3 = std::min(level + 3, kNumLevels - 1);
+    marg.emplace_back(j2, zp.jump_rate * 0.7);
+    marg.emplace_back(j3, zp.jump_rate * 0.3);
+    // Direct spike entry.
+    marg.emplace_back(spike_idx, zp.spike_rate);
+
+    auto pmf = sojourn_pmf(level_mean_sojourn(zp, level));
+    const auto& sup = sojourn_support_impl();
+    for (const auto& [to, w] : marg) {
+      if (to == level || w <= 0) continue;
+      for (std::size_t si = 0; si < sup.size(); ++si) {
+        chain.add_transition(level, to, sup[si], w * pmf[si]);
+      }
+    }
+  }
+
+  // Spike exits: mostly collapse back into the calm band, occasionally step
+  // down to the elevated band first.
+  {
+    std::vector<std::pair<int, double>> marg = {
+        {1, 0.25}, {2, 0.30}, {3, 0.20}, {4, 0.10}, {7, 0.10}, {8, 0.05}};
+    auto pmf = sojourn_pmf(level_mean_sojourn(zp, kNumLevels));
+    const auto& sup = sojourn_support_impl();
+    for (const auto& [to, w] : marg) {
+      for (std::size_t si = 0; si < sup.size(); ++si) {
+        chain.add_transition(spike_idx, to, sup[si], w * pmf[si]);
+      }
+    }
+  }
+
+  chain.normalize_rows();
+  return chain;
+}
+
+SpotTrace generate_zone_trace(const ZoneProfile& zp, SimTime from,
+                              SimTime to) {
+  SemiMarkovChain chain = make_ground_truth_chain(zp);
+  Rng rng(zp.seed);
+  auto stat = chain.stationary_occupancy();
+  int init = 1;
+  if (!stat.empty()) {
+    std::size_t idx = rng.categorical(stat);
+    if (idx < stat.size()) init = static_cast<int>(idx);
+  }
+  return chain.generate(from, to, init, rng);
+}
+
+}  // namespace jupiter

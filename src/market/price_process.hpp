@@ -1,0 +1,68 @@
+// Synthetic ground-truth spot price processes.
+//
+// The paper trains on ~3 months of real EC2 spot prices per availability
+// zone and replays 11 more weeks.  Those traces are not public and the
+// bidding market no longer exists, so we generate per-zone traces from a
+// parametric semi-Markov process (see DESIGN.md "Substitutions").  The
+// construction mirrors what 2014 traces looked like:
+//
+//   * a ladder of discrete price levels anchored at a per-zone base price of
+//     roughly 13-25 % of the on-demand price;
+//   * mostly small up/down moves with occasional multi-level jumps;
+//   * rare excursions into a "spike" regime that can clear naive
+//     price-plus-margin bids (and, in some zones, the on-demand price);
+//   * heavy-ish sojourn-time mixtures: price levels hold from a couple of
+//     minutes up to hours, spikes are short-lived — the non-memoryless
+//     structure that motivates the paper's semi-Markov estimator.
+//
+// Because the ground truth *is* a semi-Markov chain, the paper's estimator
+// is statistically well-specified and converges with enough training data,
+// which is exactly the situation the authors report.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "market/semi_markov.hpp"
+#include "market/spot_trace.hpp"
+#include "util/money.hpp"
+#include "util/rng.hpp"
+
+namespace jupiter {
+
+/// Parameters of one zone's ground-truth price process.
+struct ZoneProfile {
+  PriceTick on_demand;        ///< on-demand price of the instance type here
+  double base_frac = 0.18;    ///< base spot price as fraction of on-demand
+  double upward_bias = 0.35;  ///< probability an ordinary move goes up
+  double jump_rate = 0.06;    ///< probability mass of 2-3 level jumps
+  double spike_rate = 0.012;  ///< probability mass of jumping into a spike
+  double spike_frac = 0.95;   ///< spike price as fraction of on-demand
+  double mean_sojourn_base = 55.0;   ///< minutes at/below base levels
+  double mean_sojourn_high = 18.0;   ///< minutes at elevated levels
+  double mean_sojourn_spike = 6.0;   ///< minutes in the spike regime
+  std::uint64_t seed = 1;     ///< drives trace sampling for this zone
+};
+
+/// Draws a heterogeneous profile for zone `index` (0-based) of `type_seed`'s
+/// instance type.  Deterministic in (index, type_seed).  A minority of zones
+/// get "spiky" personalities whose spikes exceed the on-demand price, which
+/// is what defeats Extra(m, p)-style heuristics in some zones but not
+/// others.
+ZoneProfile draw_zone_profile(std::size_t index, PriceTick on_demand,
+                              std::uint64_t type_seed);
+
+/// Builds the ground-truth semi-Markov chain for a profile.  The chain has
+/// no absorbing states and a unique stationary law.
+SemiMarkovChain make_ground_truth_chain(const ZoneProfile& profile);
+
+/// Convenience: builds the chain, picks the stationary-weighted initial
+/// state, and samples a trace on [from, to).
+SpotTrace generate_zone_trace(const ZoneProfile& profile, SimTime from,
+                              SimTime to);
+
+/// The sojourn-time support used by ground-truth chains (minutes).  Exposed
+/// for tests that validate discretization behaviour.
+std::vector<int> sojourn_support();
+
+}  // namespace jupiter

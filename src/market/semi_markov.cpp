@@ -1,0 +1,431 @@
+#include "market/semi_markov.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <unordered_map>
+#include <stdexcept>
+
+namespace jupiter {
+
+namespace {
+constexpr double kMassEps = 1e-12;
+}
+
+SemiMarkovChain::SemiMarkovChain(std::vector<PriceTick> prices)
+    : prices_(std::move(prices)) {
+  std::sort(prices_.begin(), prices_.end());
+  prices_.erase(std::unique(prices_.begin(), prices_.end()), prices_.end());
+  kernel_.assign(prices_.size(), {});
+  survival_.assign(prices_.size(), {});
+  survival_dirty_ = false;  // all-absorbing is a consistent state
+}
+
+int SemiMarkovChain::find_state(PriceTick p) const {
+  auto it = std::lower_bound(prices_.begin(), prices_.end(), p);
+  if (it == prices_.end() || *it != p) return -1;
+  return static_cast<int>(it - prices_.begin());
+}
+
+int SemiMarkovChain::nearest_state(PriceTick p) const {
+  if (prices_.empty()) throw std::logic_error("empty state space");
+  auto it = std::lower_bound(prices_.begin(), prices_.end(), p);
+  if (it == prices_.end()) return state_count() - 1;
+  if (it == prices_.begin()) return 0;
+  auto lo = it - 1;
+  // Tie (equidistant) resolves to the lower price.
+  if (p.value() - lo->value() <= it->value() - p.value()) {
+    return static_cast<int>(lo - prices_.begin());
+  }
+  return static_cast<int>(it - prices_.begin());
+}
+
+void SemiMarkovChain::add_transition(int from, int to, int sojourn_minutes,
+                                     double weight) {
+  if (weight <= 0) return;
+  int k = std::clamp(sojourn_minutes, 1, kMaxSojournMinutes);
+  auto& row = kernel_.at(static_cast<std::size_t>(from));
+  // Merge with an existing identical (to, sojourn) cell if present.
+  for (auto& tr : row) {
+    if (tr.next == to && tr.sojourn == k) {
+      tr.prob += weight;
+      survival_dirty_ = true;
+      return;
+    }
+  }
+  if (to < 0 || to >= state_count()) throw std::out_of_range("bad state");
+  row.push_back(Transition{to, k, weight});
+  survival_dirty_ = true;
+}
+
+void SemiMarkovChain::normalize_rows() {
+  for (auto& row : kernel_) {
+    double mass = 0;
+    for (const auto& tr : row) mass += tr.prob;
+    if (mass <= kMassEps) {
+      row.clear();  // absorbing
+      continue;
+    }
+    for (auto& tr : row) tr.prob /= mass;
+    // Deterministic iteration order for reproducible sampling.
+    std::sort(row.begin(), row.end(), [](const Transition& a, const Transition& b) {
+      if (a.sojourn != b.sojourn) return a.sojourn < b.sojourn;
+      return a.next < b.next;
+    });
+  }
+  rebuild_survival();
+}
+
+std::span<const SemiMarkovChain::Transition> SemiMarkovChain::row(
+    int state) const {
+  const auto& r = kernel_.at(static_cast<std::size_t>(state));
+  return {r.data(), r.size()};
+}
+
+double SemiMarkovChain::row_mass(int state) const {
+  double m = 0;
+  for (const auto& tr : kernel_.at(static_cast<std::size_t>(state))) m += tr.prob;
+  return m;
+}
+
+SemiMarkovChain SemiMarkovChain::estimate(const SpotTrace& trace) {
+  const auto& pts = trace.points();
+  std::vector<PriceTick> prices;
+  prices.reserve(pts.size());
+  for (const auto& p : pts) prices.push_back(p.price);
+  SemiMarkovChain chain(std::move(prices));
+
+  // Eq. 13: q^(i,j,k) = N^k_{i,j} / N_i, with N_i the number of observed
+  // transitions out of price s_i.  Each change point except the last yields
+  // one (i -> j, sojourn) observation; Eq. 12 discretizes the sojourn to
+  // whole minutes (clamped to >= 1).  Counts are aggregated in a hash map
+  // first — the online bidder retrains on every decision, so this path is
+  // hot.
+  std::unordered_map<std::uint64_t, double> counts;
+  counts.reserve(pts.size());
+  for (std::size_t t = 0; t + 1 < pts.size(); ++t) {
+    int i = chain.find_state(pts[t].price);
+    int j = chain.find_state(pts[t + 1].price);
+    auto sojourn = static_cast<int>((pts[t + 1].at - pts[t].at) / kMinute);
+    sojourn = std::clamp(sojourn, 1, kMaxSojournMinutes);
+    std::uint64_t key = (static_cast<std::uint64_t>(i) << 40) |
+                        (static_cast<std::uint64_t>(j) << 20) |
+                        static_cast<std::uint64_t>(sojourn);
+    counts[key] += 1.0;
+  }
+  for (const auto& [key, count] : counts) {
+    int i = static_cast<int>(key >> 40);
+    int j = static_cast<int>((key >> 20) & 0xFFFFF);
+    int k = static_cast<int>(key & 0xFFFFF);
+    chain.kernel_[static_cast<std::size_t>(i)].push_back(
+        Transition{j, k, count});
+  }
+  chain.survival_dirty_ = true;
+  chain.normalize_rows();
+  return chain;
+}
+
+void SemiMarkovChain::rebuild_survival() {
+  survival_.assign(prices_.size(), {});
+  for (int i = 0; i < state_count(); ++i) {
+    const auto& row = kernel_[static_cast<std::size_t>(i)];
+    if (row.empty()) continue;  // absorbing: survival implicitly 1 forever
+    int maxk = 0;
+    for (const auto& tr : row) maxk = std::max(maxk, tr.sojourn);
+    // pmf over sojourn, then S(d) = 1 - CDF(d).
+    std::vector<double> pmf(static_cast<std::size_t>(maxk) + 1, 0.0);
+    for (const auto& tr : row) pmf[static_cast<std::size_t>(tr.sojourn)] += tr.prob;
+    auto& surv = survival_[static_cast<std::size_t>(i)];
+    surv.resize(static_cast<std::size_t>(maxk) + 1);
+    double cdf = 0;
+    for (int d = 0; d <= maxk; ++d) {
+      cdf += pmf[static_cast<std::size_t>(d)];
+      surv[static_cast<std::size_t>(d)] = std::max(0.0, 1.0 - cdf);
+    }
+    surv[static_cast<std::size_t>(maxk)] = 0.0;  // guard against fp residue
+  }
+  survival_dirty_ = false;
+}
+
+double SemiMarkovChain::survival(int state, int d) const {
+  if (survival_dirty_) throw std::logic_error("call normalize_rows() first");
+  if (d < 0) return 1.0;
+  const auto& surv = survival_.at(static_cast<std::size_t>(state));
+  if (surv.empty()) return 1.0;  // absorbing
+  if (static_cast<std::size_t>(d) >= surv.size()) return 0.0;
+  return surv[static_cast<std::size_t>(d)];
+}
+
+double SemiMarkovChain::survival_cumsum(int state, int d) const {
+  if (survival_dirty_) throw std::logic_error("call normalize_rows() first");
+  if (d < 0) return 0.0;
+  const auto& surv = survival_.at(static_cast<std::size_t>(state));
+  if (surv.empty()) return static_cast<double>(d) + 1.0;  // absorbing
+  double acc = 0;
+  auto lim = std::min<std::size_t>(static_cast<std::size_t>(d) + 1, surv.size());
+  // S(0) == 1 always; the stored array starts at d = 0.
+  for (std::size_t t = 0; t < lim; ++t) acc += surv[t];
+  return acc;
+}
+
+double SemiMarkovChain::mean_sojourn(int state) const {
+  if (is_absorbing(state)) return std::numeric_limits<double>::infinity();
+  double m = 0;
+  for (const auto& tr : row(state)) m += tr.prob * tr.sojourn;
+  return m;
+}
+
+int SemiMarkovChain::clamp_age(int state, int age) const {
+  const auto& surv = survival_.at(static_cast<std::size_t>(state));
+  if (surv.empty()) return age;  // absorbing: any age is fine
+  int a = std::max(age, 0);
+  // Largest d with S(d) > 0 is size-2 at most (S(maxk) == 0).
+  auto max_live = static_cast<int>(surv.size()) - 2;
+  if (max_live < 0) max_live = 0;
+  while (a > 0 && survival(state, a) <= 0.0) a = std::min(a - 1, max_live);
+  return a;
+}
+
+std::optional<SemiMarkovChain::Jump> SemiMarkovChain::sample_jump(
+    int state, Rng& rng) const {
+  const auto& r = kernel_.at(static_cast<std::size_t>(state));
+  if (r.empty()) return std::nullopt;
+  double x = rng.uniform();
+  double acc = 0;
+  for (const auto& tr : r) {
+    acc += tr.prob;
+    if (x < acc) return Jump{tr.next, tr.sojourn};
+  }
+  return Jump{r.back().next, r.back().sojourn};
+}
+
+SpotTrace SemiMarkovChain::generate(SimTime from, SimTime to,
+                                    int initial_state, Rng& rng) const {
+  if (survival_dirty_) throw std::logic_error("call normalize_rows() first");
+  SpotTrace trace;
+  int state = initial_state;
+  SimTime t = from;
+  trace.append(t, state_price(state));
+  while (t < to) {
+    auto jump = sample_jump(state, rng);
+    if (!jump) break;  // absorbing: price holds to the end
+    t += static_cast<TimeDelta>(jump->sojourn) * kMinute;
+    if (t >= to) break;
+    state = jump->next;
+    trace.append(t, state_price(state));
+  }
+  return trace;
+}
+
+std::vector<double> SemiMarkovChain::average_occupancy(int state, int age,
+                                                       int horizon) const {
+  if (survival_dirty_) throw std::logic_error("call normalize_rows() first");
+  if (horizon <= 0) throw std::invalid_argument("horizon must be positive");
+  const int n = state_count();
+  const int H = horizon;
+  std::vector<double> avg(static_cast<std::size_t>(n), 0.0);
+
+  int a = clamp_age(state, age);
+  double sa = survival(state, a);
+  if (sa <= 0.0) sa = 1.0;  // defensive; clamp_age should prevent this
+
+  // Minutes the chain is still in the initial state: Pr(sojourn > a + t | > a).
+  avg[static_cast<std::size_t>(state)] +=
+      (survival_cumsum(state, a + H) - survival_cumsum(state, a)) / sa;
+
+  // e[t][j]: probability of entering state j exactly at minute t (1-based).
+  std::vector<std::vector<double>> entries(
+      static_cast<std::size_t>(H) + 1,
+      std::vector<double>(static_cast<std::size_t>(n), 0.0));
+  for (const auto& tr : row(state)) {
+    if (tr.sojourn > a && tr.sojourn - a <= H) {
+      entries[static_cast<std::size_t>(tr.sojourn - a)]
+             [static_cast<std::size_t>(tr.next)] += tr.prob / sa;
+    }
+  }
+
+  for (int t = 1; t <= H; ++t) {
+    const auto& et = entries[static_cast<std::size_t>(t)];
+    for (int j = 0; j < n; ++j) {
+      double m = et[static_cast<std::size_t>(j)];
+      if (m <= kMassEps) continue;
+      // Occupies j from minute t while the new sojourn survives.
+      avg[static_cast<std::size_t>(j)] += m * survival_cumsum(j, H - t);
+      for (const auto& tr : row(j)) {
+        int tt = t + tr.sojourn;
+        if (tt <= H) {
+          entries[static_cast<std::size_t>(tt)]
+                 [static_cast<std::size_t>(tr.next)] += m * tr.prob;
+        }
+      }
+    }
+  }
+
+  for (auto& v : avg) v /= static_cast<double>(H);
+  return avg;
+}
+
+std::vector<double> SemiMarkovChain::exceed_curve(int state, int age,
+                                                  int horizon) const {
+  std::vector<double> avg = average_occupancy(state, age, horizon);
+  // exceed[s] = total occupancy of states priced strictly above prices_[s].
+  std::vector<double> exceed(avg.size(), 0.0);
+  double suffix = 0.0;
+  for (std::size_t s = avg.size(); s-- > 0;) {
+    exceed[s] = suffix;
+    suffix += avg[s];
+  }
+  return exceed;
+}
+
+double SemiMarkovChain::hit_one(int state, int age, int horizon,
+                                int threshold_index) const {
+  if (survival_dirty_) throw std::logic_error("call normalize_rows() first");
+  if (horizon <= 0) throw std::invalid_argument("horizon must be positive");
+  const int b = threshold_index;
+  if (b < state) return 1.0;  // already above the threshold
+  const int H = horizon;
+
+  int a = clamp_age(state, age);
+  double sa = survival(state, a);
+  if (sa <= 0.0) sa = 1.0;
+
+  // Restrict the chain to states <= b and measure the mass that never
+  // escapes within H minutes; hit = 1 - that mass.  Entry propagation as in
+  // average_occupancy.
+  std::vector<std::vector<double>> entries(
+      static_cast<std::size_t>(H) + 1,
+      std::vector<double>(static_cast<std::size_t>(b) + 1, 0.0));
+  double no_hit = survival(state, a + H) / sa;  // never leaves initial state
+  for (const auto& tr : row(state)) {
+    if (tr.sojourn <= a) continue;
+    // Jumps beyond the horizon are already in survival(state, a + H).
+    if (tr.sojourn - a > H) continue;
+    if (tr.next > b) continue;  // escape: contributes to hit
+    entries[static_cast<std::size_t>(tr.sojourn - a)]
+           [static_cast<std::size_t>(tr.next)] += tr.prob / sa;
+  }
+  for (int t = 1; t <= H; ++t) {
+    const auto& et = entries[static_cast<std::size_t>(t)];
+    for (int j = 0; j <= b; ++j) {
+      double m = et[static_cast<std::size_t>(j)];
+      if (m <= kMassEps) continue;
+      no_hit += m * survival(j, H - t);
+      for (const auto& tr : row(j)) {
+        int tt = t + tr.sojourn;
+        // Jumps past the horizon are inside survival(j, H - t) above.
+        if (tt > H) continue;
+        if (tr.next > b) continue;  // escape within horizon
+        entries[static_cast<std::size_t>(tt)]
+               [static_cast<std::size_t>(tr.next)] += m * tr.prob;
+      }
+    }
+  }
+  return std::clamp(1.0 - no_hit, 0.0, 1.0);
+}
+
+std::vector<double> SemiMarkovChain::hit_curve(int state, int age,
+                                               int horizon) const {
+  const int n = state_count();
+  std::vector<double> hit(static_cast<std::size_t>(n), 0.0);
+  for (int b = 0; b < n; ++b) {
+    hit[static_cast<std::size_t>(b)] = hit_one(state, age, horizon, b);
+  }
+  return hit;
+}
+
+double SemiMarkovChain::hit_probability(int state, int age, int horizon,
+                                        PriceTick bid) const {
+  if (bid < state_price(state)) return 1.0;
+  std::vector<double> curve = hit_curve(state, age, horizon);
+  // Largest state price <= bid determines the escape set.
+  double p = 1.0;
+  for (int s = 0; s < state_count(); ++s) {
+    if (state_price(s) <= bid) p = curve[static_cast<std::size_t>(s)];
+  }
+  return p;
+}
+
+double SemiMarkovChain::exceed_probability(int state, int age, int horizon,
+                                           PriceTick bid) const {
+  std::vector<double> avg = average_occupancy(state, age, horizon);
+  double p = 0.0;
+  for (int s = 0; s < state_count(); ++s) {
+    if (state_price(s) > bid) p += avg[static_cast<std::size_t>(s)];
+  }
+  return p;
+}
+
+SemiMarkovChain SemiMarkovChain::to_memoryless() const {
+  SemiMarkovChain out(prices_);
+  // Geometric sojourns discretized onto a coarse log-spaced grid: a dense
+  // per-minute pmf would blow kernel rows into the thousands for calm
+  // states (mean sojourns of many hours) and make the transient analyses
+  // quadratically slower without changing the comparison the ablation
+  // makes.  Cell boundaries are midpoints between grid values; each cell
+  // carries the geometric mass of its minute range at its representative.
+  static const int kGrid[] = {1,  2,  3,  4,   6,   8,   11,  15,  21,
+                              30, 42, 60, 85,  120, 170, 240, 340, 480,
+                              680, 960, 1440};
+  constexpr int kGridN = static_cast<int>(std::size(kGrid));
+  for (int i = 0; i < state_count(); ++i) {
+    if (is_absorbing(i)) continue;
+    std::map<int, double> marginal;
+    for (const auto& tr : row(i)) marginal[tr.next] += tr.prob;
+    double mu = std::max(1.0, mean_sojourn(i));
+    double q = 1.0 - 1.0 / mu;  // geometric continue prob
+    for (int g = 0; g < kGridN; ++g) {
+      // Minute range [lo, hi) covered by this grid cell.
+      int lo = g == 0 ? 1 : (kGrid[g - 1] + kGrid[g]) / 2 + 1;
+      int hi = g + 1 == kGridN ? kMaxSojournMinutes + 1
+                               : (kGrid[g] + kGrid[g + 1]) / 2 + 1;
+      if (lo > kMaxSojournMinutes) break;
+      // P(lo <= K < hi) for K ~ Geometric starting at 1.
+      double mass = std::pow(q, lo - 1) - std::pow(q, hi - 1);
+      if (mass <= kMassEps) continue;
+      for (const auto& [j, pj] : marginal) {
+        out.add_transition(i, j, kGrid[g], pj * mass);
+      }
+    }
+  }
+  out.normalize_rows();
+  return out;
+}
+
+std::vector<double> SemiMarkovChain::stationary_occupancy() const {
+  const int n = state_count();
+  for (int i = 0; i < n; ++i) {
+    if (is_absorbing(i)) return {};
+  }
+  // Embedded chain stationary distribution by power iteration.
+  std::vector<double> pi(static_cast<std::size_t>(n),
+                         1.0 / static_cast<double>(n));
+  std::vector<double> next(static_cast<std::size_t>(n), 0.0);
+  for (int iter = 0; iter < 20000; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (int i = 0; i < n; ++i) {
+      for (const auto& tr : row(i)) {
+        next[static_cast<std::size_t>(tr.next)] +=
+            pi[static_cast<std::size_t>(i)] * tr.prob;
+      }
+    }
+    double diff = 0;
+    for (int i = 0; i < n; ++i) {
+      diff += std::abs(next[static_cast<std::size_t>(i)] -
+                       pi[static_cast<std::size_t>(i)]);
+    }
+    pi.swap(next);
+    if (diff < 1e-14) break;
+  }
+  // Time-weight by mean sojourns.
+  double total = 0;
+  for (int i = 0; i < n; ++i) {
+    pi[static_cast<std::size_t>(i)] *= mean_sojourn(i);
+    total += pi[static_cast<std::size_t>(i)];
+  }
+  for (auto& v : pi) v /= total;
+  return pi;
+}
+
+}  // namespace jupiter

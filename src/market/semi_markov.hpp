@@ -1,0 +1,168 @@
+// Discrete semi-Markov chain over spot prices (paper §3.1, §4.2).
+//
+// States are spot prices on the $0.0001 tick grid; the sojourn clock runs in
+// minutes (the paper's time unit, Eq. 12).  The stochastic kernel
+//     Q(i, j, k) = Pr(next price = s_j, sojourn = k | current price = s_i)
+// is either constructed explicitly (ground-truth synthetic processes) or
+// estimated from a trace by the empirical MLE of Eq. 13:
+//     q^(i,j,k) = N^k_{i,j} / N_i.
+//
+// One class serves three roles:
+//   * generator   — sample_jump()/generate() draw trajectories, which is how
+//                   synthetic zone traces are produced;
+//   * estimator   — estimate() reconstructs a kernel from an observed trace;
+//   * analyzer    — average_occupancy()/exceed_probability() run the
+//                   transient (forward) analysis that the failure model
+//                   needs: "given the current price and how long it has held,
+//                   what fraction of the next H minutes will the price spend
+//                   above bid b?"
+//
+// States with no observed outgoing transition are treated as absorbing
+// (kernel row of zeros), matching the paper's q^ = 0 convention.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "market/spot_trace.hpp"
+#include "util/money.hpp"
+#include "util/rng.hpp"
+
+namespace jupiter {
+
+/// Sojourn times are clamped to [1, kMaxSojournMinutes].  Sub-minute
+/// sojourns round up to one minute (Eq. 12 floors, but a zero sojourn would
+/// let the transient analysis cascade within a single time unit); sojourns
+/// beyond the cap are clamped, which only fattens the longest-hold bucket.
+inline constexpr int kMaxSojournMinutes = 24 * 60;
+
+class SemiMarkovChain {
+ public:
+  struct Transition {
+    int next;       // destination state index
+    int sojourn;    // minutes spent in the *current* state before jumping
+    double prob;    // kernel mass q(i, next, sojourn)
+  };
+
+  SemiMarkovChain() = default;
+
+  /// Constructs with an explicit, sorted-unique price state space.
+  explicit SemiMarkovChain(std::vector<PriceTick> prices);
+
+  /// Estimates the kernel from a trace via Eq. 13.  Every distinct price in
+  /// the trace becomes a state.  The final (still-open) segment contributes
+  /// a state but no transition.
+  static SemiMarkovChain estimate(const SpotTrace& trace);
+
+  // ---- state space ----
+  int state_count() const { return static_cast<int>(prices_.size()); }
+  PriceTick state_price(int i) const { return prices_.at(static_cast<std::size_t>(i)); }
+  const std::vector<PriceTick>& prices() const { return prices_; }
+
+  /// Index of the state with this exact price, or -1.
+  int find_state(PriceTick p) const;
+  /// Index of the state with the closest price (ties resolve downward).
+  /// Used when the live price was never seen in training.
+  int nearest_state(PriceTick p) const;
+
+  // ---- kernel construction (ground-truth processes) ----
+  /// Adds kernel mass; call normalize_rows() once done.
+  void add_transition(int from, int to, int sojourn_minutes, double weight);
+  /// Scales each row to total probability 1 (rows with zero mass stay
+  /// absorbing).
+  void normalize_rows();
+
+  std::span<const Transition> row(int state) const;
+  bool is_absorbing(int state) const { return kernel_.at(static_cast<std::size_t>(state)).empty(); }
+
+  /// Total kernel mass of a row (1 after normalize/estimate, 0 if absorbing).
+  double row_mass(int state) const;
+
+  // ---- sojourn law ----
+  /// Survival S_i(d) = Pr(sojourn > d | state i); S_i(0) == 1.  Absorbing
+  /// states survive forever.
+  double survival(int state, int d) const;
+  /// Sum_{t=0..d} S_i(t): expected minutes (out of the next d+1) still spent
+  /// in state i before the first jump, given a fresh arrival.
+  double survival_cumsum(int state, int d) const;
+  /// Mean sojourn in minutes (absorbing states report +inf).
+  double mean_sojourn(int state) const;
+
+  // ---- generation ----
+  struct Jump {
+    int next;
+    int sojourn;  // minutes
+  };
+  /// Samples the next (destination, sojourn); nullopt for absorbing states.
+  std::optional<Jump> sample_jump(int state, Rng& rng) const;
+
+  /// Generates a price trace on [from, to): starts in `initial_state` at
+  /// `from` and follows sampled jumps (sojourns converted to seconds).
+  SpotTrace generate(SimTime from, SimTime to, int initial_state,
+                     Rng& rng) const;
+
+  // ---- transient analysis ----
+  /// Average state occupancy over the next `horizon` minutes, conditioned on
+  /// currently being in `state` with `age` minutes of elapsed sojourn.
+  /// Result[s] = (1/H) * Sum_{t=1..H} Pr(in state s at minute t); entries
+  /// sum to 1.  If `age` exceeds every observed sojourn it is clamped down
+  /// to the longest age with positive survival.
+  std::vector<double> average_occupancy(int state, int age,
+                                        int horizon) const;
+
+  /// Mean over the next `horizon` minutes of Pr(price > bid) — the
+  /// out-of-bid component of Eq. 14 integrated over the bidding interval
+  /// (discretized Eq. 5).
+  double exceed_probability(int state, int age, int horizon,
+                            PriceTick bid) const;
+
+  /// Time-average exceedance for *every* bid threshold at once: returns a
+  /// vector aligned with prices() where entry s is the mean probability of
+  /// the price being strictly greater than prices()[s].  One transient
+  /// analysis serves the whole bid search of the bidding algorithm.
+  std::vector<double> exceed_curve(int state, int age, int horizon) const;
+
+  /// First-passage curve: entry s is the probability that the price
+  /// *strictly exceeds* prices()[s] at least once within the next `horizon`
+  /// minutes (conditioned on current state and elapsed sojourn `age`).
+  /// This is the probability an instance bid at prices()[s] suffers an
+  /// out-of-bid termination during the bidding interval — the semantics the
+  /// bidding framework needs, since a terminated instance stays gone until
+  /// the next interval.  Nonincreasing in s; entry for the top state is 0.
+  std::vector<double> hit_curve(int state, int age, int horizon) const;
+
+  /// Single-threshold first passage: Pr(price leaves the set
+  /// {states <= threshold_index} within `horizon` minutes.  The building
+  /// block of hit_curve(); exposed so callers can evaluate lazily (the
+  /// bidding algorithm usually needs only a few thresholds per zone).
+  double hit_one(int state, int age, int horizon, int threshold_index) const;
+
+  /// Single-threshold first passage: Pr(price exceeds `bid` within horizon).
+  double hit_probability(int state, int age, int horizon, PriceTick bid) const;
+
+  /// Collapses the sojourn law of every state to a geometric distribution
+  /// with the same mean (memoryless / embedded-Markov approximation); the
+  /// next-state marginal is preserved.  Used by the model-ablation bench.
+  SemiMarkovChain to_memoryless() const;
+
+  /// Stationary occupancy distribution (time-weighted), computed by power
+  /// iteration on the embedded chain weighted by mean sojourns.  Returns an
+  /// empty vector if the chain has absorbing states reachable with
+  /// probability one (not meaningful then).
+  std::vector<double> stationary_occupancy() const;
+
+ private:
+  void rebuild_survival();
+  int clamp_age(int state, int age) const;
+
+  std::vector<PriceTick> prices_;               // sorted ascending, unique
+  std::vector<std::vector<Transition>> kernel_; // per-state rows
+  // survival_[i][d] = Pr(sojourn > d), d in [0, max_sojourn_i]; empty for
+  // absorbing states (implicitly 1 forever).
+  std::vector<std::vector<double>> survival_;
+  bool survival_dirty_ = true;
+};
+
+}  // namespace jupiter

@@ -1,0 +1,102 @@
+#include "market/spot_trace.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace jupiter {
+
+SpotTrace::SpotTrace(std::vector<PricePoint> points) {
+  points_.reserve(points.size());
+  for (const auto& p : points) append(p.at, p.price);
+}
+
+void SpotTrace::append(SimTime at, PriceTick price) {
+  if (!points_.empty()) {
+    if (at <= points_.back().at) {
+      throw std::invalid_argument("SpotTrace points must advance in time");
+    }
+    if (points_.back().price == price) return;  // no-op change
+  }
+  points_.push_back(PricePoint{at, price});
+}
+
+std::size_t SpotTrace::segment_at(SimTime t) const {
+  if (empty() || t < start()) {
+    throw std::out_of_range("SpotTrace::segment_at before trace start");
+  }
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](SimTime lhs, const PricePoint& rhs) { return lhs < rhs.at; });
+  return static_cast<std::size_t>(it - points_.begin()) - 1;
+}
+
+PriceTick SpotTrace::price_at(SimTime t) const {
+  return points_[segment_at(t)].price;
+}
+
+SpotTrace SpotTrace::slice(SimTime from, SimTime to) const {
+  if (to <= from) return SpotTrace{};
+  SpotTrace out;
+  std::size_t i = segment_at(from);
+  out.append(from, points_[i].price);
+  for (++i; i < points_.size() && points_[i].at < to; ++i) {
+    out.append(points_[i].at, points_[i].price);
+  }
+  return out;
+}
+
+PriceTick SpotTrace::max_price(SimTime from, SimTime to) const {
+  if (to <= from) throw std::invalid_argument("empty interval");
+  std::size_t i = segment_at(from);
+  PriceTick best = points_[i].price;
+  for (++i; i < points_.size() && points_[i].at < to; ++i) {
+    best = std::max(best, points_[i].price);
+  }
+  return best;
+}
+
+PriceTick SpotTrace::last_price_in(SimTime from, SimTime to) const {
+  if (to <= from) throw std::invalid_argument("empty interval");
+  // The price in force just before `to` is by definition the last price
+  // set at or before it; `from` only matters for the caller's semantics.
+  return price_at(to - 1);
+}
+
+std::optional<SimTime> SpotTrace::first_exceed(SimTime from,
+                                               PriceTick bid) const {
+  std::size_t i = segment_at(from);
+  if (points_[i].price > bid) return from;
+  for (++i; i < points_.size(); ++i) {
+    if (points_[i].price > bid) return points_[i].at;
+  }
+  return std::nullopt;
+}
+
+void SpotTrace::save_csv(std::ostream& os) const {
+  CsvWriter w(os);
+  w.field("seconds").field("price_ticks");
+  w.end_row();
+  for (const auto& p : points_) {
+    w.field(p.at.seconds()).field(static_cast<std::int64_t>(p.price.value()));
+    w.end_row();
+  }
+}
+
+SpotTrace SpotTrace::load_csv(std::istream& is) {
+  auto rows = read_csv(is);
+  SpotTrace out;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    if (i == 0 && !r.empty() && r[0] == "seconds") continue;  // header
+    if (r.size() != 2) throw std::runtime_error("bad trace CSV row");
+    out.append(SimTime(std::stoll(r[0])),
+               PriceTick(static_cast<std::int32_t>(std::stol(r[1]))));
+  }
+  return out;
+}
+
+}  // namespace jupiter

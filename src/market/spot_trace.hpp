@@ -1,0 +1,76 @@
+// Spot price traces.
+//
+// A SpotTrace is the price history of one (availability zone, instance type)
+// pair: a sorted sequence of change points (time, price), each price holding
+// until the next change.  Traces are what the failure model trains on, what
+// the replay engine replays, and what the synthetic generator produces —
+// the same representation the paper's prototype collected from EC2.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/money.hpp"
+#include "util/time.hpp"
+
+namespace jupiter {
+
+struct PricePoint {
+  SimTime at;
+  PriceTick price;
+
+  friend bool operator==(const PricePoint&, const PricePoint&) = default;
+};
+
+class SpotTrace {
+ public:
+  SpotTrace() = default;
+
+  /// Builds from change points; they must be strictly increasing in time.
+  /// Consecutive duplicates of the same price are merged.
+  explicit SpotTrace(std::vector<PricePoint> points);
+
+  /// Appends a change point at the end (time must advance).  A repeat of
+  /// the current price is ignored.
+  void append(SimTime at, PriceTick price);
+
+  bool empty() const { return points_.empty(); }
+  std::size_t size() const { return points_.size(); }
+  const std::vector<PricePoint>& points() const { return points_; }
+
+  SimTime start() const { return points_.front().at; }
+  SimTime last_change() const { return points_.back().at; }
+
+  /// Price in force at time t.  t must be >= start().
+  PriceTick price_at(SimTime t) const;
+
+  /// Index of the segment containing t (largest i with points_[i].at <= t).
+  std::size_t segment_at(SimTime t) const;
+
+  /// Sub-trace covering [from, to): the segment in force at `from` becomes
+  /// the first change point (re-stamped at `from`).
+  SpotTrace slice(SimTime from, SimTime to) const;
+
+  /// Highest price in force anywhere in [from, to).
+  PriceTick max_price(SimTime from, SimTime to) const;
+
+  /// Last price change at or before `to` — what EC2's hourly billing
+  /// charges for the hour ending at `to`.
+  PriceTick last_price_in(SimTime from, SimTime to) const;
+
+  /// First time in [from, inf) at which the price strictly exceeds `bid`,
+  /// or nullopt if it never does within the trace.
+  std::optional<SimTime> first_exceed(SimTime from, PriceTick bid) const;
+
+  /// CSV round-trip: rows of `seconds,price_ticks`.
+  void save_csv(std::ostream& os) const;
+  static SpotTrace load_csv(std::istream& is);
+
+ private:
+  std::vector<PricePoint> points_;
+};
+
+}  // namespace jupiter

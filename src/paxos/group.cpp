@@ -1,0 +1,128 @@
+#include "paxos/group.hpp"
+
+#include <stdexcept>
+
+namespace jupiter::paxos {
+
+Group::Group(Simulator& sim, SimNetwork& net, Replica::Options opts,
+             SmFactory factory, std::uint64_t seed)
+    : sim_(sim),
+      net_(net),
+      opts_(opts),
+      factory_(std::move(factory)),
+      rng_(seed) {}
+
+void Group::make_replica(NodeId id, const std::vector<NodeId>& config) {
+  auto sm = factory_(id);
+  auto rep = std::make_unique<Replica>(sim_, net_, id, config, *sm, opts_,
+                                       rng_());
+  sms_[id] = std::move(sm);
+  replicas_[id] = std::move(rep);
+}
+
+void Group::bootstrap(int n) {
+  std::vector<NodeId> config;
+  for (int i = 0; i < n; ++i) config.push_back(i);
+  for (int i = 0; i < n; ++i) make_replica(i, config);
+  for (auto& [id, rep] : replicas_) rep->start();
+}
+
+Replica& Group::replica(NodeId id) {
+  auto it = replicas_.find(id);
+  if (it == replicas_.end()) throw std::out_of_range("no such replica");
+  return *it->second;
+}
+
+StateMachine& Group::state_machine(NodeId id) {
+  auto it = sms_.find(id);
+  if (it == sms_.end()) throw std::out_of_range("no such replica");
+  return *it->second;
+}
+
+std::vector<NodeId> Group::node_ids() const {
+  std::vector<NodeId> ids;
+  for (const auto& [id, _] : replicas_) ids.push_back(id);
+  return ids;
+}
+
+NodeId Group::leader_id() const {
+  for (const auto& [id, rep] : replicas_) {
+    if (rep->alive() && rep->is_leader()) return id;
+  }
+  return -1;
+}
+
+void Group::submit(std::vector<std::uint8_t> command, Replica::Callback cb,
+                   TimeDelta deadline) {
+  SimTime give_up = sim_.now() + deadline;
+  auto attempt = std::make_shared<std::function<void()>>();
+  auto cmd = std::make_shared<std::vector<std::uint8_t>>(std::move(command));
+  auto done = std::make_shared<bool>(false);
+  *attempt = [this, cmd, cb, give_up, attempt, done] {
+    if (*done) return;
+    if (sim_.now() >= give_up) {
+      *done = true;
+      if (cb) cb(false, {});
+      return;
+    }
+    NodeId lead = leader_id();
+    if (lead < 0) {
+      sim_.schedule_after(2, [attempt] { (*attempt)(); });
+      return;
+    }
+    replica(lead).submit(*cmd, [this, cb, attempt, done](
+                                   bool ok, const std::vector<std::uint8_t>& r) {
+      if (*done) return;
+      if (ok) {
+        *done = true;
+        if (cb) cb(true, r);
+      } else {
+        sim_.schedule_after(2, [attempt] { (*attempt)(); });
+      }
+    });
+  };
+  (*attempt)();
+}
+
+void Group::add_node(NodeId id, Replica::Callback cb) {
+  if (replicas_.contains(id)) throw std::invalid_argument("node exists");
+  NodeId lead = leader_id();
+  if (lead < 0) {
+    if (cb) cb(false, {});
+    return;
+  }
+  Replica& leader = replica(lead);
+
+  // Snapshot bootstrap: copy the leader's chosen prefix out of band.
+  std::vector<std::pair<Slot, Value>> entries;
+  for (Slot s = 0; s < leader.commit_index(); ++s) {
+    if (const Value* v = leader.chosen_value(s)) entries.emplace_back(s, *v);
+  }
+  std::vector<NodeId> new_config = leader.config();
+  new_config.push_back(id);
+  std::sort(new_config.begin(), new_config.end());
+
+  make_replica(id, leader.config());
+  replica(id).install_snapshot(entries, leader.config());
+  replica(id).start();
+  leader.propose_config(new_config, std::move(cb));
+}
+
+void Group::remove_node(NodeId id, Replica::Callback cb) {
+  NodeId lead = leader_id();
+  if (lead < 0) {
+    if (cb) cb(false, {});
+    return;
+  }
+  Replica& leader = replica(lead);
+  std::vector<NodeId> new_config;
+  for (NodeId n : leader.config()) {
+    if (n != id) new_config.push_back(n);
+  }
+  leader.propose_config(new_config, std::move(cb));
+}
+
+void Group::crash(NodeId id) { replica(id).crash(); }
+void Group::restart(NodeId id) { replica(id).restart(); }
+
+}  // namespace jupiter::paxos

@@ -1,0 +1,59 @@
+// Paxos group harness: wires N replicas over one SimNetwork, provides
+// leader discovery, a retrying client, and membership changes with
+// snapshot bootstrap — the machinery the lock/storage services and the
+// bidding framework's view changes build on.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "paxos/replica.hpp"
+
+namespace jupiter::paxos {
+
+class Group {
+ public:
+  using SmFactory = std::function<std::unique_ptr<StateMachine>(NodeId)>;
+
+  Group(Simulator& sim, SimNetwork& net, Replica::Options opts,
+        SmFactory factory, std::uint64_t seed);
+
+  /// Creates and starts replicas 0..n-1 with a shared initial config.
+  void bootstrap(int n);
+
+  Replica& replica(NodeId id);
+  StateMachine& state_machine(NodeId id);
+  bool has(NodeId id) const { return replicas_.contains(id); }
+  std::vector<NodeId> node_ids() const;
+
+  /// The current leader if one is alive and believes it leads; -1 if none.
+  NodeId leader_id() const;
+
+  /// Submits through the leader; retries (with re-discovery) until `cb`
+  /// fires or `deadline` passes, then fails the callback.
+  void submit(std::vector<std::uint8_t> command, Replica::Callback cb,
+              TimeDelta deadline = 600);
+
+  /// Adds a fresh node: builds its replica, installs a snapshot of the
+  /// chosen log from the leader, starts it, then proposes the new config.
+  void add_node(NodeId id, Replica::Callback cb = nullptr);
+  /// Removes a node from the config (it keeps running until crashed).
+  void remove_node(NodeId id, Replica::Callback cb = nullptr);
+
+  void crash(NodeId id);
+  void restart(NodeId id);
+
+ private:
+  void make_replica(NodeId id, const std::vector<NodeId>& config);
+
+  Simulator& sim_;
+  SimNetwork& net_;
+  Replica::Options opts_;
+  SmFactory factory_;
+  Rng rng_;
+  std::map<NodeId, std::unique_ptr<StateMachine>> sms_;
+  std::map<NodeId, std::unique_ptr<Replica>> replicas_;
+};
+
+}  // namespace jupiter::paxos

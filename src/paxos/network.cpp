@@ -1,0 +1,31 @@
+#include "paxos/network.hpp"
+
+namespace jupiter::paxos {
+
+void SimNetwork::send(NodeId to, const Message& msg) {
+  ++sent_;
+  if (!is_up(msg.from) || (opts_.drop_rate > 0 && rng_.bernoulli(opts_.drop_rate))) {
+    return;
+  }
+  value_bytes_ += msg.value.payload.size();
+  for (const auto& p : msg.promises) value_bytes_ += p.value.payload.size();
+
+  TimeDelta latency = opts_.min_latency;
+  if (opts_.max_latency > opts_.min_latency) {
+    latency += static_cast<TimeDelta>(
+        rng_.below(static_cast<std::uint64_t>(opts_.max_latency -
+                                              opts_.min_latency + 1)));
+  }
+  // Copy the message into the event; receiver liveness is checked at
+  // delivery time (it may have crashed in flight).
+  Message copy = msg;
+  sim_.schedule_after(latency, [this, to, copy = std::move(copy)] {
+    if (!is_up(to)) return;
+    auto it = handlers_.find(to);
+    if (it == handlers_.end()) return;
+    ++delivered_;
+    it->second(copy);
+  });
+}
+
+}  // namespace jupiter::paxos

@@ -1,0 +1,645 @@
+#include "paxos/replica.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace jupiter::paxos {
+
+Replica::Replica(Simulator& sim, SimNetwork& net, NodeId id,
+                 std::vector<NodeId> initial_config, StateMachine& sm,
+                 Options opts, std::uint64_t seed)
+    : sim_(sim),
+      net_(net),
+      id_(id),
+      sm_(sm),
+      opts_(opts),
+      rng_(seed ^ (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(id + 1))),
+      config_(std::move(initial_config)) {
+  std::sort(config_.begin(), config_.end());
+}
+
+void Replica::start() {
+  alive_ = true;
+  last_heartbeat_ = sim_.now();
+  net_.attach(id_, [this](const Message& m) { handle(m); });
+  net_.set_up(id_, true);
+  arm_failure_detector();
+  arm_retry();
+}
+
+void Replica::crash() {
+  alive_ = false;
+  net_.set_up(id_, false);
+  // Volatile leader state dies with the process; the acceptor log
+  // (promised_, log_ accepted values) persists as stable storage.
+  preparing_ = false;
+  leader_ = -1;
+  pending_.clear();
+  callbacks_.clear();
+}
+
+void Replica::restart() {
+  if (alive_) return;
+  alive_ = true;
+  last_heartbeat_ = sim_.now();
+  net_.set_up(id_, true);
+  arm_failure_detector();
+  arm_retry();
+}
+
+void Replica::arm_failure_detector() {
+  TimeDelta delay = opts_.election_timeout + (id_ % 4) +
+                    static_cast<TimeDelta>(rng_.below(4));
+  sim_.schedule_after(delay, [this] {
+    if (!alive_) return;
+    if (!is_leader() &&
+        sim_.now() - last_heartbeat_ >= opts_.election_timeout) {
+      start_election();
+    }
+    arm_failure_detector();
+  });
+}
+
+void Replica::arm_heartbeat() {
+  sim_.schedule_after(opts_.heartbeat_period, [this] {
+    if (!alive_ || !is_leader()) return;
+    Message hb;
+    hb.type = MsgType::kHeartbeat;
+    hb.from = id_;
+    hb.ballot = ballot_;
+    hb.commit_index = commit_index_;
+    broadcast(hb);
+    arm_heartbeat();
+  });
+}
+
+void Replica::arm_retry() {
+  sim_.schedule_after(opts_.retry_period, [this] {
+    if (!alive_) return;
+    if (is_leader()) {
+      for (Slot s = commit_index_; s < next_slot_; ++s) {
+        auto it = log_.find(s);
+        if (it != log_.end() && it->second.proposing && !it->second.chosen) {
+          send_accepts(s);
+        }
+      }
+    }
+    arm_retry();
+  });
+}
+
+void Replica::broadcast(Message m) {
+  m.from = id_;
+  for (NodeId n : config_) net_.send(n, m);
+}
+
+bool Replica::in_config(NodeId n) const {
+  return std::find(config_.begin(), config_.end(), n) != config_.end();
+}
+
+Replica::SlotState& Replica::slot_state(Slot s) { return log_[s]; }
+
+std::uint64_t Replica::fresh_value_id() {
+  return (static_cast<std::uint64_t>(id_ + 1) << 40) ^ (++value_counter_) ^
+         (static_cast<std::uint64_t>(sim_.now().seconds()) << 8);
+}
+
+// ---------------------------------------------------------------- election
+
+void Replica::start_election() {
+  ++elections_;
+  preparing_ = true;
+  std::int64_t round = std::max(promised_.round, ballot_.round) + 1;
+  ballot_ = Ballot{round, id_};
+  promises_from_.clear();
+  promise_msgs_.clear();
+  JLOG(kDebug) << "node " << id_ << " starts election with ballot "
+               << ballot_.str();
+  Message m;
+  m.type = MsgType::kPrepare;
+  m.ballot = ballot_;
+  // Prepare the whole log rather than just the open tail: in RS-Paxos a
+  // follower that becomes leader has only applied *chunks* of the committed
+  // commands, and the promise payloads below commit_index_ are what it
+  // reconstructs its materialized state machine from (state rebuild).
+  m.first_open = opts_.policy.coded() ? 0 : commit_index_;
+  broadcast(m);
+}
+
+void Replica::on_prepare(const Message& m) {
+  if (m.ballot >= promised_) {
+    promised_ = m.ballot;
+    last_heartbeat_ = sim_.now();  // yield to the candidate
+    Message r;
+    r.type = MsgType::kPromise;
+    r.from = id_;
+    r.ballot = m.ballot;
+    r.commit_index = commit_index_;
+    for (auto& [slot, st] : log_) {
+      if (slot < m.first_open) continue;
+      if (!st.acc.has_value) continue;
+      r.promises.push_back(PromiseInfo{slot, st.acc.accepted, st.acc.value});
+    }
+    net_.send(m.from, r);
+  } else {
+    Message r;
+    r.type = MsgType::kPrepareNack;
+    r.from = id_;
+    r.ballot = promised_;
+    net_.send(m.from, r);
+  }
+}
+
+void Replica::on_promise(const Message& m) {
+  if (!preparing_ || m.ballot != ballot_) return;
+  if (!in_config(m.from)) return;
+  if (std::find(promises_from_.begin(), promises_from_.end(), m.from) !=
+      promises_from_.end()) {
+    return;
+  }
+  promises_from_.push_back(m.from);
+  promise_msgs_.push_back(m);
+  if (static_cast<int>(promises_from_.size()) >= quorum()) become_leader();
+}
+
+void Replica::on_prepare_nack(const Message& m) {
+  if (m.ballot > ballot_) {
+    preparing_ = false;
+    if (leader_ == id_) leader_ = -1;
+  }
+}
+
+void Replica::become_leader() {
+  preparing_ = false;
+  leader_ = id_;
+  JLOG(kDebug) << "node " << id_ << " becomes leader, ballot "
+               << ballot_.str();
+
+  // Gather accepted values per open slot from the promise quorum.
+  std::map<Slot, std::vector<std::pair<Ballot, Value>>> seen;
+  Slot max_slot = commit_index_ - 1;
+  for (const auto& msg : promise_msgs_) {
+    for (const auto& p : msg.promises) {
+      seen[p.slot].emplace_back(p.accepted, p.value);
+      max_slot = std::max(max_slot, p.slot);
+    }
+  }
+  for (const auto& [slot, st] : log_) {
+    if (slot >= commit_index_ && st.acc.has_value) {
+      seen[slot].emplace_back(st.acc.accepted, st.acc.value);
+      max_slot = std::max(max_slot, slot);
+    }
+  }
+  next_slot_ = max_slot + 1;
+
+  // RS-Paxos state rebuild: slots we applied as chunks are reconstructed
+  // from the promise payloads and replayed into the state machine in slot
+  // order, materializing the full store at the new leader.
+  if (opts_.policy.coded()) {
+    for (auto& [slot, vs] : seen) {
+      if (slot >= commit_index_) break;
+      auto it = log_.find(slot);
+      if (it == log_.end() || !it->second.applied_chunk_only) continue;
+      SlotState& st = it->second;
+      std::vector<Value> chunks;
+      if (st.chosen_val.coded) chunks.push_back(st.chosen_val);
+      for (const auto& bv : vs) {
+        if (bv.second.coded &&
+            bv.second.value_id == st.chosen_val.value_id) {
+          chunks.push_back(bv.second);
+        }
+      }
+      if (auto full = reconstruct_from_chunks(chunks)) {
+        sm_.apply(full->payload);
+        st.proposal_full = *full;
+        st.applied_chunk_only = false;
+      }
+    }
+  }
+
+  for (Slot s = commit_index_; s < next_slot_; ++s) {
+    SlotState& st = slot_state(s);
+    if (st.chosen && !st.proposal_full.payload.empty() &&
+        !st.proposal_full.coded) {
+      // We know the decision and hold the full value: re-publish it.
+      propose(s, st.proposal_full, nullptr);
+      continue;
+    }
+    auto it = seen.find(s);
+    if (it == seen.end() || it->second.empty()) {
+      Value noop;
+      noop.kind = ValueKind::kNoop;
+      noop.value_id = fresh_value_id();
+      propose(s, noop, nullptr);
+      continue;
+    }
+    // Highest accepted ballot wins.
+    const auto& vs = it->second;
+    const std::pair<Ballot, Value>* best = &vs.front();
+    for (const auto& bv : vs) {
+      if (bv.first > best->first) best = &bv;
+    }
+    if (!best->second.coded) {
+      propose(s, best->second, nullptr);
+    } else {
+      // RS-Paxos recovery: collect chunks of the highest-ballot proposal.
+      std::vector<Value> chunks;
+      for (const auto& bv : vs) {
+        if (bv.second.coded && bv.second.value_id == best->second.value_id) {
+          chunks.push_back(bv.second);
+        }
+      }
+      auto full = reconstruct_from_chunks(chunks);
+      if (full) {
+        propose(s, *full, nullptr);
+      } else {
+        // Fewer than m chunks visible in a prepare quorum: the value cannot
+        // have been chosen (quorum intersection >= m), so noop is safe.
+        Value noop;
+        noop.kind = ValueKind::kNoop;
+        noop.value_id = fresh_value_id();
+        propose(s, noop, nullptr);
+      }
+    }
+  }
+
+  // Drain commands queued while electing.
+  while (!pending_.empty()) {
+    auto [cmd, cb] = std::move(pending_.front());
+    pending_.pop_front();
+    Value v;
+    v.kind = ValueKind::kCommand;
+    v.value_id = fresh_value_id();
+    v.payload = std::move(cmd);
+    propose(next_slot_++, std::move(v), std::move(cb));
+  }
+  arm_heartbeat();
+}
+
+// ---------------------------------------------------------------- phase 2
+
+Value Replica::make_chunk_value(const Value& full, int chunk_index) const {
+  int n = static_cast<int>(config_.size());
+  ReedSolomon rs(opts_.policy.rs_m, n);
+  auto chunks = rs.encode(full.payload);
+  Value v;
+  v.kind = full.kind;
+  v.value_id = full.value_id;
+  v.coded = true;
+  v.chunk_index = chunk_index;
+  v.full_size = static_cast<std::uint32_t>(full.payload.size());
+  v.rs_n = n;
+  v.payload = std::move(chunks[static_cast<std::size_t>(chunk_index)]);
+  return v;
+}
+
+std::optional<Value> Replica::reconstruct_from_chunks(
+    const std::vector<Value>& chunks) const {
+  if (chunks.empty()) return std::nullopt;
+  int n = chunks.front().rs_n;
+  if (n < opts_.policy.rs_m) return std::nullopt;
+  ReedSolomon rs(opts_.policy.rs_m, n);
+  std::vector<std::pair<int, Chunk>> have;
+  for (const auto& c : chunks) {
+    if (c.rs_n != n) continue;  // stale mix; matching value_id implies same n
+    have.emplace_back(c.chunk_index, c.payload);
+  }
+  auto data = rs.decode(have, chunks.front().full_size);
+  if (!data) return std::nullopt;
+  Value full;
+  full.kind = chunks.front().kind;
+  full.value_id = chunks.front().value_id;
+  full.payload = std::move(*data);
+  return full;
+}
+
+void Replica::propose(Slot slot, Value full_value, Callback cb) {
+  SlotState& st = slot_state(slot);
+  st.proposing = true;
+  st.proposal_full = std::move(full_value);
+  st.accepted_from.clear();
+  if (cb) callbacks_[slot] = std::move(cb);
+  send_accepts(slot);
+}
+
+void Replica::send_accepts(Slot slot) {
+  SlotState& st = slot_state(slot);
+  bool code_it =
+      opts_.policy.coded() && st.proposal_full.kind == ValueKind::kCommand;
+  for (std::size_t i = 0; i < config_.size(); ++i) {
+    Message m;
+    m.type = MsgType::kAccept;
+    m.from = id_;
+    m.ballot = ballot_;
+    m.slot = slot;
+    m.value = code_it ? make_chunk_value(st.proposal_full, static_cast<int>(i))
+                      : st.proposal_full;
+    net_.send(config_[i], m);
+  }
+}
+
+void Replica::on_accept(const Message& m) {
+  if (m.ballot >= promised_) {
+    promised_ = m.ballot;
+    leader_ = m.from;
+    last_heartbeat_ = sim_.now();
+    SlotState& st = slot_state(m.slot);
+    st.acc.promised = m.ballot;
+    st.acc.accepted = m.ballot;
+    st.acc.value = m.value;
+    st.acc.has_value = true;
+    Message r;
+    r.type = MsgType::kAccepted;
+    r.from = id_;
+    r.ballot = m.ballot;
+    r.slot = m.slot;
+    net_.send(m.from, r);
+  } else {
+    Message r;
+    r.type = MsgType::kAcceptNack;
+    r.from = id_;
+    r.ballot = promised_;
+    net_.send(m.from, r);
+  }
+}
+
+void Replica::on_accepted(const Message& m) {
+  if (!is_leader() || m.ballot != ballot_) return;
+  if (!in_config(m.from)) return;
+  SlotState& st = slot_state(m.slot);
+  if (st.chosen || !st.proposing) return;
+  if (std::find(st.accepted_from.begin(), st.accepted_from.end(), m.from) !=
+      st.accepted_from.end()) {
+    return;
+  }
+  st.accepted_from.push_back(m.from);
+  if (static_cast<int>(st.accepted_from.size()) < quorum()) return;
+
+  // Decided.  Tell everyone; RS-Paxos followers get their chunk again so a
+  // node that missed the accept still ends up holding its share.
+  bool coded =
+      opts_.policy.coded() && st.proposal_full.kind == ValueKind::kCommand;
+  for (std::size_t i = 0; i < config_.size(); ++i) {
+    Message c;
+    c.type = MsgType::kChosen;
+    c.from = id_;
+    c.ballot = ballot_;
+    c.slot = m.slot;
+    c.value = coded ? make_chunk_value(st.proposal_full, static_cast<int>(i))
+                    : st.proposal_full;
+    if (config_[i] == id_) {
+      decide(m.slot, c.value, &st.proposal_full);
+    } else {
+      net_.send(config_[i], c);
+    }
+  }
+}
+
+void Replica::on_accept_nack(const Message& m) {
+  if (m.ballot > ballot_) {
+    if (leader_ == id_) leader_ = -1;
+    preparing_ = false;
+  }
+}
+
+void Replica::on_chosen(const Message& m) {
+  leader_ = m.from;
+  last_heartbeat_ = sim_.now();
+  SlotState& st = slot_state(m.slot);
+  if (!st.chosen) {
+    st.chosen = true;
+    st.chosen_val = m.value;
+  }
+  apply_ready();
+}
+
+void Replica::decide(Slot slot, const Value& own_value,
+                     const Value* full_value) {
+  SlotState& st = slot_state(slot);
+  if (!st.chosen) {
+    st.chosen = true;
+    st.chosen_val = own_value;
+    if (full_value) st.proposal_full = *full_value;
+  }
+  apply_ready();
+}
+
+// ---------------------------------------------------------------- learning
+
+void Replica::apply_ready() {
+  while (true) {
+    auto it = log_.find(commit_index_);
+    if (it == log_.end() || !it->second.chosen) break;
+    SlotState& st = it->second;
+    if (!st.applied) {
+      st.applied = true;
+      const Value& v = st.chosen_val;
+      std::vector<std::uint8_t> response;
+      bool ok = true;
+      switch (v.kind) {
+        case ValueKind::kNoop:
+          break;
+        case ValueKind::kCommand:
+          if (!v.coded) {
+            response = sm_.apply(v.payload);
+            ++applied_commands_;
+          } else if (!st.proposal_full.payload.empty() &&
+                     !st.proposal_full.coded) {
+            // Leader (or recovered leader) holds the full value.
+            response = sm_.apply(st.proposal_full.payload);
+            ++applied_commands_;
+          } else {
+            sm_.apply_chunk(v);
+            st.applied_chunk_only = true;
+            ++applied_commands_;
+          }
+          break;
+        case ValueKind::kConfig: {
+          const auto& bytes = !v.coded && !v.payload.empty()
+                                  ? v.payload
+                                  : st.proposal_full.payload;
+          auto members = decode_config(bytes);
+          std::sort(members.begin(), members.end());
+          config_ = members;
+          if (!in_config(id_) && alive_) {
+            // We were removed: leave the group quietly rather than keep
+            // timing out and disrupting the survivors with elections.
+            // Deferred so the current apply loop finishes cleanly.
+            JLOG(kDebug) << "node " << id_ << " removed by config; leaving";
+            sim_.schedule_after(0, [this] {
+              if (alive_ && !in_config(id_)) crash();
+            });
+          }
+          break;
+        }
+      }
+      if (auto cb = callbacks_.find(commit_index_); cb != callbacks_.end()) {
+        cb->second(ok, response);
+        callbacks_.erase(cb);
+      }
+    }
+    ++commit_index_;
+  }
+}
+
+// ---------------------------------------------------------------- liveness
+
+void Replica::on_heartbeat(const Message& m) {
+  if (m.ballot >= promised_) {
+    promised_ = m.ballot;
+    leader_ = m.from;
+    last_heartbeat_ = sim_.now();
+    if (m.commit_index > commit_index_) {
+      // We missed decisions (crash, late join): ask the leader to replay
+      // its chosen log from our commit point.
+      Message req;
+      req.type = MsgType::kCatchup;
+      req.from = id_;
+      req.slot = commit_index_;
+      net_.send(m.from, req);
+    }
+  }
+}
+
+void Replica::on_catchup(const Message& m) {
+  if (!is_leader()) return;
+  bool coded_mode = opts_.policy.coded();
+  int chunk_index = -1;
+  if (coded_mode) {
+    for (std::size_t i = 0; i < config_.size(); ++i) {
+      if (config_[i] == m.from) chunk_index = static_cast<int>(i);
+    }
+  }
+  for (Slot s = m.slot; s < commit_index_; ++s) {
+    auto it = log_.find(s);
+    if (it == log_.end() || !it->second.chosen) continue;
+    const SlotState& st = it->second;
+    Message c;
+    c.type = MsgType::kChosen;
+    c.from = id_;
+    c.ballot = ballot_;
+    c.slot = s;
+    bool have_full = !st.proposal_full.coded &&
+                     (st.proposal_full.kind != ValueKind::kCommand ||
+                      !st.proposal_full.payload.empty());
+    if (coded_mode && st.proposal_full.kind == ValueKind::kCommand &&
+        have_full && chunk_index >= 0) {
+      c.value = make_chunk_value(st.proposal_full, chunk_index);
+    } else if (have_full) {
+      c.value = st.proposal_full;
+    } else {
+      // Only our own chunk survives here; better than nothing — the
+      // follower can at least advance past the slot.
+      c.value = st.chosen_val;
+    }
+    net_.send(m.from, c);
+  }
+}
+
+void Replica::on_forward(const Message& m) {
+  if (is_leader()) {
+    submit(m.value.payload, nullptr);
+  } else if (leader_ >= 0 && leader_ != id_) {
+    Message fwd = m;
+    fwd.from = id_;
+    net_.send(leader_, fwd);
+  }
+}
+
+// ---------------------------------------------------------------- client
+
+void Replica::submit(std::vector<std::uint8_t> command, Callback cb) {
+  if (!alive_) {
+    if (cb) cb(false, {});
+    return;
+  }
+  if (preparing_) {
+    pending_.emplace_back(std::move(command), std::move(cb));
+    return;
+  }
+  if (!is_leader()) {
+    if (cb) cb(false, {});
+    return;
+  }
+  Value v;
+  v.kind = ValueKind::kCommand;
+  v.value_id = fresh_value_id();
+  v.payload = std::move(command);
+  if (next_slot_ < commit_index_) next_slot_ = commit_index_;
+  propose(next_slot_++, std::move(v), std::move(cb));
+}
+
+void Replica::propose_config(std::vector<NodeId> members, Callback cb) {
+  if (!is_leader()) {
+    if (cb) cb(false, {});
+    return;
+  }
+  Value v;
+  v.kind = ValueKind::kConfig;
+  v.value_id = fresh_value_id();
+  v.payload = encode_config(members);
+  if (next_slot_ < commit_index_) next_slot_ = commit_index_;
+  propose(next_slot_++, std::move(v), std::move(cb));
+}
+
+const Value* Replica::chosen_value(Slot s) const {
+  auto it = log_.find(s);
+  if (it == log_.end() || !it->second.chosen) return nullptr;
+  return &it->second.chosen_val;
+}
+
+void Replica::install_snapshot(
+    const std::vector<std::pair<Slot, Value>>& entries,
+    const std::vector<NodeId>& config) {
+  config_ = config;
+  std::sort(config_.begin(), config_.end());
+  for (const auto& [slot, value] : entries) {
+    SlotState& st = slot_state(slot);
+    st.chosen = true;
+    st.chosen_val = value;
+    st.acc.has_value = true;
+    st.acc.value = value;
+  }
+  apply_ready();
+}
+
+// ---------------------------------------------------------------- dispatch
+
+void Replica::handle(const Message& m) {
+  if (!alive_) return;
+  switch (m.type) {
+    case MsgType::kPrepare:
+      on_prepare(m);
+      break;
+    case MsgType::kPromise:
+      on_promise(m);
+      break;
+    case MsgType::kPrepareNack:
+      on_prepare_nack(m);
+      break;
+    case MsgType::kAccept:
+      on_accept(m);
+      break;
+    case MsgType::kAccepted:
+      on_accepted(m);
+      break;
+    case MsgType::kAcceptNack:
+      on_accept_nack(m);
+      break;
+    case MsgType::kChosen:
+      on_chosen(m);
+      break;
+    case MsgType::kHeartbeat:
+      on_heartbeat(m);
+      break;
+    case MsgType::kForward:
+      on_forward(m);
+      break;
+    case MsgType::kCatchup:
+      on_catchup(m);
+      break;
+  }
+}
+
+}  // namespace jupiter::paxos

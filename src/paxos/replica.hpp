@@ -1,0 +1,191 @@
+// Multi-Paxos replica (proposer + acceptor + learner in one process), the
+// SMR engine under both evaluated services (paper §2.2, §5.1).
+//
+// Design points:
+//   * A single *global* promised ballot covers all open slots (standard
+//     multi-Paxos phase-1 amortization): a leader runs one prepare for the
+//     whole log tail, then streams phase-2 accepts.
+//   * Leader election is failure-detector based: followers expect
+//     heartbeats; on timeout each starts a prepare with a ballot higher
+//     than anything seen, with per-node jitter to avoid duels.
+//   * Crash-stop with stable storage: crash() silences the node but keeps
+//     its acceptor state; restart() rejoins with the same promises, which
+//     is what preserves safety across instance churn.
+//   * Value replication is pluggable (QuorumPolicy): classic majority
+//     replication sends full values; RS-Paxos sends each acceptor its
+//     Reed-Solomon chunk and requires quorums of ceil((n+m)/2) so any two
+//     quorums intersect in >= m nodes — enough to reconstruct during
+//     recovery (Mu et al., HPDC'14).
+//   * Reconfiguration: membership is itself a log entry (kConfig); once
+//     chosen and applied, later slots use the new member set.  New nodes
+//     are bootstrapped by out-of-band snapshot transfer (Group::add_node),
+//     as Chubby does.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ec/reed_solomon.hpp"
+#include "paxos/network.hpp"
+#include "paxos/types.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace jupiter::paxos {
+
+/// Replicated state machine interface.  apply() must be deterministic.
+class StateMachine {
+ public:
+  virtual ~StateMachine() = default;
+  /// Full-value command (classic replication, and the leader side of
+  /// RS-Paxos).  Returns the response bytes.
+  virtual std::vector<std::uint8_t> apply(
+      const std::vector<std::uint8_t>& command) = 0;
+  /// Coded command (RS-Paxos followers): the node stores its chunk.  The
+  /// default ignores it, which suits state machines that are only read
+  /// through the leader.
+  virtual void apply_chunk(const Value& /*value*/) {}
+};
+
+struct QuorumPolicy {
+  enum class Kind { kMajority, kRsPaxos };
+  Kind kind = Kind::kMajority;
+  int rs_m = 3;  // data chunks (RS-Paxos only)
+
+  int quorum(int n) const {
+    return kind == Kind::kMajority ? n / 2 + 1 : (n + rs_m + 1) / 2;
+  }
+  bool coded() const { return kind == Kind::kRsPaxos; }
+};
+
+class Replica {
+ public:
+  struct Options {
+    TimeDelta heartbeat_period = 2;
+    TimeDelta election_timeout = 8;  // + per-node jitter
+    TimeDelta retry_period = 4;
+    QuorumPolicy policy;
+  };
+
+  using Callback =
+      std::function<void(bool ok, const std::vector<std::uint8_t>& response)>;
+
+  Replica(Simulator& sim, SimNetwork& net, NodeId id,
+          std::vector<NodeId> initial_config, StateMachine& sm, Options opts,
+          std::uint64_t seed);
+
+  /// Begins participating (failure detector, elections).
+  void start();
+  /// Crash-stop: stops timers and detaches from the network; acceptor state
+  /// persists (stable storage).
+  void crash();
+  /// Rejoins after a crash with persisted state.
+  void restart();
+  bool alive() const { return alive_; }
+
+  // ---- client API ----
+  /// Submits a command.  If this node is not the leader the submission
+  /// fails immediately with ok=false (clients retry against the leader, as
+  /// Chubby clients do); use believed_leader() to find it.
+  void submit(std::vector<std::uint8_t> command, Callback cb);
+  /// Proposes a membership change (leader only).
+  void propose_config(std::vector<NodeId> members, Callback cb);
+
+  bool is_leader() const { return leader_ == id_ && alive_; }
+  NodeId believed_leader() const { return leader_; }
+  NodeId id() const { return id_; }
+  const std::vector<NodeId>& config() const { return config_; }
+  Slot commit_index() const { return commit_index_; }  // first unchosen slot
+
+  /// Chosen value at a slot, if known (tests, snapshot transfer).
+  const Value* chosen_value(Slot s) const;
+  /// Installs a snapshot of chosen entries (bootstrap of a fresh node).
+  void install_snapshot(const std::vector<std::pair<Slot, Value>>& entries,
+                        const std::vector<NodeId>& config);
+
+  // ---- stats ----
+  int elections_started() const { return elections_; }
+  std::int64_t commands_applied() const { return applied_commands_; }
+
+ private:
+  struct SlotState {
+    AcceptorSlot acc;             // durable acceptor state
+    bool chosen = false;
+    Value chosen_val;             // full value (classic) / own chunk (coded)
+    bool applied = false;
+    bool applied_chunk_only = false;  // SM saw the chunk, not the command
+    // proposer bookkeeping (leader only)
+    std::vector<NodeId> accepted_from;
+    bool proposing = false;
+    Value proposal_full;          // full value being proposed (leader)
+  };
+
+  // message handlers
+  void handle(const Message& m);
+  void on_prepare(const Message& m);
+  void on_promise(const Message& m);
+  void on_prepare_nack(const Message& m);
+  void on_accept(const Message& m);
+  void on_accepted(const Message& m);
+  void on_accept_nack(const Message& m);
+  void on_chosen(const Message& m);
+  void on_heartbeat(const Message& m);
+  void on_forward(const Message& m);
+  void on_catchup(const Message& m);
+
+  // roles
+  void start_election();
+  void become_leader();
+  void propose(Slot slot, Value full_value, Callback cb);
+  void send_accepts(Slot slot);
+  void decide(Slot slot, const Value& own_value, const Value* full_value);
+  void apply_ready();
+  void broadcast(Message m);
+  void arm_failure_detector();
+  void arm_heartbeat();
+  void arm_retry();
+  SlotState& slot_state(Slot s);
+  int quorum() const {
+    return opts_.policy.quorum(static_cast<int>(config_.size()));
+  }
+  bool in_config(NodeId n) const;
+  Value make_chunk_value(const Value& full, int chunk_index) const;
+  std::optional<Value> reconstruct_from_chunks(
+      const std::vector<Value>& chunks) const;
+  std::uint64_t fresh_value_id();
+
+  Simulator& sim_;
+  SimNetwork& net_;
+  NodeId id_;
+  StateMachine& sm_;
+  Options opts_;
+  Rng rng_;
+
+  std::vector<NodeId> config_;
+  std::map<Slot, SlotState> log_;
+  Slot commit_index_ = 0;   // first slot not yet chosen-and-applied
+  Slot next_slot_ = 0;      // leader: next free slot
+
+  // acceptor: global promise
+  Ballot promised_;
+  // proposer/leader
+  Ballot ballot_;             // my current ballot (valid while leading)
+  NodeId leader_ = -1;        // who I believe leads
+  bool preparing_ = false;
+  std::vector<NodeId> promises_from_;
+  std::vector<Message> promise_msgs_;
+  std::map<Slot, Callback> callbacks_;
+  std::deque<std::pair<std::vector<std::uint8_t>, Callback>> pending_;
+
+  SimTime last_heartbeat_;
+  bool alive_ = false;
+  int elections_ = 0;
+  std::int64_t applied_commands_ = 0;
+  std::uint64_t value_counter_ = 0;
+};
+
+}  // namespace jupiter::paxos

@@ -1,0 +1,41 @@
+#include "paxos/types.hpp"
+
+#include <stdexcept>
+
+namespace jupiter::paxos {
+
+std::vector<std::uint8_t> encode_config(const std::vector<NodeId>& members) {
+  std::vector<std::uint8_t> out;
+  auto put32 = [&out](std::int32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+    }
+  };
+  put32(static_cast<std::int32_t>(members.size()));
+  for (NodeId id : members) put32(id);
+  return out;
+}
+
+std::vector<NodeId> decode_config(const std::vector<std::uint8_t>& bytes) {
+  auto get32 = [&bytes](std::size_t off) {
+    if (off + 4 > bytes.size()) throw std::invalid_argument("short config");
+    std::int32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::int32_t>(bytes[off + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    return v;
+  };
+  std::int32_t count = get32(0);
+  if (count < 0 || static_cast<std::size_t>(count) * 4 + 4 != bytes.size()) {
+    throw std::invalid_argument("bad config payload");
+  }
+  std::vector<NodeId> members;
+  members.reserve(static_cast<std::size_t>(count));
+  for (std::int32_t i = 0; i < count; ++i) {
+    members.push_back(get32(4 + static_cast<std::size_t>(i) * 4));
+  }
+  return members;
+}
+
+}  // namespace jupiter::paxos

@@ -1,0 +1,99 @@
+// Core vocabulary of the Paxos implementation: ballots, values (full or
+// erasure-coded), log entries and the wire message.
+//
+// One value representation serves both protocols: classic Paxos replicates
+// the full command bytes to every acceptor; RS-Paxos (Mu et al., HPDC'14)
+// sends each acceptor only its Reed-Solomon chunk, identified by a
+// (proposal) value_id so chunks of the same proposal can be matched and
+// reconstructed during recovery.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jupiter::paxos {
+
+using NodeId = int;
+using Slot = std::int64_t;
+
+/// Ballot number: (round, proposer) with lexicographic order, so concurrent
+/// proposers never collide.
+struct Ballot {
+  std::int64_t round = 0;
+  NodeId node = -1;
+
+  auto operator<=>(const Ballot&) const = default;
+  bool valid() const { return round > 0; }
+  std::string str() const {
+    return std::to_string(round) + "." + std::to_string(node);
+  }
+};
+
+enum class ValueKind : std::uint8_t {
+  kNoop = 0,     // filler for holes during recovery
+  kCommand = 1,  // state-machine command
+  kConfig = 2,   // membership change (serialized member list)
+};
+
+/// A proposed/accepted value.  For RS-Paxos the payload each node stores is
+/// its own chunk; `value_id` ties chunks of one proposal together and
+/// `full_size` lets the decoder trim padding.
+struct Value {
+  ValueKind kind = ValueKind::kNoop;
+  std::uint64_t value_id = 0;
+  std::vector<std::uint8_t> payload;  // full command bytes, or this node's chunk
+  bool coded = false;
+  int chunk_index = -1;               // which chunk `payload` is (coded only)
+  std::uint32_t full_size = 0;        // original command size (coded only)
+  int rs_n = 0;                       // total chunks at encode time (coded)
+
+  friend bool operator==(const Value&, const Value&) = default;
+};
+
+/// Per-slot acceptor state.
+struct AcceptorSlot {
+  Ballot promised;   // highest prepare answered
+  Ballot accepted;   // highest accept taken
+  Value value;       // the accepted value (chunk for RS-Paxos)
+  bool has_value = false;
+};
+
+enum class MsgType : std::uint8_t {
+  kPrepare,
+  kPromise,
+  kPrepareNack,
+  kAccept,
+  kAccepted,
+  kAcceptNack,
+  kChosen,     // learner broadcast from the proposer
+  kHeartbeat,  // leader liveness
+  kForward,    // client command forwarded to the leader
+  kCatchup,    // follower asks the leader for chosen slots >= `slot`
+};
+
+/// Promise payload entry: what an acceptor already accepted for a slot.
+struct PromiseInfo {
+  Slot slot = 0;
+  Ballot accepted;
+  Value value;
+};
+
+struct Message {
+  MsgType type = MsgType::kHeartbeat;
+  NodeId from = -1;
+  Ballot ballot;
+  Slot slot = 0;          // accept/accepted/chosen
+  Slot first_open = 0;    // prepare: lowest slot being prepared
+  Value value;            // accept/chosen/forward
+  std::vector<PromiseInfo> promises;  // promise
+  Slot commit_index = 0;  // heartbeat: leader's chosen prefix
+};
+
+/// Serialized membership for kConfig values: little-endian int32 count then
+/// int32 node ids.
+std::vector<std::uint8_t> encode_config(const std::vector<NodeId>& members);
+std::vector<NodeId> decode_config(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace jupiter::paxos

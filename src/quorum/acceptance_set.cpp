@@ -1,0 +1,179 @@
+#include "quorum/acceptance_set.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace jupiter {
+
+namespace {
+/// Reduces a family to its minimal antichain (drops supersets), sorted.
+std::vector<NodeSet> minimize(std::vector<NodeSet> family) {
+  std::sort(family.begin(), family.end(),
+            [](NodeSet a, NodeSet b) {
+              int pa = popcount(a), pb = popcount(b);
+              if (pa != pb) return pa < pb;
+              return a < b;
+            });
+  family.erase(std::unique(family.begin(), family.end()), family.end());
+  std::vector<NodeSet> minimal;
+  for (NodeSet s : family) {
+    bool dominated = false;
+    for (NodeSet m : minimal) {
+      if ((m & s) == m) {  // m subset of s
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) minimal.push_back(s);
+  }
+  std::sort(minimal.begin(), minimal.end());
+  return minimal;
+}
+}  // namespace
+
+AcceptanceSet AcceptanceSet::from_quorums(int n, std::vector<NodeSet> quorums) {
+  if (n <= 0 || n > 25) throw std::invalid_argument("universe size out of range");
+  NodeSet all = (n == 32) ? ~0u : ((1u << n) - 1);
+  for (NodeSet q : quorums) {
+    if (q == 0) throw std::invalid_argument("empty quorum");
+    if ((q & ~all) != 0) throw std::invalid_argument("quorum outside universe");
+  }
+  if (quorums.empty()) throw std::invalid_argument("no quorums");
+  AcceptanceSet a;
+  a.n_ = n;
+  a.minimal_ = minimize(std::move(quorums));
+  return a;
+}
+
+AcceptanceSet AcceptanceSet::majority(int n) {
+  return threshold(n, n / 2 + 1);
+}
+
+AcceptanceSet AcceptanceSet::threshold(int n, int q) {
+  if (q <= 0 || q > n) throw std::invalid_argument("bad threshold");
+  std::vector<NodeSet> quorums;
+  NodeSet all = (1u << n) - 1;
+  for (NodeSet s = 1; s <= all; ++s) {
+    if (popcount(s) == q) quorums.push_back(s);
+  }
+  return from_quorums(n, std::move(quorums));
+}
+
+AcceptanceSet AcceptanceSet::weighted(std::span<const double> weights) {
+  int n = static_cast<int>(weights.size());
+  if (n <= 0 || n > 25) throw std::invalid_argument("bad weight count");
+  double total = 0;
+  for (double w : weights) {
+    if (w < 0) throw std::invalid_argument("negative weight");
+    total += w;
+  }
+  if (total <= 0) throw std::invalid_argument("zero total weight");
+  std::vector<NodeSet> quorums;
+  NodeSet all = (1u << n) - 1;
+  for (NodeSet s = 1; s <= all; ++s) {
+    double w = 0;
+    for (int i = 0; i < n; ++i) {
+      if (s & (1u << i)) w += weights[static_cast<std::size_t>(i)];
+    }
+    if (w > total / 2) quorums.push_back(s);
+  }
+  return from_quorums(n, std::move(quorums));
+}
+
+AcceptanceSet AcceptanceSet::monarchy(int n, int king) {
+  if (king < 0 || king >= n) throw std::invalid_argument("bad king");
+  return from_quorums(n, {NodeSet(1) << king});
+}
+
+bool AcceptanceSet::accepts(NodeSet live) const {
+  for (NodeSet m : minimal_) {
+    if ((m & live) == m) return true;
+  }
+  return false;
+}
+
+bool AcceptanceSet::is_intersecting() const {
+  for (std::size_t i = 0; i < minimal_.size(); ++i) {
+    for (std::size_t j = i + 1; j < minimal_.size(); ++j) {
+      if ((minimal_[i] & minimal_[j]) == 0) return false;
+    }
+  }
+  return !minimal_.empty();
+}
+
+int AcceptanceSet::max_tolerated_failures() const {
+  NodeSet all = (1u << n_) - 1;
+  // f is tolerated iff for every failure set F with |F| == f, the
+  // complement still contains a quorum.  Check f upward until violated.
+  for (int f = 0; f <= n_; ++f) {
+    for (NodeSet fail = 0; fail <= all; ++fail) {
+      if (popcount(fail) != f) continue;
+      if (!accepts(all & ~fail)) return f - 1;
+    }
+  }
+  return n_ - 1;  // unreachable for intersecting families
+}
+
+std::string AcceptanceSet::str() const {
+  std::string out;
+  for (NodeSet m : minimal_) {
+    out += '{';
+    bool first = true;
+    for (int i = 0; i < n_; ++i) {
+      if (m & (1u << i)) {
+        if (!first) out += ',';
+        out += std::to_string(i);
+        first = false;
+      }
+    }
+    out += "} ";
+  }
+  if (!out.empty()) out.pop_back();
+  return out;
+}
+
+std::vector<AcceptanceSet> enumerate_acceptance_sets(int n) {
+  if (n < 1 || n > 5) throw std::invalid_argument("enumeration supports n<=5");
+  // Monotone boolean functions on k variables, as bitmasks over the 2^k
+  // subsets, built by the free-distributive-lattice recursion:
+  // f on [k] == (f0, f1) on [k-1] with f0 <= f1 pointwise.
+  std::vector<std::uint32_t> funcs = {0u, 1u};  // k = 0: constants
+  int half_bits = 1;
+  for (int k = 1; k <= n; ++k) {
+    std::vector<std::uint32_t> next;
+    for (std::uint32_t f0 : funcs) {
+      for (std::uint32_t f1 : funcs) {
+        if ((f0 & ~f1) == 0) {  // f0 <= f1
+          next.push_back(f0 | (f1 << half_bits));
+        }
+      }
+    }
+    funcs = std::move(next);
+    half_bits <<= 1;
+  }
+
+  std::vector<AcceptanceSet> out;
+  NodeSet all = (1u << n) - 1;
+  for (std::uint32_t f : funcs) {
+    if (f == 0) continue;          // empty family
+    if (f & 1u) continue;          // contains the empty set: cannot intersect
+    // Collect member sets, check pairwise intersection.
+    std::vector<NodeSet> members;
+    bool ok = true;
+    for (NodeSet s = 1; s <= all && ok; ++s) {
+      if (!(f & (1u << s))) continue;
+      for (NodeSet m : members) {
+        if ((m & s) == 0) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) members.push_back(s);
+    }
+    if (!ok || members.empty()) continue;
+    out.push_back(AcceptanceSet::from_quorums(n, std::move(members)));
+  }
+  return out;
+}
+
+}  // namespace jupiter

@@ -1,0 +1,76 @@
+// Acceptance sets and quorum systems (paper §2.2, Definitions 1-2).
+//
+// An acceptance set A over nodes U is a monotone, intersecting family of
+// subsets: the sets of live nodes under which the service still operates.
+// We represent nodes as bit positions and the family by its antichain of
+// *minimal quorums* S(A); membership is then "S contains some minimal
+// quorum".  Intersection + monotonicity are exactly the conditions under
+// which a quorum-replicated service keeps its safety property while staying
+// live (Definition 1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace jupiter {
+
+/// A subset of up to 25 nodes as a bitmask.
+using NodeSet = std::uint32_t;
+
+inline int popcount(NodeSet s) { return __builtin_popcount(s); }
+
+class AcceptanceSet {
+ public:
+  AcceptanceSet() = default;
+
+  /// From an arbitrary generating family: minimizes it to an antichain.
+  /// Throws unless the result is non-empty and every quorum is non-empty.
+  static AcceptanceSet from_quorums(int n, std::vector<NodeSet> quorums);
+
+  /// Simple majority: quorums are all sets of more than n/2 nodes.
+  static AcceptanceSet majority(int n);
+
+  /// Threshold system: all sets of at least q nodes (q >= 1).  Matches the
+  /// lock service (q = floor(n/2)+1) and RS-Paxos (q = ceil((n+m)/2)).
+  static AcceptanceSet threshold(int n, int q);
+
+  /// Weighted voting: S is accepted iff its vote weight strictly exceeds
+  /// half the total weight.  Always intersecting and monotone.  Nodes with
+  /// weight 0 are dummies.  Throws if total weight is 0.
+  static AcceptanceSet weighted(std::span<const double> weights);
+
+  /// Monarchy: only sets containing `king` are accepted.
+  static AcceptanceSet monarchy(int n, int king);
+
+  int universe_size() const { return n_; }
+  const std::vector<NodeSet>& minimal_quorums() const { return minimal_; }
+
+  /// Membership test (Definition 1 family membership).
+  bool accepts(NodeSet live) const;
+
+  /// True iff every pair of minimal quorums intersects — Definition 1(1).
+  /// (Monotonicity holds by construction.)
+  bool is_intersecting() const;
+
+  /// Largest f such that every f-subset's failure leaves a quorum alive.
+  int max_tolerated_failures() const;
+
+  /// Human-readable, e.g. "{0,1,2} {0,3,4} ...".
+  std::string str() const;
+
+  friend bool operator==(const AcceptanceSet&, const AcceptanceSet&) = default;
+
+ private:
+  int n_ = 0;
+  std::vector<NodeSet> minimal_;  // sorted, antichain
+};
+
+/// Enumerates *every* acceptance set over n <= 5 nodes (monotone,
+/// intersecting, non-empty families excluding the empty set as a quorum).
+/// Exponential in 2^n — strictly a validation tool for the optimality
+/// theory; Dedekind growth makes n = 5 (7581 monotone families) the limit.
+std::vector<AcceptanceSet> enumerate_acceptance_sets(int n);
+
+}  // namespace jupiter

@@ -1,0 +1,129 @@
+#include "quorum/availability.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace jupiter {
+
+double availability(const AcceptanceSet& a, std::span<const double> fp) {
+  int n = a.universe_size();
+  if (static_cast<int>(fp.size()) != n) {
+    throw std::invalid_argument("fp size mismatch");
+  }
+  if (n > 22) throw std::invalid_argument("availability(): n too large");
+  NodeSet all = (1u << n) - 1;
+  double total = 0;
+  for (NodeSet live = 0; live <= all; ++live) {
+    if (!a.accepts(live)) continue;
+    double pr = 1.0;
+    for (int i = 0; i < n; ++i) {
+      double p = fp[static_cast<std::size_t>(i)];
+      pr *= (live & (1u << i)) ? (1.0 - p) : p;
+    }
+    total += pr;
+  }
+  return total;
+}
+
+double availability_tolerate(std::span<const double> fp, int tolerate) {
+  int n = static_cast<int>(fp.size());
+  if (tolerate < 0) return 0.0;
+  if (tolerate >= n) return 1.0;
+  // dp[k] = Pr(exactly k failures among the first processed nodes), with the
+  // tail beyond `tolerate` collapsed (we only need the lower mass).
+  std::vector<double> dp(static_cast<std::size_t>(tolerate) + 1, 0.0);
+  dp[0] = 1.0;
+  double overflow = 0.0;  // mass at > tolerate failures
+  for (int i = 0; i < n; ++i) {
+    double p = fp[static_cast<std::size_t>(i)];
+    overflow += dp[static_cast<std::size_t>(tolerate)] * p;
+    for (int k = tolerate; k >= 1; --k) {
+      dp[static_cast<std::size_t>(k)] =
+          dp[static_cast<std::size_t>(k)] * (1.0 - p) +
+          dp[static_cast<std::size_t>(k - 1)] * p;
+    }
+    dp[0] *= (1.0 - p);
+  }
+  (void)overflow;
+  double acc = 0;
+  for (double v : dp) acc += v;
+  return std::min(acc, 1.0);
+}
+
+double availability_equal(int n, int tolerate, double p) {
+  return binomial_cdf(n, tolerate, p);
+}
+
+double equal_fp_for_availability(int n, int tolerate, double target) {
+  if (tolerate >= n) return 1.0;
+  if (availability_equal(n, tolerate, 1.0) >= target) return 1.0;
+  if (availability_equal(n, tolerate, 0.0) < target) return 0.0;
+  // availability_equal is nonincreasing in p; we want the largest p with
+  // A(p) >= target, i.e. the root of A(p) - target (decreasing).
+  double p = bisect(
+      [&](double x) { return availability_equal(n, tolerate, x) - target; },
+      0.0, 1.0, /*increasing=*/false, 1e-14);
+  // bisect returns the upper end of the final bracket; step back inside the
+  // feasible region if rounding pushed us just past it.
+  while (p > 0 && availability_equal(n, tolerate, p) < target) {
+    p = std::nextafter(p, 0.0);
+  }
+  return p;
+}
+
+std::vector<double> optimal_vote_weights(std::span<const double> fp) {
+  std::vector<double> w(fp.size(), 0.0);
+  for (std::size_t i = 0; i < fp.size(); ++i) {
+    double p = fp[i];
+    if (p <= 0) {
+      // A perfectly reliable node dominates; give it an overwhelming but
+      // finite weight so downstream arithmetic stays finite.
+      w[i] = 1e6;
+    } else if (p < 0.5) {
+      w[i] = std::log2((1.0 - p) / p);
+    } else {
+      w[i] = 0.0;  // dummy (§4.1)
+    }
+  }
+  return w;
+}
+
+AcceptanceSet optimal_acceptance_set(std::span<const double> fp) {
+  int n = static_cast<int>(fp.size());
+  bool any_reliable = false;
+  for (double p : fp) {
+    if (p < 0.5) any_reliable = true;
+  }
+  if (!any_reliable) {
+    // All p_i >= 1/2: monarchy with one of the least unreliable nodes.
+    int king = 0;
+    for (int i = 1; i < n; ++i) {
+      if (fp[static_cast<std::size_t>(i)] < fp[static_cast<std::size_t>(king)]) {
+        king = i;
+      }
+    }
+    return AcceptanceSet::monarchy(n, king);
+  }
+  return AcceptanceSet::weighted(optimal_vote_weights(fp));
+}
+
+AcceptanceSet optimal_acceptance_set_exhaustive(std::span<const double> fp) {
+  int n = static_cast<int>(fp.size());
+  auto candidates = enumerate_acceptance_sets(n);
+  const AcceptanceSet* best = nullptr;
+  double best_avail = -1;
+  for (const auto& c : candidates) {
+    double a = availability(c, fp);
+    if (a > best_avail) {
+      best_avail = a;
+      best = &c;
+    }
+  }
+  if (!best) throw std::logic_error("no candidates");
+  return *best;
+}
+
+}  // namespace jupiter

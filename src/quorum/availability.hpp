@@ -1,0 +1,51 @@
+// Service availability of quorum systems (paper Eq. 1) and the
+// vote-assignment theory of §4.1 (Eq. 11, Amir & Wool / Tong & Kain /
+// Spasojevic & Berman).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "quorum/acceptance_set.hpp"
+
+namespace jupiter {
+
+/// Eq. 1: A_A = sum over accepted live-sets S of
+///        prod_{i in S} (1 - p_i) * prod_{j not in S} p_j.
+/// Exponential enumeration over 2^n; fine for the n <= ~20 of real Paxos
+/// groups.  `fp[i]` is node i's failure probability over the period.
+double availability(const AcceptanceSet& a, std::span<const double> fp);
+
+/// Availability of a tolerate-f threshold system with heterogeneous node
+/// failure probabilities: Pr(at most f of the nodes are down), via the
+/// Poisson-binomial DP (O(n^2), no 2^n blowup).
+double availability_tolerate(std::span<const double> fp, int tolerate);
+
+/// Availability of an n-node tolerate-f system with *equal* failure
+/// probability p: Pr(Binomial(n, p) <= f).
+double availability_equal(int n, int tolerate, double p);
+
+/// Inverse of availability_equal in p: the largest per-node failure
+/// probability at which an n-node tolerate-f system still meets `target`
+/// availability.  This is node_failure_pr() of the bidding algorithm
+/// (Fig. 3 line 4).  Returns 0 if even p = 0 misses the target (impossible
+/// for target <= 1) and caps at 1.
+double equal_fp_for_availability(int n, int tolerate, double target);
+
+/// Eq. 11 optimal vote weights for 0 < p_i < 1/2: w_i = log2((1-p_i)/p_i).
+/// Per the theory quoted in §4.1: nodes with p_i >= 1/2 get weight 0
+/// (dummies); if all p_i >= 1/2 the optimal system is a monarchy, handled
+/// by optimal_acceptance_set().
+std::vector<double> optimal_vote_weights(std::span<const double> fp);
+
+/// The optimal-availability acceptance set (Definition 2) per the weighted
+/// voting theory: monarchy of the most reliable node when every p_i >= 1/2,
+/// otherwise weighted majority with Eq. 11 weights (dummies for p_i >= 1/2).
+/// For n <= 5 this matches exhaustive search up to ties (tested).
+AcceptanceSet optimal_acceptance_set(std::span<const double> fp);
+
+/// Exhaustive optimum over every acceptance set (n <= 5 only): the true
+/// Definition-2 object, used to validate the weighted-voting shortcut.
+AcceptanceSet optimal_acceptance_set_exhaustive(std::span<const double> fp);
+
+}  // namespace jupiter

@@ -1,0 +1,229 @@
+#include "replay/replay_engine.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "cloud/region.hpp"
+#include "core/market_state.hpp"
+#include "market/billing.hpp"
+
+namespace jupiter {
+
+namespace {
+
+struct Holding {
+  int zone = -1;
+  PriceTick bid;
+  bool spot = true;
+  SimTime launch;
+  SimTime ready;                 // end of startup
+  std::optional<SimTime> oob;    // out-of-bid instant, if ever
+  bool never_ran = false;        // price already above bid at request time
+
+  bool alive_at(SimTime t) const {
+    if (never_ran) return false;
+    return !oob || *oob > t;
+  }
+};
+
+TimeDelta draw_startup(Rng& rng, int zone) {
+  int region = all_zones().at(static_cast<std::size_t>(zone)).region;
+  double mean = region_startup_mean_seconds(region);
+  auto secs = static_cast<TimeDelta>(mean * rng.uniform(0.8, 1.2));
+  return std::clamp<TimeDelta>(secs, 200, 700);
+}
+
+/// Downtime within [t0, t1) given each member's up-interval [up_from,
+/// up_to) and the quorum size.
+TimeDelta quorum_downtime(const std::vector<std::pair<SimTime, SimTime>>& ups,
+                          SimTime t0, SimTime t1, int quorum) {
+  std::vector<SimTime> edges{t0, t1};
+  for (const auto& [a, b] : ups) {
+    if (a > t0 && a < t1) edges.push_back(a);
+    if (b > t0 && b < t1) edges.push_back(b);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  TimeDelta down = 0;
+  for (std::size_t i = 0; i + 1 < edges.size(); ++i) {
+    SimTime a = edges[i], b = edges[i + 1];
+    int up = 0;
+    for (const auto& [ua, ub] : ups) {
+      if (ua <= a && ub >= b) ++up;
+    }
+    if (up < quorum) down += b - a;
+  }
+  return down;
+}
+
+}  // namespace
+
+ReplayResult replay_strategy(const TraceBook& book, BiddingStrategy& strategy,
+                             const ReplayConfig& cfg) {
+  ReplayResult result;
+  Rng rng(cfg.seed);
+  std::vector<Holding> holdings;
+  double node_sum = 0;
+
+  const InstanceKind kind = cfg.spec.kind;
+  result.elapsed = cfg.replay_end - cfg.replay_start;
+
+  for (SimTime t = cfg.replay_start; t < cfg.replay_end;) {
+    TimeDelta interval =
+        cfg.interval_policy ? cfg.interval_policy(t) : cfg.interval;
+    if (interval < kHour) interval = kHour;  // EC2 bills hourly (§3.2)
+    SimTime t_end = std::min(t + interval, cfg.replay_end);
+    ++result.decisions;
+    bool first_interval = (t == cfg.replay_start);
+
+    // Replacements are decided and launched a lead time before the
+    // boundary (paper §4: "the new spot instances are launched before the
+    // next bidding interval starts"), so a worst-case 700 s startup still
+    // finishes by the boundary and replacement causes no quorum dip.
+    SimTime decide_at = first_interval ? t : t - kMaxStartupLead;
+    MarketSnapshot snapshot = snapshot_at(book, kind, cfg.zones, decide_at);
+    std::vector<ZoneBid> held;
+    for (const Holding& h : holdings) {
+      if (h.spot && h.alive_at(decide_at)) held.push_back(ZoneBid{h.zone, h.bid});
+    }
+    StrategyDecision decision = strategy.decide(snapshot, decide_at, held);
+    node_sum += decision.total_nodes();
+
+    IntervalRecord rec;
+    rec.start = t;
+    rec.length = t_end - t;
+    rec.nodes = decision.total_nodes();
+    int launches_before = result.instances_launched;
+    int oob_before = result.out_of_bid_events;
+    TimeDelta downtime_before = result.downtime;
+
+    // ---- reconcile holdings against the decision ----
+    std::vector<Holding> next;
+    std::vector<char> matched_spot(decision.spot_bids.size(), 0);
+    std::vector<char> matched_od(decision.on_demand_zones.size(), 0);
+    for (const Holding& h : holdings) {
+      bool keep = false;
+      if (h.alive_at(decide_at)) {
+        if (h.spot) {
+          for (std::size_t i = 0; i < decision.spot_bids.size(); ++i) {
+            const auto& b = decision.spot_bids[i];
+            if (!matched_spot[i] && b.zone == h.zone && b.bid == h.bid) {
+              matched_spot[i] = 1;
+              keep = true;
+              break;
+            }
+          }
+        } else {
+          for (std::size_t i = 0; i < decision.on_demand_zones.size(); ++i) {
+            if (!matched_od[i] && decision.on_demand_zones[i] == h.zone) {
+              matched_od[i] = 1;
+              keep = true;
+              break;
+            }
+          }
+        }
+      }
+      if (keep) {
+        next.push_back(h);
+        continue;
+      }
+      // Terminate (or account the earlier out-of-bid death of) the holding.
+      if (h.spot) {
+        if (!h.never_ran) {
+          SpotBill bill = bill_spot_instance(book.trace(h.zone, kind),
+                                             h.launch, t, h.bid);
+          result.cost += bill.charge;
+        }
+      } else {
+        result.cost += bill_on_demand(on_demand_price_zone(h.zone, kind),
+                                      h.launch, t);
+      }
+    }
+    holdings = std::move(next);
+
+    // ---- launch new instances (at decide_at, i.e. pre-boundary) ----
+    for (std::size_t i = 0; i < decision.spot_bids.size(); ++i) {
+      if (matched_spot[i]) continue;
+      const auto& b = decision.spot_bids[i];
+      const SpotTrace& trace = book.trace(b.zone, kind);
+      Holding h;
+      h.zone = b.zone;
+      h.bid = b.bid;
+      h.spot = true;
+      h.launch = decide_at;
+      // The very first interval is assumed already bootstrapped (the
+      // framework had been running before the measured window opens).
+      TimeDelta startup = (cfg.account_startup && !first_interval)
+                              ? draw_startup(rng, b.zone)
+                              : 0;
+      h.ready = decide_at + startup;
+      ++result.instances_launched;
+      if (trace.price_at(decide_at) > b.bid) {
+        h.never_ran = true;
+      } else {
+        h.oob = trace.first_exceed(decide_at, b.bid);
+      }
+      holdings.push_back(h);
+    }
+    for (std::size_t i = 0; i < decision.on_demand_zones.size(); ++i) {
+      if (matched_od[i]) continue;
+      Holding h;
+      h.zone = decision.on_demand_zones[i];
+      h.spot = false;
+      h.launch = decide_at;
+      TimeDelta startup = (cfg.account_startup && !first_interval)
+                              ? draw_startup(rng, h.zone)
+                              : 0;
+      h.ready = decide_at + startup;
+      ++result.instances_launched;
+      holdings.push_back(h);
+    }
+
+    // ---- availability accounting over [t, t_end) ----
+    int intended = decision.total_nodes();
+    if (intended > 0) {
+      int quorum = cfg.spec.quorum(intended);
+      std::vector<std::pair<SimTime, SimTime>> ups;
+      for (const Holding& h : holdings) {
+        if (h.never_ran) continue;
+        SimTime from = std::max(t, h.ready);
+        SimTime to = t_end;
+        if (h.spot && h.oob && *h.oob < to) {
+          to = *h.oob;
+          if (*h.oob >= t && *h.oob < t_end) ++result.out_of_bid_events;
+        }
+        if (from < to) ups.emplace_back(from, to);
+      }
+      result.downtime += quorum_downtime(ups, t, t_end, quorum);
+    } else {
+      result.downtime += t_end - t;
+    }
+
+    rec.launches = result.instances_launched - launches_before;
+    rec.out_of_bid = result.out_of_bid_events - oob_before;
+    rec.downtime = result.downtime - downtime_before;
+    result.timeline.push_back(rec);
+
+    t = t_end;
+  }
+
+  // ---- final settlement at replay end (user termination) ----
+  for (const Holding& h : holdings) {
+    if (h.spot) {
+      if (!h.never_ran) {
+        result.cost += bill_spot_instance(book.trace(h.zone, kind), h.launch,
+                                          cfg.replay_end, h.bid)
+                           .charge;
+      }
+    } else {
+      result.cost += bill_on_demand(on_demand_price_zone(h.zone, kind),
+                                    h.launch, cfg.replay_end);
+    }
+  }
+
+  result.mean_nodes =
+      result.decisions ? node_sum / result.decisions : 0.0;
+  return result;
+}
+
+}  // namespace jupiter

@@ -1,0 +1,161 @@
+#include "replay/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <set>
+
+#include "util/csv.hpp"
+
+namespace jupiter {
+
+namespace {
+std::vector<std::string> strategy_order(const std::vector<SweepCell>& cells) {
+  std::vector<std::string> names;
+  for (const auto& c : cells) {
+    if (std::find(names.begin(), names.end(), c.strategy) == names.end()) {
+      names.push_back(c.strategy);
+    }
+  }
+  return names;
+}
+
+std::vector<TimeDelta> interval_order(const std::vector<SweepCell>& cells) {
+  std::set<TimeDelta> s;
+  for (const auto& c : cells) s.insert(c.interval);
+  return {s.begin(), s.end()};
+}
+
+const ReplayResult* find_cell(const std::vector<SweepCell>& cells,
+                              const std::string& strategy,
+                              TimeDelta interval) {
+  for (const auto& c : cells) {
+    if (c.strategy == strategy && c.interval == interval) return &c.result;
+  }
+  return nullptr;
+}
+}  // namespace
+
+std::string percent(double frac, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, frac * 100.0);
+  return buf;
+}
+
+void print_cost_sweep(std::ostream& os, const std::string& title,
+                      const std::vector<SweepCell>& cells, Money baseline) {
+  os << title << "\n";
+  auto names = strategy_order(cells);
+  os << "  interval";
+  for (const auto& n : names) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%16s", n.c_str());
+    os << buf;
+  }
+  os << "\n";
+  for (TimeDelta iv : interval_order(cells)) {
+    char head[32];
+    std::snprintf(head, sizeof(head), "  %5lldh  ",
+                  static_cast<long long>(iv / kHour));
+    os << head;
+    for (const auto& n : names) {
+      const ReplayResult* r = find_cell(cells, n, iv);
+      char buf[32];
+      if (r) {
+        std::snprintf(buf, sizeof(buf), "%16s", r->cost.str().c_str());
+      } else {
+        std::snprintf(buf, sizeof(buf), "%16s", "-");
+      }
+      os << buf;
+    }
+    os << "\n";
+  }
+  os << "  baseline (on-demand): " << baseline.str() << "\n";
+}
+
+void print_availability_sweep(std::ostream& os, const std::string& title,
+                              const std::vector<SweepCell>& cells) {
+  os << title << "\n";
+  auto names = strategy_order(cells);
+  os << "  interval";
+  for (const auto& n : names) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%16s", n.c_str());
+    os << buf;
+  }
+  os << "\n";
+  for (TimeDelta iv : interval_order(cells)) {
+    char head[32];
+    std::snprintf(head, sizeof(head), "  %5lldh  ",
+                  static_cast<long long>(iv / kHour));
+    os << head;
+    for (const auto& n : names) {
+      const ReplayResult* r = find_cell(cells, n, iv);
+      char buf[32];
+      if (r) {
+        std::snprintf(buf, sizeof(buf), "%16.6f", r->availability());
+      } else {
+        std::snprintf(buf, sizeof(buf), "%16s", "-");
+      }
+      os << buf;
+    }
+    os << "\n";
+  }
+  os << "  baseline (on-demand) availability: 1.000000 by construction\n";
+}
+
+void print_feasibility(std::ostream& os,
+                       const std::vector<FeasibilityBar>& bars) {
+  os << "service              strategy          cost       availability\n";
+  for (const auto& b : bars) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%-20s %-14s %12s   %10.6f\n",
+                  b.service.c_str(), b.strategy.c_str(), b.cost.str().c_str(),
+                  b.availability);
+    os << buf;
+  }
+}
+
+void sweep_to_csv(std::ostream& os, const std::vector<SweepCell>& cells) {
+  CsvWriter w(os);
+  w.field("strategy")
+      .field("interval_hours")
+      .field("cost_dollars")
+      .field("availability")
+      .field("downtime_seconds")
+      .field("out_of_bid_events")
+      .field("mean_nodes");
+  w.end_row();
+  for (const auto& c : cells) {
+    w.field(c.strategy)
+        .field(static_cast<std::int64_t>(c.interval / kHour))
+        .field(c.result.cost.dollars())
+        .field(c.result.availability())
+        .field(static_cast<std::int64_t>(c.result.downtime))
+        .field(static_cast<std::int64_t>(c.result.out_of_bid_events))
+        .field(c.result.mean_nodes);
+    w.end_row();
+  }
+}
+
+void timeline_to_csv(std::ostream& os, const ReplayResult& result) {
+  CsvWriter w(os);
+  w.field("start_seconds")
+      .field("length_seconds")
+      .field("nodes")
+      .field("launches")
+      .field("out_of_bid")
+      .field("downtime_seconds");
+  w.end_row();
+  for (const auto& rec : result.timeline) {
+    w.field(rec.start.seconds())
+        .field(static_cast<std::int64_t>(rec.length))
+        .field(static_cast<std::int64_t>(rec.nodes))
+        .field(static_cast<std::int64_t>(rec.launches))
+        .field(static_cast<std::int64_t>(rec.out_of_bid))
+        .field(static_cast<std::int64_t>(rec.downtime));
+    w.end_row();
+  }
+}
+
+}  // namespace jupiter

@@ -1,0 +1,49 @@
+// Report printers: render experiment results in the same rows/series the
+// paper's tables and figures use, plus CSV emission for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "replay/replay_engine.hpp"
+#include "util/money.hpp"
+
+namespace jupiter {
+
+/// One (strategy, interval) cell of the Fig. 6-9 sweeps.
+struct SweepCell {
+  std::string strategy;
+  TimeDelta interval = kHour;
+  ReplayResult result;
+};
+
+/// Prints the cost series (Fig. 6/8 shape): one row per interval, one
+/// column per strategy, plus the baseline line.
+void print_cost_sweep(std::ostream& os, const std::string& title,
+                      const std::vector<SweepCell>& cells, Money baseline);
+
+/// Prints the availability series (Fig. 7/9 shape).
+void print_availability_sweep(std::ostream& os, const std::string& title,
+                              const std::vector<SweepCell>& cells);
+
+/// Fig. 5 shape: total cost per (service, strategy) bar.
+struct FeasibilityBar {
+  std::string service;
+  std::string strategy;
+  Money cost;
+  double availability = 1.0;
+};
+void print_feasibility(std::ostream& os,
+                       const std::vector<FeasibilityBar>& bars);
+
+/// CSV dump of a sweep for plotting.
+void sweep_to_csv(std::ostream& os, const std::vector<SweepCell>& cells);
+
+/// CSV dump of a single replay's per-interval timeline.
+void timeline_to_csv(std::ostream& os, const ReplayResult& result);
+
+/// Fixed-point percentage, e.g. "81.23%".
+std::string percent(double frac, int decimals = 2);
+
+}  // namespace jupiter

@@ -1,0 +1,16 @@
+#include "replay/sla.hpp"
+
+namespace jupiter {
+
+Money sla_credit(const ReplayResult& result, const SlaPolicy& policy) {
+  if (result.availability() >= policy.availability_floor) return Money(0);
+  // Credit a fixed fraction of the period's charges, like EC2's schedule.
+  return Money(static_cast<std::int64_t>(
+      static_cast<double>(result.cost.micros()) * policy.credit_fraction));
+}
+
+Money net_cost(const ReplayResult& result, const SlaPolicy& policy) {
+  return result.cost - sla_credit(result, policy);
+}
+
+}  // namespace jupiter

@@ -1,0 +1,25 @@
+// SLA accounting (paper footnote 1): "the availability of an on-demand
+// instance will be no less than 99% or otherwise users will have 30% fee as
+// the compensation."  The same credit schedule applied to a replayed spot
+// deployment answers the operator's question "what would this downtime have
+// cost me in credits if it were an SLA-backed service?"
+#pragma once
+
+#include "replay/replay_engine.hpp"
+#include "util/money.hpp"
+
+namespace jupiter {
+
+struct SlaPolicy {
+  double availability_floor = 0.99;  ///< EC2's 2014 SLA bar
+  double credit_fraction = 0.30;     ///< fee credited when below the floor
+};
+
+/// Credit owed for a replay under the policy: credit_fraction of the cost
+/// when availability fell below the floor, zero otherwise.
+Money sla_credit(const ReplayResult& result, const SlaPolicy& policy = {});
+
+/// Cost net of SLA credits — what a credit-backed bill would total.
+Money net_cost(const ReplayResult& result, const SlaPolicy& policy = {});
+
+}  // namespace jupiter

@@ -1,0 +1,58 @@
+#include "replay/sweep.hpp"
+
+#include "util/thread_pool.hpp"
+
+namespace jupiter {
+
+std::vector<SweepCell> run_sweep(const Scenario& sc, const ServiceSpec& spec,
+                                 const SweepOptions& opts) {
+  struct Job {
+    std::string strategy;  // "Jupiter" or Extra token
+    int extra_nodes = 0;
+    double extra_portion = 0;
+    bool jupiter = false;
+    TimeDelta interval = kHour;
+  };
+  std::vector<Job> jobs;
+  if (opts.include_jupiter) {
+    for (TimeDelta iv : opts.intervals) {
+      jobs.push_back(Job{"Jupiter", 0, 0, true, iv});
+    }
+  }
+  for (const auto& [m, p] : opts.extras) {
+    ExtraStrategy tmp(spec, m, p);
+    for (TimeDelta iv : opts.intervals) {
+      jobs.push_back(Job{tmp.name(), m, p, false, iv});
+    }
+  }
+
+  std::vector<SweepCell> cells(jobs.size());
+  parallel_for(global_pool(), jobs.size(), [&](std::size_t i) {
+    const Job& job = jobs[i];
+    ReplayConfig cfg = make_replay_config(sc, spec, job.interval);
+    ReplayResult result;
+    if (job.jupiter) {
+      OnlineBidder::Options bopts;
+      bopts.horizon_minutes = static_cast<int>(job.interval / kMinute);
+      bopts.max_nodes = opts.bidder_max_nodes;
+      JupiterStrategy strat(sc.book, spec, sc.history_start, bopts);
+      result = replay_strategy(sc.book, strat, cfg);
+    } else {
+      ExtraStrategy strat(spec, job.extra_nodes, job.extra_portion);
+      result = replay_strategy(sc.book, strat, cfg);
+    }
+    cells[i] = SweepCell{job.strategy, job.interval, result};
+  });
+  return cells;
+}
+
+const SweepCell* best_jupiter_cell(const std::vector<SweepCell>& cells) {
+  const SweepCell* best = nullptr;
+  for (const auto& c : cells) {
+    if (c.strategy != "Jupiter") continue;
+    if (!best || c.result.cost < best->result.cost) best = &c;
+  }
+  return best;
+}
+
+}  // namespace jupiter

@@ -1,0 +1,30 @@
+// The Fig. 6-9 sweep runner: {Jupiter, Extra(0,0.2), Extra(2,0.2)} x
+// {bidding intervals} over one scenario, parallelized across a thread pool
+// (every cell replays independently with its own strategy instance and RNG
+// streams, so the fan-out is deterministic).
+#pragma once
+
+#include <vector>
+
+#include "replay/report.hpp"
+#include "replay/workloads.hpp"
+
+namespace jupiter {
+
+struct SweepOptions {
+  std::vector<TimeDelta> intervals = {1 * kHour, 3 * kHour, 6 * kHour,
+                                      9 * kHour, 12 * kHour};
+  bool include_jupiter = true;
+  std::vector<std::pair<int, double>> extras = {{0, 0.2}, {2, 0.2}};
+  int bidder_max_nodes = 9;
+};
+
+/// Runs the full sweep; cells come back ordered (strategy-major, interval
+/// ascending).
+std::vector<SweepCell> run_sweep(const Scenario& sc, const ServiceSpec& spec,
+                                 const SweepOptions& opts = {});
+
+/// The Jupiter cell with the lowest cost (the paper's headline best case).
+const SweepCell* best_jupiter_cell(const std::vector<SweepCell>& cells);
+
+}  // namespace jupiter

@@ -1,0 +1,35 @@
+#include "replay/workloads.hpp"
+
+#include "cloud/region.hpp"
+
+namespace jupiter {
+
+Scenario make_scenario(InstanceKind kind, int train_weeks, int replay_weeks,
+                       std::uint64_t seed) {
+  Scenario sc;
+  sc.zones = experiment_zone_indices();
+  sc.history_start = SimTime::zero();
+  sc.replay_start = SimTime(train_weeks * kWeek);
+  sc.replay_end = SimTime((train_weeks + replay_weeks) * kWeek);
+  sc.book = TraceBook::synthetic(sc.zones, kind, sc.history_start,
+                                 sc.replay_end, seed);
+  return sc;
+}
+
+ReplayConfig make_replay_config(const Scenario& sc, const ServiceSpec& spec,
+                                TimeDelta interval) {
+  ReplayConfig cfg;
+  cfg.spec = spec;
+  cfg.interval = interval;
+  cfg.replay_start = sc.replay_start;
+  cfg.replay_end = sc.replay_end;
+  cfg.zones = sc.zones;
+  return cfg;
+}
+
+Money baseline_cost(const ServiceSpec& spec, TimeDelta window) {
+  std::int64_t hours = (window + kHour - 1) / kHour;
+  return cheapest_on_demand_price(spec.kind) * hours * spec.baseline_nodes;
+}
+
+}  // namespace jupiter

@@ -1,0 +1,39 @@
+// Canned experiment scenarios matching the paper's evaluation setup:
+// per-zone synthetic traces over a training prefix plus a replay window.
+#pragma once
+
+#include <cstdint>
+
+#include "cloud/trace_book.hpp"
+#include "core/service_spec.hpp"
+#include "replay/replay_engine.hpp"
+
+namespace jupiter {
+
+/// The seed every headline experiment uses; fixing it makes EXPERIMENTS.md
+/// reproducible to the cent.
+inline constexpr std::uint64_t kExperimentSeed = 20150615;  // HPDC'15 opens
+
+struct Scenario {
+  TraceBook book;
+  std::vector<int> zones;   // the 17 experiment zones
+  SimTime history_start;    // trace begin (training data from here)
+  SimTime replay_start;     // end of training, start of evaluation
+  SimTime replay_end;
+};
+
+/// Builds a scenario for one instance type: `train_weeks` of training data
+/// followed by `replay_weeks` of evaluation data (the paper trains on ~3
+/// months and replays 11 weeks; the feasibility run replays 1 week).
+Scenario make_scenario(InstanceKind kind, int train_weeks, int replay_weeks,
+                       std::uint64_t seed = kExperimentSeed);
+
+/// ReplayConfig preset for a scenario.
+ReplayConfig make_replay_config(const Scenario& sc, const ServiceSpec& spec,
+                                TimeDelta interval);
+
+/// Cost of the paper's on-demand baseline over a window: baseline_nodes
+/// instances in the cheapest zones, every started hour charged.
+Money baseline_cost(const ServiceSpec& spec, TimeDelta window);
+
+}  // namespace jupiter

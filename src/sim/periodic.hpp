@@ -1,0 +1,51 @@
+// Helper for periodic activities (billing ticks, bidding intervals,
+// heartbeats).  Owns its rescheduling; cancelling stops the chain.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "sim/simulator.hpp"
+
+namespace jupiter {
+
+class PeriodicTask {
+ public:
+  /// Fires `cb` every `period` seconds starting at `first_at`.
+  /// The callback receives the firing time.
+  PeriodicTask(Simulator& sim, SimTime first_at, TimeDelta period,
+               std::function<void(SimTime)> cb)
+      : sim_(sim), period_(period), cb_(std::move(cb)) {
+    handle_ = sim_.schedule_at(first_at, [this] { fire(); });
+  }
+
+  ~PeriodicTask() { stop(); }
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void stop() {
+    if (!stopped_) {
+      sim_.cancel(handle_);
+      stopped_ = true;
+    }
+  }
+
+  bool stopped() const { return stopped_; }
+
+ private:
+  void fire() {
+    if (stopped_) return;
+    SimTime at = sim_.now();
+    handle_ = sim_.schedule_after(period_, [this] { fire(); });
+    cb_(at);
+  }
+
+  Simulator& sim_;
+  TimeDelta period_;
+  std::function<void(SimTime)> cb_;
+  EventHandle handle_;
+  bool stopped_ = false;
+};
+
+}  // namespace jupiter

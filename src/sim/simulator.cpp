@@ -1,0 +1,56 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace jupiter {
+
+EventHandle Simulator::schedule_at(SimTime at, Callback cb) {
+  if (at < now_) throw std::invalid_argument("schedule_at in the past");
+  std::uint64_t id = next_id_++;
+  queue_.push(Event{at, next_seq_++, id, std::move(cb)});
+  live_ids_.insert(id);
+  return EventHandle(id);
+}
+
+bool Simulator::cancel(EventHandle h) {
+  if (!h.valid()) return false;
+  // An event is cancellable iff it is still pending; the id leaves the live
+  // set the moment it fires.  The heap entry itself is removed lazily when
+  // it surfaces (priority_queue has no random erase).
+  if (live_ids_.erase(h.id_) == 0) return false;
+  cancelled_.insert(h.id_);
+  return true;
+}
+
+void Simulator::dispatch(Event& ev) {
+  now_ = ev.at;
+  live_ids_.erase(ev.id);
+  ++dispatched_;
+  Callback cb = std::move(ev.cb);
+  cb();
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (cancelled_.erase(ev.id) > 0) continue;
+    dispatch(ev);
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run_until(SimTime until) {
+  while (!queue_.empty()) {
+    if (queue_.top().at > until) break;
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (cancelled_.erase(ev.id) > 0) continue;
+    dispatch(ev);
+  }
+  if (until > now_) now_ = until;
+}
+
+}  // namespace jupiter

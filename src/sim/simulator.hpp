@@ -1,0 +1,86 @@
+// Deterministic discrete-event simulator.
+//
+// All dynamic behaviour in the library — spot price changes, instance
+// startup, billing ticks, Paxos message delivery, bidding-interval timers —
+// runs as events on this single-threaded engine.  Ties on the timestamp are
+// broken by insertion order (a monotone sequence number), which makes every
+// run bit-reproducible given the same seeds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace jupiter {
+
+/// Handle for cancelling a scheduled event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  bool valid() const { return id_ != 0; }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `at` (must be >= now()).
+  EventHandle schedule_at(SimTime at, Callback cb);
+
+  /// Schedules `cb` after `delay` seconds.
+  EventHandle schedule_after(TimeDelta delay, Callback cb) {
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Cancels a pending event; returns true if it had not yet fired.
+  bool cancel(EventHandle h);
+
+  /// Runs events until the queue is empty or the clock would pass `until`.
+  /// Events exactly at `until` are executed.  The clock is left at `until`
+  /// (or at the last event time if the queue drains first and that is
+  /// later... it never is; we clamp to `until`).
+  void run_until(SimTime until);
+
+  /// Runs a single event if one is pending; returns false if queue is empty.
+  bool step();
+
+  std::size_t pending_events() const { return live_ids_.size(); }
+  std::uint64_t dispatched_events() const { return dispatched_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;  // FIFO tie-break
+    std::uint64_t id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void dispatch(Event& ev);
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::unordered_set<std::uint64_t> live_ids_;
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t dispatched_ = 0;
+};
+
+}  // namespace jupiter

@@ -1,0 +1,95 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <istream>
+#include <ostream>
+
+namespace jupiter {
+
+namespace {
+bool needs_quoting(std::string_view s) {
+  return s.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+}  // namespace
+
+CsvWriter& CsvWriter::field(std::string_view s) {
+  if (row_started_) os_ << ',';
+  row_started_ = true;
+  if (needs_quoting(s)) {
+    os_ << '"';
+    for (char c : s) {
+      if (c == '"') os_ << '"';
+      os_ << c;
+    }
+    os_ << '"';
+  } else {
+    os_ << s;
+  }
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(std::int64_t v) {
+  if (row_started_) os_ << ',';
+  row_started_ = true;
+  os_ << v;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return field(std::string_view(buf));
+}
+
+void CsvWriter::end_row() {
+  os_ << '\n';
+  row_started_ = false;
+}
+
+bool read_csv_row(std::istream& is, std::vector<std::string>& out) {
+  out.clear();
+  std::string field;
+  bool in_quotes = false;
+  bool any = false;
+  int c;
+  while ((c = is.get()) != EOF) {
+    any = true;
+    char ch = static_cast<char>(c);
+    if (in_quotes) {
+      if (ch == '"') {
+        if (is.peek() == '"') {
+          field.push_back('"');
+          is.get();
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(ch);
+      }
+    } else if (ch == '"') {
+      in_quotes = true;
+    } else if (ch == ',') {
+      out.push_back(std::move(field));
+      field.clear();
+    } else if (ch == '\n') {
+      break;
+    } else if (ch == '\r') {
+      if (is.peek() == '\n') is.get();
+      break;
+    } else {
+      field.push_back(ch);
+    }
+  }
+  if (!any) return false;
+  out.push_back(std::move(field));
+  return true;
+}
+
+std::vector<std::vector<std::string>> read_csv(std::istream& is) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  while (read_csv_row(is, row)) rows.push_back(row);
+  return rows;
+}
+
+}  // namespace jupiter

@@ -1,0 +1,34 @@
+// Minimal CSV reading/writing for spot-price traces and experiment results.
+// Supports quoted fields with embedded commas/quotes/newlines — enough to
+// round-trip everything the library emits; not a general RFC-4180 validator.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jupiter {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  CsvWriter& field(std::string_view s);
+  CsvWriter& field(std::int64_t v);
+  CsvWriter& field(double v);
+  void end_row();
+
+ private:
+  std::ostream& os_;
+  bool row_started_ = false;
+};
+
+/// Parses one CSV record (handles quoted fields).  Returns false at EOF with
+/// no data.  A record may span multiple physical lines when quoted.
+bool read_csv_row(std::istream& is, std::vector<std::string>& out);
+
+/// Reads a whole stream into rows.
+std::vector<std::vector<std::string>> read_csv(std::istream& is);
+
+}  // namespace jupiter

@@ -1,0 +1,40 @@
+// Leveled logging with a process-wide threshold.  Default threshold is
+// WARNING so tests and benchmarks stay quiet; examples raise it to INFO to
+// narrate what the framework is doing.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace jupiter {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line (thread-safe) if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, ss_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream ss_;
+};
+}  // namespace detail
+
+#define JLOG(level) \
+  ::jupiter::detail::LogStream(::jupiter::LogLevel::level)
+
+}  // namespace jupiter

@@ -1,0 +1,30 @@
+#include "util/money.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+namespace jupiter {
+
+std::string Money::str() const {
+  std::int64_t abs = micros_ < 0 ? -micros_ : micros_;
+  std::int64_t whole = abs / 1'000'000;
+  // 4 decimal places: round the micro remainder to units of $0.0001.
+  std::int64_t frac = (abs % 1'000'000 + 50) / 100;
+  if (frac == 10'000) {  // carried over by rounding
+    ++whole;
+    frac = 0;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%s$%" PRId64 ".%04" PRId64,
+                micros_ < 0 ? "-" : "", whole, frac);
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, Money m) { return os << m.str(); }
+
+std::ostream& operator<<(std::ostream& os, PriceTick t) {
+  return os << t.money().str();
+}
+
+}  // namespace jupiter

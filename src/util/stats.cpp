@@ -1,0 +1,78 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace jupiter {
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  double delta = o.mean_ - mean_;
+  std::size_t n = n_ + o.n_;
+  m2_ += o.m2_ + delta * delta * static_cast<double>(n_) *
+                     static_cast<double>(o.n_) / static_cast<double>(n);
+  mean_ += delta * static_cast<double>(o.n_) / static_cast<double>(n);
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+  n_ = n;
+}
+
+double percentile(std::vector<double> xs, double q) {
+  if (xs.empty()) throw std::invalid_argument("percentile of empty sample");
+  std::sort(xs.begin(), xs.end());
+  if (q <= 0) return xs.front();
+  if (q >= 1) return xs.back();
+  double pos = q * static_cast<double>(xs.size() - 1);
+  auto i = static_cast<std::size_t>(pos);
+  double frac = pos - static_cast<double>(i);
+  if (i + 1 >= xs.size()) return xs.back();
+  return xs[i] * (1.0 - frac) + xs[i + 1] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0 || !(hi > lo)) throw std::invalid_argument("bad histogram");
+}
+
+void Histogram::add(double x) {
+  double t = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::int64_t>(t * static_cast<double>(counts_.size()));
+  idx = std::clamp<std::int64_t>(idx, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bin_low(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double binomial(int n, int k) {
+  if (k < 0 || k > n) return 0.0;
+  k = std::min(k, n - k);
+  double r = 1.0;
+  for (int i = 1; i <= k; ++i) {
+    r = r * static_cast<double>(n - k + i) / static_cast<double>(i);
+  }
+  return r;
+}
+
+double binomial_cdf(int n, int k, double p) {
+  if (k < 0) return 0.0;
+  if (k >= n) return 1.0;
+  double q = 1.0 - p;
+  double acc = 0.0;
+  for (int i = 0; i <= k; ++i) {
+    acc += binomial(n, i) * std::pow(p, i) * std::pow(q, n - i);
+  }
+  return std::min(acc, 1.0);
+}
+
+}  // namespace jupiter

@@ -1,0 +1,98 @@
+// Small statistics toolkit used by the failure model, trace calibration and
+// experiment reports: online moments (Welford), percentiles, histograms and
+// a few combinatorial helpers shared by the quorum-availability math.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace jupiter {
+
+/// Online mean/variance accumulator (Welford).  Numerically stable even for
+/// the ~7M per-second availability samples of an 11-week replay.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+  /// Pools another accumulator into this one (Chan et al. parallel merge).
+  void merge(const RunningStats& o);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Percentile with linear interpolation; q in [0, 1].  Sorts a copy.
+double percentile(std::vector<double> xs, double q);
+
+/// Fixed-width histogram over [lo, hi); values outside clamp to edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_low(std::size_t i) const;
+  double bin_high(std::size_t i) const { return bin_low(i + 1); }
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Exact binomial coefficient as double (n up to ~60 stays exact in the
+/// 53-bit mantissa for the n<=25 quorum sizes we use).
+double binomial(int n, int k);
+
+/// P[Binomial(n, p) <= k] — the availability of an (n, tolerate-k) quorum
+/// system with i.i.d. node failure probability p (paper §3 example).
+double binomial_cdf(int n, int k, double p);
+
+/// Finds x in [lo, hi] with f(x) ~= 0 for monotone f, by bisection.
+/// `increasing` says whether f is nondecreasing.  Tolerance is on x.
+template <typename F>
+double bisect(F&& f, double lo, double hi, bool increasing,
+              double tol = 1e-12, int max_iter = 200) {
+  double flo = f(lo);
+  // Root at or below the bracket edge.
+  if ((increasing && flo >= 0) || (!increasing && flo <= 0)) return lo;
+  for (int i = 0; i < max_iter && hi - lo > tol; ++i) {
+    double mid = 0.5 * (lo + hi);
+    double fm = f(mid);
+    bool mid_high = increasing ? (fm >= 0) : (fm <= 0);
+    if (mid_high) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace jupiter

@@ -1,0 +1,96 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace jupiter {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lk(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_work_.notify_one();
+}
+
+bool ThreadPool::run_one() {
+  std::function<void()> task;
+  {
+    std::unique_lock lk(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+    ++in_flight_;
+  }
+  task();
+  {
+    std::lock_guard lk(mu_);
+    --in_flight_;
+  }
+  cv_done_.notify_all();
+  return true;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lk(mu_);
+      cv_work_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::lock_guard lk(mu_);
+      --in_flight_;
+    }
+    cv_done_.notify_all();
+  }
+}
+
+void ThreadPool::wait() {
+  // Help drain, then wait for stragglers running on workers.
+  while (run_one()) {
+  }
+  std::unique_lock lk(mu_);
+  cv_done_.wait(lk, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  for (std::size_t i = 0; i < n; ++i) {
+    pool.submit([i, &fn] { fn(i); });
+  }
+  pool.wait();
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace jupiter

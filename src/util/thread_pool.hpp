@@ -1,0 +1,59 @@
+// A small fixed-size thread pool with a parallel_for helper.
+//
+// The experiment harness sweeps {strategy} x {bidding interval} x {17 AZs}
+// over 11-week traces; replays are independent, so we farm them out across
+// cores.  Determinism is preserved because each replay owns its RNG streams
+// and writes into a pre-sized slot of the result vector.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace jupiter {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` means hardware concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; completion is observed via wait().
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.  The calling thread
+  /// also drains the queue, so wait() makes progress even on a 1-core box.
+  void wait();
+
+ private:
+  void worker_loop();
+  bool run_one();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs fn(i) for i in [0, n) on the pool, blocking until all complete.
+/// Exceptions inside fn terminate (tasks are expected to be noexcept in
+/// spirit; experiment code reports failures through its result slots).
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Convenience: a process-wide pool (lazily constructed).
+ThreadPool& global_pool();
+
+}  // namespace jupiter

@@ -1,0 +1,27 @@
+#include "util/time.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+namespace jupiter {
+
+std::string SimTime::str() const {
+  if (*this == infinity()) return "t=inf";
+  std::int64_t s = secs_;
+  const char* sign = "";
+  if (s < 0) {
+    sign = "-";
+    s = -s;
+  }
+  std::int64_t days = s / kDay;
+  s %= kDay;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%sd%" PRId64 " %02" PRId64 ":%02" PRId64 ":%02" PRId64,
+                sign, days, s / kHour, (s % kHour) / kMinute, s % kMinute);
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, SimTime t) { return os << t.str(); }
+
+}  // namespace jupiter

@@ -1,0 +1,64 @@
+// Simulation time.
+//
+// The whole library runs on a single discrete clock measured in integer
+// seconds since the start of a scenario.  Three natural granularities
+// coexist (paper §3-§4): the simulator advances in seconds, the spot-price
+// failure model discretizes sojourn times to minutes, and billing happens on
+// hour boundaries.  SimTime keeps them straight.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace jupiter {
+
+using TimeDelta = std::int64_t;  // seconds
+
+inline constexpr TimeDelta kSecond = 1;
+inline constexpr TimeDelta kMinute = 60;
+inline constexpr TimeDelta kHour = 3600;
+inline constexpr TimeDelta kDay = 24 * kHour;
+inline constexpr TimeDelta kWeek = 7 * kDay;
+
+/// A point on the simulation clock, in seconds from scenario start.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t secs) : secs_(secs) {}
+
+  static constexpr SimTime zero() { return SimTime(0); }
+  /// Sentinel strictly after every representable event time.
+  static constexpr SimTime infinity() { return SimTime(INT64_MAX); }
+
+  constexpr std::int64_t seconds() const { return secs_; }
+  constexpr std::int64_t minutes() const { return secs_ / kMinute; }
+  constexpr std::int64_t hours() const { return secs_ / kHour; }
+
+  /// Start of the billing hour containing this instant.
+  constexpr SimTime floor_hour() const { return SimTime(secs_ / kHour * kHour); }
+  /// Start of the next billing hour strictly after this instant.
+  constexpr SimTime next_hour() const { return SimTime((secs_ / kHour + 1) * kHour); }
+  constexpr SimTime floor_minute() const {
+    return SimTime(secs_ / kMinute * kMinute);
+  }
+  constexpr bool on_hour_boundary() const { return secs_ % kHour == 0; }
+
+  constexpr SimTime operator+(TimeDelta d) const { return SimTime(secs_ + d); }
+  constexpr SimTime operator-(TimeDelta d) const { return SimTime(secs_ - d); }
+  constexpr TimeDelta operator-(SimTime o) const { return secs_ - o.secs_; }
+  constexpr SimTime& operator+=(TimeDelta d) { secs_ += d; return *this; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  /// "d3 07:15:42" style rendering for logs and reports.
+  std::string str() const;
+
+ private:
+  std::int64_t secs_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, SimTime t);
+
+}  // namespace jupiter

@@ -1,0 +1,156 @@
+#include "quorum/acceptance_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jupiter {
+namespace {
+
+TEST(AcceptanceSet, MajorityOfFive) {
+  AcceptanceSet a = AcceptanceSet::majority(5);
+  EXPECT_EQ(a.universe_size(), 5);
+  EXPECT_EQ(a.minimal_quorums().size(), 10u);  // C(5,3)
+  for (NodeSet q : a.minimal_quorums()) EXPECT_EQ(popcount(q), 3);
+  EXPECT_TRUE(a.is_intersecting());
+  EXPECT_EQ(a.max_tolerated_failures(), 2);
+}
+
+TEST(AcceptanceSet, MajorityOfEven) {
+  AcceptanceSet a = AcceptanceSet::majority(4);
+  for (NodeSet q : a.minimal_quorums()) EXPECT_EQ(popcount(q), 3);
+  EXPECT_EQ(a.max_tolerated_failures(), 1);
+}
+
+TEST(AcceptanceSet, ThresholdRsPaxos) {
+  // theta(3,5): write quorum ceil((5+3)/2) = 4, tolerates 1 failure (§5.1.2).
+  AcceptanceSet a = AcceptanceSet::threshold(5, 4);
+  EXPECT_EQ(a.minimal_quorums().size(), 5u);  // C(5,4)
+  EXPECT_EQ(a.max_tolerated_failures(), 1);
+  // Every two quorums intersect in >= 3 nodes: 2*4 - 5.
+  for (NodeSet x : a.minimal_quorums()) {
+    for (NodeSet y : a.minimal_quorums()) {
+      EXPECT_GE(popcount(x & y), 3);
+    }
+  }
+}
+
+TEST(AcceptanceSet, AcceptsSupersets) {
+  AcceptanceSet a = AcceptanceSet::majority(5);
+  EXPECT_TRUE(a.accepts(0b00111));
+  EXPECT_TRUE(a.accepts(0b11111));
+  EXPECT_FALSE(a.accepts(0b00011));
+  EXPECT_FALSE(a.accepts(0));
+}
+
+TEST(AcceptanceSet, FromQuorumsMinimizes) {
+  // {0,1} dominates {0,1,2}; the antichain keeps only {0,1} and {1,2}.
+  AcceptanceSet a =
+      AcceptanceSet::from_quorums(3, {0b011, 0b111, 0b110});
+  EXPECT_EQ(a.minimal_quorums().size(), 2u);
+  EXPECT_TRUE(a.accepts(0b011));
+  EXPECT_TRUE(a.accepts(0b110));
+  EXPECT_FALSE(a.accepts(0b101));
+}
+
+TEST(AcceptanceSet, FromQuorumsValidates) {
+  EXPECT_THROW(AcceptanceSet::from_quorums(3, {}), std::invalid_argument);
+  EXPECT_THROW(AcceptanceSet::from_quorums(3, {0}), std::invalid_argument);
+  EXPECT_THROW(AcceptanceSet::from_quorums(3, {0b1000}),
+               std::invalid_argument);
+  EXPECT_THROW(AcceptanceSet::from_quorums(0, {1}), std::invalid_argument);
+}
+
+TEST(AcceptanceSet, Monarchy) {
+  AcceptanceSet a = AcceptanceSet::monarchy(5, 2);
+  EXPECT_TRUE(a.accepts(0b00100));
+  EXPECT_FALSE(a.accepts(0b11011));
+  EXPECT_EQ(a.max_tolerated_failures(), 0);
+  EXPECT_TRUE(a.is_intersecting());
+}
+
+TEST(AcceptanceSet, WeightedMajority) {
+  // Weights 3,1,1: node 0 alone is a quorum (3 > 5/2); {1,2} is not (2).
+  double w[] = {3, 1, 1};
+  AcceptanceSet a = AcceptanceSet::weighted(w);
+  EXPECT_TRUE(a.accepts(0b001));
+  EXPECT_FALSE(a.accepts(0b110));
+  EXPECT_TRUE(a.is_intersecting());
+}
+
+TEST(AcceptanceSet, WeightedEqualIsMajority) {
+  double w[] = {1, 1, 1, 1, 1};
+  EXPECT_EQ(AcceptanceSet::weighted(w), AcceptanceSet::majority(5));
+}
+
+TEST(AcceptanceSet, WeightedDummiesIgnored) {
+  double w[] = {1, 0, 1, 1};
+  AcceptanceSet a = AcceptanceSet::weighted(w);
+  // Node 1 is a dummy: {0,2} carries 2 of 3 weight.
+  EXPECT_TRUE(a.accepts(0b0101));
+  EXPECT_FALSE(a.accepts(0b0011));
+}
+
+TEST(AcceptanceSet, WeightedRejectsBadInput) {
+  double neg[] = {1.0, -0.5};
+  EXPECT_THROW(AcceptanceSet::weighted(neg), std::invalid_argument);
+  double zero[] = {0.0, 0.0};
+  EXPECT_THROW(AcceptanceSet::weighted(zero), std::invalid_argument);
+}
+
+TEST(AcceptanceSet, IntersectionViolationDetected) {
+  AcceptanceSet a = AcceptanceSet::from_quorums(4, {0b0011, 0b1100});
+  EXPECT_FALSE(a.is_intersecting());
+}
+
+TEST(AcceptanceSet, StrRendersQuorums) {
+  AcceptanceSet a = AcceptanceSet::monarchy(3, 1);
+  EXPECT_EQ(a.str(), "{1}");
+}
+
+TEST(Enumerate, SmallUniverseCounts) {
+  // n=1: only {{0}}.  n=2: {{0}}, {{1}}, {{0,1}} (the family {{0},{1}} is
+  // not intersecting).
+  EXPECT_EQ(enumerate_acceptance_sets(1).size(), 1u);
+  EXPECT_EQ(enumerate_acceptance_sets(2).size(), 3u);
+}
+
+TEST(Enumerate, AllResultsAreValidAcceptanceSets) {
+  for (int n = 1; n <= 4; ++n) {
+    auto sets = enumerate_acceptance_sets(n);
+    EXPECT_FALSE(sets.empty());
+    for (const auto& a : sets) {
+      EXPECT_TRUE(a.is_intersecting()) << a.str();
+      EXPECT_EQ(a.universe_size(), n);
+      for (NodeSet q : a.minimal_quorums()) EXPECT_NE(q, 0u);
+    }
+  }
+}
+
+TEST(Enumerate, ResultsAreDistinct) {
+  auto sets = enumerate_acceptance_sets(4);
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    for (std::size_t j = i + 1; j < sets.size(); ++j) {
+      EXPECT_FALSE(sets[i] == sets[j]);
+    }
+  }
+}
+
+TEST(Enumerate, ContainsCanonicalSystems) {
+  auto sets = enumerate_acceptance_sets(5);
+  auto contains = [&](const AcceptanceSet& x) {
+    for (const auto& a : sets) {
+      if (a == x) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(contains(AcceptanceSet::majority(5)));
+  EXPECT_TRUE(contains(AcceptanceSet::threshold(5, 4)));
+  EXPECT_TRUE(contains(AcceptanceSet::monarchy(5, 0)));
+}
+
+TEST(Enumerate, TooBigThrows) {
+  EXPECT_THROW(enumerate_acceptance_sets(6), std::invalid_argument);
+  EXPECT_THROW(enumerate_acceptance_sets(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jupiter

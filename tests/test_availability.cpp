@@ -1,0 +1,169 @@
+#include "quorum/availability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace jupiter {
+namespace {
+
+// §3 example: 5 nodes with FP 0.01, majority quorums -> availability
+// 0.9999901494 and ~25.5 s of downtime per month.
+TEST(Availability, PaperSection3Example) {
+  std::vector<double> fp(5, 0.01);
+  double a = availability(AcceptanceSet::majority(5), fp);
+  EXPECT_NEAR(a, 0.9999901494, 1e-10);
+  double downtime_month = (1.0 - a) * 30 * 24 * 3600;
+  EXPECT_NEAR(downtime_month, 25.5, 0.1);
+}
+
+TEST(Availability, MonarchyIsKingsReliability) {
+  std::vector<double> fp = {0.3, 0.05, 0.4};
+  EXPECT_NEAR(availability(AcceptanceSet::monarchy(3, 1), fp), 0.95, 1e-12);
+}
+
+TEST(Availability, SingleNode) {
+  std::vector<double> fp = {0.2};
+  EXPECT_NEAR(availability(AcceptanceSet::majority(1), fp), 0.8, 1e-12);
+}
+
+TEST(Availability, PerfectAndFailedNodes) {
+  std::vector<double> zeros(5, 0.0), ones(5, 1.0);
+  AcceptanceSet a = AcceptanceSet::majority(5);
+  EXPECT_DOUBLE_EQ(availability(a, zeros), 1.0);
+  EXPECT_DOUBLE_EQ(availability(a, ones), 0.0);
+}
+
+TEST(Availability, SizeMismatchThrows) {
+  std::vector<double> fp(3, 0.1);
+  EXPECT_THROW(availability(AcceptanceSet::majority(5), fp),
+               std::invalid_argument);
+}
+
+TEST(AvailabilityTolerate, MatchesEq1ForThresholdSystems) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    int n = 3 + static_cast<int>(rng.below(4));  // 3..6
+    std::vector<double> fp;
+    for (int i = 0; i < n; ++i) fp.push_back(rng.uniform(0.0, 0.5));
+    for (int tol = 0; tol < n; ++tol) {
+      double dp = availability_tolerate(fp, tol);
+      double eq1 = availability(AcceptanceSet::threshold(n, n - tol), fp);
+      EXPECT_NEAR(dp, eq1, 1e-12) << "n=" << n << " tol=" << tol;
+    }
+  }
+}
+
+TEST(AvailabilityTolerate, Boundaries) {
+  std::vector<double> fp = {0.5, 0.5};
+  EXPECT_DOUBLE_EQ(availability_tolerate(fp, -1), 0.0);
+  EXPECT_DOUBLE_EQ(availability_tolerate(fp, 2), 1.0);
+}
+
+TEST(AvailabilityEqual, MatchesBinomial) {
+  EXPECT_NEAR(availability_equal(5, 2, 0.01), 0.9999901494, 1e-10);
+  EXPECT_NEAR(availability_equal(5, 1, 0.01),
+              std::pow(0.99, 5) + 5 * 0.01 * std::pow(0.99, 4), 1e-12);
+}
+
+TEST(EqualFpInversion, RoundTrips) {
+  for (int n : {3, 5, 7, 9}) {
+    int tol = (n - 1) / 2;
+    for (double target : {0.999, 0.99999, 0.9999901494}) {
+      double p = equal_fp_for_availability(n, tol, target);
+      ASSERT_GT(p, 0.0);
+      EXPECT_GE(availability_equal(n, tol, p), target);
+      // Just above p the target must fail (p is the largest feasible).
+      EXPECT_LT(availability_equal(n, tol, p + 1e-6), target);
+    }
+  }
+}
+
+TEST(EqualFpInversion, PaperScaleBudgets) {
+  // Matching the on-demand 5-node availability with 5 spot nodes leaves a
+  // per-node budget barely above FP' = 0.01...
+  double target5 = availability_equal(5, 2, 0.01) - 1e-6;
+  double p5 = equal_fp_for_availability(5, 2, target5);
+  EXPECT_GT(p5, 0.01);
+  EXPECT_LT(p5, 0.012);
+  // ...while 7 nodes tolerate 3 and give each node ~2.3%.
+  double p7 = equal_fp_for_availability(7, 3, target5);
+  EXPECT_GT(p7, 0.02);
+  EXPECT_LT(p7, 0.03);
+}
+
+TEST(EqualFpInversion, Degenerate) {
+  EXPECT_DOUBLE_EQ(equal_fp_for_availability(3, 3, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(equal_fp_for_availability(1, 0, 0.0), 1.0);
+}
+
+TEST(VoteWeights, Eq11Values) {
+  std::vector<double> fp = {0.2, 0.5, 0.6, 0.01};
+  auto w = optimal_vote_weights(fp);
+  EXPECT_NEAR(w[0], std::log2(0.8 / 0.2), 1e-12);
+  EXPECT_DOUBLE_EQ(w[1], 0.0);  // p >= 1/2: dummy
+  EXPECT_DOUBLE_EQ(w[2], 0.0);
+  EXPECT_NEAR(w[3], std::log2(0.99 / 0.01), 1e-12);
+}
+
+TEST(VoteWeights, PerfectNodeGetsHugeWeight) {
+  std::vector<double> fp = {0.0, 0.3};
+  auto w = optimal_vote_weights(fp);
+  EXPECT_GT(w[0], w[1] * 100);
+}
+
+TEST(OptimalAcceptanceSet, AllUnreliableGivesMonarchy) {
+  std::vector<double> fp = {0.9, 0.6, 0.7};
+  AcceptanceSet a = optimal_acceptance_set(fp);
+  EXPECT_EQ(a, AcceptanceSet::monarchy(3, 1));
+}
+
+TEST(OptimalAcceptanceSet, EqualFpGivesMajority) {
+  std::vector<double> fp(5, 0.1);
+  EXPECT_EQ(optimal_acceptance_set(fp), AcceptanceSet::majority(5));
+}
+
+// §4.1's example: FPs 0.01, 0.1, 0.1 — Eq. 11 gives the reliable node a
+// dominating vote, i.e. a monarchy-like system.
+TEST(OptimalAcceptanceSet, PaperSection41DominatingVote) {
+  std::vector<double> fp = {0.01, 0.1, 0.1};
+  AcceptanceSet a = optimal_acceptance_set(fp);
+  EXPECT_TRUE(a.accepts(0b001));   // node 0 alone wins
+  EXPECT_FALSE(a.accepts(0b110));  // the two weaker nodes cannot
+}
+
+// Property: the weighted-voting construction matches exhaustive search over
+// every acceptance set (Definition 2) for random failure vectors.
+class OptimalitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimalitySweep, WeightedVotingIsOptimal) {
+  int n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n) * 1234567);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<double> fp;
+    // Avoid exact ties and the p = 1/2 boundary where tie-breaking differs.
+    for (int i = 0; i < n; ++i) fp.push_back(rng.uniform(0.01, 0.45));
+    AcceptanceSet theory = optimal_acceptance_set(fp);
+    AcceptanceSet brute = optimal_acceptance_set_exhaustive(fp);
+    EXPECT_NEAR(availability(theory, fp), availability(brute, fp), 1e-9)
+        << "n=" << n << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, OptimalitySweep, ::testing::Values(2, 3, 4, 5));
+
+TEST(OptimalAcceptanceSet, BeatsOrMatchesMajorityAlways) {
+  Rng rng(55);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<double> fp;
+    for (int i = 0; i < 5; ++i) fp.push_back(rng.uniform(0.01, 0.49));
+    AcceptanceSet opt = optimal_acceptance_set(fp);
+    EXPECT_GE(availability(opt, fp) + 1e-12,
+              availability(AcceptanceSet::majority(5), fp));
+  }
+}
+
+}  // namespace
+}  // namespace jupiter

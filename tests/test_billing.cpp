@@ -1,0 +1,140 @@
+#include "market/billing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jupiter {
+namespace {
+
+// Price 100 ticks from t=0, 150 from t=5000, 80 from t=7000.
+SpotTrace make_trace() {
+  SpotTrace tr;
+  tr.append(SimTime(0), PriceTick(100));
+  tr.append(SimTime(5000), PriceTick(150));
+  tr.append(SimTime(7000), PriceTick(80));
+  return tr;
+}
+
+TEST(Billing, FullHoursChargedAtLastPrice) {
+  SpotTrace tr = make_trace();
+  // Bid high enough to survive everything; run exactly 3 hours.
+  SpotBill bill =
+      bill_spot_instance(tr, SimTime(0), SimTime(3 * kHour), PriceTick(200));
+  EXPECT_EQ(bill.reason, SpotEnd::kRanToEnd);
+  EXPECT_EQ(bill.hours_charged, 3);
+  // Hour 1 [0,3600): last price 100 -> $0.01; hour 2 [3600,7200): price
+  // changes to 150 at 5000 then 80 at 7000 -> last is 80; hour 3: 80.
+  Money expected = PriceTick(100).money() + PriceTick(80).money() +
+                   PriceTick(80).money();
+  EXPECT_EQ(bill.charge, expected);
+}
+
+TEST(Billing, OutOfBidPartialHourIsFree) {
+  SpotTrace tr = make_trace();
+  // Bid 120: price exceeds at t=5000 (mid hour 2).
+  SpotBill bill =
+      bill_spot_instance(tr, SimTime(0), SimTime(10 * kHour), PriceTick(120));
+  EXPECT_EQ(bill.reason, SpotEnd::kOutOfBid);
+  EXPECT_EQ(bill.end, SimTime(5000));
+  EXPECT_EQ(bill.hours_charged, 1);
+  EXPECT_EQ(bill.charge, PriceTick(100).money());
+}
+
+TEST(Billing, OutOfBidExactlyAtHourBoundaryChargesThatHour) {
+  SpotTrace tr;
+  tr.append(SimTime(0), PriceTick(100));
+  tr.append(SimTime(kHour), PriceTick(300));
+  SpotBill bill =
+      bill_spot_instance(tr, SimTime(0), SimTime(5 * kHour), PriceTick(100));
+  EXPECT_EQ(bill.reason, SpotEnd::kOutOfBid);
+  EXPECT_EQ(bill.end, SimTime(kHour));
+  EXPECT_EQ(bill.hours_charged, 1);
+  EXPECT_EQ(bill.charge, PriceTick(100).money());
+}
+
+TEST(Billing, UserTerminationChargesPartialHour) {
+  SpotTrace tr = make_trace();
+  // Run 90 minutes, terminate by user: 2 hours charged.
+  SpotBill bill = bill_spot_instance(tr, SimTime(0), SimTime(90 * kMinute),
+                                     PriceTick(200));
+  EXPECT_EQ(bill.reason, SpotEnd::kRanToEnd);
+  EXPECT_EQ(bill.hours_charged, 2);
+  // Hour 1 at price 100; partial hour 2 ends at 5400, price at 5399 is 150.
+  EXPECT_EQ(bill.charge, PriceTick(100).money() + PriceTick(150).money());
+}
+
+TEST(Billing, NeverRunsWhenPriceAboveBid) {
+  SpotTrace tr = make_trace();
+  SpotBill bill =
+      bill_spot_instance(tr, SimTime(0), SimTime(kHour), PriceTick(99));
+  EXPECT_EQ(bill.reason, SpotEnd::kNeverRan);
+  EXPECT_EQ(bill.end, SimTime(0));
+  EXPECT_TRUE(bill.charge.is_zero());
+}
+
+TEST(Billing, BidEqualToPriceLaunches) {
+  SpotTrace tr = make_trace();
+  SpotBill bill =
+      bill_spot_instance(tr, SimTime(0), SimTime(kHour), PriceTick(100));
+  EXPECT_EQ(bill.reason, SpotEnd::kRanToEnd);
+  EXPECT_EQ(bill.hours_charged, 1);
+}
+
+TEST(Billing, BidEqualDiesOnFirstStrictIncrease) {
+  SpotTrace tr = make_trace();
+  SpotBill bill =
+      bill_spot_instance(tr, SimTime(0), SimTime(10 * kHour), PriceTick(100));
+  EXPECT_EQ(bill.reason, SpotEnd::kOutOfBid);
+  EXPECT_EQ(bill.end, SimTime(5000));
+}
+
+TEST(Billing, HourAnchoredAtLaunchNotWallClock) {
+  SpotTrace tr = make_trace();
+  // Launch at t=1800; first instance-hour is [1800, 5400).
+  SpotBill bill = bill_spot_instance(tr, SimTime(1800), SimTime(1800 + kHour),
+                                     PriceTick(200));
+  EXPECT_EQ(bill.hours_charged, 1);
+  // Last price in [1800, 5400) is 150 (change at 5000).
+  EXPECT_EQ(bill.charge, PriceTick(150).money());
+}
+
+TEST(Billing, SurviveDipBelowAfterSpike) {
+  // Price spikes above bid then returns; instance must die at the spike and
+  // never come back.
+  SpotTrace tr;
+  tr.append(SimTime(0), PriceTick(100));
+  tr.append(SimTime(1000), PriceTick(500));
+  tr.append(SimTime(2000), PriceTick(100));
+  SpotBill bill =
+      bill_spot_instance(tr, SimTime(0), SimTime(10 * kHour), PriceTick(200));
+  EXPECT_EQ(bill.reason, SpotEnd::kOutOfBid);
+  EXPECT_EQ(bill.end, SimTime(1000));
+  EXPECT_TRUE(bill.charge.is_zero());  // died inside the first hour
+}
+
+TEST(Billing, EmptyLifetimeThrows) {
+  SpotTrace tr = make_trace();
+  EXPECT_THROW(bill_spot_instance(tr, SimTime(10), SimTime(10), PriceTick(1)),
+               std::invalid_argument);
+}
+
+TEST(Billing, OnDemandRoundsUpToFullHours) {
+  Money hourly = Money::from_dollars(0.044);
+  EXPECT_EQ(bill_on_demand(hourly, SimTime(0), SimTime(kHour)), hourly);
+  EXPECT_EQ(bill_on_demand(hourly, SimTime(0), SimTime(kHour + 1)),
+            hourly * 2);
+  EXPECT_EQ(bill_on_demand(hourly, SimTime(0), SimTime(1)), hourly);
+  EXPECT_TRUE(bill_on_demand(hourly, SimTime(5), SimTime(5)).is_zero());
+}
+
+// The paper's baseline arithmetic: 5 m1.small on-demand instances in the
+// cheapest zone for 11 weeks cost $406.56; 5 m3.large cost $1293.60.
+TEST(Billing, PaperBaselineNumbers) {
+  Money m1 = Money::from_dollars(0.044);
+  Money m3 = Money::from_dollars(0.140);
+  std::int64_t hours = 11 * 7 * 24;
+  EXPECT_EQ((m1 * hours * 5).dollars(), 406.56);
+  EXPECT_EQ((m3 * hours * 5).dollars(), 1293.60);
+}
+
+}  // namespace
+}  // namespace jupiter

@@ -1,0 +1,89 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace jupiter {
+namespace {
+
+std::string write_row(auto&& fill) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  fill(w);
+  w.end_row();
+  return os.str();
+}
+
+TEST(CsvWriter, PlainFields) {
+  EXPECT_EQ(write_row([](CsvWriter& w) {
+              w.field("a").field(std::int64_t{42}).field(2.5);
+            }),
+            "a,42,2.5\n");
+}
+
+TEST(CsvWriter, QuotesSpecials) {
+  EXPECT_EQ(write_row([](CsvWriter& w) { w.field("a,b"); }), "\"a,b\"\n");
+  EXPECT_EQ(write_row([](CsvWriter& w) { w.field("say \"hi\""); }),
+            "\"say \"\"hi\"\"\"\n");
+  EXPECT_EQ(write_row([](CsvWriter& w) { w.field("two\nlines"); }),
+            "\"two\nlines\"\n");
+}
+
+TEST(CsvReader, ParsesSimpleRows) {
+  std::istringstream is("a,b,c\n1,2,3\n");
+  auto rows = read_csv(is);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(CsvReader, HandlesQuotedFields) {
+  std::istringstream is("\"a,b\",\"say \"\"hi\"\"\",\"two\nlines\"\n");
+  auto rows = read_csv(is);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "a,b");
+  EXPECT_EQ(rows[0][1], "say \"hi\"");
+  EXPECT_EQ(rows[0][2], "two\nlines");
+}
+
+TEST(CsvReader, HandlesCrlf) {
+  std::istringstream is("a,b\r\nc,d\r\n");
+  auto rows = read_csv(is);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][1], "d");
+}
+
+TEST(CsvReader, LastLineWithoutNewline) {
+  std::istringstream is("a,b");
+  auto rows = read_csv(is);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].size(), 2u);
+}
+
+TEST(CsvReader, EmptyFields) {
+  std::istringstream is(",x,\n");
+  auto rows = read_csv(is);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"", "x", ""}));
+}
+
+TEST(Csv, RoundTrip) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.field("name").field("value, with comma").field("q\"uote");
+  w.end_row();
+  w.field(std::int64_t{-7}).field(3.14159).field("");
+  w.end_row();
+
+  std::istringstream is(os.str());
+  auto rows = read_csv(is);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][1], "value, with comma");
+  EXPECT_EQ(rows[0][2], "q\"uote");
+  EXPECT_EQ(rows[1][0], "-7");
+  EXPECT_EQ(rows[1][2], "");
+}
+
+}  // namespace
+}  // namespace jupiter

@@ -1,0 +1,112 @@
+#include "ec/gf256.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jupiter {
+namespace {
+
+using E = GF256::Elem;
+
+TEST(GF256, AdditionIsXor) {
+  EXPECT_EQ(GF256::add(0x53, 0xCA), 0x53 ^ 0xCA);
+  EXPECT_EQ(GF256::add(7, 7), 0);
+  EXPECT_EQ(GF256::sub(7, 3), GF256::add(7, 3));  // char 2
+}
+
+TEST(GF256, MultiplicativeIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(GF256::mul(static_cast<E>(a), 1), a);
+    EXPECT_EQ(GF256::mul(static_cast<E>(a), 0), 0);
+    EXPECT_EQ(GF256::mul(0, static_cast<E>(a)), 0);
+  }
+}
+
+TEST(GF256, KnownProducts) {
+  // 2 * 0x80 = 0x100, reduced by x^8+x^4+x^3+x^2+1 (0x11D) -> 0x1D.
+  EXPECT_EQ(GF256::mul(0x02, 0x80), 0x1D);
+  // Regression pin for an arbitrary pair under the 0x11D polynomial.
+  EXPECT_EQ(GF256::mul(0x53, 0xCA), 0x8F);
+}
+
+TEST(GF256, MultiplicationCommutes) {
+  for (int a = 0; a < 256; a += 7) {
+    for (int b = 0; b < 256; b += 11) {
+      EXPECT_EQ(GF256::mul(static_cast<E>(a), static_cast<E>(b)),
+                GF256::mul(static_cast<E>(b), static_cast<E>(a)));
+    }
+  }
+}
+
+TEST(GF256, MultiplicationAssociates) {
+  for (int a = 1; a < 256; a += 17) {
+    for (int b = 1; b < 256; b += 19) {
+      for (int c = 1; c < 256; c += 23) {
+        E ab_c = GF256::mul(GF256::mul(static_cast<E>(a), static_cast<E>(b)),
+                            static_cast<E>(c));
+        E a_bc = GF256::mul(static_cast<E>(a),
+                            GF256::mul(static_cast<E>(b), static_cast<E>(c)));
+        EXPECT_EQ(ab_c, a_bc);
+      }
+    }
+  }
+}
+
+TEST(GF256, DistributesOverAddition) {
+  for (int a = 0; a < 256; a += 13) {
+    for (int b = 0; b < 256; b += 17) {
+      for (int c = 0; c < 256; c += 29) {
+        E lhs = GF256::mul(static_cast<E>(a),
+                           GF256::add(static_cast<E>(b), static_cast<E>(c)));
+        E rhs = GF256::add(GF256::mul(static_cast<E>(a), static_cast<E>(b)),
+                           GF256::mul(static_cast<E>(a), static_cast<E>(c)));
+        EXPECT_EQ(lhs, rhs);
+      }
+    }
+  }
+}
+
+TEST(GF256, EveryNonzeroHasInverse) {
+  for (int a = 1; a < 256; ++a) {
+    E inv = GF256::inv(static_cast<E>(a));
+    EXPECT_EQ(GF256::mul(static_cast<E>(a), inv), 1) << "a=" << a;
+  }
+  EXPECT_THROW(GF256::inv(0), std::domain_error);
+}
+
+TEST(GF256, DivisionInvertsMultiplication) {
+  for (int a = 0; a < 256; a += 5) {
+    for (int b = 1; b < 256; b += 7) {
+      E q = GF256::div(static_cast<E>(a), static_cast<E>(b));
+      EXPECT_EQ(GF256::mul(q, static_cast<E>(b)), a);
+    }
+  }
+  EXPECT_THROW(GF256::div(5, 0), std::domain_error);
+}
+
+TEST(GF256, PowMatchesRepeatedMul) {
+  for (int a : {0, 1, 2, 5, 83, 255}) {
+    E acc = 1;
+    for (int e = 0; e < 10; ++e) {
+      EXPECT_EQ(GF256::pow(static_cast<E>(a), e), acc)
+          << "a=" << a << " e=" << e;
+      acc = GF256::mul(acc, static_cast<E>(a));
+    }
+  }
+  EXPECT_EQ(GF256::pow(0, 0), 1);  // convention
+}
+
+TEST(GF256, AlphaGeneratesField) {
+  // alpha = 0x02 generates all 255 non-zero elements.
+  std::vector<bool> seen(256, false);
+  for (int i = 0; i < 255; ++i) {
+    E v = GF256::alpha_pow(i);
+    EXPECT_NE(v, 0);
+    EXPECT_FALSE(seen[v]) << "cycle shorter than 255 at " << i;
+    seen[v] = true;
+  }
+  EXPECT_EQ(GF256::alpha_pow(255), GF256::alpha_pow(0));
+  EXPECT_EQ(GF256::alpha_pow(-1), GF256::alpha_pow(254));
+}
+
+}  // namespace
+}  // namespace jupiter

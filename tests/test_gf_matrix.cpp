@@ -1,0 +1,116 @@
+#include "ec/gf_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace jupiter {
+namespace {
+
+GFMatrix random_matrix(std::size_t n, Rng& rng) {
+  GFMatrix m(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      m.at(r, c) = static_cast<GF256::Elem>(rng.below(256));
+    }
+  }
+  return m;
+}
+
+TEST(GFMatrix, IdentityMultiplication) {
+  Rng rng(1);
+  GFMatrix m = random_matrix(4, rng);
+  GFMatrix i = GFMatrix::identity(4);
+  EXPECT_EQ(m.mul(i), m);
+  EXPECT_EQ(i.mul(m), m);
+}
+
+TEST(GFMatrix, ShapeMismatchThrows) {
+  GFMatrix a(2, 3), b(2, 3);
+  EXPECT_THROW(a.mul(b), std::invalid_argument);
+}
+
+TEST(GFMatrix, InverseRoundTrip) {
+  Rng rng(7);
+  int inverted = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    GFMatrix m = random_matrix(5, rng);
+    try {
+      GFMatrix inv = m.inverted();
+      EXPECT_EQ(m.mul(inv), GFMatrix::identity(5));
+      EXPECT_EQ(inv.mul(m), GFMatrix::identity(5));
+      ++inverted;
+    } catch (const std::domain_error&) {
+      // singular draw: acceptable, rare
+    }
+  }
+  EXPECT_GE(inverted, 15);  // random GF matrices are almost always regular
+}
+
+TEST(GFMatrix, SingularThrows) {
+  GFMatrix m(2, 2);  // all zeros
+  EXPECT_THROW(m.inverted(), std::domain_error);
+  GFMatrix dup(2, 2);  // duplicate rows
+  dup.at(0, 0) = 3;
+  dup.at(0, 1) = 5;
+  dup.at(1, 0) = 3;
+  dup.at(1, 1) = 5;
+  EXPECT_THROW(dup.inverted(), std::domain_error);
+  GFMatrix rect(2, 3);
+  EXPECT_THROW(rect.inverted(), std::invalid_argument);
+}
+
+TEST(GFMatrix, VandermondeStructure) {
+  GFMatrix v = GFMatrix::vandermonde(4, 3);
+  for (std::size_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(v.at(r, 0), 1);  // x^0
+    EXPECT_EQ(v.at(r, 1), static_cast<GF256::Elem>(r + 1));  // x^1
+    EXPECT_EQ(v.at(r, 2), GF256::mul(static_cast<GF256::Elem>(r + 1),
+                                     static_cast<GF256::Elem>(r + 1)));
+  }
+}
+
+// The property Reed-Solomon rests on: every square row-subset of a
+// Vandermonde matrix with distinct nodes is invertible.
+TEST(GFMatrix, VandermondeEverySubmatrixInvertible) {
+  const std::size_t n = 8, m = 4;
+  GFMatrix v = GFMatrix::vandermonde(n, m);
+  std::vector<std::size_t> rows(m);
+  // Iterate all C(8,4) = 70 subsets.
+  for (unsigned mask = 0; mask < (1u << n); ++mask) {
+    if (__builtin_popcount(mask) != static_cast<int>(m)) continue;
+    rows.clear();
+    for (std::size_t r = 0; r < n; ++r) {
+      if (mask & (1u << r)) rows.push_back(r);
+    }
+    EXPECT_NO_THROW(v.select_rows(rows).inverted()) << "mask=" << mask;
+  }
+}
+
+TEST(GFMatrix, SelectRowsValidates) {
+  GFMatrix v = GFMatrix::vandermonde(3, 2);
+  EXPECT_THROW(v.select_rows({5}), std::out_of_range);
+  GFMatrix s = v.select_rows({2, 0});
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_EQ(s.at(0, 1), 3);  // row 2 of the Vandermonde: point 3
+  EXPECT_EQ(s.at(1, 1), 1);
+}
+
+TEST(GFMatrix, ApplyMatchesManualDotProduct) {
+  GFMatrix m(2, 3);
+  m.at(0, 0) = 1;
+  m.at(0, 1) = 2;
+  m.at(0, 2) = 3;
+  m.at(1, 2) = 7;
+  std::vector<GF256::Elem> x = {5, 6, 7};
+  auto y = m.apply(x);
+  ASSERT_EQ(y.size(), 2u);
+  GF256::Elem y0 = GF256::add(
+      GF256::add(GF256::mul(1, 5), GF256::mul(2, 6)), GF256::mul(3, 7));
+  EXPECT_EQ(y[0], y0);
+  EXPECT_EQ(y[1], GF256::mul(7, 7));
+  EXPECT_THROW(m.apply({1, 2}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jupiter

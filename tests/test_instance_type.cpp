@@ -1,0 +1,91 @@
+#include "cloud/instance_type.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cloud/region.hpp"
+
+namespace jupiter {
+namespace {
+
+TEST(InstanceType, NamesAndShapes) {
+  EXPECT_STREQ(instance_type_info(InstanceKind::kM1Small).name,
+               "linux.m1.small");
+  EXPECT_STREQ(instance_type_info(InstanceKind::kM3Large).name,
+               "linux.m3.large");
+  EXPECT_EQ(instance_type_info(InstanceKind::kM3Large).vcpus, 2);
+}
+
+TEST(InstanceType, LookupByName) {
+  EXPECT_EQ(instance_kind_by_name("linux.m1.small"), InstanceKind::kM1Small);
+  EXPECT_EQ(instance_kind_by_name("linux.m3.large"), InstanceKind::kM3Large);
+  EXPECT_THROW(instance_kind_by_name("linux.z9.huge"), std::invalid_argument);
+}
+
+// §5.2: m1.small on-demand is $0.044-0.061/h, m3.large is $0.14-0.201/h.
+TEST(InstanceType, PaperPriceRanges) {
+  Money m1_min = Money::from_dollars(1e9), m1_max;
+  Money m3_min = Money::from_dollars(1e9), m3_max;
+  for (int r = 0; r < 9; ++r) {
+    Money m1 = on_demand_price(r, InstanceKind::kM1Small);
+    Money m3 = on_demand_price(r, InstanceKind::kM3Large);
+    m1_min = std::min(m1_min, m1);
+    m1_max = std::max(m1_max, m1);
+    m3_min = std::min(m3_min, m3);
+    m3_max = std::max(m3_max, m3);
+  }
+  EXPECT_EQ(m1_min, Money::from_dollars(0.044));
+  EXPECT_EQ(m1_max, Money::from_dollars(0.061));
+  EXPECT_EQ(m3_min, Money::from_dollars(0.140));
+  EXPECT_EQ(m3_max, Money::from_dollars(0.201));
+}
+
+TEST(InstanceType, CheapestMatchesMinimum) {
+  EXPECT_EQ(cheapest_on_demand_price(InstanceKind::kM1Small),
+            Money::from_dollars(0.044));
+  EXPECT_EQ(cheapest_on_demand_price(InstanceKind::kM3Large),
+            Money::from_dollars(0.140));
+}
+
+TEST(InstanceType, ZonePriceInheritsRegion) {
+  int tokyo_a = zone_index_by_name("ap-northeast-1a");
+  ASSERT_GE(tokyo_a, 0);
+  EXPECT_EQ(on_demand_price_zone(tokyo_a, InstanceKind::kM1Small),
+            Money::from_dollars(0.061));
+  EXPECT_THROW(on_demand_price_zone(-1, InstanceKind::kM1Small),
+               std::out_of_range);
+  EXPECT_THROW(on_demand_price_zone(24, InstanceKind::kM1Small),
+               std::out_of_range);
+}
+
+TEST(InstanceType, SpotBidCapIsFourTimesOnDemand) {
+  EXPECT_EQ(spot_bid_cap(0, InstanceKind::kM1Small),
+            Money::from_dollars(0.176));
+}
+
+TEST(InstanceType, BadRegionThrows) {
+  EXPECT_THROW(on_demand_price(-1, InstanceKind::kM1Small),
+               std::out_of_range);
+  EXPECT_THROW(on_demand_price(9, InstanceKind::kM1Small), std::out_of_range);
+}
+
+class AllKinds : public ::testing::TestWithParam<int> {};
+
+// Property: every type has positive prices everywhere and regional spread.
+TEST_P(AllKinds, PricesPositiveWithRegionalSpread) {
+  auto kind = static_cast<InstanceKind>(GetParam());
+  Money lo = Money::from_dollars(1e9), hi;
+  for (int r = 0; r < 9; ++r) {
+    Money p = on_demand_price(r, kind);
+    EXPECT_GT(p.micros(), 0);
+    lo = std::min(lo, p);
+    hi = std::max(hi, p);
+  }
+  EXPECT_GT(hi, lo);
+  EXPECT_LT(hi.micros(), lo.micros() * 2);  // spread < 2x within a type
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, AllKinds,
+                         ::testing::Range(0, kInstanceKindCount));
+
+}  // namespace
+}  // namespace jupiter

@@ -1,0 +1,278 @@
+#include "lock/lock_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace jupiter::lock {
+namespace {
+
+LockCommand open_session(const std::string& s, std::int64_t now,
+                         std::int64_t lease = 60) {
+  LockCommand c;
+  c.op = LockOp::kOpenSession;
+  c.session = s;
+  c.now = now;
+  c.lease = lease;
+  return c;
+}
+
+LockCommand acquire(const std::string& s, const std::string& path,
+                    std::int64_t now) {
+  LockCommand c;
+  c.op = LockOp::kAcquire;
+  c.session = s;
+  c.path = path;
+  c.now = now;
+  return c;
+}
+
+LockResponse run(LockServiceState& sm, const LockCommand& c) {
+  return LockResponse::decode(sm.apply(c.encode()));
+}
+
+TEST(LockCommand, EncodeDecodeRoundTrip) {
+  LockCommand c;
+  c.op = LockOp::kAcquire;
+  c.session = "client-7";
+  c.path = "/ls/cell/leader";
+  c.now = 12345;
+  c.lease = 60;
+  LockCommand d = LockCommand::decode(c.encode());
+  EXPECT_EQ(d.op, c.op);
+  EXPECT_EQ(d.session, c.session);
+  EXPECT_EQ(d.path, c.path);
+  EXPECT_EQ(d.now, c.now);
+  EXPECT_EQ(d.lease, c.lease);
+}
+
+TEST(LockResponse, EncodeDecodeRoundTrip) {
+  LockResponse r;
+  r.status = LockStatus::kHeldByOther;
+  r.owner = "bob";
+  LockResponse d = LockResponse::decode(r.encode());
+  EXPECT_EQ(d.status, r.status);
+  EXPECT_EQ(d.owner, r.owner);
+}
+
+TEST(LockServiceState, AcquireReleaseCycle) {
+  LockServiceState sm;
+  EXPECT_EQ(run(sm, open_session("a", 0)).status, LockStatus::kOk);
+  EXPECT_EQ(run(sm, acquire("a", "/l", 1)).status, LockStatus::kOk);
+  EXPECT_EQ(sm.owner_of("/l"), "a");
+  EXPECT_EQ(sm.held_locks(), 1u);
+
+  LockCommand rel;
+  rel.op = LockOp::kRelease;
+  rel.session = "a";
+  rel.path = "/l";
+  rel.now = 2;
+  EXPECT_EQ(run(sm, rel).status, LockStatus::kOk);
+  EXPECT_EQ(sm.owner_of("/l"), std::nullopt);
+}
+
+TEST(LockServiceState, AcquireWithoutSessionFails) {
+  LockServiceState sm;
+  EXPECT_EQ(run(sm, acquire("ghost", "/l", 0)).status, LockStatus::kNoSession);
+}
+
+TEST(LockServiceState, ContendedAcquireReportsOwner) {
+  LockServiceState sm;
+  run(sm, open_session("a", 0));
+  run(sm, open_session("b", 0));
+  EXPECT_EQ(run(sm, acquire("a", "/l", 1)).status, LockStatus::kOk);
+  LockResponse r = run(sm, acquire("b", "/l", 2));
+  EXPECT_EQ(r.status, LockStatus::kHeldByOther);
+  EXPECT_EQ(r.owner, "a");
+  // Re-acquire by owner is idempotent success.
+  EXPECT_EQ(run(sm, acquire("a", "/l", 3)).status, LockStatus::kOk);
+}
+
+TEST(LockServiceState, ReleaseByNonOwnerFails) {
+  LockServiceState sm;
+  run(sm, open_session("a", 0));
+  run(sm, open_session("b", 0));
+  run(sm, acquire("a", "/l", 1));
+  LockCommand rel;
+  rel.op = LockOp::kRelease;
+  rel.session = "b";
+  rel.path = "/l";
+  rel.now = 2;
+  EXPECT_EQ(run(sm, rel).status, LockStatus::kNotHeld);
+  EXPECT_EQ(sm.owner_of("/l"), "a");
+}
+
+TEST(LockServiceState, SessionExpiryReleasesLocks) {
+  LockServiceState sm;
+  run(sm, open_session("a", 0, 60));
+  run(sm, acquire("a", "/l", 1));
+  // At now=61 the session (expires at 60) is gone and so is the lock.
+  run(sm, open_session("b", 61));
+  EXPECT_EQ(sm.open_sessions(), 1u);
+  EXPECT_EQ(run(sm, acquire("b", "/l", 62)).status, LockStatus::kOk);
+  EXPECT_EQ(sm.owner_of("/l"), "b");
+}
+
+TEST(LockServiceState, KeepAliveExtendsLease) {
+  LockServiceState sm;
+  run(sm, open_session("a", 0, 60));
+  run(sm, acquire("a", "/l", 1));
+  LockCommand ka;
+  ka.op = LockOp::kKeepAlive;
+  ka.session = "a";
+  ka.now = 50;
+  ka.lease = 60;
+  EXPECT_EQ(run(sm, ka).status, LockStatus::kOk);
+  // At 100 the session would have died without the keep-alive.
+  EXPECT_EQ(run(sm, acquire("a", "/l", 100)).status, LockStatus::kOk);
+  // Keep-alive for an unknown session reports it.
+  ka.session = "ghost";
+  EXPECT_EQ(run(sm, ka).status, LockStatus::kNoSession);
+}
+
+TEST(LockServiceState, CloseSessionReleasesEverything) {
+  LockServiceState sm;
+  run(sm, open_session("a", 0));
+  run(sm, acquire("a", "/x", 1));
+  run(sm, acquire("a", "/y", 1));
+  LockCommand close;
+  close.op = LockOp::kCloseSession;
+  close.session = "a";
+  close.now = 2;
+  run(sm, close);
+  EXPECT_EQ(sm.open_sessions(), 0u);
+  EXPECT_EQ(sm.held_locks(), 0u);
+}
+
+TEST(LockServiceState, GetOwnerQueries) {
+  LockServiceState sm;
+  run(sm, open_session("a", 0));
+  run(sm, acquire("a", "/l", 1));
+  LockCommand get;
+  get.op = LockOp::kGetOwner;
+  get.path = "/l";
+  get.now = 2;
+  LockResponse r = run(sm, get);
+  EXPECT_EQ(r.status, LockStatus::kOk);
+  EXPECT_EQ(r.owner, "a");
+  get.path = "/missing";
+  EXPECT_EQ(run(sm, get).status, LockStatus::kNotHeld);
+}
+
+// Safety invariant sweep: under arbitrary interleavings, a lock never has
+// two owners and owners always hold live sessions.
+TEST(LockServiceState, MutualExclusionInvariant) {
+  LockServiceState sm;
+  std::vector<std::string> clients = {"a", "b", "c"};
+  std::int64_t now = 0;
+  Rng rng(5);
+  for (const auto& c : clients) run(sm, open_session(c, now, 120));
+  for (int step = 0; step < 2000; ++step) {
+    now += static_cast<std::int64_t>(rng.below(30));
+    const auto& who = clients[rng.below(3)];
+    std::string path = "/lock" + std::to_string(rng.below(4));
+    if (rng.bernoulli(0.4)) {
+      run(sm, acquire(who, path, now));
+    } else if (rng.bernoulli(0.5)) {
+      LockCommand rel;
+      rel.op = LockOp::kRelease;
+      rel.session = who;
+      rel.path = path;
+      rel.now = now;
+      run(sm, rel);
+    } else {
+      LockCommand ka;
+      ka.op = LockOp::kKeepAlive;
+      ka.session = who;
+      ka.now = now;
+      ka.lease = 120;
+      run(sm, ka);
+    }
+    // Invariant: every held lock's owner session is open.
+    for (const auto& path2 : {"/lock0", "/lock1", "/lock2", "/lock3"}) {
+      auto owner = sm.owner_of(path2);
+      if (owner) {
+        LockCommand get;
+        get.op = LockOp::kGetOwner;
+        get.path = path2;
+        get.now = now;
+        LockResponse r = run(sm, get);
+        // GetOwner runs expiry first; an owner it reports must be live.
+        if (r.status == LockStatus::kOk) {
+          EXPECT_FALSE(r.owner.empty());
+        }
+      }
+    }
+  }
+  EXPECT_LE(sm.held_locks(), 4u);
+}
+
+struct LockClientFixture : ::testing::Test {
+  LockClientFixture()
+      : net(sim, 17),
+        group(sim, net, paxos::Replica::Options{},
+              [this](paxos::NodeId id) {
+                auto sm = std::make_unique<LockServiceState>();
+                sms[id] = sm.get();
+                return sm;
+              },
+              888) {
+    group.bootstrap(5);
+    sim.run_until(sim.now() + 200);
+  }
+
+  Simulator sim;
+  paxos::SimNetwork net;
+  std::map<paxos::NodeId, LockServiceState*> sms;
+  paxos::Group group;
+};
+
+TEST_F(LockClientFixture, EndToEndAcquireViaConsensus) {
+  // Leases far beyond the test horizon; lease expiry has its own tests.
+  LockClient alice(group, sim, "alice", 7200);
+  LockClient bob(group, sim, "bob", 7200);
+  alice.open_session();
+  bob.open_session();
+  sim.run_until(sim.now() + 120);
+
+  LockStatus alice_status = LockStatus::kExpired;
+  alice.acquire("/ls/leader", [&](LockResponse r) { alice_status = r.status; });
+  sim.run_until(sim.now() + 120);
+  EXPECT_EQ(alice_status, LockStatus::kOk);
+
+  LockStatus bob_status = LockStatus::kOk;
+  std::string owner;
+  bob.acquire("/ls/leader", [&](LockResponse r) {
+    bob_status = r.status;
+    owner = r.owner;
+  });
+  sim.run_until(sim.now() + 120);
+  EXPECT_EQ(bob_status, LockStatus::kHeldByOther);
+  EXPECT_EQ(owner, "alice");
+
+  // Every replica that applied the command agrees on the owner.
+  paxos::NodeId lead = group.leader_id();
+  ASSERT_GE(lead, 0);
+  EXPECT_EQ(sms[lead]->owner_of("/ls/leader"), "alice");
+}
+
+TEST_F(LockClientFixture, AcquireBlockingRetriesUntilRelease) {
+  LockClient alice(group, sim, "alice", 7200);
+  LockClient bob(group, sim, "bob", 7200);
+  alice.open_session();
+  bob.open_session();
+  sim.run_until(sim.now() + 120);
+  alice.acquire("/l", nullptr);
+  sim.run_until(sim.now() + 120);
+
+  LockStatus bob_final = LockStatus::kExpired;
+  bob.acquire_blocking("/l", [&](LockResponse r) { bob_final = r.status; },
+                       1200);
+  sim.run_until(sim.now() + 120);
+  alice.release("/l", nullptr);
+  sim.run_until(sim.now() + 600);
+  EXPECT_EQ(bob_final, LockStatus::kOk);
+}
+
+}  // namespace
+}  // namespace jupiter::lock

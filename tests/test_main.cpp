@@ -1,0 +1,10 @@
+#include <gtest/gtest.h>
+
+#include "util/log.hpp"
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  // Tests exercise fallback/error paths on purpose; keep stderr clean.
+  jupiter::set_log_level(jupiter::LogLevel::kError);
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,61 @@
+#include "core/market_state.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jupiter {
+namespace {
+
+TEST(MarketState, SnapshotReflectsTraceAndAge) {
+  SpotTrace tr;
+  tr.append(SimTime(0), PriceTick(100));
+  tr.append(SimTime(10 * kMinute), PriceTick(120));
+  TraceBook book;
+  book.set(0, InstanceKind::kM1Small, std::move(tr));
+
+  MarketSnapshot snap =
+      snapshot_at(book, InstanceKind::kM1Small, {0}, SimTime(25 * kMinute));
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].zone, 0);
+  EXPECT_EQ(snap[0].price.value(), 120);
+  EXPECT_EQ(snap[0].age_minutes, 15);
+  EXPECT_EQ(snap[0].on_demand.money(),
+            on_demand_price_zone(0, InstanceKind::kM1Small));
+}
+
+TEST(MarketState, AgeTruncatesToWholeMinutes) {
+  SpotTrace tr;
+  tr.append(SimTime(0), PriceTick(100));
+  TraceBook book;
+  book.set(0, InstanceKind::kM1Small, std::move(tr));
+  MarketSnapshot snap =
+      snapshot_at(book, InstanceKind::kM1Small, {0}, SimTime(119));
+  EXPECT_EQ(snap[0].age_minutes, 1);
+}
+
+TEST(MarketState, SnapshotPreservesZoneOrder) {
+  SpotTrace tr;
+  tr.append(SimTime(0), PriceTick(100));
+  TraceBook book;
+  book.set(7, InstanceKind::kM1Small, tr);
+  book.set(2, InstanceKind::kM1Small, tr);
+  MarketSnapshot snap =
+      snapshot_at(book, InstanceKind::kM1Small, {7, 2}, SimTime(0));
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].zone, 7);
+  EXPECT_EQ(snap[1].zone, 2);
+}
+
+TEST(MarketState, MissingTraceThrows) {
+  TraceBook book;
+  EXPECT_THROW(snapshot_at(book, InstanceKind::kM1Small, {0}, SimTime(0)),
+               std::out_of_range);
+}
+
+TEST(MarketState, ZoneBidEquality) {
+  EXPECT_EQ((ZoneBid{1, PriceTick(5)}), (ZoneBid{1, PriceTick(5)}));
+  EXPECT_FALSE((ZoneBid{1, PriceTick(5)}) == (ZoneBid{2, PriceTick(5)}));
+  EXPECT_FALSE((ZoneBid{1, PriceTick(5)}) == (ZoneBid{1, PriceTick(6)}));
+}
+
+}  // namespace
+}  // namespace jupiter

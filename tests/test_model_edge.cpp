@@ -1,0 +1,119 @@
+// Degenerate-input behaviour across the model stack: single-price
+// histories, live prices outside the trained range, terminate-while-pending
+// instances.
+#include <gtest/gtest.h>
+
+#include "cloud/provider.hpp"
+#include "core/failure_model.hpp"
+
+namespace jupiter {
+namespace {
+
+TEST(ModelEdge, SinglePriceHistoryIsAbsorbing) {
+  // A zone whose price never changed: the estimated chain has one
+  // absorbing state, and any bid at/above it is estimated perfectly safe.
+  SpotTrace tr;
+  tr.append(SimTime(0), PriceTick(100));
+  ZoneFailureModel model = ZoneFailureModel::train(tr, PriceTick(440));
+  EXPECT_EQ(model.chain().state_count(), 1);
+  EXPECT_TRUE(model.chain().is_absorbing(0));
+
+  MarketZoneState st;
+  st.zone = 0;
+  st.price = PriceTick(100);
+  st.age_minutes = 500;
+  st.on_demand = PriceTick(440);
+  EXPECT_NEAR(model.estimate_fp(st, 60, PriceTick(100)), 0.01, 1e-12);
+  auto bid = model.min_bid_for_fp(st, 60, 0.02);
+  ASSERT_TRUE(bid.has_value());
+  EXPECT_EQ(*bid, PriceTick(100));
+}
+
+TEST(ModelEdge, LivePriceAboveTrainedRange) {
+  // The market moved above everything in training: nearest_state maps to
+  // the top state; a bid at the live price is at least as safe as the top
+  // state's estimate, and a bid below the live price is hopeless.
+  SpotTrace tr;
+  tr.append(SimTime(0), PriceTick(100));
+  tr.append(SimTime(kHour), PriceTick(120));
+  tr.append(SimTime(2 * kHour), PriceTick(100));
+  ZoneFailureModel model = ZoneFailureModel::train(tr, PriceTick(440));
+
+  MarketZoneState st;
+  st.zone = 0;
+  st.price = PriceTick(300);  // never seen
+  st.age_minutes = 0;
+  st.on_demand = PriceTick(440);
+  EXPECT_DOUBLE_EQ(model.estimate_fp(st, 60, PriceTick(250)), 1.0);
+  double fp = model.estimate_fp(st, 60, PriceTick(300));
+  EXPECT_LT(fp, 1.0);
+  // min bid can never be below the live price.
+  auto bid = model.min_bid_for_fp(st, 60, 0.9);
+  if (bid) EXPECT_GE(*bid, st.price);
+}
+
+TEST(ModelEdge, LivePriceBelowTrainedRange) {
+  SpotTrace tr;
+  tr.append(SimTime(0), PriceTick(100));
+  tr.append(SimTime(kHour), PriceTick(120));
+  tr.append(SimTime(2 * kHour), PriceTick(100));
+  ZoneFailureModel model = ZoneFailureModel::train(tr, PriceTick(440));
+  MarketZoneState st;
+  st.zone = 0;
+  st.price = PriceTick(50);
+  st.age_minutes = 0;
+  st.on_demand = PriceTick(440);
+  // Bids between the live price and the lowest state are all-risk in the
+  // model (every state it can occupy is above them)...
+  EXPECT_DOUBLE_EQ(model.out_of_bid_probability(st, 60, PriceTick(60)), 1.0);
+  // ...but a bid covering the trained range is fine.
+  EXPECT_LT(model.estimate_fp(st, 60, PriceTick(120)), 0.05);
+}
+
+TEST(ModelEdge, TerminatePendingInstance) {
+  SpotTrace tr;
+  tr.append(SimTime(0), PriceTick(100));
+  TraceBook book;
+  book.set(0, InstanceKind::kM1Small, std::move(tr));
+  Simulator sim;
+  CloudProvider provider(sim, book, 9);
+  auto id = provider.request_spot(0, InstanceKind::kM1Small, PriceTick(200));
+  ASSERT_NE(id, 0u);
+  sim.run_until(SimTime(30));  // still pending (startup >= 200 s)
+  EXPECT_EQ(provider.record(id).state, InstanceState::kPending);
+  provider.terminate(id);
+  EXPECT_EQ(provider.record(id).state, InstanceState::kTerminated);
+  // One partial hour charged (user termination).
+  EXPECT_EQ(provider.total_charges(), PriceTick(100).money());
+  // The startup-completion event must not resurrect it.
+  sim.run_until(SimTime(800));
+  EXPECT_EQ(provider.record(id).state, InstanceState::kTerminated);
+  EXPECT_FALSE(provider.is_up(id));
+}
+
+TEST(ModelEdge, ZeroAgeVersusStaleAgeDiffer) {
+  // Age conditioning has teeth: a freshly-set price and a long-held price
+  // produce different first-passage estimates on a non-memoryless chain.
+  SemiMarkovChain chain({PriceTick(100), PriceTick(200)});
+  chain.add_transition(0, 1, 2, 0.5);
+  chain.add_transition(0, 1, 120, 0.5);
+  chain.add_transition(1, 0, 5, 1.0);
+  chain.normalize_rows();
+  ZoneFailureModel model(chain, PriceTick(440));
+  MarketZoneState fresh;
+  fresh.zone = 0;
+  fresh.price = PriceTick(100);
+  fresh.age_minutes = 0;
+  fresh.on_demand = PriceTick(440);
+  MarketZoneState stale = fresh;
+  stale.age_minutes = 30;  // survived the 2-minute mode: long regime
+  double fp_fresh = model.estimate_fp(fresh, 20, PriceTick(100));
+  double fp_stale = model.estimate_fp(stale, 20, PriceTick(100));
+  // Fresh: 50% chance of the 2-minute sojourn firing inside the window.
+  EXPECT_GT(fp_fresh, 0.4);
+  // Stale: conditioned into the 120-minute regime; jump is ~90 min away.
+  EXPECT_LT(fp_stale, 0.1);
+}
+
+}  // namespace
+}  // namespace jupiter

@@ -1,0 +1,94 @@
+#include "util/money.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace jupiter {
+namespace {
+
+TEST(Money, DefaultIsZero) {
+  Money m;
+  EXPECT_EQ(m.micros(), 0);
+  EXPECT_TRUE(m.is_zero());
+}
+
+TEST(Money, FromDollarsRoundTrips) {
+  EXPECT_EQ(Money::from_dollars(0.044).micros(), 44'000);
+  EXPECT_EQ(Money::from_dollars(1.0).micros(), 1'000'000);
+  EXPECT_EQ(Money::from_dollars(-0.5).micros(), -500'000);
+  EXPECT_DOUBLE_EQ(Money::from_dollars(0.0071).dollars(), 0.0071);
+}
+
+TEST(Money, Arithmetic) {
+  Money a = Money::from_dollars(1.50);
+  Money b = Money::from_dollars(0.25);
+  EXPECT_EQ((a + b).micros(), 1'750'000);
+  EXPECT_EQ((a - b).micros(), 1'250'000);
+  EXPECT_EQ((a * 3).micros(), 4'500'000);
+  EXPECT_EQ((3 * a).micros(), 4'500'000);
+  EXPECT_EQ((a / 3).micros(), 500'000);
+  EXPECT_EQ((-a).micros(), -1'500'000);
+}
+
+TEST(Money, CompoundAssignment) {
+  Money a = Money::from_dollars(1.0);
+  a += Money::from_dollars(0.5);
+  EXPECT_EQ(a.micros(), 1'500'000);
+  a -= Money::from_dollars(2.0);
+  EXPECT_EQ(a.micros(), -500'000);
+}
+
+TEST(Money, Comparisons) {
+  EXPECT_LT(Money::from_dollars(0.044), Money::from_dollars(0.061));
+  EXPECT_EQ(Money::from_dollars(0.1), Money(100'000));
+  EXPECT_GE(Money::from_dollars(0.2), Money::from_dollars(0.2));
+}
+
+TEST(Money, StringRendering) {
+  EXPECT_EQ(Money::from_dollars(0.0071).str(), "$0.0071");
+  EXPECT_EQ(Money::from_dollars(1293.60).str(), "$1293.6000");
+  EXPECT_EQ(Money::from_dollars(-0.5).str(), "-$0.5000");
+  EXPECT_EQ(Money(0).str(), "$0.0000");
+  // Sub-tick amounts round in rendering only.
+  EXPECT_EQ(Money(49).str(), "$0.0000");
+  EXPECT_EQ(Money(51).str(), "$0.0001");
+}
+
+TEST(Money, StreamOperator) {
+  std::ostringstream os;
+  os << Money::from_dollars(0.044);
+  EXPECT_EQ(os.str(), "$0.0440");
+}
+
+TEST(PriceTick, ConversionRoundTrip) {
+  PriceTick t = PriceTick::from_money(Money::from_dollars(0.0071));
+  EXPECT_EQ(t.value(), 71);
+  EXPECT_EQ(t.money().micros(), 7'100);
+  EXPECT_DOUBLE_EQ(t.dollars(), 0.0071);
+}
+
+TEST(PriceTick, RoundsToNearestTick) {
+  EXPECT_EQ(PriceTick::from_money(Money(149)).value(), 1);
+  EXPECT_EQ(PriceTick::from_money(Money(151)).value(), 2);
+  EXPECT_EQ(PriceTick::from_money(Money(150)).value(), 2);  // half away
+  EXPECT_EQ(PriceTick::from_money(Money(-150)).value(), -2);
+}
+
+TEST(PriceTick, Arithmetic) {
+  PriceTick t(100);
+  EXPECT_EQ((t + 5).value(), 105);
+  EXPECT_EQ((t - 5).value(), 95);
+  PriceTick u = t;
+  ++u;
+  EXPECT_EQ(u.value(), 101);
+  EXPECT_LT(t, u);
+}
+
+TEST(PriceTick, MicrosPerTickIsTenthOfACent) {
+  EXPECT_EQ(kMicrosPerTick, 100);
+  EXPECT_EQ(PriceTick(1).money().micros(), 100);
+}
+
+}  // namespace
+}  // namespace jupiter

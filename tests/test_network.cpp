@@ -1,0 +1,111 @@
+#include "paxos/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jupiter::paxos {
+namespace {
+
+Message ping(NodeId from) {
+  Message m;
+  m.type = MsgType::kHeartbeat;
+  m.from = from;
+  return m;
+}
+
+TEST(SimNetwork, DeliversWithinLatencyBounds) {
+  Simulator sim;
+  SimNetwork::Options opts;
+  opts.min_latency = 2;
+  opts.max_latency = 5;
+  SimNetwork net(sim, 1, opts);
+  std::vector<std::int64_t> arrivals;
+  net.attach(1, [&](const Message&) { arrivals.push_back(sim.now().seconds()); });
+  for (int i = 0; i < 50; ++i) net.send(1, ping(0));
+  sim.run_until(SimTime(100));
+  ASSERT_EQ(arrivals.size(), 50u);
+  for (auto t : arrivals) {
+    EXPECT_GE(t, 2);
+    EXPECT_LE(t, 5);
+  }
+}
+
+TEST(SimNetwork, DownReceiverDropsInFlight) {
+  Simulator sim;
+  SimNetwork::Options opts;
+  opts.min_latency = 5;
+  opts.max_latency = 5;
+  SimNetwork net(sim, 2, opts);
+  int received = 0;
+  net.attach(1, [&](const Message&) { ++received; });
+  net.send(1, ping(0));
+  // Receiver crashes while the message is in flight.
+  sim.schedule_at(SimTime(2), [&] { net.set_up(1, false); });
+  sim.run_until(SimTime(100));
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(net.messages_sent(), 1u);
+  EXPECT_EQ(net.messages_delivered(), 0u);
+}
+
+TEST(SimNetwork, DownSenderCannotSend) {
+  Simulator sim;
+  SimNetwork net(sim, 3);
+  int received = 0;
+  net.attach(1, [&](const Message&) { ++received; });
+  net.set_up(0, false);
+  net.send(1, ping(0));
+  sim.run_until(SimTime(100));
+  EXPECT_EQ(received, 0);
+}
+
+TEST(SimNetwork, DropRateLosesRoughlyThatFraction) {
+  Simulator sim;
+  SimNetwork::Options opts;
+  opts.drop_rate = 0.3;
+  SimNetwork net(sim, 4, opts);
+  int received = 0;
+  net.attach(1, [&](const Message&) { ++received; });
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) net.send(1, ping(0));
+  sim.run_until(SimTime(100));
+  EXPECT_NEAR(static_cast<double>(received) / n, 0.7, 0.03);
+}
+
+TEST(SimNetwork, ValueBytesAccounting) {
+  Simulator sim;
+  SimNetwork net(sim, 5);
+  net.attach(1, [](const Message&) {});
+  Message m = ping(0);
+  m.value.payload.assign(100, 0xFF);
+  PromiseInfo p;
+  p.value.payload.assign(23, 0x01);
+  m.promises.push_back(p);
+  net.send(1, m);
+  EXPECT_EQ(net.value_bytes_sent(), 123u);
+}
+
+TEST(SimNetwork, DetachStopsDelivery) {
+  Simulator sim;
+  SimNetwork net(sim, 6);
+  int received = 0;
+  net.attach(1, [&](const Message&) { ++received; });
+  net.send(1, ping(0));
+  sim.run_until(SimTime(10));
+  EXPECT_EQ(received, 1);
+  net.detach(1);
+  net.send(1, ping(0));
+  sim.run_until(SimTime(20));
+  EXPECT_EQ(received, 1);
+}
+
+TEST(SimNetwork, NodesDefaultUp) {
+  Simulator sim;
+  SimNetwork net(sim, 7);
+  EXPECT_TRUE(net.is_up(42));
+  net.set_up(42, false);
+  EXPECT_FALSE(net.is_up(42));
+  net.set_up(42, true);
+  EXPECT_TRUE(net.is_up(42));
+}
+
+}  // namespace
+}  // namespace jupiter::paxos

@@ -1,0 +1,153 @@
+// Paxos edge cases: config codec, snapshot installs, group-level deadline
+// failures, ballot ordering.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "paxos/group.hpp"
+
+namespace jupiter::paxos {
+namespace {
+
+class NullSm : public StateMachine {
+ public:
+  std::vector<std::uint8_t> apply(
+      const std::vector<std::uint8_t>& command) override {
+    ++applied;
+    return command;
+  }
+  int applied = 0;
+};
+
+TEST(ConfigCodec, RoundTrip) {
+  std::vector<NodeId> members = {0, 3, 7, 12};
+  EXPECT_EQ(decode_config(encode_config(members)), members);
+  EXPECT_TRUE(decode_config(encode_config({})).empty());
+}
+
+TEST(ConfigCodec, RejectsMalformed) {
+  EXPECT_THROW(decode_config({1, 2, 3}), std::invalid_argument);
+  auto bytes = encode_config({1, 2});
+  bytes.pop_back();
+  EXPECT_THROW(decode_config(bytes), std::invalid_argument);
+  // Count larger than the payload.
+  std::vector<std::uint8_t> lying = {5, 0, 0, 0, 1, 0, 0, 0};
+  EXPECT_THROW(decode_config(lying), std::invalid_argument);
+}
+
+TEST(Ballot, LexicographicOrdering) {
+  EXPECT_LT((Ballot{1, 5}), (Ballot{2, 0}));
+  EXPECT_LT((Ballot{2, 0}), (Ballot{2, 1}));
+  EXPECT_EQ((Ballot{3, 3}), (Ballot{3, 3}));
+  EXPECT_FALSE(Ballot{}.valid());
+  EXPECT_TRUE((Ballot{1, 0}).valid());
+  EXPECT_EQ((Ballot{4, 2}).str(), "4.2");
+}
+
+TEST(Replica, InstallSnapshotAppliesInOrder) {
+  Simulator sim;
+  SimNetwork net(sim, 1);
+  NullSm sm;
+  Replica rep(sim, net, 9, {9}, sm, Replica::Options{}, 1);
+  Value v1;
+  v1.kind = ValueKind::kCommand;
+  v1.payload = {1};
+  Value v2;
+  v2.kind = ValueKind::kCommand;
+  v2.payload = {2};
+  rep.install_snapshot({{0, v1}, {1, v2}}, {9});
+  EXPECT_EQ(rep.commit_index(), 2);
+  EXPECT_EQ(sm.applied, 2);
+  // A gap stops the applied prefix.
+  Value v4;
+  v4.kind = ValueKind::kCommand;
+  v4.payload = {4};
+  rep.install_snapshot({{3, v4}}, {9});
+  EXPECT_EQ(rep.commit_index(), 2);
+}
+
+TEST(Replica, SubmitWhenDeadFailsImmediately) {
+  Simulator sim;
+  SimNetwork net(sim, 2);
+  NullSm sm;
+  Replica rep(sim, net, 0, {0, 1, 2}, sm, Replica::Options{}, 3);
+  // Never started: not alive.
+  bool called = false, ok = true;
+  rep.submit({1}, [&](bool o, const std::vector<std::uint8_t>&) {
+    called = true;
+    ok = o;
+  });
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(ok);
+}
+
+TEST(Group, SubmitFailsAfterDeadlineWithoutQuorum) {
+  Simulator sim;
+  SimNetwork net(sim, 3);
+  Group group(
+      sim, net, Replica::Options{},
+      [](NodeId) { return std::make_unique<NullSm>(); }, 4);
+  group.bootstrap(3);
+  sim.run_until(sim.now() + 120);
+  ASSERT_GE(group.leader_id(), 0);
+  // Kill everyone: no leader can serve.
+  for (NodeId id : group.node_ids()) group.crash(id);
+  bool called = false, ok = true;
+  group.submit({1}, [&](bool o, const std::vector<std::uint8_t>&) {
+    called = true;
+    ok = o;
+  }, /*deadline=*/100);
+  sim.run_until(sim.now() + 400);
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(ok);
+}
+
+TEST(Group, AddExistingNodeThrows) {
+  Simulator sim;
+  SimNetwork net(sim, 5);
+  Group group(
+      sim, net, Replica::Options{},
+      [](NodeId) { return std::make_unique<NullSm>(); }, 6);
+  group.bootstrap(3);
+  EXPECT_THROW(group.add_node(0), std::invalid_argument);
+  EXPECT_THROW(group.replica(99), std::out_of_range);
+}
+
+TEST(Group, AddNodeWithoutLeaderFails) {
+  Simulator sim;
+  SimNetwork net(sim, 7);
+  Group group(
+      sim, net, Replica::Options{},
+      [](NodeId) { return std::make_unique<NullSm>(); }, 8);
+  group.bootstrap(3);
+  // No time to elect a leader yet.
+  bool called = false, ok = true;
+  group.add_node(7, [&](bool o, const std::vector<std::uint8_t>&) {
+    called = true;
+    ok = o;
+  });
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(ok);
+}
+
+TEST(QuorumPolicyMath, MajorityAndRsTables) {
+  QuorumPolicy maj;
+  EXPECT_EQ(maj.quorum(1), 1);
+  EXPECT_EQ(maj.quorum(3), 2);
+  EXPECT_EQ(maj.quorum(5), 3);
+  EXPECT_EQ(maj.quorum(7), 4);
+  EXPECT_FALSE(maj.coded());
+  QuorumPolicy rs;
+  rs.kind = QuorumPolicy::Kind::kRsPaxos;
+  rs.rs_m = 3;
+  EXPECT_EQ(rs.quorum(5), 4);
+  EXPECT_EQ(rs.quorum(6), 5);  // ceil((6+3)/2)
+  EXPECT_EQ(rs.quorum(9), 6);
+  // Intersection of any two quorums >= m.
+  for (int n = 3; n <= 12; ++n) {
+    EXPECT_GE(2 * rs.quorum(n) - n, 3) << n;
+  }
+}
+
+}  // namespace
+}  // namespace jupiter::paxos

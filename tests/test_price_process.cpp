@@ -1,0 +1,125 @@
+#include "market/price_process.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace jupiter {
+namespace {
+
+ZoneProfile profile_for(std::size_t idx, std::uint64_t seed = 1) {
+  return draw_zone_profile(idx, PriceTick(440) /* $0.044 */, seed);
+}
+
+TEST(ZoneProfile, DeterministicInIndexAndSeed) {
+  ZoneProfile a = profile_for(3, 42);
+  ZoneProfile b = profile_for(3, 42);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_DOUBLE_EQ(a.base_frac, b.base_frac);
+  ZoneProfile c = profile_for(4, 42);
+  EXPECT_NE(a.seed, c.seed);
+}
+
+TEST(ZoneProfile, ParametersInDocumentedBands) {
+  for (std::size_t i = 0; i < 24; ++i) {
+    ZoneProfile zp = profile_for(i);
+    EXPECT_GE(zp.base_frac, 0.13);
+    EXPECT_LE(zp.base_frac, 0.24);
+    EXPECT_GT(zp.spike_rate, 0.0);
+    EXPECT_GT(zp.mean_sojourn_base, zp.mean_sojourn_spike);
+    EXPECT_TRUE(zp.spike_frac <= 0.85 || zp.spike_frac >= 1.05)
+        << "spike should be clearly sub- or super-on-demand";
+  }
+}
+
+TEST(ZoneProfile, SomeZonesAreSpiky) {
+  int spiky = 0;
+  for (std::size_t i = 0; i < 50; ++i) {
+    if (profile_for(i).spike_frac > 1.0) ++spiky;
+  }
+  // ~20% of zones; allow a wide band for the small sample.
+  EXPECT_GE(spiky, 3);
+  EXPECT_LE(spiky, 20);
+}
+
+TEST(GroundTruthChain, LadderIsStrictlyIncreasingWithSpikeOnTop) {
+  for (std::size_t i = 0; i < 10; ++i) {
+    ZoneProfile zp = profile_for(i);
+    SemiMarkovChain chain = make_ground_truth_chain(zp);
+    ASSERT_GE(chain.state_count(), 2);
+    for (int s = 0; s + 1 < chain.state_count(); ++s) {
+      EXPECT_LT(chain.state_price(s), chain.state_price(s + 1));
+    }
+    // No absorbing states: the market never freezes.
+    for (int s = 0; s < chain.state_count(); ++s) {
+      EXPECT_FALSE(chain.is_absorbing(s));
+      EXPECT_NEAR(chain.row_mass(s), 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(GroundTruthChain, StationaryMassConcentratesLow) {
+  ZoneProfile zp = profile_for(1);
+  SemiMarkovChain chain = make_ground_truth_chain(zp);
+  auto pi = chain.stationary_occupancy();
+  ASSERT_FALSE(pi.empty());
+  double low = 0;
+  for (int s = 0; s < 4; ++s) low += pi[static_cast<std::size_t>(s)];
+  EXPECT_GT(low, 0.6);  // the calm band dominates
+  // Spike occupancy is rare.
+  EXPECT_LT(pi.back(), 0.05);
+}
+
+TEST(GroundTruthChain, MeanPriceNearBaseFraction) {
+  // The long-run average spot price should sit near base_frac of on-demand
+  // (this is what makes ~80% cost reductions possible).
+  for (std::size_t i = 0; i < 8; ++i) {
+    ZoneProfile zp = profile_for(i);
+    SemiMarkovChain chain = make_ground_truth_chain(zp);
+    auto pi = chain.stationary_occupancy();
+    double mean = 0;
+    for (int s = 0; s < chain.state_count(); ++s) {
+      mean += pi[static_cast<std::size_t>(s)] *
+              chain.state_price(s).value();
+    }
+    double od = static_cast<double>(zp.on_demand.value());
+    EXPECT_GT(mean / od, 0.08);
+    EXPECT_LT(mean / od, 0.45);
+  }
+}
+
+TEST(GenerateZoneTrace, DeterministicAndInRange) {
+  ZoneProfile zp = profile_for(2);
+  SpotTrace a = generate_zone_trace(zp, SimTime(0), SimTime(kWeek));
+  SpotTrace b = generate_zone_trace(zp, SimTime(0), SimTime(kWeek));
+  EXPECT_EQ(a.points(), b.points());
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a.start(), SimTime(0));
+  SemiMarkovChain chain = make_ground_truth_chain(zp);
+  PriceTick lo = chain.state_price(0);
+  PriceTick hi = chain.state_price(chain.state_count() - 1);
+  for (const auto& p : a.points()) {
+    EXPECT_GE(p.price, lo);
+    EXPECT_LE(p.price, hi);
+  }
+}
+
+TEST(GenerateZoneTrace, PricesChangeManyTimes) {
+  ZoneProfile zp = profile_for(5);
+  SpotTrace tr = generate_zone_trace(zp, SimTime(0), SimTime(4 * kWeek));
+  // 2014-style markets change many times per day.
+  EXPECT_GT(tr.size(), 100u);
+}
+
+TEST(SojournSupport, SortedPositiveMinutes) {
+  auto sup = sojourn_support();
+  ASSERT_FALSE(sup.empty());
+  EXPECT_EQ(sup.front(), 1);
+  for (std::size_t i = 0; i + 1 < sup.size(); ++i) {
+    EXPECT_LT(sup[i], sup[i + 1]);
+  }
+  EXPECT_LE(sup.back(), kMaxSojournMinutes);
+}
+
+}  // namespace
+}  // namespace jupiter

@@ -1,0 +1,177 @@
+#include "cloud/provider.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace jupiter {
+namespace {
+
+/// Book with one zone (index 0, us-east-1a) whose m1.small price is 100
+/// ticks from t=0, 300 from t=5000, 100 again from t=9000.
+TraceBook make_book() {
+  SpotTrace tr;
+  tr.append(SimTime(0), PriceTick(100));
+  tr.append(SimTime(5000), PriceTick(300));
+  tr.append(SimTime(9000), PriceTick(100));
+  TraceBook book;
+  book.set(0, InstanceKind::kM1Small, std::move(tr));
+  return book;
+}
+
+struct ProviderFixture : ::testing::Test {
+  ProviderFixture() : book(make_book()), provider(sim, book, 42) {}
+  Simulator sim;
+  TraceBook book;
+  CloudProvider provider;
+};
+
+TEST_F(ProviderFixture, SpotPriceTracksTrace) {
+  EXPECT_EQ(provider.spot_price(0, InstanceKind::kM1Small).value(), 100);
+  sim.run_until(SimTime(6000));
+  EXPECT_EQ(provider.spot_price(0, InstanceKind::kM1Small).value(), 300);
+}
+
+TEST_F(ProviderFixture, SpotRequestBelowPriceRejected) {
+  auto id = provider.request_spot(0, InstanceKind::kM1Small, PriceTick(99));
+  EXPECT_EQ(id, 0u);
+}
+
+TEST_F(ProviderFixture, BidAboveCapThrows) {
+  // 4x on-demand for us-east-1 m1.small is $0.176 == 1760 ticks.
+  EXPECT_THROW(
+      provider.request_spot(0, InstanceKind::kM1Small, PriceTick(1761)),
+      std::invalid_argument);
+}
+
+TEST_F(ProviderFixture, StartupThenRunning) {
+  auto id = provider.request_spot(0, InstanceKind::kM1Small, PriceTick(200));
+  ASSERT_NE(id, 0u);
+  EXPECT_EQ(provider.record(id).state, InstanceState::kPending);
+  EXPECT_FALSE(provider.is_up(id));
+  TimeDelta startup = provider.record(id).ready - provider.record(id).launched;
+  EXPECT_GE(startup, 200);
+  EXPECT_LE(startup, 700);
+  sim.run_until(SimTime(700));
+  EXPECT_EQ(provider.record(id).state, InstanceState::kRunning);
+  EXPECT_TRUE(provider.is_up(id));
+}
+
+TEST_F(ProviderFixture, OutOfBidTerminatesAndPartialHourIsFree) {
+  auto id = provider.request_spot(0, InstanceKind::kM1Small, PriceTick(200));
+  sim.run_until(SimTime(6000));
+  EXPECT_EQ(provider.record(id).state, InstanceState::kTerminated);
+  EXPECT_EQ(provider.record(id).reason, TerminationReason::kOutOfBid);
+  EXPECT_EQ(provider.record(id).terminated, SimTime(5000));
+  // One full hour at price 100, the broken partial hour free.
+  EXPECT_EQ(provider.total_charges(), PriceTick(100).money());
+}
+
+TEST_F(ProviderFixture, UserTerminationChargesPartialHour) {
+  auto id = provider.request_spot(0, InstanceKind::kM1Small, PriceTick(400));
+  sim.run_until(SimTime(30 * kMinute));
+  provider.terminate(id);
+  EXPECT_EQ(provider.record(id).reason, TerminationReason::kUser);
+  EXPECT_EQ(provider.total_charges(), PriceTick(100).money());
+  // Terminating twice is a no-op.
+  provider.terminate(id);
+  EXPECT_EQ(provider.total_charges(), PriceTick(100).money());
+}
+
+TEST_F(ProviderFixture, SurvivingInstanceBilledHourlyAtSpot) {
+  auto id = provider.request_spot(0, InstanceKind::kM1Small, PriceTick(400));
+  (void)id;
+  sim.run_until(SimTime(3 * kHour));
+  // Hours: [0,3600) last 100; [3600,7200) last 100 (drops back at 9000?
+  // no: price 300 from 5000, so last in hour2 is 300); [7200,10800): price
+  // 100 from 9000 -> last 100.  Plus the in-progress hour treatment: at
+  // exactly t=3h the third hour just closed.
+  Money expected =
+      PriceTick(100).money() + PriceTick(300).money() + PriceTick(100).money();
+  EXPECT_EQ(provider.total_charges(), expected);
+}
+
+TEST_F(ProviderFixture, OnDemandAlwaysRunsAndBillsCeil) {
+  auto id = provider.launch_on_demand(0, InstanceKind::kM1Small);
+  sim.run_until(SimTime(90 * kMinute));
+  EXPECT_TRUE(provider.is_up(id));
+  provider.terminate(id);
+  EXPECT_EQ(provider.total_charges(), Money::from_dollars(0.044) * 2);
+}
+
+TEST_F(ProviderFixture, ListenerSeesLifecycle) {
+  std::vector<InstanceState> states;
+  provider.subscribe([&](CloudProvider::InstanceId, InstanceState st) {
+    states.push_back(st);
+  });
+  auto id = provider.request_spot(0, InstanceKind::kM1Small, PriceTick(200));
+  (void)id;
+  sim.run_until(SimTime(6000));
+  ASSERT_EQ(states.size(), 2u);
+  EXPECT_EQ(states[0], InstanceState::kRunning);
+  EXPECT_EQ(states[1], InstanceState::kTerminated);
+}
+
+TEST_F(ProviderFixture, LiveInstanceCount) {
+  EXPECT_EQ(provider.live_instance_count(), 0u);
+  provider.request_spot(0, InstanceKind::kM1Small, PriceTick(200));
+  provider.launch_on_demand(0, InstanceKind::kM1Small);
+  EXPECT_EQ(provider.live_instance_count(), 2u);
+  sim.run_until(SimTime(6000));  // spot one dies out-of-bid
+  EXPECT_EQ(provider.live_instance_count(), 1u);
+}
+
+TEST_F(ProviderFixture, UnknownInstanceThrows) {
+  EXPECT_THROW(provider.record(999), std::out_of_range);
+  EXPECT_THROW(provider.terminate(999), std::out_of_range);
+  EXPECT_FALSE(provider.is_up(999));
+}
+
+TEST(ProviderSla, CrashRepairCyclesApproximateSla) {
+  // Long flat trace; SLA failures enabled.  Measure availability of an
+  // on-demand instance over ~2 months of simulated time.
+  SpotTrace tr;
+  tr.append(SimTime(0), PriceTick(100));
+  TraceBook book;
+  book.set(0, InstanceKind::kM1Small, std::move(tr));
+  Simulator sim;
+  SlaFailureConfig sla;
+  sla.enabled = true;
+  CloudProvider provider(sim, book, 7, sla);
+  auto id = provider.launch_on_demand(0, InstanceKind::kM1Small);
+
+  TimeDelta up = 0;
+  SimTime horizon(8 * kWeek);
+  SimTime t(kHour);  // skip startup
+  for (; t < horizon; t += kMinute) {
+    sim.run_until(t);
+    if (provider.is_up(id)) up += kMinute;
+  }
+  double avail =
+      static_cast<double>(up) / static_cast<double>(horizon.seconds() - kHour);
+  EXPECT_NEAR(avail, 0.99, 0.006);  // FP' = 0.01 (§3.1)
+}
+
+TEST(ProviderSla, SpotInstanceAlsoCrashes) {
+  SpotTrace tr;
+  tr.append(SimTime(0), PriceTick(100));
+  TraceBook book;
+  book.set(0, InstanceKind::kM1Small, std::move(tr));
+  Simulator sim;
+  SlaFailureConfig sla;
+  sla.enabled = true;
+  sla.mtbf_seconds = 1800;  // crash fast for the test
+  sla.mttr_seconds = 600;
+  CloudProvider provider(sim, book, 11, sla);
+  auto id = provider.request_spot(0, InstanceKind::kM1Small, PriceTick(200));
+  bool saw_down = false;
+  for (SimTime t(0); t < SimTime(kDay); t += kMinute) {
+    sim.run_until(t);
+    if (provider.record(id).state == InstanceState::kDown) saw_down = true;
+  }
+  EXPECT_TRUE(saw_down);
+  EXPECT_NE(provider.record(id).state, InstanceState::kTerminated);
+}
+
+}  // namespace
+}  // namespace jupiter

@@ -1,0 +1,124 @@
+// Closed-form identities for quorum availability — cheap oracles that pin
+// the Eq. 1 evaluator from independent directions.
+#include <gtest/gtest.h>
+
+#include "quorum/availability.hpp"
+#include "util/rng.hpp"
+
+namespace jupiter {
+namespace {
+
+std::vector<double> random_fp(Rng& rng, int n, double lo = 0.0,
+                              double hi = 1.0) {
+  std::vector<double> fp;
+  for (int i = 0; i < n; ++i) fp.push_back(rng.uniform(lo, hi));
+  return fp;
+}
+
+// threshold(n, 1): the service lives iff anyone lives -> 1 - prod(p_i).
+TEST(QuorumIdentities, AnyoneAliveSystem) {
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto fp = random_fp(rng, 5);
+    double prod = 1;
+    for (double p : fp) prod *= p;
+    EXPECT_NEAR(availability(AcceptanceSet::threshold(5, 1), fp), 1 - prod,
+                1e-12);
+  }
+}
+
+// threshold(n, n): everyone must live -> prod(1 - p_i).
+TEST(QuorumIdentities, EveryoneAliveSystem) {
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto fp = random_fp(rng, 4);
+    double prod = 1;
+    for (double p : fp) prod *= (1 - p);
+    EXPECT_NEAR(availability(AcceptanceSet::threshold(4, 4), fp), prod,
+                1e-12);
+  }
+}
+
+// Complement symmetry of majorities over odd n: A(p) + A(1-p) == 1, since
+// "at least k of 2k-1 alive" and "at least k of 2k-1 dead" partition.
+TEST(QuorumIdentities, MajorityComplementSymmetry) {
+  Rng rng(3);
+  for (int n : {3, 5, 7}) {
+    auto fp = random_fp(rng, n);
+    std::vector<double> flipped;
+    for (double p : fp) flipped.push_back(1 - p);
+    AcceptanceSet maj = AcceptanceSet::majority(n);
+    EXPECT_NEAR(availability(maj, fp) + availability(maj, flipped), 1.0,
+                1e-12)
+        << n;
+  }
+}
+
+// Monotonicity: lowering any node's failure probability never hurts.
+TEST(QuorumIdentities, MonotoneInNodeReliability) {
+  Rng rng(4);
+  for (const auto& sys :
+       {AcceptanceSet::majority(5), AcceptanceSet::threshold(5, 4),
+        AcceptanceSet::monarchy(5, 2)}) {
+    auto fp = random_fp(rng, 5, 0.05, 0.95);
+    double before = availability(sys, fp);
+    for (int i = 0; i < 5; ++i) {
+      auto better = fp;
+      better[static_cast<std::size_t>(i)] *= 0.5;
+      EXPECT_GE(availability(sys, better) + 1e-12, before);
+    }
+  }
+}
+
+// Larger quorums never increase availability (fewer accepted sets).
+TEST(QuorumIdentities, ThresholdMonotoneInQuorumSize) {
+  Rng rng(5);
+  auto fp = random_fp(rng, 6, 0.0, 0.6);
+  double prev = 1.1;
+  for (int q = 1; q <= 6; ++q) {
+    double a = availability(AcceptanceSet::threshold(6, q), fp);
+    EXPECT_LE(a, prev + 1e-12);
+    prev = a;
+  }
+}
+
+// Adding a 7th and 8th... adding two nodes to a majority system with the
+// same p improves availability iff p < 1/2 (classic replication folklore).
+TEST(QuorumIdentities, GrowingMajorityHelpsIffReliable) {
+  for (double p : {0.01, 0.1, 0.3}) {
+    double five = availability_equal(5, 2, p);
+    double seven = availability_equal(7, 3, p);
+    EXPECT_GT(seven, five) << p;
+  }
+  for (double p : {0.6, 0.8}) {
+    double five = availability_equal(5, 2, p);
+    double seven = availability_equal(7, 3, p);
+    EXPECT_LT(seven, five) << p;
+  }
+}
+
+// The Eq. 1 evaluator and the Poisson-binomial DP agree on every threshold
+// system with heterogeneous probabilities (cross-implementation oracle).
+TEST(QuorumIdentities, DpMatchesEq1Everywhere) {
+  Rng rng(6);
+  for (int trial = 0; trial < 5; ++trial) {
+    auto fp = random_fp(rng, 7);
+    for (int tol = 0; tol < 7; ++tol) {
+      EXPECT_NEAR(availability_tolerate(fp, tol),
+                  availability(AcceptanceSet::threshold(7, 7 - tol), fp),
+                  1e-12);
+    }
+  }
+}
+
+// Weighted system with one dominating weight behaves as a monarchy.
+TEST(QuorumIdentities, DominatingWeightIsMonarchy) {
+  double w[] = {10, 1, 1, 1, 1};
+  Rng rng(7);
+  auto fp = random_fp(rng, 5);
+  EXPECT_NEAR(availability(AcceptanceSet::weighted(w), fp),
+              availability(AcceptanceSet::monarchy(5, 0), fp), 1e-12);
+}
+
+}  // namespace
+}  // namespace jupiter

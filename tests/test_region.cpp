@@ -1,0 +1,81 @@
+#include "cloud/region.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace jupiter {
+namespace {
+
+TEST(Regions, Table1Counts) {
+  const auto& regions = ec2_regions();
+  ASSERT_EQ(regions.size(), 9u);  // Table 1 rows
+  int total_azs = 0;
+  for (const auto& r : regions) total_azs += r.az_count;
+  EXPECT_EQ(total_azs, 24);  // 4+3+3+3+2+2+3+2+2
+}
+
+TEST(Regions, Table1SpecificRows) {
+  const auto& regions = ec2_regions();
+  EXPECT_EQ(regions[0].name, "us-east-1");
+  EXPECT_EQ(regions[0].location, "Virginia");
+  EXPECT_EQ(regions[0].az_count, 4);
+  EXPECT_EQ(regions[8].name, "sa-east-1");
+  EXPECT_EQ(regions[8].location, "Sao Paulo");
+  EXPECT_EQ(regions[8].az_count, 2);
+}
+
+TEST(Zones, FlattenedNamesAndOrder) {
+  const auto& zones = all_zones();
+  ASSERT_EQ(zones.size(), 24u);
+  EXPECT_EQ(zones[0].name, "us-east-1a");
+  EXPECT_EQ(zones[3].name, "us-east-1d");
+  EXPECT_EQ(zones[4].name, "us-west-2a");
+  EXPECT_EQ(zones[23].name, "sa-east-1b");
+}
+
+TEST(Zones, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& z : all_zones()) names.insert(z.name);
+  EXPECT_EQ(names.size(), 24u);
+}
+
+TEST(Zones, LookupByName) {
+  EXPECT_EQ(zone_index_by_name("us-east-1a"), 0);
+  EXPECT_EQ(zone_index_by_name("sa-east-1b"), 23);
+  EXPECT_EQ(zone_index_by_name("mars-central-1a"), -1);
+}
+
+TEST(ExperimentZones, SeventeenDistinctValidZones) {
+  const auto& subset = experiment_zone_indices();
+  ASSERT_EQ(subset.size(), 17u);  // §5.2
+  std::set<int> uniq(subset.begin(), subset.end());
+  EXPECT_EQ(uniq.size(), 17u);
+  for (int z : subset) {
+    EXPECT_GE(z, 0);
+    EXPECT_LT(z, 24);
+  }
+}
+
+TEST(ExperimentZones, AtMostOnePerAzAndSpreadAcrossRegions) {
+  const auto& subset = experiment_zone_indices();
+  std::set<int> regions;
+  for (int z : subset) {
+    regions.insert(all_zones()[static_cast<std::size_t>(z)].region);
+  }
+  // Every region contributes at least one zone.
+  EXPECT_EQ(regions.size(), 9u);
+}
+
+TEST(Startup, RegionMeansInMaoHumphreyBand) {
+  for (int r = 0; r < 9; ++r) {
+    double mean = region_startup_mean_seconds(r);
+    EXPECT_GE(mean, 200.0);
+    EXPECT_LE(mean, 700.0);
+  }
+  EXPECT_THROW(region_startup_mean_seconds(9), std::out_of_range);
+  EXPECT_THROW(region_startup_mean_seconds(-1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace jupiter

@@ -1,0 +1,130 @@
+// Replay-engine edge cases: partial final intervals, bid-below-price
+// relaunches, on-demand/spot mixes, and holdings surviving many intervals.
+#include <gtest/gtest.h>
+
+#include "replay/replay_engine.hpp"
+
+namespace jupiter {
+namespace {
+
+class FixedStrategy : public BiddingStrategy {
+ public:
+  explicit FixedStrategy(StrategyDecision d) : d_(std::move(d)) {}
+  std::string name() const override { return "fixed"; }
+  StrategyDecision decide(const MarketSnapshot&, SimTime,
+                          const std::vector<ZoneBid>&) override {
+    return d_;
+  }
+
+ private:
+  StrategyDecision d_;
+};
+
+TraceBook flat_book(int price) {
+  SpotTrace tr;
+  tr.append(SimTime(0), PriceTick(price));
+  TraceBook book;
+  book.set(0, InstanceKind::kM1Small, std::move(tr));
+  return book;
+}
+
+ReplayConfig base_config(TimeDelta interval, TimeDelta duration) {
+  ReplayConfig cfg;
+  cfg.spec = ServiceSpec::lock_service();
+  cfg.spec.baseline_nodes = 1;
+  cfg.interval = interval;
+  cfg.replay_start = SimTime(0);
+  cfg.replay_end = SimTime(duration);
+  cfg.zones = {0};
+  return cfg;
+}
+
+TEST(ReplayEdge, PartialFinalIntervalBillsAndMeasures) {
+  TraceBook book = flat_book(100);
+  StrategyDecision d;
+  d.spot_bids = {{0, PriceTick(200)}};
+  FixedStrategy strat(d);
+  // 2.5 hours with 1 h intervals: the last interval is half-length.
+  ReplayConfig cfg = base_config(kHour, 2 * kHour + 30 * kMinute);
+  ReplayResult r = replay_strategy(book, strat, cfg);
+  EXPECT_EQ(r.decisions, 3);
+  EXPECT_EQ(r.elapsed, 2 * kHour + 30 * kMinute);
+  // Same instance throughout: 2 full hours + partial user-terminated hour.
+  EXPECT_EQ(r.cost, PriceTick(100).money() * 3);
+  EXPECT_EQ(r.downtime, 0);
+}
+
+TEST(ReplayEdge, IntervalLongerThanReplayWindow) {
+  TraceBook book = flat_book(100);
+  StrategyDecision d;
+  d.spot_bids = {{0, PriceTick(200)}};
+  FixedStrategy strat(d);
+  ReplayConfig cfg = base_config(12 * kHour, 2 * kHour);
+  ReplayResult r = replay_strategy(book, strat, cfg);
+  EXPECT_EQ(r.decisions, 1);
+  EXPECT_EQ(r.cost, PriceTick(100).money() * 2);
+}
+
+TEST(ReplayEdge, MixedSpotAndOnDemand) {
+  TraceBook book = flat_book(100);
+  StrategyDecision d;
+  d.spot_bids = {{0, PriceTick(200)}};
+  d.on_demand_zones = {0};
+  FixedStrategy strat(d);
+  ReplayConfig cfg = base_config(kHour, 2 * kHour);
+  cfg.spec.baseline_nodes = 2;
+  ReplayResult r = replay_strategy(book, strat, cfg);
+  EXPECT_EQ(r.instances_launched, 2);
+  EXPECT_DOUBLE_EQ(r.mean_nodes, 2.0);
+  EXPECT_EQ(r.cost, PriceTick(100).money() * 2 +  // spot
+                        Money::from_dollars(0.044) * 2);  // on-demand
+}
+
+TEST(ReplayEdge, PersistentUnderwaterBidNeverLaunches) {
+  TraceBook book = flat_book(100);
+  StrategyDecision d;
+  d.spot_bids = {{0, PriceTick(10)}};
+  FixedStrategy strat(d);
+  ReplayConfig cfg = base_config(kHour, 5 * kHour);
+  ReplayResult r = replay_strategy(book, strat, cfg);
+  EXPECT_EQ(r.instances_launched, 5);  // one doomed request per interval
+  EXPECT_TRUE(r.cost.is_zero());
+  EXPECT_DOUBLE_EQ(r.availability(), 0.0);
+  EXPECT_EQ(r.out_of_bid_events, 0);  // never ran, so never *terminated*
+}
+
+TEST(ReplayEdge, HoldingSurvivesManyIntervalsSingleInstance) {
+  TraceBook book = flat_book(100);
+  StrategyDecision d;
+  d.spot_bids = {{0, PriceTick(200)}};
+  FixedStrategy strat(d);
+  ReplayConfig cfg = base_config(kHour, 48 * kHour);
+  ReplayResult r = replay_strategy(book, strat, cfg);
+  EXPECT_EQ(r.instances_launched, 1);
+  EXPECT_EQ(r.cost, PriceTick(100).money() * 48);
+}
+
+TEST(ReplayEdge, SeedChangesStartupDrawsOnly) {
+  // With startup accounting on and mid-replay replacements, different seeds
+  // may shift ready times but never billing (launch times are seed-free).
+  SpotTrace tr;
+  tr.append(SimTime(0), PriceTick(100));
+  tr.append(SimTime(90 * kMinute), PriceTick(300));
+  tr.append(SimTime(100 * kMinute), PriceTick(100));
+  TraceBook book;
+  book.set(0, InstanceKind::kM1Small, std::move(tr));
+  StrategyDecision d;
+  d.spot_bids = {{0, PriceTick(200)}};
+  ReplayConfig cfg = base_config(kHour, 6 * kHour);
+  cfg.seed = 1;
+  FixedStrategy s1(d);
+  ReplayResult r1 = replay_strategy(book, s1, cfg);
+  cfg.seed = 2;
+  FixedStrategy s2(d);
+  ReplayResult r2 = replay_strategy(book, s2, cfg);
+  EXPECT_EQ(r1.cost, r2.cost);
+  EXPECT_EQ(r1.out_of_bid_events, r2.out_of_bid_events);
+}
+
+}  // namespace
+}  // namespace jupiter

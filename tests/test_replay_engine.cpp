@@ -1,0 +1,212 @@
+#include "replay/replay_engine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jupiter {
+namespace {
+
+/// Strategy that replays a fixed script of decisions (one per interval).
+class ScriptedStrategy : public BiddingStrategy {
+ public:
+  explicit ScriptedStrategy(std::vector<StrategyDecision> script)
+      : script_(std::move(script)) {}
+  std::string name() const override { return "Scripted"; }
+  StrategyDecision decide(const MarketSnapshot&, SimTime,
+                          const std::vector<ZoneBid>&) override {
+    if (calls_ < script_.size()) return script_[calls_++];
+    ++calls_;
+    return script_.back();
+  }
+  std::size_t calls() const { return calls_; }
+
+ private:
+  std::vector<StrategyDecision> script_;
+  std::size_t calls_ = 0;
+};
+
+StrategyDecision spot_decision(std::vector<ZoneBid> bids) {
+  StrategyDecision d;
+  d.spot_bids = std::move(bids);
+  return d;
+}
+
+/// One flat-price zone (zone 0, 100 ticks).
+TraceBook flat_book(int price = 100) {
+  SpotTrace tr;
+  tr.append(SimTime(0), PriceTick(price));
+  TraceBook book;
+  book.set(0, InstanceKind::kM1Small, std::move(tr));
+  return book;
+}
+
+ReplayConfig config_for(std::vector<int> zones, TimeDelta interval,
+                        TimeDelta duration) {
+  ReplayConfig cfg;
+  cfg.spec = ServiceSpec::lock_service();
+  cfg.spec.baseline_nodes = 1;
+  cfg.interval = interval;
+  cfg.replay_start = SimTime(0);
+  cfg.replay_end = SimTime(duration);
+  cfg.zones = std::move(zones);
+  return cfg;
+}
+
+TEST(ReplayEngine, SteadySingleInstanceCost) {
+  TraceBook book = flat_book(100);
+  // One node, same bid every hour, for 3 hours: one instance, 3 hours at
+  // the spot price.
+  ScriptedStrategy strat(
+      {spot_decision({{0, PriceTick(150)}})});
+  ReplayConfig cfg = config_for({0}, kHour, 3 * kHour);
+  ReplayResult r = replay_strategy(book, strat, cfg);
+  EXPECT_EQ(r.decisions, 3);
+  EXPECT_EQ(r.instances_launched, 1);
+  EXPECT_EQ(r.cost, PriceTick(100).money() * 3);
+  EXPECT_EQ(r.downtime, 0);
+  EXPECT_DOUBLE_EQ(r.availability(), 1.0);
+  EXPECT_DOUBLE_EQ(r.mean_nodes, 1.0);
+}
+
+TEST(ReplayEngine, BidChangeCausesReplacementCharge) {
+  TraceBook book = flat_book(100);
+  // Bid changes at the second interval: the first instance is terminated by
+  // the user at the boundary; its 1 partial+complete hours charged, and the
+  // replacement launches 700 s early (overlap hour billed too).
+  ScriptedStrategy strat({spot_decision({{0, PriceTick(150)}}),
+                          spot_decision({{0, PriceTick(160)}}),
+                          spot_decision({{0, PriceTick(160)}})});
+  ReplayConfig cfg = config_for({0}, kHour, 3 * kHour);
+  ReplayResult r = replay_strategy(book, strat, cfg);
+  EXPECT_EQ(r.instances_launched, 2);
+  // Instance A: [0, 3600) user-terminated -> 1 hour.  Instance B: launches
+  // at 3600-700 = 2900, runs to 10800: 7900 s -> 3 hours charged.
+  EXPECT_EQ(r.cost, PriceTick(100).money() * 4);
+  EXPECT_EQ(r.downtime, 0);  // replacement was pre-launched
+}
+
+TEST(ReplayEngine, OutOfBidCreatesDowntimeUntilNextBoundary) {
+  // Price jumps above the bid 30 minutes into hour 1 and stays there until
+  // minute 90, dropping before the second decision.
+  SpotTrace tr;
+  tr.append(SimTime(0), PriceTick(100));
+  tr.append(SimTime(30 * kMinute), PriceTick(300));
+  tr.append(SimTime(90 * kMinute), PriceTick(100));
+  TraceBook book;
+  book.set(0, InstanceKind::kM1Small, std::move(tr));
+
+  ScriptedStrategy strat({spot_decision({{0, PriceTick(150)}})});
+  ReplayConfig cfg = config_for({0}, kHour, 2 * kHour);
+  ReplayResult r = replay_strategy(book, strat, cfg);
+  // Node dead from 1800 s to the next boundary at 3600 s; the relaunch at
+  // 3600-700=2900 is still underwater (price 300 > 150) — never runs — so
+  // hour 2 is fully dark... wait: at decide time 2900 the price is 300, the
+  // instance never launches, and the whole second hour is downtime too.
+  EXPECT_EQ(r.out_of_bid_events, 1);
+  EXPECT_EQ(r.downtime, (30 + 60) * kMinute);
+  // Charges: the out-of-bid partial hour is free.
+  EXPECT_EQ(r.cost, Money(0));
+}
+
+TEST(ReplayEngine, RelaunchAfterPriceRecovers) {
+  // Same shape, but the price recovers before the pre-launch instant.
+  SpotTrace tr;
+  tr.append(SimTime(0), PriceTick(100));
+  tr.append(SimTime(30 * kMinute), PriceTick(300));
+  tr.append(SimTime(45 * kMinute), PriceTick(100));
+  TraceBook book;
+  book.set(0, InstanceKind::kM1Small, std::move(tr));
+
+  ScriptedStrategy strat({spot_decision({{0, PriceTick(150)}})});
+  ReplayConfig cfg = config_for({0}, kHour, 2 * kHour);
+  cfg.account_startup = false;  // isolate the out-of-bid downtime
+  ReplayResult r = replay_strategy(book, strat, cfg);
+  EXPECT_EQ(r.instances_launched, 2);
+  EXPECT_EQ(r.out_of_bid_events, 1);
+  // Downtime only [1800, 3600): the replacement launched at 2900 is ready
+  // by the boundary (startup disabled) and joins at 3600.
+  EXPECT_EQ(r.downtime, 30 * kMinute);
+  // Replacement billing: launched 2900, runs to 7200: 4300 s -> 2 hours.
+  EXPECT_EQ(r.cost, PriceTick(100).money() * 2);
+}
+
+TEST(ReplayEngine, QuorumMathAcrossZones) {
+  // Three zones; zone 2's price spikes permanently mid-replay, killing one
+  // node.  Majority of 3 = 2, so the service stays up.
+  TraceBook book;
+  SpotTrace flat;
+  flat.append(SimTime(0), PriceTick(100));
+  book.set(0, InstanceKind::kM1Small, flat);
+  book.set(1, InstanceKind::kM1Small, flat);
+  SpotTrace spiky;
+  spiky.append(SimTime(0), PriceTick(100));
+  spiky.append(SimTime(90 * kMinute), PriceTick(999));
+  book.set(2, InstanceKind::kM1Small, std::move(spiky));
+
+  ScriptedStrategy strat({spot_decision(
+      {{0, PriceTick(150)}, {1, PriceTick(150)}, {2, PriceTick(150)}})});
+  ReplayConfig cfg = config_for({0, 1, 2}, kHour, 3 * kHour);
+  cfg.spec.baseline_nodes = 3;
+  ReplayResult r = replay_strategy(book, strat, cfg);
+  EXPECT_EQ(r.downtime, 0);
+  EXPECT_GE(r.out_of_bid_events, 1);
+  EXPECT_DOUBLE_EQ(r.mean_nodes, 3.0);
+}
+
+TEST(ReplayEngine, AllNodesDownIsFullDowntime) {
+  TraceBook book = flat_book(100);
+  // Bid below the price: instance never runs.
+  ScriptedStrategy strat({spot_decision({{0, PriceTick(50)}})});
+  ReplayConfig cfg = config_for({0}, kHour, 2 * kHour);
+  ReplayResult r = replay_strategy(book, strat, cfg);
+  EXPECT_EQ(r.downtime, 2 * kHour);
+  EXPECT_DOUBLE_EQ(r.availability(), 0.0);
+  EXPECT_TRUE(r.cost.is_zero());
+}
+
+TEST(ReplayEngine, EmptyDecisionCountsAsDowntime) {
+  TraceBook book = flat_book(100);
+  ScriptedStrategy strat({StrategyDecision{}});
+  ReplayConfig cfg = config_for({0}, kHour, kHour);
+  ReplayResult r = replay_strategy(book, strat, cfg);
+  EXPECT_EQ(r.downtime, kHour);
+}
+
+TEST(ReplayEngine, OnDemandNodesBillCeilHours) {
+  TraceBook book = flat_book(100);
+  StrategyDecision d;
+  d.on_demand_zones = {0};
+  ScriptedStrategy strat({d});
+  ReplayConfig cfg = config_for({0}, kHour, 2 * kHour + 30 * kMinute);
+  ReplayResult r = replay_strategy(book, strat, cfg);
+  EXPECT_EQ(r.downtime, 0);
+  // us-east-1 m1.small: $0.044/h, 2.5 h -> 3 hours billed.
+  EXPECT_EQ(r.cost, Money::from_dollars(0.044) * 3);
+}
+
+TEST(ReplayEngine, StartupCountsWithinLaterIntervals) {
+  TraceBook book = flat_book(100);
+  // Switch zone... only one zone; change bid each interval to force a
+  // replacement; startup is drawn in [200, 700] but the pre-launch lead of
+  // 700 s always covers it: no downtime.
+  ScriptedStrategy strat({spot_decision({{0, PriceTick(150)}}),
+                          spot_decision({{0, PriceTick(151)}}),
+                          spot_decision({{0, PriceTick(152)}})});
+  ReplayConfig cfg = config_for({0}, kHour, 3 * kHour);
+  cfg.account_startup = true;
+  ReplayResult r = replay_strategy(book, strat, cfg);
+  EXPECT_EQ(r.downtime, 0);
+  EXPECT_EQ(r.instances_launched, 3);
+}
+
+TEST(ReplayEngine, MeanNodesAveragesAcrossIntervals) {
+  TraceBook book = flat_book(100);
+  ScriptedStrategy strat({spot_decision({{0, PriceTick(150)}}),
+                          StrategyDecision{},
+                          spot_decision({{0, PriceTick(150)}})});
+  ReplayConfig cfg = config_for({0}, kHour, 3 * kHour);
+  ReplayResult r = replay_strategy(book, strat, cfg);
+  EXPECT_NEAR(r.mean_nodes, 2.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace jupiter

@@ -1,0 +1,91 @@
+#include "replay/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace jupiter {
+namespace {
+
+std::vector<SweepCell> sample_cells() {
+  ReplayResult a;
+  a.cost = Money::from_dollars(77.30);
+  a.downtime = 0;
+  a.elapsed = 11 * kWeek;
+  ReplayResult b;
+  b.cost = Money::from_dollars(58.44);
+  b.downtime = 8 * kHour;
+  b.elapsed = 11 * kWeek;
+  b.out_of_bid_events = 300;
+  return {
+      SweepCell{"Jupiter", kHour, a},
+      SweepCell{"Jupiter", 6 * kHour, a},
+      SweepCell{"Extra(0,0.2)", kHour, b},
+      SweepCell{"Extra(0,0.2)", 6 * kHour, b},
+  };
+}
+
+TEST(Report, Percent) {
+  EXPECT_EQ(percent(0.8123), "81.23%");
+  EXPECT_EQ(percent(1.0, 0), "100%");
+  EXPECT_EQ(percent(0.005, 1), "0.5%");
+}
+
+TEST(Report, CostSweepContainsAllCells) {
+  std::ostringstream os;
+  print_cost_sweep(os, "Figure 6", sample_cells(),
+                   Money::from_dollars(406.56));
+  std::string out = os.str();
+  EXPECT_NE(out.find("Figure 6"), std::string::npos);
+  EXPECT_NE(out.find("Jupiter"), std::string::npos);
+  EXPECT_NE(out.find("Extra(0,0.2)"), std::string::npos);
+  EXPECT_NE(out.find("$77.3000"), std::string::npos);
+  EXPECT_NE(out.find("$406.5600"), std::string::npos);
+  EXPECT_NE(out.find("1h"), std::string::npos);
+  EXPECT_NE(out.find("6h"), std::string::npos);
+}
+
+TEST(Report, AvailabilitySweepShowsDowntime) {
+  std::ostringstream os;
+  print_availability_sweep(os, "Figure 7", sample_cells());
+  std::string out = os.str();
+  EXPECT_NE(out.find("1.000000"), std::string::npos);   // Jupiter
+  EXPECT_NE(out.find("0.995671"), std::string::npos);   // 8h / 11 weeks
+}
+
+TEST(Report, FeasibilityTable) {
+  std::ostringstream os;
+  print_feasibility(os, {FeasibilityBar{"lock-service", "Jupiter",
+                                        Money::from_dollars(6.91), 1.0}});
+  std::string out = os.str();
+  EXPECT_NE(out.find("lock-service"), std::string::npos);
+  EXPECT_NE(out.find("$6.9100"), std::string::npos);
+}
+
+TEST(Report, CsvRoundTripsThroughReader) {
+  std::ostringstream os;
+  sweep_to_csv(os, sample_cells());
+  std::istringstream is(os.str());
+  auto rows = read_csv(is);
+  ASSERT_EQ(rows.size(), 5u);  // header + 4 cells
+  EXPECT_EQ(rows[0][0], "strategy");
+  EXPECT_EQ(rows[1][0], "Jupiter");
+  EXPECT_EQ(rows[1][1], "1");
+  // availability column parses as a number in [0, 1].
+  double avail = std::stod(rows[3][3]);
+  EXPECT_GT(avail, 0.99);
+  EXPECT_LT(avail, 1.0);
+}
+
+TEST(Report, MissingCellsRenderDash) {
+  std::vector<SweepCell> cells = sample_cells();
+  cells.pop_back();  // Extra has no 6h cell now
+  std::ostringstream os;
+  print_cost_sweep(os, "t", cells, Money(0));
+  EXPECT_NE(os.str().find('-'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jupiter

@@ -1,0 +1,148 @@
+// Larger deployments: 7-node clusters for both protocols, matching the
+// paper's observation that Paxos groups are "usually 5 or 7" and that
+// performance scales by running multiple groups.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "paxos/group.hpp"
+#include "storage/kv_store.hpp"
+
+namespace jupiter::paxos {
+namespace {
+
+struct SevenNodeCluster {
+  explicit SevenNodeCluster(QuorumPolicy policy, std::uint64_t seed)
+      : net(sim, seed) {
+    Replica::Options opts;
+    opts.policy = policy;
+    group = std::make_unique<Group>(
+        sim, net, opts,
+        [this](NodeId id) {
+          auto sm = std::make_unique<storage::KvStoreState>();
+          sms[id] = sm.get();
+          return sm;
+        },
+        seed + 1);
+    group->bootstrap(7);
+    sim.run_until(sim.now() + 300);
+  }
+
+  NodeId leader() {
+    SimTime deadline = sim.now() + 600;
+    while (sim.now() < deadline) {
+      if (NodeId l = group->leader_id(); l >= 0) return l;
+      sim.run_until(sim.now() + 5);
+    }
+    return group->leader_id();
+  }
+
+  bool put(const std::string& key, const std::string& value) {
+    storage::KvClient client(*group);
+    bool ok = false;
+    client.put(key, {value.begin(), value.end()},
+               [&ok](storage::KvResponse r) {
+                 ok = r.status == storage::KvStatus::kOk;
+               });
+    sim.run_until(sim.now() + 300);
+    return ok;
+  }
+
+  void crash_followers(int count) {
+    NodeId lead = group->leader_id();
+    int crashed = 0;
+    for (NodeId id : group->node_ids()) {
+      if (id != lead && crashed < count && group->replica(id).alive()) {
+        group->crash(id);
+        ++crashed;
+      }
+    }
+  }
+
+  Simulator sim;
+  SimNetwork net;
+  std::map<NodeId, storage::KvStoreState*> sms;
+  std::unique_ptr<Group> group;
+};
+
+TEST(SevenNodes, ClassicToleratesThreeFailures) {
+  SevenNodeCluster c(QuorumPolicy{}, 501);
+  ASSERT_GE(c.leader(), 0);
+  c.crash_followers(3);
+  EXPECT_TRUE(c.put("k", "with-4-of-7"));
+  c.crash_followers(1);  // fourth failure: below majority
+  EXPECT_FALSE(c.put("k2", "with-3-of-7"));
+}
+
+TEST(SevenNodes, RsPaxos37ToleratesTwoFailures) {
+  QuorumPolicy rs;
+  rs.kind = QuorumPolicy::Kind::kRsPaxos;
+  rs.rs_m = 3;
+  ASSERT_EQ(rs.quorum(7), 5);  // ceil((7+3)/2)
+  SevenNodeCluster c(rs, 502);
+  ASSERT_GE(c.leader(), 0);
+  c.crash_followers(2);
+  EXPECT_TRUE(c.put("k", "with-5-of-7"));
+  c.crash_followers(1);  // third failure: below the RS quorum
+  EXPECT_FALSE(c.put("k2", "with-4-of-7"));
+}
+
+TEST(SevenNodes, RsPaxos37ChunksAreSevenths) {
+  QuorumPolicy rs;
+  rs.kind = QuorumPolicy::Kind::kRsPaxos;
+  rs.rs_m = 3;
+  SevenNodeCluster c(rs, 503);
+  NodeId lead = c.leader();
+  ASSERT_GE(lead, 0);
+  std::string big(3000, 'x');
+  ASSERT_TRUE(c.put("big", big));
+  for (NodeId id : c.group->node_ids()) {
+    if (id == lead) continue;
+    ASSERT_GE(c.sms[id]->chunk_count(), 1u);
+    // theta(3,7): chunk ~ size/3 regardless of n.
+    EXPECT_LT(c.sms[id]->chunk_bytes(), big.size() / 2);
+  }
+  // Any 3 of the followers rebuild the store.
+  std::vector<const storage::KvStoreState*> followers;
+  for (NodeId id : c.group->node_ids()) {
+    if (id != lead && followers.size() < 3) followers.push_back(c.sms[id]);
+  }
+  storage::KvStoreState out;
+  EXPECT_EQ(storage::KvStoreState::reconstruct_into(followers, 3, out), 1u);
+  EXPECT_TRUE(out.get("big").has_value());
+}
+
+TEST(MultiGroup, IndependentGroupsShareNothing) {
+  // "Performance requirements can be satisfied by launching multiple Paxos
+  // groups" (§3.2): two groups on disjoint node ids over one network.
+  Simulator sim;
+  SimNetwork net(sim, 504);
+  auto factory = [](NodeId) {
+    return std::make_unique<storage::KvStoreState>();
+  };
+  Group g1(sim, net, Replica::Options{}, factory, 505);
+  g1.bootstrap(3);  // nodes 0..2
+  // Second group with manually offset ids via add-node-style construction
+  // is not supported by bootstrap; emulate with another network instead.
+  SimNetwork net2(sim, 506);
+  Group g2(sim, net2, Replica::Options{}, factory, 507);
+  g2.bootstrap(3);
+  sim.run_until(sim.now() + 300);
+  ASSERT_GE(g1.leader_id(), 0);
+  ASSERT_GE(g2.leader_id(), 0);
+
+  storage::KvClient c1(g1), c2(g2);
+  bool ok1 = false, ok2 = false;
+  c1.put("k", {1}, [&](storage::KvResponse r) {
+    ok1 = r.status == storage::KvStatus::kOk;
+  });
+  c2.put("k", {2}, [&](storage::KvResponse r) {
+    ok2 = r.status == storage::KvStatus::kOk;
+  });
+  sim.run_until(sim.now() + 300);
+  EXPECT_TRUE(ok1);
+  EXPECT_TRUE(ok2);
+}
+
+}  // namespace
+}  // namespace jupiter::paxos

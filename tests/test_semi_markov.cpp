@@ -1,0 +1,341 @@
+#include "market/semi_markov.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "market/price_process.hpp"
+
+namespace jupiter {
+namespace {
+
+/// Two-state chain: cheap (price 10) <-> expensive (price 20), with
+/// deterministic or mixed sojourns — small enough to verify by hand.
+SemiMarkovChain two_state(int k_up = 5, int k_down = 3) {
+  SemiMarkovChain chain({PriceTick(10), PriceTick(20)});
+  chain.add_transition(0, 1, k_up, 1.0);
+  chain.add_transition(1, 0, k_down, 1.0);
+  chain.normalize_rows();
+  return chain;
+}
+
+TEST(SemiMarkov, StateSpaceSortedUnique) {
+  SemiMarkovChain chain({PriceTick(30), PriceTick(10), PriceTick(30)});
+  ASSERT_EQ(chain.state_count(), 2);
+  EXPECT_EQ(chain.state_price(0).value(), 10);
+  EXPECT_EQ(chain.state_price(1).value(), 30);
+}
+
+TEST(SemiMarkov, FindAndNearestState) {
+  SemiMarkovChain chain({PriceTick(10), PriceTick(20), PriceTick(40)});
+  EXPECT_EQ(chain.find_state(PriceTick(20)), 1);
+  EXPECT_EQ(chain.find_state(PriceTick(25)), -1);
+  EXPECT_EQ(chain.nearest_state(PriceTick(24)), 1);
+  EXPECT_EQ(chain.nearest_state(PriceTick(31)), 2);
+  EXPECT_EQ(chain.nearest_state(PriceTick(30)), 1);  // tie goes low
+  EXPECT_EQ(chain.nearest_state(PriceTick(0)), 0);
+  EXPECT_EQ(chain.nearest_state(PriceTick(1000)), 2);
+}
+
+TEST(SemiMarkov, NormalizeMakesRowsStochastic) {
+  SemiMarkovChain chain({PriceTick(1), PriceTick(2)});
+  chain.add_transition(0, 1, 2, 3.0);
+  chain.add_transition(0, 1, 4, 1.0);
+  chain.normalize_rows();
+  EXPECT_NEAR(chain.row_mass(0), 1.0, 1e-12);
+  EXPECT_TRUE(chain.is_absorbing(1));
+  EXPECT_EQ(chain.row_mass(1), 0.0);
+}
+
+TEST(SemiMarkov, SurvivalFunction) {
+  SemiMarkovChain chain = two_state(5, 3);
+  // State 0 jumps after exactly 5 minutes.
+  EXPECT_DOUBLE_EQ(chain.survival(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(chain.survival(0, 4), 1.0);
+  EXPECT_DOUBLE_EQ(chain.survival(0, 5), 0.0);
+  EXPECT_DOUBLE_EQ(chain.survival(0, 100), 0.0);
+  // Negative age is clamped to "fresh".
+  EXPECT_DOUBLE_EQ(chain.survival(0, -1), 1.0);
+}
+
+TEST(SemiMarkov, SurvivalMixture) {
+  SemiMarkovChain chain({PriceTick(1), PriceTick(2)});
+  chain.add_transition(0, 1, 2, 0.5);
+  chain.add_transition(0, 1, 6, 0.5);
+  chain.normalize_rows();
+  EXPECT_DOUBLE_EQ(chain.survival(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(chain.survival(0, 2), 0.5);
+  EXPECT_DOUBLE_EQ(chain.survival(0, 5), 0.5);
+  EXPECT_DOUBLE_EQ(chain.survival(0, 6), 0.0);
+  EXPECT_DOUBLE_EQ(chain.survival_cumsum(0, 3), 1.0 + 1.0 + 0.5 + 0.5);
+}
+
+TEST(SemiMarkov, MeanSojourn) {
+  SemiMarkovChain chain({PriceTick(1), PriceTick(2)});
+  chain.add_transition(0, 1, 2, 0.5);
+  chain.add_transition(0, 1, 6, 0.5);
+  chain.normalize_rows();
+  EXPECT_DOUBLE_EQ(chain.mean_sojourn(0), 4.0);
+  EXPECT_TRUE(std::isinf(chain.mean_sojourn(1)));
+}
+
+TEST(SemiMarkov, EstimateRecoversCounts) {
+  // Trace: 10 (2 min) -> 20 (3 min) -> 10 (2 min) -> 20 (...open)
+  SpotTrace tr;
+  tr.append(SimTime(0), PriceTick(10));
+  tr.append(SimTime(120), PriceTick(20));
+  tr.append(SimTime(300), PriceTick(10));
+  tr.append(SimTime(420), PriceTick(20));
+  SemiMarkovChain chain = SemiMarkovChain::estimate(tr);
+  ASSERT_EQ(chain.state_count(), 2);
+  // Two observed 10->20 transitions with 2-minute sojourns: q(0,1,2) = 1.
+  auto row0 = chain.row(0);
+  ASSERT_EQ(row0.size(), 1u);
+  EXPECT_EQ(row0[0].next, 1);
+  EXPECT_EQ(row0[0].sojourn, 2);
+  EXPECT_DOUBLE_EQ(row0[0].prob, 1.0);
+  // One 20->10 with 3-minute sojourn; the final segment is open.
+  auto row1 = chain.row(1);
+  ASSERT_EQ(row1.size(), 1u);
+  EXPECT_EQ(row1[0].sojourn, 3);
+}
+
+TEST(SemiMarkov, EstimateClampsSubMinuteSojournsToOne) {
+  SpotTrace tr;
+  tr.append(SimTime(0), PriceTick(10));
+  tr.append(SimTime(30), PriceTick(20));  // 30 s sojourn
+  tr.append(SimTime(90), PriceTick(10));
+  SemiMarkovChain chain = SemiMarkovChain::estimate(tr);
+  EXPECT_EQ(chain.row(0)[0].sojourn, 1);
+}
+
+TEST(SemiMarkov, GenerateFollowsKernel) {
+  SemiMarkovChain chain = two_state(5, 3);
+  Rng rng(1);
+  SpotTrace tr = chain.generate(SimTime(0), SimTime(3600), 0, rng);
+  // Deterministic alternation: 10 for 5 min, 20 for 3 min, ...
+  ASSERT_GE(tr.size(), 4u);
+  EXPECT_EQ(tr.points()[0], (PricePoint{SimTime(0), PriceTick(10)}));
+  EXPECT_EQ(tr.points()[1], (PricePoint{SimTime(300), PriceTick(20)}));
+  EXPECT_EQ(tr.points()[2], (PricePoint{SimTime(480), PriceTick(10)}));
+}
+
+TEST(SemiMarkov, GenerateEstimateRoundTrip) {
+  // Estimating from a long generated trace must recover the kernel.
+  SemiMarkovChain truth({PriceTick(10), PriceTick(20), PriceTick(30)});
+  truth.add_transition(0, 1, 4, 0.7);
+  truth.add_transition(0, 2, 9, 0.3);
+  truth.add_transition(1, 0, 2, 0.6);
+  truth.add_transition(1, 2, 7, 0.4);
+  truth.add_transition(2, 0, 3, 1.0);
+  truth.normalize_rows();
+  Rng rng(99);
+  SpotTrace tr = truth.generate(SimTime(0), SimTime(20 * kWeek), 0, rng);
+  SemiMarkovChain est = SemiMarkovChain::estimate(tr);
+  ASSERT_EQ(est.state_count(), 3);
+  for (int i = 0; i < 3; ++i) {
+    for (const auto& t : truth.row(i)) {
+      double got = 0;
+      for (const auto& e : est.row(i)) {
+        if (e.next == t.next && e.sojourn == t.sojourn) got = e.prob;
+      }
+      EXPECT_NEAR(got, t.prob, 0.02) << "state " << i;
+    }
+  }
+}
+
+TEST(SemiMarkov, OccupancySumsToOne) {
+  SemiMarkovChain chain = two_state(5, 3);
+  for (int age : {0, 2, 4}) {
+    for (int horizon : {1, 7, 30, 120}) {
+      auto occ = chain.average_occupancy(0, age, horizon);
+      double total = std::accumulate(occ.begin(), occ.end(), 0.0);
+      EXPECT_NEAR(total, 1.0, 1e-9) << "age " << age << " H " << horizon;
+    }
+  }
+}
+
+TEST(SemiMarkov, OccupancyDeterministicChainExact) {
+  SemiMarkovChain chain = two_state(5, 3);
+  // Fresh in state 0: minutes 1..5 in state 0? Jump happens at minute 5, so
+  // occupancy: minutes 1-4 state 0, minutes 5-7 state 1 (sojourn 3), minute
+  // 8 state 0.  Over H=8: state0 -> 5 minutes? Let's check: survival(0,t)
+  // for t=1..4 is 1, t=5..8 is 0 -> 4 minutes.  Entries: enter 1 at t=5,
+  // stays while survival(1,d): d=0..2 -> minutes 5,6,7.  Enter 0 at t=8 ->
+  // minute 8.  Total state0 = 5 of 8? 4 + 1 = 5.  state1 = 3.
+  auto occ = chain.average_occupancy(0, 0, 8);
+  EXPECT_NEAR(occ[0], 5.0 / 8.0, 1e-12);
+  EXPECT_NEAR(occ[1], 3.0 / 8.0, 1e-12);
+}
+
+TEST(SemiMarkov, AgeConditioningShiftsJump) {
+  SemiMarkovChain chain = two_state(5, 3);
+  // With age 4 in state 0 the jump is 1 minute away.
+  auto occ = chain.average_occupancy(0, 4, 4);
+  // Jump at minute 1 -> state 1 occupies minutes 1,2,3; back to 0 at min 4.
+  EXPECT_NEAR(occ[1], 3.0 / 4.0, 1e-12);
+  EXPECT_NEAR(occ[0], 1.0 / 4.0, 1e-12);
+}
+
+TEST(SemiMarkov, AgeBeyondSupportClamps) {
+  SemiMarkovChain chain = two_state(5, 3);
+  auto occ = chain.average_occupancy(0, 1000, 4);
+  double total = std::accumulate(occ.begin(), occ.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(SemiMarkov, ExceedCurveMonotone) {
+  SemiMarkovChain truth({PriceTick(10), PriceTick(20), PriceTick(30)});
+  truth.add_transition(0, 1, 4, 0.7);
+  truth.add_transition(0, 2, 9, 0.3);
+  truth.add_transition(1, 0, 2, 0.6);
+  truth.add_transition(1, 2, 7, 0.4);
+  truth.add_transition(2, 0, 3, 1.0);
+  truth.normalize_rows();
+  auto exceed = truth.exceed_curve(0, 0, 60);
+  for (std::size_t i = 0; i + 1 < exceed.size(); ++i) {
+    EXPECT_GE(exceed[i], exceed[i + 1]);
+  }
+  EXPECT_DOUBLE_EQ(exceed.back(), 0.0);  // nothing above the top state
+}
+
+TEST(SemiMarkov, HitCurveMonotoneAndAboveOccupancy) {
+  SemiMarkovChain truth({PriceTick(10), PriceTick(20), PriceTick(30)});
+  truth.add_transition(0, 1, 4, 0.7);
+  truth.add_transition(0, 2, 9, 0.3);
+  truth.add_transition(1, 0, 2, 0.6);
+  truth.add_transition(1, 2, 7, 0.4);
+  truth.add_transition(2, 0, 3, 1.0);
+  truth.normalize_rows();
+  auto hit = truth.hit_curve(0, 0, 60);
+  auto exceed = truth.exceed_curve(0, 0, 60);
+  for (std::size_t i = 0; i + 1 < hit.size(); ++i) {
+    EXPECT_GE(hit[i] + 1e-12, hit[i + 1]);
+  }
+  EXPECT_NEAR(hit.back(), 0.0, 1e-12);
+  // First passage dominates average occupancy above the threshold.
+  for (std::size_t i = 0; i < hit.size(); ++i) {
+    EXPECT_GE(hit[i] + 1e-12, exceed[i]);
+  }
+}
+
+TEST(SemiMarkov, HitDeterministicChainExact) {
+  SemiMarkovChain chain = two_state(5, 3);
+  // From fresh state 0, price hits 20 at minute 5: hit prob vs horizon.
+  EXPECT_DOUBLE_EQ(chain.hit_one(0, 0, 4, 0), 0.0);
+  EXPECT_DOUBLE_EQ(chain.hit_one(0, 0, 5, 0), 1.0);
+  // Threshold at the top state is never exceeded.
+  EXPECT_DOUBLE_EQ(chain.hit_one(0, 0, 100, 1), 0.0);
+  // Aged 4 minutes: the jump is 1 minute away.
+  EXPECT_DOUBLE_EQ(chain.hit_one(0, 4, 1, 0), 1.0);
+}
+
+TEST(SemiMarkov, HitProbabilityMatchesMonteCarlo) {
+  SemiMarkovChain truth({PriceTick(10), PriceTick(20), PriceTick(30)});
+  truth.add_transition(0, 1, 3, 0.5);
+  truth.add_transition(0, 1, 8, 0.2);
+  truth.add_transition(0, 2, 15, 0.3);
+  truth.add_transition(1, 0, 2, 0.7);
+  truth.add_transition(1, 2, 5, 0.3);
+  truth.add_transition(2, 0, 4, 1.0);
+  truth.normalize_rows();
+  const int horizon = 40;
+  double analytic = truth.hit_one(0, 0, horizon, 1);  // exceed price 20
+  Rng rng(4242);
+  int hits = 0;
+  const int trials = 40000;
+  for (int t = 0; t < trials; ++t) {
+    int state = 0;
+    int elapsed = 0;
+    bool hit = false;
+    while (elapsed <= horizon) {
+      auto jump = truth.sample_jump(state, rng);
+      ASSERT_TRUE(jump.has_value());
+      elapsed += jump->sojourn;
+      if (elapsed > horizon) break;
+      state = jump->next;
+      if (state > 1) {
+        hit = true;
+        break;
+      }
+    }
+    hits += hit ? 1 : 0;
+  }
+  EXPECT_NEAR(analytic, static_cast<double>(hits) / trials, 0.01);
+}
+
+TEST(SemiMarkov, ExceedProbabilityMatchesMonteCarlo) {
+  SemiMarkovChain truth({PriceTick(10), PriceTick(20), PriceTick(30)});
+  truth.add_transition(0, 1, 3, 0.5);
+  truth.add_transition(0, 1, 8, 0.2);
+  truth.add_transition(0, 2, 15, 0.3);
+  truth.add_transition(1, 0, 2, 0.7);
+  truth.add_transition(1, 2, 5, 0.3);
+  truth.add_transition(2, 0, 4, 1.0);
+  truth.normalize_rows();
+  const int horizon = 40;
+  double analytic = truth.exceed_probability(0, 0, horizon, PriceTick(20));
+  Rng rng(777);
+  const int trials = 20000;
+  double fraction = 0;
+  for (int t = 0; t < trials; ++t) {
+    SpotTrace tr = truth.generate(SimTime(0), SimTime((horizon + 1) * kMinute),
+                                  0, rng);
+    int above = 0;
+    for (int m = 1; m <= horizon; ++m) {
+      if (tr.price_at(SimTime(m * kMinute)).value() > 20) ++above;
+    }
+    fraction += static_cast<double>(above) / horizon;
+  }
+  EXPECT_NEAR(analytic, fraction / trials, 0.01);
+}
+
+TEST(SemiMarkov, MemorylessPreservesMeansAndMarginals) {
+  SemiMarkovChain truth({PriceTick(10), PriceTick(20)});
+  truth.add_transition(0, 1, 2, 0.5);
+  truth.add_transition(0, 1, 10, 0.5);
+  truth.add_transition(1, 0, 4, 1.0);
+  truth.normalize_rows();
+  SemiMarkovChain mem = truth.to_memoryless();
+  EXPECT_NEAR(mem.mean_sojourn(0), truth.mean_sojourn(0), 0.35);
+  EXPECT_NEAR(mem.row_mass(0), 1.0, 1e-9);
+  // Memoryless survival is geometric: S(d) = (1-1/mu)^d.
+  double p = 1.0 / truth.mean_sojourn(0);
+  EXPECT_NEAR(mem.survival(0, 3), std::pow(1 - p, 3), 0.01);
+}
+
+TEST(SemiMarkov, StationaryOccupancySumsToOne) {
+  SemiMarkovChain chain = two_state(5, 3);
+  auto pi = chain.stationary_occupancy();
+  ASSERT_EQ(pi.size(), 2u);
+  EXPECT_NEAR(pi[0] + pi[1], 1.0, 1e-9);
+  // Time-weighted: 5 minutes in state 0 per 3 in state 1.
+  EXPECT_NEAR(pi[0], 5.0 / 8.0, 1e-6);
+}
+
+TEST(SemiMarkov, StationaryEmptyWithAbsorbingState) {
+  SemiMarkovChain chain({PriceTick(1), PriceTick(2)});
+  chain.add_transition(0, 1, 1, 1.0);
+  chain.normalize_rows();
+  EXPECT_TRUE(chain.stationary_occupancy().empty());
+}
+
+TEST(SemiMarkov, AbsorbingStateOccupiesForever) {
+  SemiMarkovChain chain({PriceTick(1), PriceTick(2)});
+  chain.add_transition(0, 1, 4, 1.0);
+  chain.normalize_rows();
+  auto occ = chain.average_occupancy(1, 0, 100);
+  EXPECT_DOUBLE_EQ(occ[1], 1.0);
+  EXPECT_DOUBLE_EQ(chain.hit_one(1, 0, 100, 1), 0.0);
+}
+
+TEST(SemiMarkov, UseBeforeNormalizeThrows) {
+  SemiMarkovChain chain({PriceTick(1), PriceTick(2)});
+  chain.add_transition(0, 1, 1, 1.0);
+  EXPECT_THROW(chain.survival(0, 0), std::logic_error);
+  EXPECT_THROW(chain.average_occupancy(0, 0, 10), std::logic_error);
+}
+
+}  // namespace
+}  // namespace jupiter

@@ -1,0 +1,68 @@
+#include "core/service_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "quorum/availability.hpp"
+
+namespace jupiter {
+namespace {
+
+TEST(ServiceSpec, LockServiceDefaults) {
+  ServiceSpec s = ServiceSpec::lock_service();
+  EXPECT_EQ(s.kind, InstanceKind::kM1Small);
+  EXPECT_EQ(s.rule, QuorumRule::kMajority);
+  EXPECT_EQ(s.baseline_nodes, 5);
+  // 5 replicas tolerate any 2 simultaneous failures (§5.2).
+  EXPECT_EQ(s.tolerate(5), 2);
+  EXPECT_EQ(s.quorum(5), 3);
+  EXPECT_EQ(s.min_nodes(), 1);
+}
+
+TEST(ServiceSpec, StorageServiceDefaults) {
+  ServiceSpec s = ServiceSpec::storage_service();
+  EXPECT_EQ(s.kind, InstanceKind::kM3Large);
+  EXPECT_EQ(s.rule, QuorumRule::kErasure);
+  EXPECT_EQ(s.erasure_m, 3);
+  // theta(3,5) tolerates only one failure (§5.1.2).
+  EXPECT_EQ(s.tolerate(5), 1);
+  EXPECT_EQ(s.quorum(5), 4);
+  EXPECT_EQ(s.min_nodes(), 3);
+  EXPECT_EQ(s.tolerate(2), -1);  // undeployable below m
+}
+
+TEST(ServiceSpec, MajorityToleranceTable) {
+  ServiceSpec s = ServiceSpec::lock_service();
+  EXPECT_EQ(s.tolerate(1), 0);
+  EXPECT_EQ(s.tolerate(2), 0);
+  EXPECT_EQ(s.tolerate(3), 1);
+  EXPECT_EQ(s.tolerate(4), 1);
+  EXPECT_EQ(s.tolerate(7), 3);
+  EXPECT_EQ(s.tolerate(9), 4);
+}
+
+TEST(ServiceSpec, ErasureToleranceTable) {
+  ServiceSpec s = ServiceSpec::storage_service();
+  EXPECT_EQ(s.tolerate(3), 0);
+  EXPECT_EQ(s.tolerate(4), 0);
+  EXPECT_EQ(s.tolerate(5), 1);
+  EXPECT_EQ(s.tolerate(7), 2);
+  EXPECT_EQ(s.tolerate(9), 3);
+  // Quorums always intersect in >= m nodes: 2q - n >= m.
+  for (int n = 3; n <= 12; ++n) {
+    int q = s.quorum(n);
+    EXPECT_GE(2 * q - n, s.erasure_m) << "n=" << n;
+  }
+}
+
+TEST(ServiceSpec, TargetAvailabilityMatchesPaper) {
+  EXPECT_NEAR(ServiceSpec::lock_service().target_availability(),
+              0.9999901494, 1e-10);
+  // Storage baseline: 5 nodes tolerating 1 failure at FP' = 0.01.
+  EXPECT_NEAR(ServiceSpec::storage_service().target_availability(),
+              availability_equal(5, 1, 0.01), 1e-15);
+  EXPECT_LT(ServiceSpec::storage_service().target_availability(),
+            ServiceSpec::lock_service().target_availability());
+}
+
+}  // namespace
+}  // namespace jupiter

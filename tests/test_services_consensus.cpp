@@ -1,0 +1,164 @@
+// Service-through-consensus edge paths: lease expiry driven by simulated
+// time, keep-alive cadence, KV deletes and misses, and the bidder across
+// deployment-size sweeps for both quorum rules.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/online_bidder.hpp"
+#include "lock/lock_service.hpp"
+#include "sim/periodic.hpp"
+#include "storage/kv_store.hpp"
+
+namespace jupiter {
+namespace {
+
+struct LockCluster {
+  LockCluster() : net(sim, 91) {
+    group = std::make_unique<paxos::Group>(
+        sim, net, paxos::Replica::Options{},
+        [this](paxos::NodeId id) {
+          auto sm = std::make_unique<lock::LockServiceState>();
+          sms[id] = sm.get();
+          return sm;
+        },
+        92);
+    group->bootstrap(3);
+    sim.run_until(sim.now() + 200);
+  }
+  Simulator sim;
+  paxos::SimNetwork net;
+  std::map<paxos::NodeId, lock::LockServiceState*> sms;
+  std::unique_ptr<paxos::Group> group;
+};
+
+TEST(ServicesConsensus, LeaseExpiryThroughConsensusTime) {
+  LockCluster c;
+  lock::LockClient alice(*c.group, c.sim, "alice", /*lease=*/300);
+  alice.open_session();
+  c.sim.run_until(c.sim.now() + 60);
+  alice.acquire("/l", nullptr);
+  c.sim.run_until(c.sim.now() + 60);
+
+  // Let the lease lapse, then have bob acquire: the expired lock yields.
+  c.sim.run_until(c.sim.now() + 600);
+  lock::LockClient bob(*c.group, c.sim, "bob", 3600);
+  bob.open_session();
+  c.sim.run_until(c.sim.now() + 60);
+  lock::LockStatus st = lock::LockStatus::kExpired;
+  bob.acquire("/l", [&](lock::LockResponse r) { st = r.status; });
+  c.sim.run_until(c.sim.now() + 120);
+  EXPECT_EQ(st, lock::LockStatus::kOk);
+}
+
+TEST(ServicesConsensus, KeepAliveLoopHoldsTheLock) {
+  LockCluster c;
+  lock::LockClient alice(*c.group, c.sim, "alice", /*lease=*/300);
+  alice.open_session();
+  c.sim.run_until(c.sim.now() + 60);
+  alice.acquire("/l", nullptr);
+  c.sim.run_until(c.sim.now() + 60);
+
+  // Chubby-style keep-alive heartbeat at a third of the lease.
+  PeriodicTask ka(c.sim, c.sim.now() + 100, 100,
+                  [&](SimTime) { alice.keep_alive(); });
+  c.sim.run_until(c.sim.now() + 1500);
+  ka.stop();
+
+  lock::LockClient bob(*c.group, c.sim, "bob", 3600);
+  bob.open_session();
+  c.sim.run_until(c.sim.now() + 60);
+  lock::LockStatus st = lock::LockStatus::kOk;
+  std::string owner;
+  bob.acquire("/l", [&](lock::LockResponse r) {
+    st = r.status;
+    owner = r.owner;
+  });
+  c.sim.run_until(c.sim.now() + 120);
+  EXPECT_EQ(st, lock::LockStatus::kHeldByOther);
+  EXPECT_EQ(owner, "alice");
+}
+
+TEST(ServicesConsensus, KvDeleteAndMissThroughConsensus) {
+  Simulator sim;
+  paxos::SimNetwork net(sim, 93);
+  std::map<paxos::NodeId, storage::KvStoreState*> sms;
+  paxos::Group group(
+      sim, net, paxos::Replica::Options{},
+      [&](paxos::NodeId id) {
+        auto sm = std::make_unique<storage::KvStoreState>();
+        sms[id] = sm.get();
+        return sm;
+      },
+      94);
+  group.bootstrap(3);
+  sim.run_until(sim.now() + 200);
+
+  storage::KvClient client(group);
+  storage::KvStatus status = storage::KvStatus::kError;
+  client.get("ghost", [&](storage::KvResponse r) { status = r.status; });
+  sim.run_until(sim.now() + 120);
+  EXPECT_EQ(status, storage::KvStatus::kNotFound);
+
+  client.put("k", {1, 2, 3}, nullptr);
+  sim.run_until(sim.now() + 120);
+  client.erase("k", [&](storage::KvResponse r) { status = r.status; });
+  sim.run_until(sim.now() + 120);
+  EXPECT_EQ(status, storage::KvStatus::kOk);
+  client.get("k", [&](storage::KvResponse r) { status = r.status; });
+  sim.run_until(sim.now() + 120);
+  EXPECT_EQ(status, storage::KvStatus::kNotFound);
+}
+
+// Property sweep: for every quorum rule and every availability target the
+// bidder's chosen deployment meets the equal-FP design bound it was built
+// from.
+struct BidderCase {
+  QuorumRule rule;
+  int baseline_nodes;
+};
+
+class BidderSweep : public ::testing::TestWithParam<BidderCase> {};
+
+TEST_P(BidderSweep, DeploymentMeetsDesignBound) {
+  auto [rule, baseline] = GetParam();
+  PriceTick od(440);
+  FailureModelBook models;
+  MarketSnapshot snap;
+  for (int z = 0; z < 10; ++z) {
+    SemiMarkovChain chain({PriceTick(60 + z * 5), PriceTick(200 + z * 5)});
+    chain.add_transition(0, 1, 240, 1.0);
+    chain.add_transition(1, 0, 6, 1.0);
+    chain.normalize_rows();
+    models.set(z, ZoneFailureModel(std::move(chain), od));
+    MarketZoneState st;
+    st.zone = z;
+    st.price = PriceTick(60 + z * 5);
+    st.age_minutes = 0;
+    st.on_demand = od;
+    snap.push_back(st);
+  }
+  ServiceSpec spec;
+  spec.rule = rule;
+  spec.baseline_nodes = baseline;
+  OnlineBidder bidder({.horizon_minutes = 60, .max_nodes = 9});
+  BidDecision d = bidder.decide(models, snap, spec);
+  ASSERT_TRUE(d.satisfies_constraint);
+  EXPECT_GE(d.estimated_availability,
+            spec.target_availability() - spec.epsilon);
+  // Sanity on the deployment size for the rule.
+  EXPECT_GE(d.nodes(), spec.min_nodes());
+  int tol = spec.tolerate(d.nodes());
+  EXPECT_GE(tol, spec.rule == QuorumRule::kErasure ? 0 : 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rules, BidderSweep,
+    ::testing::Values(BidderCase{QuorumRule::kMajority, 3},
+                      BidderCase{QuorumRule::kMajority, 5},
+                      BidderCase{QuorumRule::kMajority, 7},
+                      BidderCase{QuorumRule::kErasure, 5},
+                      BidderCase{QuorumRule::kErasure, 7}));
+
+}  // namespace
+}  // namespace jupiter

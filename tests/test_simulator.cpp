@@ -1,0 +1,157 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/periodic.hpp"
+
+namespace jupiter {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), SimTime::zero());
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime(30), [&] { order.push_back(3); });
+  sim.schedule_at(SimTime(10), [&] { order.push_back(1); });
+  sim.schedule_at(SimTime(20), [&] { order.push_back(2); });
+  sim.run_until(SimTime(100));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), SimTime(100));
+}
+
+TEST(Simulator, FifoForSameTimestamp) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(SimTime(10), [&order, i] { order.push_back(i); });
+  }
+  sim.run_until(SimTime(10));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator sim;
+  SimTime seen;
+  sim.schedule_after(42, [&] { seen = sim.now(); });
+  sim.run_until(SimTime(100));
+  EXPECT_EQ(seen, SimTime(42));
+}
+
+TEST(Simulator, EventsBeyondHorizonStayPending) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(SimTime(200), [&] { fired = true; });
+  sim.run_until(SimTime(100));
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_until(SimTime(200));
+  EXPECT_TRUE(fired);  // boundary-inclusive
+}
+
+TEST(Simulator, SchedulingInPastThrows) {
+  Simulator sim;
+  sim.run_until(SimTime(50));
+  EXPECT_THROW(sim.schedule_at(SimTime(10), [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle h = sim.schedule_at(SimTime(10), [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(h));
+  sim.run_until(SimTime(20));
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, CancelAfterFiringReturnsFalse) {
+  Simulator sim;
+  EventHandle h = sim.schedule_at(SimTime(10), [] {});
+  sim.run_until(SimTime(20));
+  EXPECT_FALSE(sim.cancel(h));
+}
+
+TEST(Simulator, CancelTwiceReturnsFalse) {
+  Simulator sim;
+  EventHandle h = sim.schedule_at(SimTime(10), [] {});
+  EXPECT_TRUE(sim.cancel(h));
+  EXPECT_FALSE(sim.cancel(h));
+}
+
+TEST(Simulator, InvalidHandleCancelIsNoop) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(EventHandle{}));
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  std::vector<std::int64_t> at;
+  sim.schedule_at(SimTime(10), [&] {
+    at.push_back(sim.now().seconds());
+    sim.schedule_after(5, [&] { at.push_back(sim.now().seconds()); });
+  });
+  sim.run_until(SimTime(100));
+  EXPECT_EQ(at, (std::vector<std::int64_t>{10, 15}));
+}
+
+TEST(Simulator, StepRunsOneEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(SimTime(1), [&] { ++count; });
+  sim.schedule_at(SimTime(2), [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, DispatchedCountExcludesCancelled) {
+  Simulator sim;
+  sim.schedule_at(SimTime(1), [] {});
+  EventHandle h = sim.schedule_at(SimTime(2), [] {});
+  sim.cancel(h);
+  sim.run_until(SimTime(10));
+  EXPECT_EQ(sim.dispatched_events(), 1u);
+}
+
+TEST(PeriodicTask, FiresAtFixedCadence) {
+  Simulator sim;
+  std::vector<std::int64_t> fires;
+  PeriodicTask task(sim, SimTime(10), 5,
+                    [&](SimTime t) { fires.push_back(t.seconds()); });
+  sim.run_until(SimTime(27));
+  EXPECT_EQ(fires, (std::vector<std::int64_t>{10, 15, 20, 25}));
+}
+
+TEST(PeriodicTask, StopHaltsChain) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTask task(sim, SimTime(1), 1, [&](SimTime) {
+    if (++count == 3) task.stop();
+  });
+  sim.run_until(SimTime(100));
+  EXPECT_EQ(count, 3);
+  EXPECT_TRUE(task.stopped());
+}
+
+TEST(PeriodicTask, DestructorCancels) {
+  Simulator sim;
+  int count = 0;
+  {
+    PeriodicTask task(sim, SimTime(1), 1, [&](SimTime) { ++count; });
+    sim.run_until(SimTime(3));
+  }
+  sim.run_until(SimTime(100));
+  EXPECT_EQ(count, 3);  // 1, 2, 3 fired before destruction
+}
+
+}  // namespace
+}  // namespace jupiter

@@ -1,0 +1,43 @@
+#include "replay/sla.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jupiter {
+namespace {
+
+ReplayResult result_with(double availability, double cost) {
+  ReplayResult r;
+  r.elapsed = kWeek;
+  r.downtime = static_cast<TimeDelta>((1.0 - availability) * kWeek);
+  r.cost = Money::from_dollars(cost);
+  return r;
+}
+
+TEST(Sla, NoCreditAtOrAboveFloor) {
+  EXPECT_TRUE(sla_credit(result_with(1.0, 100)).is_zero());
+  EXPECT_TRUE(sla_credit(result_with(0.995, 100)).is_zero());
+  EXPECT_TRUE(sla_credit(result_with(0.99, 100)).is_zero());
+}
+
+TEST(Sla, ThirtyPercentCreditBelowFloor) {
+  ReplayResult r = result_with(0.95, 100);
+  EXPECT_EQ(sla_credit(r), Money::from_dollars(30));
+  EXPECT_EQ(net_cost(r), Money::from_dollars(70));
+}
+
+TEST(Sla, CustomPolicy) {
+  SlaPolicy strict;
+  strict.availability_floor = 0.9999;
+  strict.credit_fraction = 0.5;
+  ReplayResult r = result_with(0.999, 10);
+  EXPECT_EQ(sla_credit(r, strict), Money::from_dollars(5));
+  EXPECT_EQ(net_cost(r, strict), Money::from_dollars(5));
+}
+
+TEST(Sla, NetCostEqualsCostWhenCompliant) {
+  ReplayResult r = result_with(0.999, 42);
+  EXPECT_EQ(net_cost(r), r.cost);
+}
+
+}  // namespace
+}  // namespace jupiter

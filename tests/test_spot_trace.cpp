@@ -1,0 +1,112 @@
+#include "market/spot_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace jupiter {
+namespace {
+
+SpotTrace make_trace() {
+  // price 10 from t=0, 20 from t=100, 15 from t=250, 30 from t=400
+  SpotTrace tr;
+  tr.append(SimTime(0), PriceTick(10));
+  tr.append(SimTime(100), PriceTick(20));
+  tr.append(SimTime(250), PriceTick(15));
+  tr.append(SimTime(400), PriceTick(30));
+  return tr;
+}
+
+TEST(SpotTrace, AppendMergesDuplicatePrices) {
+  SpotTrace tr;
+  tr.append(SimTime(0), PriceTick(10));
+  tr.append(SimTime(50), PriceTick(10));  // same price: ignored
+  tr.append(SimTime(80), PriceTick(12));
+  EXPECT_EQ(tr.size(), 2u);
+}
+
+TEST(SpotTrace, AppendRequiresAdvancingTime) {
+  SpotTrace tr;
+  tr.append(SimTime(10), PriceTick(1));
+  EXPECT_THROW(tr.append(SimTime(10), PriceTick(2)), std::invalid_argument);
+  EXPECT_THROW(tr.append(SimTime(5), PriceTick(2)), std::invalid_argument);
+}
+
+TEST(SpotTrace, ConstructorNormalizes) {
+  SpotTrace tr({{SimTime(0), PriceTick(5)},
+                {SimTime(10), PriceTick(5)},
+                {SimTime(20), PriceTick(7)}});
+  EXPECT_EQ(tr.size(), 2u);
+}
+
+TEST(SpotTrace, PriceAtSelectsSegment) {
+  SpotTrace tr = make_trace();
+  EXPECT_EQ(tr.price_at(SimTime(0)).value(), 10);
+  EXPECT_EQ(tr.price_at(SimTime(99)).value(), 10);
+  EXPECT_EQ(tr.price_at(SimTime(100)).value(), 20);
+  EXPECT_EQ(tr.price_at(SimTime(399)).value(), 15);
+  EXPECT_EQ(tr.price_at(SimTime(10000)).value(), 30);
+}
+
+TEST(SpotTrace, PriceBeforeStartThrows) {
+  SpotTrace tr = make_trace();
+  EXPECT_THROW(tr.price_at(SimTime(-1)), std::out_of_range);
+}
+
+TEST(SpotTrace, SliceReanchorsFirstPoint) {
+  SpotTrace tr = make_trace();
+  SpotTrace s = tr.slice(SimTime(150), SimTime(420));
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.points()[0], (PricePoint{SimTime(150), PriceTick(20)}));
+  EXPECT_EQ(s.points()[1], (PricePoint{SimTime(250), PriceTick(15)}));
+  EXPECT_EQ(s.points()[2], (PricePoint{SimTime(400), PriceTick(30)}));
+}
+
+TEST(SpotTrace, SliceEmptyInterval) {
+  SpotTrace tr = make_trace();
+  EXPECT_TRUE(tr.slice(SimTime(100), SimTime(100)).empty());
+}
+
+TEST(SpotTrace, MaxPriceOverWindow) {
+  SpotTrace tr = make_trace();
+  EXPECT_EQ(tr.max_price(SimTime(0), SimTime(100)).value(), 10);
+  EXPECT_EQ(tr.max_price(SimTime(0), SimTime(101)).value(), 20);
+  EXPECT_EQ(tr.max_price(SimTime(150), SimTime(300)).value(), 20);
+  EXPECT_EQ(tr.max_price(SimTime(300), SimTime(500)).value(), 30);
+}
+
+TEST(SpotTrace, LastPriceInWindow) {
+  SpotTrace tr = make_trace();
+  // The charge for an hour is the last price in force before its end.
+  EXPECT_EQ(tr.last_price_in(SimTime(0), SimTime(100)).value(), 10);
+  EXPECT_EQ(tr.last_price_in(SimTime(0), SimTime(101)).value(), 20);
+  EXPECT_EQ(tr.last_price_in(SimTime(200), SimTime(300)).value(), 15);
+}
+
+TEST(SpotTrace, FirstExceedFindsCrossing) {
+  SpotTrace tr = make_trace();
+  EXPECT_EQ(tr.first_exceed(SimTime(0), PriceTick(10)), SimTime(100));
+  EXPECT_EQ(tr.first_exceed(SimTime(0), PriceTick(25)), SimTime(400));
+  EXPECT_EQ(tr.first_exceed(SimTime(0), PriceTick(30)), std::nullopt);
+  // Already above the bid: exceeds immediately.
+  EXPECT_EQ(tr.first_exceed(SimTime(120), PriceTick(15)), SimTime(120));
+  // After a drop the next crossing counts.
+  EXPECT_EQ(tr.first_exceed(SimTime(260), PriceTick(20)), SimTime(400));
+}
+
+TEST(SpotTrace, CsvRoundTrip) {
+  SpotTrace tr = make_trace();
+  std::ostringstream os;
+  tr.save_csv(os);
+  std::istringstream is(os.str());
+  SpotTrace loaded = SpotTrace::load_csv(is);
+  EXPECT_EQ(loaded.points(), tr.points());
+}
+
+TEST(SpotTrace, LoadRejectsMalformedRows) {
+  std::istringstream is("seconds,price_ticks\n1,2,3\n");
+  EXPECT_THROW(SpotTrace::load_csv(is), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace jupiter

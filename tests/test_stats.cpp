@@ -1,0 +1,154 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace jupiter {
+namespace {
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.sum(), 40.0, 1e-9);
+}
+
+TEST(RunningStats, MergeMatchesCombined) {
+  Rng rng(5);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(percentile({10, 20}, 0.5), 15.0);
+}
+
+TEST(Percentile, EmptyThrows) {
+  EXPECT_THROW(percentile({}, 0.5), std::invalid_argument);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 9
+  h.add(-5.0);   // clamps to bin 0
+  h.add(50.0);   // clamps to bin 9
+  h.add(5.0);    // bin 5
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_DOUBLE_EQ(h.bin_low(5), 5.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(5), 6.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0, 1, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1, 1, 4), std::invalid_argument);
+}
+
+TEST(Binomial, SmallValues) {
+  EXPECT_DOUBLE_EQ(binomial(5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial(5, 2), 10.0);
+  EXPECT_DOUBLE_EQ(binomial(5, 5), 1.0);
+  EXPECT_DOUBLE_EQ(binomial(5, 6), 0.0);
+  EXPECT_DOUBLE_EQ(binomial(5, -1), 0.0);
+  EXPECT_DOUBLE_EQ(binomial(10, 5), 252.0);
+}
+
+TEST(BinomialCdf, Boundaries) {
+  EXPECT_DOUBLE_EQ(binomial_cdf(5, 5, 0.3), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_cdf(5, -1, 0.3), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_cdf(5, 0, 0.0), 1.0);
+}
+
+// The paper's §3 example: 5 nodes, FP 0.01, tolerating two failures.
+TEST(BinomialCdf, PaperExample) {
+  EXPECT_NEAR(binomial_cdf(5, 2, 0.01), 0.9999901494, 1e-10);
+}
+
+TEST(Bisect, FindsRootOfIncreasing) {
+  double r = bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0, true);
+  EXPECT_NEAR(r, std::sqrt(2.0), 1e-9);
+}
+
+TEST(Bisect, FindsRootOfDecreasing) {
+  double r = bisect([](double x) { return 1.0 - x; }, 0.0, 3.0, false);
+  EXPECT_NEAR(r, 1.0, 1e-9);
+}
+
+TEST(Bisect, RootAtLowerEdge) {
+  double r = bisect([](double x) { return x + 1.0; }, 0.0, 1.0, true);
+  EXPECT_DOUBLE_EQ(r, 0.0);
+}
+
+struct CdfCase {
+  int n;
+  int k;
+  double p;
+};
+
+class BinomialCdfSweep : public ::testing::TestWithParam<CdfCase> {};
+
+// Property: CDF equals the brute-force sum of pmf terms and is monotone in k.
+TEST_P(BinomialCdfSweep, MatchesBruteForceAndMonotone) {
+  auto [n, k, p] = GetParam();
+  double direct = 0;
+  for (int i = 0; i <= k && i <= n; ++i) {
+    direct += binomial(n, i) * std::pow(p, i) * std::pow(1 - p, n - i);
+  }
+  EXPECT_NEAR(binomial_cdf(n, k, p), std::min(direct, 1.0), 1e-12);
+  if (k > 0) {
+    EXPECT_GE(binomial_cdf(n, k, p), binomial_cdf(n, k - 1, p));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BinomialCdfSweep,
+    ::testing::Values(CdfCase{1, 0, 0.01}, CdfCase{3, 1, 0.1},
+                      CdfCase{5, 2, 0.01}, CdfCase{5, 2, 0.5},
+                      CdfCase{7, 3, 0.023}, CdfCase{9, 4, 0.3},
+                      CdfCase{15, 7, 0.9}, CdfCase{25, 12, 0.04}));
+
+}  // namespace
+}  // namespace jupiter

@@ -1,0 +1,70 @@
+#include "replay/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jupiter {
+namespace {
+
+TEST(Sweep, ProducesCellForEveryJob) {
+  Scenario sc = make_scenario(InstanceKind::kM1Small, 1, 1, 321);
+  ServiceSpec spec = ServiceSpec::lock_service();
+  SweepOptions opts;
+  opts.intervals = {6 * kHour, 12 * kHour};
+  opts.extras = {{0, 0.2}};
+  auto cells = run_sweep(sc, spec, opts);
+  ASSERT_EQ(cells.size(), 4u);  // (Jupiter + 1 extra) x 2 intervals
+  // Strategy-major, interval ascending.
+  EXPECT_EQ(cells[0].strategy, "Jupiter");
+  EXPECT_EQ(cells[0].interval, 6 * kHour);
+  EXPECT_EQ(cells[1].strategy, "Jupiter");
+  EXPECT_EQ(cells[1].interval, 12 * kHour);
+  EXPECT_EQ(cells[2].strategy, "Extra(0,0.2)");
+  for (const auto& c : cells) {
+    EXPECT_GT(c.result.decisions, 0);
+    EXPECT_GT(c.result.cost.micros(), 0);
+  }
+}
+
+TEST(Sweep, JupiterCanBeExcluded) {
+  Scenario sc = make_scenario(InstanceKind::kM1Small, 1, 1, 321);
+  SweepOptions opts;
+  opts.intervals = {12 * kHour};
+  opts.include_jupiter = false;
+  opts.extras = {{0, 0.1}, {2, 0.2}};
+  auto cells = run_sweep(sc, ServiceSpec::lock_service(), opts);
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].strategy, "Extra(0,0.1)");
+  EXPECT_EQ(cells[1].strategy, "Extra(2,0.2)");
+}
+
+TEST(Sweep, DeterministicAcrossRuns) {
+  Scenario sc = make_scenario(InstanceKind::kM1Small, 1, 1, 555);
+  SweepOptions opts;
+  opts.intervals = {12 * kHour};
+  opts.extras = {};
+  auto a = run_sweep(sc, ServiceSpec::lock_service(), opts);
+  auto b = run_sweep(sc, ServiceSpec::lock_service(), opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].result.cost, b[i].result.cost);
+    EXPECT_EQ(a[i].result.downtime, b[i].result.downtime);
+  }
+}
+
+TEST(Sweep, BestJupiterCellFindsCheapest) {
+  ReplayResult cheap, pricey;
+  cheap.cost = Money::from_dollars(10);
+  pricey.cost = Money::from_dollars(20);
+  std::vector<SweepCell> cells = {
+      SweepCell{"Extra(0,0.2)", kHour, cheap},  // not Jupiter: ignored
+      SweepCell{"Jupiter", kHour, pricey},
+      SweepCell{"Jupiter", 6 * kHour, cheap},
+  };
+  const SweepCell* best = best_jupiter_cell(cells);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->interval, 6 * kHour);
+  EXPECT_EQ(best_jupiter_cell({}), nullptr);
+}
+
+}  // namespace
+}  // namespace jupiter

@@ -1,0 +1,59 @@
+#include "util/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jupiter {
+namespace {
+
+TEST(SimTime, Constants) {
+  EXPECT_EQ(kMinute, 60);
+  EXPECT_EQ(kHour, 3600);
+  EXPECT_EQ(kDay, 86400);
+  EXPECT_EQ(kWeek, 604800);
+}
+
+TEST(SimTime, UnitAccessors) {
+  SimTime t(2 * kHour + 30 * kMinute + 5);
+  EXPECT_EQ(t.seconds(), 9005);
+  EXPECT_EQ(t.minutes(), 150);
+  EXPECT_EQ(t.hours(), 2);
+}
+
+TEST(SimTime, HourBoundaries) {
+  SimTime t(kHour + 1);
+  EXPECT_EQ(t.floor_hour().seconds(), kHour);
+  EXPECT_EQ(t.next_hour().seconds(), 2 * kHour);
+  EXPECT_FALSE(t.on_hour_boundary());
+  EXPECT_TRUE(SimTime(3 * kHour).on_hour_boundary());
+  // next_hour of an exact boundary is the following hour.
+  EXPECT_EQ(SimTime(kHour).next_hour().seconds(), 2 * kHour);
+}
+
+TEST(SimTime, FloorMinute) {
+  EXPECT_EQ(SimTime(119).floor_minute().seconds(), 60);
+  EXPECT_EQ(SimTime(120).floor_minute().seconds(), 120);
+}
+
+TEST(SimTime, Arithmetic) {
+  SimTime t(100);
+  EXPECT_EQ((t + 50).seconds(), 150);
+  EXPECT_EQ((t - 30).seconds(), 70);
+  EXPECT_EQ(SimTime(150) - SimTime(100), 50);
+  t += 10;
+  EXPECT_EQ(t.seconds(), 110);
+}
+
+TEST(SimTime, Ordering) {
+  EXPECT_LT(SimTime(1), SimTime(2));
+  EXPECT_EQ(SimTime(5), SimTime(5));
+  EXPECT_LT(SimTime(1), SimTime::infinity());
+}
+
+TEST(SimTime, Rendering) {
+  EXPECT_EQ(SimTime(0).str(), "d0 00:00:00");
+  EXPECT_EQ(SimTime(kDay + kHour + kMinute + 1).str(), "d1 01:01:01");
+  EXPECT_EQ(SimTime::infinity().str(), "t=inf");
+}
+
+}  // namespace
+}  // namespace jupiter

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "replay/replay_engine.hpp"
+#include "replay/report.hpp"
+#include "util/csv.hpp"
+
+namespace jupiter {
+namespace {
+
+class OneBidStrategy : public BiddingStrategy {
+ public:
+  std::string name() const override { return "one"; }
+  StrategyDecision decide(const MarketSnapshot&, SimTime,
+                          const std::vector<ZoneBid>&) override {
+    StrategyDecision d;
+    d.spot_bids = {{0, PriceTick(150)}};
+    return d;
+  }
+};
+
+TEST(Timeline, RecordsAggregateToTotals) {
+  SpotTrace tr;
+  tr.append(SimTime(0), PriceTick(100));
+  tr.append(SimTime(90 * kMinute), PriceTick(300));
+  tr.append(SimTime(100 * kMinute), PriceTick(100));
+  TraceBook book;
+  book.set(0, InstanceKind::kM1Small, std::move(tr));
+
+  OneBidStrategy strat;
+  ReplayConfig cfg;
+  cfg.spec = ServiceSpec::lock_service();
+  cfg.spec.baseline_nodes = 1;
+  cfg.interval = kHour;
+  cfg.replay_start = SimTime(0);
+  cfg.replay_end = SimTime(4 * kHour);
+  cfg.zones = {0};
+  ReplayResult r = replay_strategy(book, strat, cfg);
+
+  ASSERT_EQ(r.timeline.size(), static_cast<std::size_t>(r.decisions));
+  TimeDelta down = 0, len = 0;
+  int launches = 0, oob = 0;
+  for (const auto& rec : r.timeline) {
+    down += rec.downtime;
+    len += rec.length;
+    launches += rec.launches;
+    oob += rec.out_of_bid;
+    EXPECT_EQ(rec.nodes, 1);
+  }
+  EXPECT_EQ(down, r.downtime);
+  EXPECT_EQ(len, r.elapsed);
+  EXPECT_EQ(launches, r.instances_launched);
+  EXPECT_EQ(oob, r.out_of_bid_events);
+  // The out-of-bid interval is interval 1 ([1h, 2h) contains t=90 min).
+  EXPECT_EQ(r.timeline[1].out_of_bid, 1);
+  EXPECT_GT(r.timeline[1].downtime, 0);
+  EXPECT_EQ(r.timeline[0].downtime, 0);
+}
+
+TEST(Timeline, CsvEmission) {
+  ReplayResult r;
+  r.timeline.push_back(IntervalRecord{SimTime(0), kHour, 5, 5, 0, 0});
+  r.timeline.push_back(IntervalRecord{SimTime(kHour), kHour, 5, 1, 2, 120});
+  std::ostringstream os;
+  timeline_to_csv(os, r);
+  std::istringstream is(os.str());
+  auto rows = read_csv(is);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][0], "start_seconds");
+  EXPECT_EQ(rows[2][0], "3600");
+  EXPECT_EQ(rows[2][4], "2");
+  EXPECT_EQ(rows[2][5], "120");
+}
+
+}  // namespace
+}  // namespace jupiter

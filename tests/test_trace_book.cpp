@@ -1,0 +1,105 @@
+#include "cloud/trace_book.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cloud/region.hpp"
+
+namespace jupiter {
+namespace {
+
+TEST(TraceBook, SetHasTrace) {
+  TraceBook book;
+  EXPECT_FALSE(book.has(0, InstanceKind::kM1Small));
+  SpotTrace tr;
+  tr.append(SimTime(0), PriceTick(50));
+  book.set(0, InstanceKind::kM1Small, tr);
+  EXPECT_TRUE(book.has(0, InstanceKind::kM1Small));
+  EXPECT_FALSE(book.has(0, InstanceKind::kM3Large));
+  EXPECT_FALSE(book.has(1, InstanceKind::kM1Small));
+  EXPECT_EQ(book.trace(0, InstanceKind::kM1Small).points()[0].price.value(),
+            50);
+  EXPECT_THROW(book.trace(1, InstanceKind::kM1Small), std::out_of_range);
+}
+
+TEST(TraceBook, ZonesForKind) {
+  TraceBook book;
+  SpotTrace tr;
+  tr.append(SimTime(0), PriceTick(50));
+  book.set(3, InstanceKind::kM1Small, tr);
+  book.set(1, InstanceKind::kM1Small, tr);
+  book.set(2, InstanceKind::kM3Large, tr);
+  EXPECT_EQ(book.zones_for(InstanceKind::kM1Small), (std::vector<int>{1, 3}));
+  EXPECT_EQ(book.zones_for(InstanceKind::kM3Large), (std::vector<int>{2}));
+}
+
+TEST(TraceBook, SyntheticIsDeterministic) {
+  std::vector<int> zones = {0, 1, 5};
+  TraceBook a = TraceBook::synthetic(zones, InstanceKind::kM1Small,
+                                     SimTime(0), SimTime(kWeek), 99);
+  TraceBook b = TraceBook::synthetic(zones, InstanceKind::kM1Small,
+                                     SimTime(0), SimTime(kWeek), 99);
+  for (int z : zones) {
+    EXPECT_EQ(a.trace(z, InstanceKind::kM1Small).points(),
+              b.trace(z, InstanceKind::kM1Small).points());
+  }
+  TraceBook c = TraceBook::synthetic(zones, InstanceKind::kM1Small,
+                                     SimTime(0), SimTime(kWeek), 100);
+  EXPECT_NE(a.trace(0, InstanceKind::kM1Small).points(),
+            c.trace(0, InstanceKind::kM1Small).points());
+}
+
+TEST(TraceBook, SyntheticZonesDiffer) {
+  std::vector<int> zones = {0, 1};
+  TraceBook book = TraceBook::synthetic(zones, InstanceKind::kM1Small,
+                                        SimTime(0), SimTime(kWeek), 1);
+  EXPECT_NE(book.trace(0, InstanceKind::kM1Small).points(),
+            book.trace(1, InstanceKind::kM1Small).points());
+}
+
+TEST(TraceBook, SyntheticKindsDiffer) {
+  std::vector<int> zones = {0};
+  TraceBook book = TraceBook::synthetic(zones, InstanceKind::kM1Small,
+                                        SimTime(0), SimTime(kWeek), 1);
+  book.merge(TraceBook::synthetic(zones, InstanceKind::kM3Large, SimTime(0),
+                                  SimTime(kWeek), 1));
+  EXPECT_NE(book.trace(0, InstanceKind::kM1Small).points(),
+            book.trace(0, InstanceKind::kM3Large).points());
+}
+
+TEST(TraceBook, SyntheticStoresProfiles) {
+  std::vector<int> zones = {2};
+  TraceBook book = TraceBook::synthetic(zones, InstanceKind::kM1Small,
+                                        SimTime(0), SimTime(kWeek), 1);
+  auto zp = book.profile(2, InstanceKind::kM1Small);
+  ASSERT_TRUE(zp.has_value());
+  EXPECT_EQ(zp->on_demand.money(),
+            on_demand_price_zone(2, InstanceKind::kM1Small));
+  EXPECT_FALSE(book.profile(3, InstanceKind::kM1Small).has_value());
+}
+
+TEST(TraceBook, SyntheticCoversRequestedWindow) {
+  std::vector<int> zones = {0};
+  TraceBook book = TraceBook::synthetic(zones, InstanceKind::kM1Small,
+                                        SimTime(0), SimTime(2 * kWeek), 1);
+  const SpotTrace& tr = book.trace(0, InstanceKind::kM1Small);
+  EXPECT_EQ(tr.start(), SimTime(0));
+  EXPECT_LT(tr.last_change(), SimTime(2 * kWeek));
+  // price_at anywhere inside the window works.
+  EXPECT_NO_THROW(tr.price_at(SimTime(2 * kWeek - 1)));
+}
+
+TEST(TraceBook, MergeOverwrites) {
+  TraceBook a, b;
+  SpotTrace t1, t2;
+  t1.append(SimTime(0), PriceTick(1));
+  t2.append(SimTime(0), PriceTick(2));
+  a.set(0, InstanceKind::kM1Small, t1);
+  b.set(0, InstanceKind::kM1Small, t2);
+  b.set(1, InstanceKind::kM1Small, t1);
+  a.merge(std::move(b));
+  EXPECT_EQ(a.trace(0, InstanceKind::kM1Small).points()[0].price.value(), 2);
+  EXPECT_TRUE(a.has(1, InstanceKind::kM1Small));
+}
+
+}  // namespace
+}  // namespace jupiter

@@ -1,0 +1,75 @@
+// Randomized oracle tests for SpotTrace queries against brute-force
+// second-by-second scans.
+#include <gtest/gtest.h>
+
+#include "market/spot_trace.hpp"
+#include "util/rng.hpp"
+
+namespace jupiter {
+namespace {
+
+SpotTrace random_trace(Rng& rng, TimeDelta span) {
+  SpotTrace tr;
+  SimTime t(0);
+  tr.append(t, PriceTick(static_cast<std::int32_t>(1 + rng.below(50))));
+  while (true) {
+    t += static_cast<TimeDelta>(1 + rng.below(900));
+    if (t.seconds() >= span) break;
+    tr.append(t, PriceTick(static_cast<std::int32_t>(1 + rng.below(50))));
+  }
+  return tr;
+}
+
+class TraceFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(TraceFuzz, QueriesMatchBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 65537);
+  const TimeDelta span = 2 * kHour;
+  SpotTrace tr = random_trace(rng, span);
+
+  // price_at: walk the points directly.
+  for (int q = 0; q < 50; ++q) {
+    auto t = SimTime(static_cast<std::int64_t>(rng.below(span)));
+    PriceTick expect = tr.points().front().price;
+    for (const auto& p : tr.points()) {
+      if (p.at <= t) expect = p.price;
+    }
+    EXPECT_EQ(tr.price_at(t), expect) << t.seconds();
+  }
+
+  // max_price / last_price_in over random windows.
+  for (int q = 0; q < 30; ++q) {
+    auto a = SimTime(static_cast<std::int64_t>(rng.below(span - 2)));
+    SimTime b = a + static_cast<TimeDelta>(1 + rng.below(
+                        static_cast<std::uint64_t>(span - a.seconds() - 1)));
+    PriceTick max = tr.price_at(a);
+    for (SimTime t = a; t < b; t += 1) {
+      max = std::max(max, tr.price_at(t));
+    }
+    EXPECT_EQ(tr.max_price(a, b), max);
+    EXPECT_EQ(tr.last_price_in(a, b), tr.price_at(b - 1));
+  }
+
+  // first_exceed against a scan.
+  for (int q = 0; q < 20; ++q) {
+    auto from = SimTime(static_cast<std::int64_t>(rng.below(span)));
+    PriceTick bid(static_cast<std::int32_t>(1 + rng.below(50)));
+    auto got = tr.first_exceed(from, bid);
+    std::optional<SimTime> expect;
+    for (SimTime t = from; t < SimTime(span + kHour); t += 1) {
+      if (tr.price_at(t) > bid) {
+        expect = t;
+        break;
+      }
+    }
+    // The scan only finds crossings at change points; both representations
+    // must agree exactly because prices are piecewise constant.
+    EXPECT_EQ(got, expect) << "from " << from.seconds() << " bid "
+                           << bid.value();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceFuzz, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace jupiter

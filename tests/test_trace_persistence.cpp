@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "cloud/trace_book.hpp"
+
+namespace jupiter {
+namespace {
+
+struct TempDir {
+  TempDir() {
+    path = std::filesystem::temp_directory_path() /
+           ("jupiter-traces-" + std::to_string(::getpid()));
+    std::filesystem::remove_all(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+  std::filesystem::path path;
+};
+
+TEST(TracePersistence, SaveLoadRoundTrip) {
+  TempDir dir;
+  std::vector<int> zones = {0, 4, 13};
+  TraceBook book = TraceBook::synthetic(zones, InstanceKind::kM1Small,
+                                        SimTime(0), SimTime(kWeek), 5);
+  book.merge(TraceBook::synthetic(zones, InstanceKind::kM3Large, SimTime(0),
+                                  SimTime(kWeek), 5));
+  book.save_dir(dir.path.string());
+
+  TraceBook loaded = TraceBook::load_dir(dir.path.string());
+  for (int z : zones) {
+    for (InstanceKind kind :
+         {InstanceKind::kM1Small, InstanceKind::kM3Large}) {
+      ASSERT_TRUE(loaded.has(z, kind)) << z;
+      EXPECT_EQ(loaded.trace(z, kind).points(), book.trace(z, kind).points());
+    }
+  }
+  // Profiles are synthetic-only metadata and do not survive persistence.
+  EXPECT_FALSE(loaded.profile(0, InstanceKind::kM1Small).has_value());
+}
+
+TEST(TracePersistence, FileNamesAreZoneAndType) {
+  TempDir dir;
+  std::vector<int> zones = {0};
+  TraceBook book = TraceBook::synthetic(zones, InstanceKind::kM1Small,
+                                        SimTime(0), SimTime(kDay), 1);
+  book.save_dir(dir.path.string());
+  EXPECT_TRUE(std::filesystem::exists(
+      dir.path / "us-east-1a.linux.m1.small.csv"));
+}
+
+TEST(TracePersistence, LoadIgnoresForeignFiles) {
+  TempDir dir;
+  std::filesystem::create_directories(dir.path);
+  {
+    std::ofstream os(dir.path / "README.txt");
+    os << "not a trace";
+  }
+  {
+    std::ofstream os(dir.path / "mars-base-1a.linux.m1.small.csv");
+    os << "seconds,price_ticks\n0,5\n";
+  }
+  TraceBook book = TraceBook::load_dir(dir.path.string());
+  EXPECT_TRUE(book.zones_for(InstanceKind::kM1Small).empty());
+}
+
+}  // namespace
+}  // namespace jupiter

@@ -1,0 +1,20 @@
+// Compilation test: the umbrella header pulls in the whole public surface
+// without conflicts, and a few cross-module one-liners type-check.
+#include "jupiter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jupiter {
+namespace {
+
+TEST(Umbrella, PublicSurfaceCompilesTogether) {
+  EXPECT_EQ(ServiceSpec::lock_service().baseline_nodes, 5);
+  EXPECT_EQ(AcceptanceSet::majority(3).universe_size(), 3);
+  EXPECT_EQ(ReedSolomon(3, 5).parity_chunks(), 2);
+  EXPECT_EQ(PriceTick::from_money(Money::from_dollars(0.0071)).value(), 71);
+  EXPECT_EQ(kMaxStartupLead, 700);
+  EXPECT_EQ(kExperimentSeed, 20150615u);
+}
+
+}  // namespace
+}  // namespace jupiter

@@ -1,0 +1,97 @@
+// The §4.1 weighted-voting variant of the bidder: verification against the
+// Eq. 11 acceptance set instead of simple majority.
+#include <gtest/gtest.h>
+
+#include "core/online_bidder.hpp"
+#include "quorum/availability.hpp"
+
+namespace jupiter {
+namespace {
+
+ZoneFailureModel two_level(int base, int top, double risk, PriceTick od) {
+  SemiMarkovChain chain({PriceTick(base), PriceTick(top)});
+  // Mean sojourn tuned so risk == P(leave base within 60 min) roughly.
+  int soj = std::max(2, static_cast<int>(60.0 / std::max(risk, 1e-3)));
+  chain.add_transition(0, 1, soj, 1.0);
+  chain.add_transition(1, 0, 5, 1.0);
+  chain.normalize_rows();
+  return ZoneFailureModel(std::move(chain), od);
+}
+
+MarketZoneState st_of(int zone, int price, PriceTick od) {
+  MarketZoneState st;
+  st.zone = zone;
+  st.price = PriceTick(price);
+  st.age_minutes = 0;
+  st.on_demand = od;
+  return st;
+}
+
+TEST(WeightedBidder, NeverWorseThanMajorityVerification) {
+  PriceTick od(440);
+  FailureModelBook models;
+  MarketSnapshot snap;
+  for (int z = 0; z < 8; ++z) {
+    int base = 60 + z * 7;
+    models.set(z, two_level(base, base + 120, 0.02 + 0.01 * z, od));
+    snap.push_back(st_of(z, base, od));
+  }
+  ServiceSpec spec = ServiceSpec::lock_service();
+  OnlineBidder majority({.horizon_minutes = 60, .max_nodes = 8});
+  OnlineBidder weighted(
+      {.horizon_minutes = 60, .max_nodes = 8, .weighted_voting = true});
+  BidDecision dm = majority.decide(models, snap, spec);
+  BidDecision dw = weighted.decide(models, snap, spec);
+  // The weighted check accepts a superset of configurations, so its
+  // optimal bid sum can only be <= the majority-checked one.
+  if (dm.satisfies_constraint && dw.satisfies_constraint) {
+    EXPECT_LE(dw.bid_sum.micros(), dm.bid_sum.micros());
+  }
+  EXPECT_TRUE(dw.satisfies_constraint || !dm.satisfies_constraint);
+}
+
+TEST(WeightedBidder, ErasureSpecIgnoresWeightedFlag) {
+  PriceTick od(440);
+  FailureModelBook models;
+  MarketSnapshot snap;
+  for (int z = 0; z < 7; ++z) {
+    int base = 60 + z * 7;
+    models.set(z, two_level(base, base + 120, 0.02, od));
+    snap.push_back(st_of(z, base, od));
+  }
+  ServiceSpec spec = ServiceSpec::storage_service();
+  spec.kind = InstanceKind::kM1Small;
+  OnlineBidder plain({.horizon_minutes = 60, .max_nodes = 7});
+  OnlineBidder weighted(
+      {.horizon_minutes = 60, .max_nodes = 7, .weighted_voting = true});
+  BidDecision a = plain.decide(models, snap, spec);
+  BidDecision b = weighted.decide(models, snap, spec);
+  // Identical behaviour for RS-Paxos: intersection >= m is a threshold
+  // property weighted votes cannot relax.
+  EXPECT_EQ(a.bid_sum, b.bid_sum);
+  EXPECT_EQ(a.nodes(), b.nodes());
+}
+
+TEST(WeightedBidder, VerificationValueMatchesEq1) {
+  // Hand-check: the reported estimated_availability under weighted voting
+  // equals Eq. 1 on the optimal acceptance set of the chosen FPs.
+  PriceTick od(440);
+  FailureModelBook models;
+  MarketSnapshot snap;
+  for (int z = 0; z < 5; ++z) {
+    models.set(z, two_level(60 + z, 200 + z, 0.03, od));
+    snap.push_back(st_of(z, 60 + z, od));
+  }
+  ServiceSpec spec = ServiceSpec::lock_service();
+  OnlineBidder weighted(
+      {.horizon_minutes = 60, .max_nodes = 5, .weighted_voting = true});
+  BidDecision d = weighted.decide(models, snap, spec);
+  if (!d.satisfies_constraint) GTEST_SKIP() << "market infeasible";
+  std::vector<double> fps;
+  for (const auto& e : d.bids) fps.push_back(e.estimated_fp);
+  EXPECT_NEAR(d.estimated_availability,
+              availability(optimal_acceptance_set(fps), fps), 1e-12);
+}
+
+}  // namespace
+}  // namespace jupiter

@@ -1,0 +1,67 @@
+#include "replay/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cloud/region.hpp"
+
+namespace jupiter {
+namespace {
+
+TEST(Workloads, ScenarioWindowsLineUp) {
+  Scenario sc = make_scenario(InstanceKind::kM1Small, 3, 2, 42);
+  EXPECT_EQ(sc.history_start, SimTime(0));
+  EXPECT_EQ(sc.replay_start, SimTime(3 * kWeek));
+  EXPECT_EQ(sc.replay_end, SimTime(5 * kWeek));
+  EXPECT_EQ(sc.zones.size(), 17u);
+  for (int z : sc.zones) {
+    EXPECT_TRUE(sc.book.has(z, InstanceKind::kM1Small));
+    // Trace must cover the whole window.
+    EXPECT_EQ(sc.book.trace(z, InstanceKind::kM1Small).start(), SimTime(0));
+  }
+}
+
+TEST(Workloads, ScenarioDeterministicPerSeed) {
+  Scenario a = make_scenario(InstanceKind::kM1Small, 1, 1, 9);
+  Scenario b = make_scenario(InstanceKind::kM1Small, 1, 1, 9);
+  for (int z : a.zones) {
+    EXPECT_EQ(a.book.trace(z, InstanceKind::kM1Small).points(),
+              b.book.trace(z, InstanceKind::kM1Small).points());
+  }
+}
+
+TEST(Workloads, ReplayConfigMirrorsScenario) {
+  Scenario sc = make_scenario(InstanceKind::kM3Large, 2, 1, 3);
+  ServiceSpec spec = ServiceSpec::storage_service();
+  ReplayConfig cfg = make_replay_config(sc, spec, 6 * kHour);
+  EXPECT_EQ(cfg.interval, 6 * kHour);
+  EXPECT_EQ(cfg.replay_start, sc.replay_start);
+  EXPECT_EQ(cfg.replay_end, sc.replay_end);
+  EXPECT_EQ(cfg.zones, sc.zones);
+  EXPECT_EQ(cfg.spec.kind, InstanceKind::kM3Large);
+}
+
+// §5.5: the paper's on-demand baselines — $406.56 for the lock service and
+// $1293.60 for the storage service over 11 weeks.
+TEST(Workloads, BaselineCostsMatchPaper) {
+  EXPECT_DOUBLE_EQ(
+      baseline_cost(ServiceSpec::lock_service(), 11 * kWeek).dollars(),
+      406.56);
+  EXPECT_DOUBLE_EQ(
+      baseline_cost(ServiceSpec::storage_service(), 11 * kWeek).dollars(),
+      1293.60);
+  // Feasibility week (§5.4): $36.96 and $117.60.
+  EXPECT_DOUBLE_EQ(
+      baseline_cost(ServiceSpec::lock_service(), kWeek).dollars(), 36.96);
+  EXPECT_DOUBLE_EQ(
+      baseline_cost(ServiceSpec::storage_service(), kWeek).dollars(), 117.60);
+}
+
+TEST(Workloads, BaselineRoundsUpPartialHours) {
+  Money one_hour = baseline_cost(ServiceSpec::lock_service(), kHour);
+  Money one_hour_plus = baseline_cost(ServiceSpec::lock_service(), kHour + 1);
+  EXPECT_EQ(one_hour, Money::from_dollars(0.044) * 5);
+  EXPECT_EQ(one_hour_plus, Money::from_dollars(0.044) * 10);
+}
+
+}  // namespace
+}  // namespace jupiter
