@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8_9_storage.cpp" "bench/CMakeFiles/bench_fig8_9_storage.dir/bench_fig8_9_storage.cpp.o" "gcc" "bench/CMakeFiles/bench_fig8_9_storage.dir/bench_fig8_9_storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/replay/CMakeFiles/jupiter_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/jupiter_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/paxos/CMakeFiles/jupiter_paxos.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/jupiter_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/jupiter_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/jupiter_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/jupiter_quorum.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/jupiter_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/market/CMakeFiles/jupiter_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jupiter_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jupiter_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_erasure.dir/bench_perf_erasure.cpp.o"
+  "CMakeFiles/bench_perf_erasure.dir/bench_perf_erasure.cpp.o.d"
+  "bench_perf_erasure"
+  "bench_perf_erasure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_erasure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_paxos.dir/bench_perf_paxos.cpp.o"
+  "CMakeFiles/bench_perf_paxos.dir/bench_perf_paxos.cpp.o.d"
+  "bench_perf_paxos"
+  "bench_perf_paxos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_paxos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_service_demo.dir/storage_service_demo.cpp.o"
+  "CMakeFiles/storage_service_demo.dir/storage_service_demo.cpp.o.d"
+  "storage_service_demo"
+  "storage_service_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_service_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

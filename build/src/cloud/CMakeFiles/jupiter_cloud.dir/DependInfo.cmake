@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/instance_type.cpp" "src/cloud/CMakeFiles/jupiter_cloud.dir/instance_type.cpp.o" "gcc" "src/cloud/CMakeFiles/jupiter_cloud.dir/instance_type.cpp.o.d"
+  "/root/repo/src/cloud/provider.cpp" "src/cloud/CMakeFiles/jupiter_cloud.dir/provider.cpp.o" "gcc" "src/cloud/CMakeFiles/jupiter_cloud.dir/provider.cpp.o.d"
+  "/root/repo/src/cloud/region.cpp" "src/cloud/CMakeFiles/jupiter_cloud.dir/region.cpp.o" "gcc" "src/cloud/CMakeFiles/jupiter_cloud.dir/region.cpp.o.d"
+  "/root/repo/src/cloud/trace_book.cpp" "src/cloud/CMakeFiles/jupiter_cloud.dir/trace_book.cpp.o" "gcc" "src/cloud/CMakeFiles/jupiter_cloud.dir/trace_book.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/market/CMakeFiles/jupiter_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jupiter_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jupiter_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

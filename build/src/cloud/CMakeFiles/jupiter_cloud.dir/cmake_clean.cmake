@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jupiter_cloud.dir/instance_type.cpp.o"
+  "CMakeFiles/jupiter_cloud.dir/instance_type.cpp.o.d"
+  "CMakeFiles/jupiter_cloud.dir/provider.cpp.o"
+  "CMakeFiles/jupiter_cloud.dir/provider.cpp.o.d"
+  "CMakeFiles/jupiter_cloud.dir/region.cpp.o"
+  "CMakeFiles/jupiter_cloud.dir/region.cpp.o.d"
+  "CMakeFiles/jupiter_cloud.dir/trace_book.cpp.o"
+  "CMakeFiles/jupiter_cloud.dir/trace_book.cpp.o.d"
+  "libjupiter_cloud.a"
+  "libjupiter_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jupiter_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

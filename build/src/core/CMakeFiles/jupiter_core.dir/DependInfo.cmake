@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/exhaustive_bidder.cpp" "src/core/CMakeFiles/jupiter_core.dir/exhaustive_bidder.cpp.o" "gcc" "src/core/CMakeFiles/jupiter_core.dir/exhaustive_bidder.cpp.o.d"
+  "/root/repo/src/core/failure_model.cpp" "src/core/CMakeFiles/jupiter_core.dir/failure_model.cpp.o" "gcc" "src/core/CMakeFiles/jupiter_core.dir/failure_model.cpp.o.d"
+  "/root/repo/src/core/framework.cpp" "src/core/CMakeFiles/jupiter_core.dir/framework.cpp.o" "gcc" "src/core/CMakeFiles/jupiter_core.dir/framework.cpp.o.d"
+  "/root/repo/src/core/market_state.cpp" "src/core/CMakeFiles/jupiter_core.dir/market_state.cpp.o" "gcc" "src/core/CMakeFiles/jupiter_core.dir/market_state.cpp.o.d"
+  "/root/repo/src/core/online_bidder.cpp" "src/core/CMakeFiles/jupiter_core.dir/online_bidder.cpp.o" "gcc" "src/core/CMakeFiles/jupiter_core.dir/online_bidder.cpp.o.d"
+  "/root/repo/src/core/service_spec.cpp" "src/core/CMakeFiles/jupiter_core.dir/service_spec.cpp.o" "gcc" "src/core/CMakeFiles/jupiter_core.dir/service_spec.cpp.o.d"
+  "/root/repo/src/core/strategies.cpp" "src/core/CMakeFiles/jupiter_core.dir/strategies.cpp.o" "gcc" "src/core/CMakeFiles/jupiter_core.dir/strategies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cloud/CMakeFiles/jupiter_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/market/CMakeFiles/jupiter_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/jupiter_quorum.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jupiter_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jupiter_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jupiter_core.dir/exhaustive_bidder.cpp.o"
+  "CMakeFiles/jupiter_core.dir/exhaustive_bidder.cpp.o.d"
+  "CMakeFiles/jupiter_core.dir/failure_model.cpp.o"
+  "CMakeFiles/jupiter_core.dir/failure_model.cpp.o.d"
+  "CMakeFiles/jupiter_core.dir/framework.cpp.o"
+  "CMakeFiles/jupiter_core.dir/framework.cpp.o.d"
+  "CMakeFiles/jupiter_core.dir/market_state.cpp.o"
+  "CMakeFiles/jupiter_core.dir/market_state.cpp.o.d"
+  "CMakeFiles/jupiter_core.dir/online_bidder.cpp.o"
+  "CMakeFiles/jupiter_core.dir/online_bidder.cpp.o.d"
+  "CMakeFiles/jupiter_core.dir/service_spec.cpp.o"
+  "CMakeFiles/jupiter_core.dir/service_spec.cpp.o.d"
+  "CMakeFiles/jupiter_core.dir/strategies.cpp.o"
+  "CMakeFiles/jupiter_core.dir/strategies.cpp.o.d"
+  "libjupiter_core.a"
+  "libjupiter_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jupiter_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jupiter_ec.dir/gf256.cpp.o"
+  "CMakeFiles/jupiter_ec.dir/gf256.cpp.o.d"
+  "CMakeFiles/jupiter_ec.dir/gf_matrix.cpp.o"
+  "CMakeFiles/jupiter_ec.dir/gf_matrix.cpp.o.d"
+  "CMakeFiles/jupiter_ec.dir/reed_solomon.cpp.o"
+  "CMakeFiles/jupiter_ec.dir/reed_solomon.cpp.o.d"
+  "libjupiter_ec.a"
+  "libjupiter_ec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jupiter_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

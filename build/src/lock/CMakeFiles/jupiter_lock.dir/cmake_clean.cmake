@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jupiter_lock.dir/lock_service.cpp.o"
+  "CMakeFiles/jupiter_lock.dir/lock_service.cpp.o.d"
+  "libjupiter_lock.a"
+  "libjupiter_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jupiter_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

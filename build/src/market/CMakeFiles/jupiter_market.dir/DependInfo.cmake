@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/market/billing.cpp" "src/market/CMakeFiles/jupiter_market.dir/billing.cpp.o" "gcc" "src/market/CMakeFiles/jupiter_market.dir/billing.cpp.o.d"
+  "/root/repo/src/market/price_process.cpp" "src/market/CMakeFiles/jupiter_market.dir/price_process.cpp.o" "gcc" "src/market/CMakeFiles/jupiter_market.dir/price_process.cpp.o.d"
+  "/root/repo/src/market/semi_markov.cpp" "src/market/CMakeFiles/jupiter_market.dir/semi_markov.cpp.o" "gcc" "src/market/CMakeFiles/jupiter_market.dir/semi_markov.cpp.o.d"
+  "/root/repo/src/market/spot_trace.cpp" "src/market/CMakeFiles/jupiter_market.dir/spot_trace.cpp.o" "gcc" "src/market/CMakeFiles/jupiter_market.dir/spot_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/jupiter_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jupiter_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

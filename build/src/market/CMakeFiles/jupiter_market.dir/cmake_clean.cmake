@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jupiter_market.dir/billing.cpp.o"
+  "CMakeFiles/jupiter_market.dir/billing.cpp.o.d"
+  "CMakeFiles/jupiter_market.dir/price_process.cpp.o"
+  "CMakeFiles/jupiter_market.dir/price_process.cpp.o.d"
+  "CMakeFiles/jupiter_market.dir/semi_markov.cpp.o"
+  "CMakeFiles/jupiter_market.dir/semi_markov.cpp.o.d"
+  "CMakeFiles/jupiter_market.dir/spot_trace.cpp.o"
+  "CMakeFiles/jupiter_market.dir/spot_trace.cpp.o.d"
+  "libjupiter_market.a"
+  "libjupiter_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jupiter_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jupiter_paxos.dir/group.cpp.o"
+  "CMakeFiles/jupiter_paxos.dir/group.cpp.o.d"
+  "CMakeFiles/jupiter_paxos.dir/network.cpp.o"
+  "CMakeFiles/jupiter_paxos.dir/network.cpp.o.d"
+  "CMakeFiles/jupiter_paxos.dir/replica.cpp.o"
+  "CMakeFiles/jupiter_paxos.dir/replica.cpp.o.d"
+  "CMakeFiles/jupiter_paxos.dir/types.cpp.o"
+  "CMakeFiles/jupiter_paxos.dir/types.cpp.o.d"
+  "libjupiter_paxos.a"
+  "libjupiter_paxos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jupiter_paxos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

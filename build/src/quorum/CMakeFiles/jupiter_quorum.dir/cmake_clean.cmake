@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jupiter_quorum.dir/acceptance_set.cpp.o"
+  "CMakeFiles/jupiter_quorum.dir/acceptance_set.cpp.o.d"
+  "CMakeFiles/jupiter_quorum.dir/availability.cpp.o"
+  "CMakeFiles/jupiter_quorum.dir/availability.cpp.o.d"
+  "libjupiter_quorum.a"
+  "libjupiter_quorum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jupiter_quorum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

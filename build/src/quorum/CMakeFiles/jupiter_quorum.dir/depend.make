@@ -1,0 +1,2 @@
+# Empty dependencies file for jupiter_quorum.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/replay/adaptive.cpp" "src/replay/CMakeFiles/jupiter_replay.dir/adaptive.cpp.o" "gcc" "src/replay/CMakeFiles/jupiter_replay.dir/adaptive.cpp.o.d"
+  "/root/repo/src/replay/replay_engine.cpp" "src/replay/CMakeFiles/jupiter_replay.dir/replay_engine.cpp.o" "gcc" "src/replay/CMakeFiles/jupiter_replay.dir/replay_engine.cpp.o.d"
+  "/root/repo/src/replay/report.cpp" "src/replay/CMakeFiles/jupiter_replay.dir/report.cpp.o" "gcc" "src/replay/CMakeFiles/jupiter_replay.dir/report.cpp.o.d"
+  "/root/repo/src/replay/sla.cpp" "src/replay/CMakeFiles/jupiter_replay.dir/sla.cpp.o" "gcc" "src/replay/CMakeFiles/jupiter_replay.dir/sla.cpp.o.d"
+  "/root/repo/src/replay/sweep.cpp" "src/replay/CMakeFiles/jupiter_replay.dir/sweep.cpp.o" "gcc" "src/replay/CMakeFiles/jupiter_replay.dir/sweep.cpp.o.d"
+  "/root/repo/src/replay/workloads.cpp" "src/replay/CMakeFiles/jupiter_replay.dir/workloads.cpp.o" "gcc" "src/replay/CMakeFiles/jupiter_replay.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/jupiter_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/jupiter_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/market/CMakeFiles/jupiter_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jupiter_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/jupiter_quorum.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jupiter_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jupiter_replay.dir/adaptive.cpp.o"
+  "CMakeFiles/jupiter_replay.dir/adaptive.cpp.o.d"
+  "CMakeFiles/jupiter_replay.dir/replay_engine.cpp.o"
+  "CMakeFiles/jupiter_replay.dir/replay_engine.cpp.o.d"
+  "CMakeFiles/jupiter_replay.dir/report.cpp.o"
+  "CMakeFiles/jupiter_replay.dir/report.cpp.o.d"
+  "CMakeFiles/jupiter_replay.dir/sla.cpp.o"
+  "CMakeFiles/jupiter_replay.dir/sla.cpp.o.d"
+  "CMakeFiles/jupiter_replay.dir/sweep.cpp.o"
+  "CMakeFiles/jupiter_replay.dir/sweep.cpp.o.d"
+  "CMakeFiles/jupiter_replay.dir/workloads.cpp.o"
+  "CMakeFiles/jupiter_replay.dir/workloads.cpp.o.d"
+  "libjupiter_replay.a"
+  "libjupiter_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jupiter_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

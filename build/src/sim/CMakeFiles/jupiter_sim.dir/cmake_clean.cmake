@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jupiter_sim.dir/simulator.cpp.o"
+  "CMakeFiles/jupiter_sim.dir/simulator.cpp.o.d"
+  "libjupiter_sim.a"
+  "libjupiter_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jupiter_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/kv_store.cpp" "src/storage/CMakeFiles/jupiter_storage.dir/kv_store.cpp.o" "gcc" "src/storage/CMakeFiles/jupiter_storage.dir/kv_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/paxos/CMakeFiles/jupiter_paxos.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/jupiter_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jupiter_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jupiter_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

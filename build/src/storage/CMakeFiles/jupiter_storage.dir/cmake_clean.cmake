@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jupiter_storage.dir/kv_store.cpp.o"
+  "CMakeFiles/jupiter_storage.dir/kv_store.cpp.o.d"
+  "libjupiter_storage.a"
+  "libjupiter_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jupiter_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

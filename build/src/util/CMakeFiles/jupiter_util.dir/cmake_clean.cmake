@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jupiter_util.dir/csv.cpp.o"
+  "CMakeFiles/jupiter_util.dir/csv.cpp.o.d"
+  "CMakeFiles/jupiter_util.dir/log.cpp.o"
+  "CMakeFiles/jupiter_util.dir/log.cpp.o.d"
+  "CMakeFiles/jupiter_util.dir/money.cpp.o"
+  "CMakeFiles/jupiter_util.dir/money.cpp.o.d"
+  "CMakeFiles/jupiter_util.dir/stats.cpp.o"
+  "CMakeFiles/jupiter_util.dir/stats.cpp.o.d"
+  "CMakeFiles/jupiter_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/jupiter_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/jupiter_util.dir/time.cpp.o"
+  "CMakeFiles/jupiter_util.dir/time.cpp.o.d"
+  "libjupiter_util.a"
+  "libjupiter_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jupiter_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

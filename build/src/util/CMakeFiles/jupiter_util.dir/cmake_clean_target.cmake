@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjupiter_util.a"
+)

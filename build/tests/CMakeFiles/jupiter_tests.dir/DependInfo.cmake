@@ -1,0 +1,84 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_acceptance_set.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_acceptance_set.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_acceptance_set.cpp.o.d"
+  "/root/repo/tests/test_adaptive.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_adaptive.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_adaptive.cpp.o.d"
+  "/root/repo/tests/test_availability.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_availability.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_availability.cpp.o.d"
+  "/root/repo/tests/test_billing.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_billing.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_billing.cpp.o.d"
+  "/root/repo/tests/test_bytes.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_bytes.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_bytes.cpp.o.d"
+  "/root/repo/tests/test_csv.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_csv.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_csv.cpp.o.d"
+  "/root/repo/tests/test_exhaustive_bidder.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_exhaustive_bidder.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_exhaustive_bidder.cpp.o.d"
+  "/root/repo/tests/test_failure_model.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_failure_model.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_failure_model.cpp.o.d"
+  "/root/repo/tests/test_framework.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_framework.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_framework.cpp.o.d"
+  "/root/repo/tests/test_framework_edge.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_framework_edge.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_framework_edge.cpp.o.d"
+  "/root/repo/tests/test_gf256.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_gf256.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_gf256.cpp.o.d"
+  "/root/repo/tests/test_gf_matrix.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_gf_matrix.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_gf_matrix.cpp.o.d"
+  "/root/repo/tests/test_instance_type.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_instance_type.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_instance_type.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_kv_store.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_kv_store.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_kv_store.cpp.o.d"
+  "/root/repo/tests/test_lock_service.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_lock_service.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_lock_service.cpp.o.d"
+  "/root/repo/tests/test_log.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_log.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_log.cpp.o.d"
+  "/root/repo/tests/test_main.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_main.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_main.cpp.o.d"
+  "/root/repo/tests/test_market_state.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_market_state.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_market_state.cpp.o.d"
+  "/root/repo/tests/test_model_edge.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_model_edge.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_model_edge.cpp.o.d"
+  "/root/repo/tests/test_money.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_money.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_money.cpp.o.d"
+  "/root/repo/tests/test_network.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_network.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_network.cpp.o.d"
+  "/root/repo/tests/test_online_bidder.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_online_bidder.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_online_bidder.cpp.o.d"
+  "/root/repo/tests/test_paxos.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_paxos.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_paxos.cpp.o.d"
+  "/root/repo/tests/test_paxos_edge.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_paxos_edge.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_paxos_edge.cpp.o.d"
+  "/root/repo/tests/test_price_process.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_price_process.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_price_process.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_provider.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_provider.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_provider.cpp.o.d"
+  "/root/repo/tests/test_quorum_identities.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_quorum_identities.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_quorum_identities.cpp.o.d"
+  "/root/repo/tests/test_reed_solomon.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_reed_solomon.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_reed_solomon.cpp.o.d"
+  "/root/repo/tests/test_region.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_region.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_region.cpp.o.d"
+  "/root/repo/tests/test_replay_edge.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_replay_edge.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_replay_edge.cpp.o.d"
+  "/root/repo/tests/test_replay_engine.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_replay_engine.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_replay_engine.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_rs_paxos.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_rs_paxos.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_rs_paxos.cpp.o.d"
+  "/root/repo/tests/test_scaling.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_scaling.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_scaling.cpp.o.d"
+  "/root/repo/tests/test_semi_markov.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_semi_markov.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_semi_markov.cpp.o.d"
+  "/root/repo/tests/test_service_spec.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_service_spec.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_service_spec.cpp.o.d"
+  "/root/repo/tests/test_services_consensus.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_services_consensus.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_services_consensus.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_sla.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_sla.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_sla.cpp.o.d"
+  "/root/repo/tests/test_spot_trace.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_spot_trace.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_spot_trace.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_strategies.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_strategies.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_strategies.cpp.o.d"
+  "/root/repo/tests/test_sweep.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_sweep.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_sweep.cpp.o.d"
+  "/root/repo/tests/test_thread_pool.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/test_time.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_time.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_time.cpp.o.d"
+  "/root/repo/tests/test_timeline.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_timeline.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_timeline.cpp.o.d"
+  "/root/repo/tests/test_trace_book.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_trace_book.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_trace_book.cpp.o.d"
+  "/root/repo/tests/test_trace_fuzz.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_trace_fuzz.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_trace_fuzz.cpp.o.d"
+  "/root/repo/tests/test_trace_persistence.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_trace_persistence.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_trace_persistence.cpp.o.d"
+  "/root/repo/tests/test_umbrella.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_umbrella.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_umbrella.cpp.o.d"
+  "/root/repo/tests/test_weighted_bidder.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_weighted_bidder.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_weighted_bidder.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/jupiter_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/jupiter_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/replay/CMakeFiles/jupiter_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/jupiter_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/paxos/CMakeFiles/jupiter_paxos.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/jupiter_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/jupiter_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/jupiter_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/jupiter_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/market/CMakeFiles/jupiter_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/jupiter_quorum.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jupiter_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jupiter_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
