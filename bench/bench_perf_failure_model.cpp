@@ -41,6 +41,37 @@ void BM_train_one_zone(benchmark::State& state) {
 }
 BENCHMARK(BM_train_one_zone);
 
+void BM_extend_one_zone(benchmark::State& state) {
+  // Incremental counterpart of BM_train_one_zone: fold six hours of new
+  // change points into an already-trained model (the copy gives every
+  // iteration a fresh pre-extension chain).
+  Fixture& f = fixture();
+  const SpotTrace& tr = f.sc.book.trace(f.sc.zones[0], InstanceKind::kM1Small);
+  PriceTick od = PriceTick::from_money(
+      on_demand_price_zone(f.sc.zones[0], InstanceKind::kM1Small));
+  SimTime cut = f.sc.replay_start - 6 * kHour;
+  ZoneFailureModel base = ZoneFailureModel::train(
+      tr.slice(f.sc.history_start, cut), od);
+  for (auto _ : state) {
+    ZoneFailureModel m = base;
+    m.extend(tr, cut, f.sc.replay_start);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_extend_one_zone);
+
+void BM_hit_curve_batched(benchmark::State& state) {
+  // Whole first-passage curve in one batched DP vs. one hit_one per
+  // threshold (BM_first_passage_single x state_count).
+  Fixture& f = fixture();
+  const auto& chain = f.models.model(f.sc.zones[0]).chain();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        chain.hit_curve(0, 0, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_hit_curve_batched)->Arg(60)->Arg(360)->Arg(720);
+
 void BM_occupancy_transient(benchmark::State& state) {
   Fixture& f = fixture();
   const auto& chain = f.models.model(f.sc.zones[0]).chain();
@@ -81,7 +112,25 @@ void BM_full_decision(benchmark::State& state) {
     benchmark::DoNotOptimize(bidder.decide(f.models, f.snap, spec));
   }
 }
+// NB: the shared fixture models keep their transient caches across
+// iterations, so this now measures the warm-cache decision.
 BENCHMARK(BM_full_decision)->Arg(60)->Arg(360)->Arg(720);
+
+void BM_full_decision_cold(benchmark::State& state) {
+  // Copying the book resets every zone's transient cache, so each
+  // iteration pays the full transient-analysis cost.
+  Fixture& f = fixture();
+  OnlineBidder bidder(
+      {.horizon_minutes = static_cast<int>(state.range(0)), .max_nodes = 9});
+  ServiceSpec spec = ServiceSpec::lock_service();
+  for (auto _ : state) {
+    state.PauseTiming();
+    FailureModelBook cold = f.models;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(bidder.decide(cold, f.snap, spec));
+  }
+}
+BENCHMARK(BM_full_decision_cold)->Arg(60)->Arg(360)->Arg(720);
 
 }  // namespace
 

@@ -1,0 +1,131 @@
+// Before/after measurement of the bidding hot path: replays the Jupiter
+// strategy over the same scenario twice — once with warm models disabled
+// (every decision retrains from scratch on the full history and runs its
+// transient analyses on a cold cache; the behavior before the model-reuse
+// layer) and once with incremental training + the shared transient cache —
+// verifies the two replays make identical decisions, and writes the
+// ns-per-decision numbers plus cache hit rates to BENCH_failure_model.json.
+//
+// Only the strategy's decide() calls are timed (via a delegating wrapper):
+// that is the path the model-reuse layer optimizes.  The surrounding market
+// simulation is identical in both replays and would only dilute the ratio.
+//
+// Run from the build directory:
+//   ./bench/bench_perf_sweep [out.json]
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "core/strategies.hpp"
+#include "replay/replay_engine.hpp"
+#include "replay/workloads.hpp"
+
+using namespace jupiter;
+
+namespace {
+
+/// Delegates to an inner strategy, accumulating wall time spent in decide().
+class TimedStrategy : public BiddingStrategy {
+ public:
+  explicit TimedStrategy(BiddingStrategy& inner) : inner_(inner) {}
+  std::string name() const override { return inner_.name(); }
+  StrategyDecision decide(const MarketSnapshot& snapshot, SimTime now,
+                          const std::vector<ZoneBid>& held) override {
+    auto t0 = std::chrono::steady_clock::now();
+    StrategyDecision d = inner_.decide(snapshot, now, held);
+    auto t1 = std::chrono::steady_clock::now();
+    decide_ns_ += static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+    return d;
+  }
+  double decide_ns() const { return decide_ns_; }
+
+ private:
+  BiddingStrategy& inner_;
+  double decide_ns_ = 0;
+};
+
+struct Run {
+  ReplayResult result;
+  double ns_per_decision = 0;
+  TransientCache::Stats stats;
+};
+
+Run run_once(const Scenario& sc, const ServiceSpec& spec,
+             const ReplayConfig& cfg, int horizon_minutes, bool incremental) {
+  OnlineBidder::Options bopts;
+  bopts.horizon_minutes = horizon_minutes;
+  JupiterStrategy strat(sc.book, spec, sc.history_start, bopts);
+  strat.set_incremental(incremental);
+  TimedStrategy timed(strat);
+  Run r;
+  r.result = replay_strategy(sc.book, timed, cfg);
+  r.ns_per_decision = timed.decide_ns() / std::max(1, r.result.decisions);
+  r.stats = strat.cache_stats();
+  return r;
+}
+
+bool identical(const ReplayResult& a, const ReplayResult& b) {
+  return a.cost.micros() == b.cost.micros() && a.downtime == b.downtime &&
+         a.decisions == b.decisions &&
+         a.out_of_bid_events == b.out_of_bid_events &&
+         a.instances_launched == b.instances_launched;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : "BENCH_failure_model.json";
+
+  // Long history, short replay: the naive path retrains on the full history
+  // every decision, which is exactly the cost the warm path amortizes away.
+  Scenario sc = make_scenario(InstanceKind::kM1Small, 13, 1, 19);
+  ServiceSpec spec = ServiceSpec::lock_service();
+  const TimeDelta interval = 1 * kHour;
+  const int horizon = static_cast<int>(interval / kMinute);
+  ReplayConfig cfg = make_replay_config(sc, spec, interval);
+
+  std::printf("replaying naive (full retrain per decision)...\n");
+  Run naive = run_once(sc, spec, cfg, horizon, /*incremental=*/false);
+  std::printf("  %.3f ms/decision over %d decisions\n",
+              naive.ns_per_decision / 1e6, naive.result.decisions);
+
+  std::printf("replaying warm (incremental training + transient cache)...\n");
+  Run warm = run_once(sc, spec, cfg, horizon, /*incremental=*/true);
+  std::printf("  %.3f ms/decision over %d decisions\n",
+              warm.ns_per_decision / 1e6, warm.result.decisions);
+
+  bool same = identical(naive.result, warm.result);
+  double speedup = warm.ns_per_decision > 0
+                       ? naive.ns_per_decision / warm.ns_per_decision
+                       : 0.0;
+  std::printf("identical decisions: %s; speedup: %.2fx; cache hit rate: %.3f\n",
+              same ? "yes" : "NO", speedup, warm.stats.hit_rate());
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 2;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"scenario\": {\"kind\": \"m1.small\", \"train_weeks\": 13, "
+               "\"replay_weeks\": 1, \"seed\": 19, \"interval_hours\": 1},\n"
+               "  \"decisions\": %d,\n"
+               "  \"naive_ns_per_decision\": %.0f,\n"
+               "  \"warm_ns_per_decision\": %.0f,\n"
+               "  \"speedup\": %.3f,\n"
+               "  \"identical_decisions\": %s,\n"
+               "  \"cache\": {\"hits\": %llu, \"misses\": %llu, "
+               "\"hit_rate\": %.4f}\n"
+               "}\n",
+               naive.result.decisions, naive.ns_per_decision,
+               warm.ns_per_decision, speedup, same ? "true" : "false",
+               static_cast<unsigned long long>(warm.stats.hits),
+               static_cast<unsigned long long>(warm.stats.misses),
+               warm.stats.hit_rate());
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return same ? 0 : 1;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "quorum/availability.hpp"
+#include "util/thread_pool.hpp"
 
 namespace jupiter {
 
@@ -88,6 +89,9 @@ std::optional<BidDecision> exhaustive_decide(const FailureModelBook& models,
     if (!models.has(st.zone)) continue;
     const ZoneFailureModel& model = models.model(st.zone);
     BidCurve curve = model.bid_curve(st, opts.horizon_minutes);
+    // The loop below probes every candidate threshold; fill the whole
+    // first-passage curve with one batched transient analysis up front.
+    curve.prime_all();
     ZoneCandidates zc;
     zc.zone = st.zone;
     for (std::size_t i = 0; i < curve.prices().size(); ++i) {
@@ -101,20 +105,58 @@ std::optional<BidDecision> exhaustive_decide(const FailureModelBook& models,
   if (zones.empty()) return std::nullopt;
 
   double target = spec.target_availability() - spec.epsilon;
-  Money best_sum = Money(INT64_MAX);
-  std::vector<BidDecision::Entry> best_entries;
-  double best_avail = 0;
-  std::uint64_t budget = opts.max_combinations;
 
+  // Partition the enumeration into independent tasks — one per (subset size
+  // n, smallest selected zone index) pair — and run them on the process
+  // pool.  Each task owns its incumbent and combination budget, so workers
+  // never synchronize; the merge below scans tasks in their sequential
+  // enumeration order and replaces the incumbent only on a strictly smaller
+  // bid sum, which reproduces the single-threaded winner exactly regardless
+  // of scheduling.
+  struct Task {
+    int n;
+    std::size_t first;
+    int tolerate;
+  };
+  struct TaskResult {
+    Money best_sum = Money(INT64_MAX);
+    std::vector<BidDecision::Entry> entries;
+    double avail = 0;
+  };
+  std::vector<Task> tasks;
   int max_n = std::min<int>(opts.max_nodes, static_cast<int>(zones.size()));
   for (int n = spec.min_nodes(); n <= max_n; ++n) {
     int tol = spec.tolerate(n);
     if (tol < 0) continue;
-    std::vector<const ZoneCandidates*> picked;
-    search_subsets(zones, 0, picked, n, tol, target, best_sum, best_entries,
-                   best_avail, budget);
+    for (std::size_t first = 0;
+         first + static_cast<std::size_t>(n) <= zones.size(); ++first) {
+      tasks.push_back(Task{n, first, tol});
+    }
   }
-  if (budget == 0 && best_entries.empty()) return std::nullopt;
+  if (tasks.empty()) return std::nullopt;
+
+  std::vector<TaskResult> results(tasks.size());
+  parallel_for(global_pool(), tasks.size(), [&](std::size_t t) {
+    const Task& task = tasks[t];
+    TaskResult& r = results[t];
+    std::uint64_t budget = opts.max_combinations;
+    std::vector<const ZoneCandidates*> picked;
+    picked.push_back(&zones[task.first]);
+    search_subsets(zones, task.first + 1, picked, task.n, task.tolerate,
+                   target, r.best_sum, r.entries, r.avail, budget);
+  });
+
+  Money best_sum = Money(INT64_MAX);
+  std::vector<BidDecision::Entry> best_entries;
+  double best_avail = 0;
+  for (auto& r : results) {
+    if (r.entries.empty()) continue;
+    if (best_entries.empty() || r.best_sum < best_sum) {
+      best_sum = r.best_sum;
+      best_entries = std::move(r.entries);
+      best_avail = r.avail;
+    }
+  }
   if (best_entries.empty()) return std::nullopt;
 
   BidDecision d;

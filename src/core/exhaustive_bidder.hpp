@@ -23,8 +23,12 @@ namespace jupiter {
 
 struct ExhaustiveOptions {
   int max_nodes = 7;
-  /// Safety valve: give up (return nullopt) beyond this many candidate
-  /// combinations rather than hang.
+  /// Safety valve against hanging: stop a search task beyond this many
+  /// candidate combinations.  The enumeration is partitioned into one task
+  /// per (subset size, smallest zone index) pair and run on the process
+  /// thread pool; the valve applies to each task independently, so the
+  /// parallel search explores at least as much of the space as the
+  /// single-threaded one did for the same value.
   std::uint64_t max_combinations = 50'000'000;
   int horizon_minutes = 60;
 };
@@ -32,6 +36,9 @@ struct ExhaustiveOptions {
 /// True optimum of the §3.2 program, or nullopt if the constraint is
 /// infeasible at every configuration (or the search space exceeds the
 /// valve).  The returned decision has satisfies_constraint == true.
+/// Deterministic: per-task incumbents are merged in sequential enumeration
+/// order with a strict-less-than rule, reproducing the single-threaded
+/// result independent of thread scheduling.
 std::optional<BidDecision> exhaustive_decide(const FailureModelBook& models,
                                              const MarketSnapshot& snapshot,
                                              const ServiceSpec& spec,

@@ -10,8 +10,33 @@ ZoneFailureModel::ZoneFailureModel(SemiMarkovChain chain, PriceTick on_demand,
     : chain_(std::move(chain)),
       on_demand_(on_demand),
       fp_prime_(fp_prime),
-      estimator_(est) {
+      estimator_(est),
+      cache_(std::make_shared<TransientCache>()) {
   if (fp_prime < 0 || fp_prime >= 1) throw std::invalid_argument("bad FP'");
+}
+
+ZoneFailureModel::ZoneFailureModel(const ZoneFailureModel& o)
+    : chain_(o.chain_),
+      on_demand_(o.on_demand_),
+      fp_prime_(o.fp_prime_),
+      estimator_(o.estimator_),
+      cache_(std::make_shared<TransientCache>()) {}
+
+ZoneFailureModel& ZoneFailureModel::operator=(const ZoneFailureModel& o) {
+  if (this == &o) return *this;
+  chain_ = o.chain_;
+  on_demand_ = o.on_demand_;
+  fp_prime_ = o.fp_prime_;
+  estimator_ = o.estimator_;
+  cache_ = std::make_shared<TransientCache>();
+  return *this;
+}
+
+bool ZoneFailureModel::extend(const SpotTrace& history, SimTime from,
+                              SimTime to) {
+  int folded = chain_.extend(history, from, to);
+  if (folded > 0) cache_->invalidate();  // keys/values reference the old chain
+  return folded > 0;
 }
 
 ZoneFailureModel ZoneFailureModel::train(const SpotTrace& history,
@@ -62,7 +87,9 @@ double ZoneFailureModel::best_achievable_fp(const MarketZoneState& st,
 
 BidCurve::BidCurve(const SemiMarkovChain* chain, int state, int age,
                    int horizon, PriceTick current_price, PriceTick on_demand,
-                   double fp_prime, OobEstimator estimator)
+                   double fp_prime, OobEstimator estimator,
+                   std::shared_ptr<TransientCache> cache,
+                   std::shared_ptr<TransientCache::Entry> memo)
     : chain_(chain),
       state_(state),
       age_(age),
@@ -71,17 +98,47 @@ BidCurve::BidCurve(const SemiMarkovChain* chain, int state, int age,
       on_demand_(on_demand),
       fp_prime_(fp_prime),
       estimator_(estimator),
-      cache_(static_cast<std::size_t>(chain->state_count()), 0.0),
-      known_(static_cast<std::size_t>(chain->state_count()), 0) {
-  if (estimator_ == OobEstimator::kOccupancy) {
-    // Occupancy exceedance comes from a single forward pass; fill eagerly.
-    cache_ = chain_->exceed_curve(state_, age_, horizon_);
-    std::fill(known_.begin(), known_.end(), 1);
+      stats_(std::move(cache)),
+      memo_(std::move(memo)) {
+  if (!memo_) {
+    cache_.assign(static_cast<std::size_t>(chain->state_count()), 0.0);
+    known_.assign(static_cast<std::size_t>(chain->state_count()), 0);
+    if (estimator_ == OobEstimator::kOccupancy) {
+      // Occupancy exceedance comes from a single forward pass; fill eagerly.
+      cache_ = chain_->exceed_curve(state_, age_, horizon_);
+      std::fill(known_.begin(), known_.end(), 1);
+    }
   }
 }
 
-double BidCurve::oob_at_index(int i) const {
+double BidCurve::occupancy_oob(int i) const {
   auto idx = static_cast<std::size_t>(i);
+  if (!memo_) return cache_[idx];  // filled eagerly in the constructor
+  std::lock_guard<std::mutex> lk(memo_->mu);
+  if (!memo_->exceed_filled) {
+    memo_->exceed = chain_->exceed_curve(state_, age_, horizon_);
+    memo_->exceed_filled = true;
+    if (stats_) stats_->count_miss();
+  } else if (stats_) {
+    stats_->count_hit();
+  }
+  return memo_->exceed[idx];
+}
+
+double BidCurve::oob_at_index(int i) const {
+  if (estimator_ == OobEstimator::kOccupancy) return occupancy_oob(i);
+  auto idx = static_cast<std::size_t>(i);
+  if (memo_) {
+    std::lock_guard<std::mutex> lk(memo_->mu);
+    if (!memo_->hit_known[idx]) {
+      memo_->hit[idx] = chain_->hit_one(state_, age_, horizon_, i);
+      memo_->hit_known[idx] = 1;
+      if (stats_) stats_->count_miss();
+    } else if (stats_) {
+      stats_->count_hit();
+    }
+    return memo_->hit[idx];
+  }
   if (!known_[idx]) {
     cache_[idx] = chain_->hit_one(state_, age_, horizon_, i);
     known_[idx] = 1;
@@ -89,19 +146,50 @@ double BidCurve::oob_at_index(int i) const {
   return cache_[idx];
 }
 
+void BidCurve::prime_all() const {
+  if (estimator_ == OobEstimator::kOccupancy) {
+    occupancy_oob(0);  // one forward pass fills the whole curve
+    return;
+  }
+  if (memo_) {
+    std::lock_guard<std::mutex> lk(memo_->mu);
+    bool all = true;
+    for (char k : memo_->hit_known) {
+      if (!k) {
+        all = false;
+        break;
+      }
+    }
+    if (all) {
+      if (stats_) stats_->count_hit();
+      return;
+    }
+    std::vector<double> curve = chain_->hit_curve(state_, age_, horizon_);
+    for (std::size_t i = 0; i < curve.size(); ++i) {
+      if (!memo_->hit_known[i]) {
+        memo_->hit[i] = curve[i];
+        memo_->hit_known[i] = 1;
+      }
+    }
+    if (stats_) stats_->count_miss();
+    return;
+  }
+  std::vector<double> curve = chain_->hit_curve(state_, age_, horizon_);
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    if (!known_[i]) {
+      cache_[i] = curve[i];
+      known_[i] = 1;
+    }
+  }
+}
+
 double BidCurve::fp_at(PriceTick bid) const {
   if (bid < current_price_ || bid >= on_demand_) return 1.0;
   // Out-of-bid probability at `bid` equals the value at the largest state
   // price <= bid (the curve is a right-continuous step function of the bid).
   const auto& ps = prices();
-  int idx = -1;
-  for (std::size_t i = 0; i < ps.size(); ++i) {
-    if (ps[i] <= bid) {
-      idx = static_cast<int>(i);
-    } else {
-      break;
-    }
-  }
+  auto it = std::upper_bound(ps.begin(), ps.end(), bid);
+  int idx = static_cast<int>(it - ps.begin()) - 1;
   // Bid below every known state: everything the chain can visit exceeds it.
   double oob = idx < 0 ? 1.0 : oob_at_index(idx);
   return 1.0 - (1.0 - fp_prime_) * (1.0 - oob);
@@ -111,15 +199,14 @@ std::optional<PriceTick> BidCurve::min_bid_for_fp(double fp_target) const {
   if (fp_target >= 1.0) fp_target = 1.0;
   double max_oob = 1.0 - (1.0 - fp_target) / (1.0 - fp_prime_);
   if (max_oob < 0) return std::nullopt;
+  // Candidate bids are the state prices in [current, on-demand); the vector
+  // is sorted, so the bounds come from two binary searches.
   const auto& ps = prices();
-  int lo = -1, hi = -1;
-  for (std::size_t i = 0; i < ps.size(); ++i) {
-    if (ps[i] < current_price_) continue;
-    if (ps[i] >= on_demand_) break;
-    if (lo < 0) lo = static_cast<int>(i);
-    hi = static_cast<int>(i);
-  }
-  if (lo < 0) return std::nullopt;
+  int lo = static_cast<int>(
+      std::lower_bound(ps.begin(), ps.end(), current_price_) - ps.begin());
+  int hi = static_cast<int>(
+      std::lower_bound(ps.begin(), ps.end(), on_demand_) - ps.begin()) - 1;
+  if (lo > hi || lo >= static_cast<int>(ps.size())) return std::nullopt;
   // The out-of-bid probability is nonincreasing in the threshold index, so
   // binary search finds the cheapest feasible bid with O(log) transient
   // analyses instead of one per candidate.
@@ -143,8 +230,11 @@ double BidCurve::best_achievable_fp() const {
 BidCurve ZoneFailureModel::bid_curve(const MarketZoneState& st,
                                      int horizon_minutes) const {
   int state = chain_.nearest_state(st.price);
+  int age = chain_.clamped_age(state, st.age_minutes);
+  auto memo = cache_->entry(state, age, horizon_minutes, chain_.state_count());
   return BidCurve(&chain_, state, st.age_minutes, horizon_minutes, st.price,
-                  std::min(on_demand_, st.on_demand), fp_prime_, estimator_);
+                  std::min(on_demand_, st.on_demand), fp_prime_, estimator_,
+                  cache_, std::move(memo));
 }
 
 void FailureModelBook::set(int zone, ZoneFailureModel model) {
@@ -187,6 +277,33 @@ FailureModelBook FailureModelBook::train(const TraceBook& book,
     out.set(zone, ZoneFailureModel::train(slice, od, fp_prime, est));
   }
   return out;
+}
+
+void FailureModelBook::extend(const TraceBook& book, InstanceKind kind,
+                              const std::vector<int>& zones,
+                              SimTime history_start, SimTime from, SimTime to,
+                              double fp_prime, OobEstimator est) {
+  for (int zone : zones) {
+    if (has(zone)) {
+      auto it = std::lower_bound(
+          models_.begin(), models_.end(), zone,
+          [](const auto& kv, int z) { return kv.first < z; });
+      // The raw trace works here: extend() skips everything at or before the
+      // chain's trained tail, and slice() would only perturb the first point's
+      // timestamp anyway.
+      it->second.extend(book.trace(zone, kind), from, to);
+    } else {
+      SpotTrace slice = book.trace(zone, kind).slice(history_start, to);
+      PriceTick od = PriceTick::from_money(on_demand_price_zone(zone, kind));
+      set(zone, ZoneFailureModel::train(slice, od, fp_prime, est));
+    }
+  }
+}
+
+TransientCache::Stats FailureModelBook::cache_stats() const {
+  TransientCache::Stats total;
+  for (const auto& [zone, model] : models_) total += model.cache_stats();
+  return total;
 }
 
 }  // namespace jupiter

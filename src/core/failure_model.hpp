@@ -16,10 +16,12 @@
 // the bid, so the whole bid search costs one forward pass).
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "core/market_state.hpp"
+#include "core/transient_cache.hpp"
 #include "market/semi_markov.hpp"
 #include "market/spot_trace.hpp"
 #include "util/money.hpp"
@@ -57,7 +59,9 @@ class BidCurve {
  public:
   BidCurve(const SemiMarkovChain* chain, int state, int age, int horizon,
            PriceTick current_price, PriceTick on_demand, double fp_prime,
-           OobEstimator estimator);
+           OobEstimator estimator,
+           std::shared_ptr<TransientCache> cache = nullptr,
+           std::shared_ptr<TransientCache::Entry> memo = nullptr);
 
   PriceTick current_price() const { return current_price_; }
   PriceTick on_demand() const { return on_demand_; }
@@ -65,6 +69,13 @@ class BidCurve {
   /// Out-of-bid probability when bidding exactly prices()[i].
   double oob_at_index(int i) const;
   const std::vector<PriceTick>& prices() const { return chain_->prices(); }
+
+  /// Precomputes every first-passage threshold with one batched transient
+  /// analysis (SemiMarkovChain::hit_curve).  Callers that will probe most
+  /// thresholds — the exhaustive bidder enumerates every candidate price —
+  /// amortize one DP over the whole curve instead of one per threshold.
+  /// No-op for the occupancy estimator (already whole-curve).
+  void prime_all() const;
 
   /// FP (Eq. 4 composed) at an arbitrary bid.
   double fp_at(PriceTick bid) const;
@@ -74,6 +85,8 @@ class BidCurve {
   double best_achievable_fp() const;
 
  private:
+  double occupancy_oob(int i) const;
+
   const SemiMarkovChain* chain_;
   int state_;
   int age_;
@@ -82,6 +95,10 @@ class BidCurve {
   PriceTick on_demand_;
   double fp_prime_;
   OobEstimator estimator_;
+  // Shared memo (per model-zone, keyed by state/age/horizon); when null the
+  // curve falls back to instance-local storage below.
+  std::shared_ptr<TransientCache> stats_;
+  std::shared_ptr<TransientCache::Entry> memo_;
   mutable std::vector<double> cache_;
   mutable std::vector<char> known_;
 };
@@ -100,6 +117,20 @@ class ZoneFailureModel {
   ZoneFailureModel(SemiMarkovChain chain, PriceTick on_demand,
                    double fp_prime = kOnDemandFailureProbability,
                    OobEstimator est = OobEstimator::kFirstPassage);
+
+  // Copies get a fresh (empty) transient cache so two instances never serve
+  // each other stale results after one of them is retrained; moves keep the
+  // warm cache.
+  ZoneFailureModel(const ZoneFailureModel& o);
+  ZoneFailureModel& operator=(const ZoneFailureModel& o);
+  ZoneFailureModel(ZoneFailureModel&&) = default;
+  ZoneFailureModel& operator=(ZoneFailureModel&&) = default;
+
+  /// Incremental training: folds the change points of `history` with time
+  /// in [from, to) into the model's chain (SemiMarkovChain::extend) and
+  /// invalidates the transient cache iff anything changed.  Returns whether
+  /// new observations were folded.
+  bool extend(const SpotTrace& history, SimTime from, SimTime to);
 
   /// Expected failure probability (Eq. 4+5) of an instance bid at `bid`
   /// over the next `horizon_minutes`, given the market state.  A bid at or
@@ -134,6 +165,9 @@ class ZoneFailureModel {
   OobEstimator estimator() const { return estimator_; }
   const SemiMarkovChain& chain() const { return chain_; }
 
+  /// Cumulative hit/miss counters of the transient-analysis cache.
+  TransientCache::Stats cache_stats() const { return cache_->stats(); }
+
   /// Replaces the sojourn law with its memoryless approximation (model
   /// ablation).
   ZoneFailureModel memoryless() const {
@@ -154,6 +188,9 @@ class ZoneFailureModel {
   PriceTick on_demand_;
   double fp_prime_;
   OobEstimator estimator_ = OobEstimator::kFirstPassage;
+  // Memoized transient analyses for this chain; replaced wholesale when the
+  // chain is retrained.  Never null.
+  std::shared_ptr<TransientCache> cache_;
 };
 
 /// Failure models for every zone of one instance type.
@@ -169,6 +206,20 @@ class FailureModelBook {
                                 SimTime to,
                                 double fp_prime = kOnDemandFailureProbability,
                                 OobEstimator est = OobEstimator::kFirstPassage);
+
+  /// Incremental counterpart of train(): folds the change points in
+  /// [from, to) into every warm zone model; a zone without a model yet is
+  /// trained from scratch over [history_start, to).  Keeping models warm
+  /// between bidding decisions replaces the O(full history) retrain per
+  /// interval with an O(new points) update.
+  void extend(const TraceBook& book, InstanceKind kind,
+              const std::vector<int>& zones, SimTime history_start,
+              SimTime from, SimTime to,
+              double fp_prime = kOnDemandFailureProbability,
+              OobEstimator est = OobEstimator::kFirstPassage);
+
+  /// Transient-cache counters summed across all zone models.
+  TransientCache::Stats cache_stats() const;
 
  private:
   std::vector<std::pair<int, ZoneFailureModel>> models_;  // sorted by zone

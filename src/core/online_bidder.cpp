@@ -4,6 +4,7 @@
 
 #include "quorum/availability.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace jupiter {
 
@@ -121,6 +122,15 @@ BidDecision OnlineBidder::decide(const FailureModelBook& models,
     curves.emplace_back(
         st.zone, models.model(st.zone).bid_curve(st, opts_.horizon_minutes));
   }
+
+  // Fill every zone's threshold curve up front, in parallel.  The size loop
+  // below probes the same handful of thresholds per zone across all n, and
+  // on a cold transient cache the lazy misses would run the per-zone DPs one
+  // after another on this thread.  Priming computes the same values
+  // (hit_curve is bit-identical to per-threshold hit_one), so decisions are
+  // unaffected.
+  parallel_for(global_pool(), curves.size(),
+               [&](std::size_t i) { curves[i].second.prime_all(); });
 
   BidDecision best;
   bool have = false;

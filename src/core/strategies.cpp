@@ -23,9 +23,19 @@ StrategyDecision JupiterStrategy::decide(const MarketSnapshot& snapshot,
   std::vector<int> zones;
   zones.reserve(snapshot.size());
   for (const auto& st : snapshot) zones.push_back(st.zone);
-  FailureModelBook models =
-      FailureModelBook::train(book_, spec_.kind, zones, history_start_, now,
-                              spec_.baseline_fp, estimator_);
+  if (incremental_ && warm_) {
+    // Fold only the change points observed since the previous decision into
+    // the warm models.  extend() is exact — the resulting chains (and hence
+    // every decision below) are bit-identical to a full retrain.
+    models_.extend(book_, spec_.kind, zones, history_start_, trained_to_, now,
+                   spec_.baseline_fp, estimator_);
+  } else {
+    models_ = FailureModelBook::train(book_, spec_.kind, zones, history_start_,
+                                      now, spec_.baseline_fp, estimator_);
+    warm_ = incremental_;
+  }
+  trained_to_ = now;
+  const FailureModelBook& models = models_;
 
   ++decisions_;
 

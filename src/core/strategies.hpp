@@ -35,10 +35,14 @@ class BiddingStrategy {
                                   const std::vector<ZoneBid>& held) = 0;
 };
 
-/// The paper's availability- and cost-aware framework.  Retrains its
-/// failure models on all price data observed so far before every decision
-/// ("with more and more spot prices data collected, the estimation can be
-/// improved", §4).
+/// The paper's availability- and cost-aware framework.  Folds newly observed
+/// price data into its failure models before every decision ("with more and
+/// more spot prices data collected, the estimation can be improved", §4).
+/// The models are kept warm between decisions: the first decision trains
+/// from scratch over [history_start, now), every later one extends the
+/// existing chains with just the change points since the previous decision
+/// (FailureModelBook::extend) — same models, O(new points) instead of
+/// O(full history) per interval.
 class JupiterStrategy : public BiddingStrategy {
  public:
   /// `book` must outlive the strategy.  Training uses the window
@@ -61,6 +65,15 @@ class JupiterStrategy : public BiddingStrategy {
     bidder_.set_horizon_minutes(minutes);
   }
 
+  /// Benchmarks only: disables warm models, forcing a full retrain (and
+  /// cold transient caches) every decision.  Decisions are identical either
+  /// way — incremental training is exact — so this isolates the cost of the
+  /// naive path.
+  void set_incremental(bool on) { incremental_ = on; }
+
+  /// Transient-cache counters summed over the warm models.
+  TransientCache::Stats cache_stats() const { return models_.cache_stats(); }
+
  private:
   /// Cadence of full re-optimizations; between them the strategy only
   /// re-validates the held deployment against the availability constraint.
@@ -73,6 +86,10 @@ class JupiterStrategy : public BiddingStrategy {
   OobEstimator estimator_;
   BidDecision last_;
   int decisions_ = 0;
+  FailureModelBook models_;
+  bool warm_ = false;
+  bool incremental_ = true;
+  SimTime trained_to_{0};
 };
 
 /// Extra(m, p): take the baseline node count plus m additional nodes in the

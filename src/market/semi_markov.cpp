@@ -50,12 +50,13 @@ void SemiMarkovChain::add_transition(int from, int to, int sojourn_minutes,
   for (auto& tr : row) {
     if (tr.next == to && tr.sojourn == k) {
       tr.prob += weight;
+      tr.count += weight;
       survival_dirty_ = true;
       return;
     }
   }
   if (to < 0 || to >= state_count()) throw std::out_of_range("bad state");
-  row.push_back(Transition{to, k, weight});
+  row.push_back(Transition{to, k, weight, weight});
   survival_dirty_ = true;
 }
 
@@ -119,33 +120,116 @@ SemiMarkovChain SemiMarkovChain::estimate(const SpotTrace& trace) {
     int j = static_cast<int>((key >> 20) & 0xFFFFF);
     int k = static_cast<int>(key & 0xFFFFF);
     chain.kernel_[static_cast<std::size_t>(i)].push_back(
-        Transition{j, k, count});
+        Transition{j, k, count, count});
   }
   chain.survival_dirty_ = true;
   chain.normalize_rows();
+  if (!pts.empty()) chain.tail_ = pts.back();
   return chain;
+}
+
+int SemiMarkovChain::extend(const SpotTrace& trace, SimTime from, SimTime to) {
+  if (survival_dirty_) throw std::logic_error("call normalize_rows() first");
+  if (!tail_) {
+    throw std::logic_error("extend() requires a chain built by estimate()");
+  }
+  const auto& pts = trace.points();
+  // First change point at/after `from` (and strictly after the tail, so an
+  // overlapping window never double-counts a transition).
+  auto it = std::lower_bound(
+      pts.begin(), pts.end(), from,
+      [](const PricePoint& p, SimTime t) { return p.at < t; });
+
+  // Rows needing renormalization, keyed by price: state indices can shift
+  // when a new price inserts a state mid-extend.
+  std::vector<PriceTick> touched;
+  int folded = 0;
+  for (; it != pts.end() && it->at < to; ++it) {
+    if (it->at <= tail_->at) continue;
+    int j = ensure_state(it->price);
+    int i = find_state(tail_->price);  // exists: tail was folded before
+    auto sojourn = static_cast<int>((it->at - tail_->at) / kMinute);
+    sojourn = std::clamp(sojourn, 1, kMaxSojournMinutes);
+    auto& row = kernel_[static_cast<std::size_t>(i)];
+    // Rows stay sorted by (sojourn, next) — the normalize_rows() order.
+    auto pos = std::lower_bound(
+        row.begin(), row.end(), std::pair<int, int>{sojourn, j},
+        [](const Transition& t, const std::pair<int, int>& key) {
+          if (t.sojourn != key.first) return t.sojourn < key.first;
+          return t.next < key.second;
+        });
+    if (pos != row.end() && pos->sojourn == sojourn && pos->next == j) {
+      pos->count += 1.0;
+    } else {
+      row.insert(pos, Transition{j, sojourn, 0.0, 1.0});
+    }
+    PriceTick rp = prices_[static_cast<std::size_t>(i)];
+    if (std::find(touched.begin(), touched.end(), rp) == touched.end()) {
+      touched.push_back(rp);
+    }
+    tail_ = *it;
+    ++folded;
+  }
+  for (PriceTick p : touched) {
+    renormalize_row_from_counts(find_state(p));
+  }
+  return folded;
+}
+
+int SemiMarkovChain::ensure_state(PriceTick p) {
+  auto it = std::lower_bound(prices_.begin(), prices_.end(), p);
+  auto pos = static_cast<int>(it - prices_.begin());
+  if (it != prices_.end() && *it == p) return pos;
+  prices_.insert(it, p);
+  // NB: insert(pos, {}) would pick the initializer-list overload and insert
+  // nothing; emplace() inserts one empty row.
+  kernel_.emplace(kernel_.begin() + pos);
+  survival_.emplace(survival_.begin() + pos);
+  // Shift destination indices at/after the insertion point.  The shift is
+  // monotone, so per-row (sojourn, next) ordering is preserved.
+  for (auto& row : kernel_) {
+    for (auto& tr : row) {
+      if (tr.next >= pos) ++tr.next;
+    }
+  }
+  return pos;
+}
+
+void SemiMarkovChain::renormalize_row_from_counts(int state) {
+  auto& row = kernel_.at(static_cast<std::size_t>(state));
+  double total = 0;
+  for (const auto& tr : row) total += tr.count;
+  if (total <= kMassEps) {
+    row.clear();  // absorbing
+  } else {
+    for (auto& tr : row) tr.prob = tr.count / total;
+  }
+  rebuild_survival_row(state);
 }
 
 void SemiMarkovChain::rebuild_survival() {
   survival_.assign(prices_.size(), {});
-  for (int i = 0; i < state_count(); ++i) {
-    const auto& row = kernel_[static_cast<std::size_t>(i)];
-    if (row.empty()) continue;  // absorbing: survival implicitly 1 forever
-    int maxk = 0;
-    for (const auto& tr : row) maxk = std::max(maxk, tr.sojourn);
-    // pmf over sojourn, then S(d) = 1 - CDF(d).
-    std::vector<double> pmf(static_cast<std::size_t>(maxk) + 1, 0.0);
-    for (const auto& tr : row) pmf[static_cast<std::size_t>(tr.sojourn)] += tr.prob;
-    auto& surv = survival_[static_cast<std::size_t>(i)];
-    surv.resize(static_cast<std::size_t>(maxk) + 1);
-    double cdf = 0;
-    for (int d = 0; d <= maxk; ++d) {
-      cdf += pmf[static_cast<std::size_t>(d)];
-      surv[static_cast<std::size_t>(d)] = std::max(0.0, 1.0 - cdf);
-    }
-    surv[static_cast<std::size_t>(maxk)] = 0.0;  // guard against fp residue
-  }
+  for (int i = 0; i < state_count(); ++i) rebuild_survival_row(i);
   survival_dirty_ = false;
+}
+
+void SemiMarkovChain::rebuild_survival_row(int state) {
+  const auto& row = kernel_[static_cast<std::size_t>(state)];
+  auto& surv = survival_[static_cast<std::size_t>(state)];
+  surv.clear();
+  if (row.empty()) return;  // absorbing: survival implicitly 1 forever
+  int maxk = 0;
+  for (const auto& tr : row) maxk = std::max(maxk, tr.sojourn);
+  // pmf over sojourn, then S(d) = 1 - CDF(d).
+  std::vector<double> pmf(static_cast<std::size_t>(maxk) + 1, 0.0);
+  for (const auto& tr : row) pmf[static_cast<std::size_t>(tr.sojourn)] += tr.prob;
+  surv.resize(static_cast<std::size_t>(maxk) + 1);
+  double cdf = 0;
+  for (int d = 0; d <= maxk; ++d) {
+    cdf += pmf[static_cast<std::size_t>(d)];
+    surv[static_cast<std::size_t>(d)] = std::max(0.0, 1.0 - cdf);
+  }
+  surv[static_cast<std::size_t>(maxk)] = 0.0;  // guard against fp residue
 }
 
 double SemiMarkovChain::survival(int state, int d) const {
@@ -174,6 +258,11 @@ double SemiMarkovChain::mean_sojourn(int state) const {
   double m = 0;
   for (const auto& tr : row(state)) m += tr.prob * tr.sojourn;
   return m;
+}
+
+int SemiMarkovChain::clamped_age(int state, int age) const {
+  if (survival_dirty_) throw std::logic_error("call normalize_rows() first");
+  return clamp_age(state, age);
 }
 
 int SemiMarkovChain::clamp_age(int state, int age) const {
@@ -327,10 +416,95 @@ double SemiMarkovChain::hit_one(int state, int age, int horizon,
 
 std::vector<double> SemiMarkovChain::hit_curve(int state, int age,
                                                int horizon) const {
+  if (survival_dirty_) throw std::logic_error("call normalize_rows() first");
+  if (horizon <= 0) throw std::invalid_argument("horizon must be positive");
   const int n = state_count();
+  const int H = horizon;
+
+  // Batched first passage for every threshold at once: one flat
+  // entry-propagation table indexed [minute t][state j, threshold b] (j <= b,
+  // triangular) runs all the per-threshold restricted DPs in lockstep.  For
+  // each fixed b the operations — seeding, the kMassEps cell skip, the
+  // survival products, the accumulation order — are exactly those of
+  // hit_one(state, age, horizon, b), so the curve equals the per-threshold
+  // values bit for bit; batching saves the per-call table allocation and
+  // walks each transition row once per (t, j) slice instead of once per
+  // threshold's private copy.
+  const auto np = static_cast<std::size_t>(n) * (static_cast<std::size_t>(n) + 1) / 2;
+  const std::size_t table = (static_cast<std::size_t>(H) + 1) * np;
+  if (table > (std::size_t{1} << 23)) {
+    // Table would not fit comfortably; fall back to per-threshold DPs.
+    std::vector<double> hit(static_cast<std::size_t>(n), 0.0);
+    for (int b = 0; b < n; ++b) {
+      hit[static_cast<std::size_t>(b)] = hit_one(state, age, horizon, b);
+    }
+    return hit;
+  }
+  auto tidx = [](int j, int b) {
+    return static_cast<std::size_t>(b) * (static_cast<std::size_t>(b) + 1) / 2 +
+           static_cast<std::size_t>(j);
+  };
+
+  std::vector<double> entries(table, 0.0);  // flat [t][tidx(j, b)]
+  std::vector<double> no_hit(static_cast<std::size_t>(n), 0.0);
+
+  int a = clamp_age(state, age);
+  double sa = survival(state, a);
+  if (sa <= 0.0) sa = 1.0;
+
+  // Never leaves the initial state within the horizon.
+  double stay = survival(state, a + H) / sa;
+  for (int b = state; b < n; ++b) no_hit[static_cast<std::size_t>(b)] = stay;
+  for (const auto& tr : row(state)) {
+    if (tr.sojourn <= a) continue;
+    if (tr.sojourn - a > H) continue;  // inside survival(state, a + H)
+    double w = tr.prob / sa;
+    const std::size_t base = static_cast<std::size_t>(tr.sojourn - a) * np;
+    // next > b escapes threshold b; seed only the thresholds it stays under.
+    for (int b = std::max(state, tr.next); b < n; ++b) {
+      entries[base + tidx(tr.next, b)] += w;
+    }
+  }
+  // Loop order is (t, j, transition, b) rather than the per-threshold
+  // (t, b, j, transition): each transition row is walked once per (t, j)
+  // slice instead of once per live threshold.  For any fixed b this visits
+  // the same cells in the same order with the same floating-point products
+  // as the per-threshold formulation (j ascending, then row order; the t
+  // slice is read-only while t is processed since every target is at
+  // t + sojourn > t), so the per-threshold bit-identity is preserved.
+  for (int t = 1; t <= H; ++t) {
+    const std::size_t base = static_cast<std::size_t>(t) * np;
+    for (int j = 0; j < n; ++j) {
+      const int b0 = std::max(state, j);
+      const double surv_j = survival(j, H - t);
+      bool live = false;
+      for (int b = b0; b < n; ++b) {
+        double mass = entries[base + tidx(j, b)];
+        if (mass <= kMassEps) continue;  // hit_one's cell skip
+        no_hit[static_cast<std::size_t>(b)] += mass * surv_j;
+        live = true;
+      }
+      if (!live) continue;
+      for (const auto& tr : row(j)) {
+        int tt = t + tr.sojourn;
+        if (tt > H) continue;  // inside survival(j, H - t) above
+        const std::size_t tbase = static_cast<std::size_t>(tt) * np;
+        // next > b escapes threshold b within the horizon.
+        for (int b = std::max(b0, tr.next); b < n; ++b) {
+          double mass = entries[base + tidx(j, b)];
+          if (mass <= kMassEps) continue;
+          entries[tbase + tidx(tr.next, b)] += mass * tr.prob;
+        }
+      }
+    }
+  }
+
   std::vector<double> hit(static_cast<std::size_t>(n), 0.0);
   for (int b = 0; b < n; ++b) {
-    hit[static_cast<std::size_t>(b)] = hit_one(state, age, horizon, b);
+    hit[static_cast<std::size_t>(b)] =
+        b < state
+            ? 1.0
+            : std::clamp(1.0 - no_hit[static_cast<std::size_t>(b)], 0.0, 1.0);
   }
   return hit;
 }
@@ -338,13 +512,12 @@ std::vector<double> SemiMarkovChain::hit_curve(int state, int age,
 double SemiMarkovChain::hit_probability(int state, int age, int horizon,
                                         PriceTick bid) const {
   if (bid < state_price(state)) return 1.0;
-  std::vector<double> curve = hit_curve(state, age, horizon);
-  // Largest state price <= bid determines the escape set.
-  double p = 1.0;
-  for (int s = 0; s < state_count(); ++s) {
-    if (state_price(s) <= bid) p = curve[static_cast<std::size_t>(s)];
-  }
-  return p;
+  // Largest state price <= bid determines the escape set; one transient
+  // analysis for that single threshold instead of the whole curve.
+  auto it = std::upper_bound(prices_.begin(), prices_.end(), bid);
+  if (it == prices_.begin()) return 1.0;  // every known state exceeds the bid
+  int idx = static_cast<int>(it - prices_.begin()) - 1;
+  return hit_one(state, age, horizon, idx);
 }
 
 double SemiMarkovChain::exceed_probability(int state, int age, int horizon,

@@ -44,6 +44,7 @@ class SemiMarkovChain {
     int next;       // destination state index
     int sojourn;    // minutes spent in the *current* state before jumping
     double prob;    // kernel mass q(i, next, sojourn)
+    double count = 0;  // raw observation weight behind `prob` (Eq. 13 N^k_{i,j})
   };
 
   SemiMarkovChain() = default;
@@ -55,6 +56,20 @@ class SemiMarkovChain {
   /// the trace becomes a state.  The final (still-open) segment contributes
   /// a state but no transition.
   static SemiMarkovChain estimate(const SpotTrace& trace);
+
+  /// Append-only incremental training: folds the change points of `trace`
+  /// with time in [from, to) into the estimated kernel, renormalizing only
+  /// the rows that gained observations (and growing the state space when a
+  /// new price appears).  Produces a chain identical to a full re-estimate
+  /// over the concatenated history — the online bidder keeps per-zone
+  /// models warm between decisions instead of retraining from scratch.
+  /// Only valid on chains built by estimate() (throws otherwise).  Returns
+  /// the number of change points folded (0 means the chain is unchanged).
+  int extend(const SpotTrace& trace, SimTime from, SimTime to);
+
+  /// The last change point folded by estimate()/extend(), if this chain was
+  /// trained from a trace.  Its outgoing transition is still open.
+  std::optional<PricePoint> trained_tail() const { return tail_; }
 
   // ---- state space ----
   int state_count() const { return static_cast<int>(prices_.size()); }
@@ -89,6 +104,12 @@ class SemiMarkovChain {
   double survival_cumsum(int state, int d) const;
   /// Mean sojourn in minutes (absorbing states report +inf).
   double mean_sojourn(int state) const;
+
+  /// The age the transient analyses actually condition on: `age` clamped
+  /// down to the longest elapsed sojourn with positive survival.  Exposed so
+  /// callers can canonicalize cache keys — hit_one()/average_occupancy()
+  /// return identical results for any age with the same clamped value.
+  int clamped_age(int state, int age) const;
 
   // ---- generation ----
   struct Jump {
@@ -131,6 +152,14 @@ class SemiMarkovChain {
   /// out-of-bid termination during the bidding interval — the semantics the
   /// bidding framework needs, since a terminated instance stays gone until
   /// the next interval.  Nonincreasing in s; entry for the top state is 0.
+  ///
+  /// Batched: one flat entry-propagation table runs every threshold's
+  /// restricted DP in lockstep, replicating hit_one()'s arithmetic (and
+  /// accumulation order) per threshold exactly — the returned values are
+  /// bit-identical to calling hit_one() per index, but the table is
+  /// allocated once and each transition row is walked once per (minute,
+  /// state) slice.  Falls back to per-threshold hit_one() calls when the
+  /// (horizon x state-pair) table would be too large.
   std::vector<double> hit_curve(int state, int age, int horizon) const;
 
   /// Single-threshold first passage: Pr(price leaves the set
@@ -155,7 +184,14 @@ class SemiMarkovChain {
 
  private:
   void rebuild_survival();
+  void rebuild_survival_row(int state);
   int clamp_age(int state, int age) const;
+  /// Index of the state for `p`, inserting a fresh (absorbing) state and
+  /// remapping existing transition indices if the price is new.
+  int ensure_state(PriceTick p);
+  /// Recomputes a row's probabilities from its raw counts (prob = count /
+  /// row total) and rebuilds that row's survival function.
+  void renormalize_row_from_counts(int state);
 
   std::vector<PriceTick> prices_;               // sorted ascending, unique
   std::vector<std::vector<Transition>> kernel_; // per-state rows
@@ -163,6 +199,9 @@ class SemiMarkovChain {
   // absorbing states (implicitly 1 forever).
   std::vector<std::vector<double>> survival_;
   bool survival_dirty_ = true;
+  // Last change point folded by estimate()/extend(); its outgoing
+  // transition is observed only when the next change point arrives.
+  std::optional<PricePoint> tail_;
 };
 
 }  // namespace jupiter

@@ -67,9 +67,24 @@ double equal_fp_for_availability(int n, int tolerate, double target) {
       [&](double x) { return availability_equal(n, tolerate, x) - target; },
       0.0, 1.0, /*increasing=*/false, 1e-14);
   // bisect returns the upper end of the final bracket; step back inside the
-  // feasible region if rounding pushed us just past it.
-  while (p > 0 && availability_equal(n, tolerate, p) < target) {
-    p = std::nextafter(p, 0.0);
+  // feasible region if rounding pushed us just past it.  The bracket is
+  // 1e-14 wide in absolute terms, which near a small root spans millions of
+  // representable doubles — binary-search the feasibility boundary instead
+  // of walking it one ulp at a time (this dominated the whole bidding
+  // decision for n <= 2, where the root is ~1 - target).
+  if (p > 0 && availability_equal(n, tolerate, p) < target) {
+    double lo = 0.0;  // feasible: availability_equal(n, tol, 0) >= target
+    double hi = p;    // infeasible
+    while (std::nextafter(lo, hi) < hi) {
+      double mid = lo + 0.5 * (hi - lo);
+      if (mid <= lo || mid >= hi) mid = std::nextafter(lo, hi);
+      if (availability_equal(n, tolerate, mid) >= target) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    p = lo;
   }
   return p;
 }

@@ -79,13 +79,59 @@ void ThreadPool::wait() {
   cv_done_.wait(lk, [this] { return queue_.empty() && in_flight_ == 0; });
 }
 
+namespace {
+
+/// Shared state of one parallel_for call.  Indices are claimed via an atomic
+/// cursor, so the batch is self-contained: helpers submitted to the pool and
+/// the calling thread all drain the same cursor, and completion is tracked
+/// per batch rather than through the pool's global in-flight count.  That
+/// makes parallel_for safe to call from inside a pool task (a nested call
+/// never blocks on pool state that includes its own caller).
+struct Batch {
+  std::function<void(std::size_t)> fn;
+  std::size_t n = 0;
+  std::atomic<std::size_t> next{0};
+  std::size_t done = 0;  // guarded by mu
+  std::mutex mu;
+  std::condition_variable cv;
+};
+
+void drain_batch(const std::shared_ptr<Batch>& b) {
+  std::size_t completed = 0;
+  for (;;) {
+    std::size_t i = b->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= b->n) break;
+    b->fn(i);
+    ++completed;
+  }
+  if (completed > 0) {
+    std::lock_guard lk(b->mu);
+    b->done += completed;
+    if (b->done == b->n) b->cv.notify_all();
+  }
+}
+
+}  // namespace
+
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
-  for (std::size_t i = 0; i < n; ++i) {
-    pool.submit([i, &fn] { fn(i); });
+  if (n == 1) {
+    fn(0);
+    return;
   }
-  pool.wait();
+  auto b = std::make_shared<Batch>();
+  b->fn = fn;
+  b->n = n;
+  // The caller participates, so n - 1 helpers suffice; helpers that arrive
+  // after the cursor is exhausted exit immediately.
+  std::size_t helpers = std::min(pool.size(), n - 1);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    pool.submit([b] { drain_batch(b); });
+  }
+  drain_batch(b);
+  std::unique_lock lk(b->mu);
+  b->cv.wait(lk, [&] { return b->done == b->n; });
 }
 
 ThreadPool& global_pool() {

@@ -48,6 +48,10 @@ class ThreadPool {
 };
 
 /// Runs fn(i) for i in [0, n) on the pool, blocking until all complete.
+/// The calling thread participates, and completion is tracked per call (an
+/// atomic claim cursor shared by caller and pool helpers), so nested calls
+/// from inside a pool task are safe — they never wait on pool-global state
+/// that would include their own caller.
 /// Exceptions inside fn terminate (tasks are expected to be noexcept in
 /// spirit; experiment code reports failures through its result slots).
 void parallel_for(ThreadPool& pool, std::size_t n,

@@ -73,6 +73,21 @@ TEST(ParallelFor, ResultsAreDeterministic) {
   }
 }
 
+TEST(ParallelFor, NestedCallsFromPoolTasksComplete) {
+  // The online bidder primes bid curves with a parallel_for while replay
+  // jobs themselves run under parallel_for on the same pool; batch-scoped
+  // completion tracking must keep the inner call from waiting on its own
+  // caller.
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(8 * 16);
+  parallel_for(pool, 8, [&](std::size_t outer) {
+    parallel_for(pool, 16, [&](std::size_t inner) {
+      ++hits[outer * 16 + inner];
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 TEST(GlobalPool, IsSingleton) {
   ThreadPool* a = &global_pool();
   ThreadPool* b = &global_pool();
