@@ -1,0 +1,104 @@
+// Seed-driven chaos scenario runner.
+//
+//   chaos_runner --seed N        replay one scenario and print its report
+//   chaos_runner --corpus        run the fixed 16-seed regression corpus
+//   chaos_runner --break-quorum  negative test: force quorum=1 and demand
+//                                that the invariant checkers catch it
+//
+// Exit status is 0 iff every requested scenario finished with zero
+// invariant violations (inverted under --break-quorum, where a clean run
+// means the checkers have lost their teeth).
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos_runner.hpp"
+
+namespace {
+
+// The regression corpus: every seed here must stay green.  ctest runs this
+// exact list as jupiter_chaos_smoke, so a checker regression or a consensus
+// bug that any of these seeds tickles fails CI with a replayable seed.
+const std::uint64_t kCorpus[] = {1,  2,  3,  4,  5,  6,  7,  8,
+                                 9,  10, 11, 12, 13, 14, 15, 16};
+
+void usage() {
+  std::cerr
+      << "usage: chaos_runner [--seed N] [--corpus] [--events N]\n"
+      << "                    [--horizon SECONDS] [--clients N]\n"
+      << "                    [--break-quorum] [--no-minimize] [--quiet]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using jupiter::chaos::ChaosOptions;
+  using jupiter::chaos::ChaosReport;
+  using jupiter::chaos::ChaosRunner;
+
+  std::vector<std::uint64_t> seeds;
+  ChaosOptions opts;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> long long {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return std::atoll(argv[++i]);
+    };
+    if (arg == "--seed") {
+      seeds.push_back(static_cast<std::uint64_t>(next()));
+    } else if (arg == "--corpus") {
+      seeds.insert(seeds.end(), std::begin(kCorpus), std::end(kCorpus));
+    } else if (arg == "--events") {
+      opts.fault_events = static_cast<int>(next());
+    } else if (arg == "--horizon") {
+      opts.horizon = static_cast<jupiter::TimeDelta>(next());
+    } else if (arg == "--clients") {
+      opts.clients = static_cast<int>(next());
+    } else if (arg == "--break-quorum") {
+      opts.break_quorum = true;
+    } else if (arg == "--no-minimize") {
+      opts.minimize_on_violation = false;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (seeds.empty()) {
+    seeds.insert(seeds.end(), std::begin(kCorpus), std::end(kCorpus));
+  }
+
+  int clean = 0;
+  int violated = 0;
+  for (std::uint64_t seed : seeds) {
+    ChaosRunner runner(seed, opts);
+    ChaosReport report = runner.run();
+    if (report.ok()) {
+      ++clean;
+      if (!quiet) report.print(std::cout);
+    } else {
+      ++violated;
+      report.print(std::cout);  // violations always print, with the seed
+    }
+  }
+  std::cout << seeds.size() << " scenario(s): " << clean << " clean, "
+            << violated << " violated\n";
+
+  if (opts.break_quorum) {
+    // Negative test: a broken quorum MUST be caught.
+    if (violated == 0) {
+      std::cout << "ERROR: quorum intersection was broken but no invariant "
+                   "fired\n";
+      return 1;
+    }
+    return 0;
+  }
+  return violated == 0 ? 0 : 1;
+}

@@ -1,0 +1,409 @@
+#include "chaos/chaos_runner.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <ostream>
+
+#include "cloud/region.hpp"
+#include "cloud/trace_book.hpp"
+#include "core/strategies.hpp"
+#include "lock/lock_service.hpp"
+#include "market/billing.hpp"
+#include "replay/replay_engine.hpp"
+
+namespace jupiter::chaos {
+
+namespace {
+
+/// Sub-seeds for the scenario's independent random streams.  Adding a new
+/// stream at the end never perturbs existing ones.
+struct SubSeeds {
+  std::uint64_t schedule, net, group, injector, workload, market, topology;
+
+  explicit SubSeeds(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    schedule = splitmix64(sm);
+    net = splitmix64(sm);
+    group = splitmix64(sm);
+    injector = splitmix64(sm);
+    workload = splitmix64(sm);
+    market = splitmix64(sm);
+    topology = splitmix64(sm);
+  }
+};
+
+constexpr TimeDelta kQuietTail = 900;    // every fault heals this early
+constexpr const char* kContendedPath = "/chaos/leader";
+
+}  // namespace
+
+std::uint64_t ChaosReport::fingerprint() const {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= static_cast<std::uint8_t>(v >> (8 * i));
+      h *= 0x100000001B3ULL;
+    }
+  };
+  mix(seed);
+  mix(static_cast<std::uint64_t>(nodes));
+  mix(dispatched_events);
+  mix(messages_sent);
+  mix(messages_delivered);
+  mix(messages_dropped);
+  mix(static_cast<std::uint64_t>(commands_applied));
+  mix(lock_digest);
+  mix(static_cast<std::uint64_t>(billing_micros));
+  mix(static_cast<std::uint64_t>(replay_downtime));
+  mix(static_cast<std::uint64_t>(replay_cost_micros));
+  mix(static_cast<std::uint64_t>(grants_observed));
+  mix(static_cast<std::uint64_t>(violations.size()));
+  return h;
+}
+
+void ChaosReport::print(std::ostream& os) const {
+  os << "chaos seed " << seed << ": "
+     << (ok() ? "OK" : "VIOLATION") << " (" << nodes << " nodes, "
+     << schedule.size() << " scheduled faults, " << checks_run
+     << " invariant checks, " << grants_observed << " lock grants)\n";
+  os << "  messages: " << messages_sent << " sent / " << messages_delivered
+     << " delivered / " << messages_dropped << " dropped; "
+     << dispatched_events << " simulator events\n";
+  os << "  applied " << commands_applied << " commands, lock digest 0x"
+     << std::hex << lock_digest << std::dec << ", billing total "
+     << billing_micros << " micros";
+  if (replay_downtime >= 0) {
+    os << ", replay downtime " << replay_downtime << "s cost "
+       << replay_cost_micros << " micros";
+  }
+  os << "\n";
+  if (!ok()) {
+    for (const Violation& v : violations) {
+      os << "  [" << v.invariant << "] t=" << v.at.seconds() << "s: "
+         << v.detail << "\n";
+    }
+    os << "  replay with: chaos_runner --seed " << seed << "\n";
+    if (minimization_ran) {
+      os << "  minimized fault schedule (" << minimized.size() << " of "
+         << schedule.size() << " events):\n";
+      for (const FaultEvent& ev : minimized) {
+        os << "    " << ev.str() << "\n";
+      }
+    }
+  }
+}
+
+ChaosRunner::ChaosRunner(std::uint64_t seed, ChaosOptions opts)
+    : seed_(seed), opts_(opts) {}
+
+ChaosReport ChaosRunner::run() {
+  SubSeeds seeds(seed_);
+  Rng topo(seeds.topology);
+  int nodes = 3 + 2 * static_cast<int>(topo.below(2));  // 3 or 5
+  int r1 = static_cast<int>(topo.below(ec2_regions().size()));
+  int r2 = static_cast<int>(topo.below(ec2_regions().size()));
+
+  FaultScheduleOptions sched_opts;
+  sched_opts.window_start = SimTime(300);
+  sched_opts.window_end = SimTime(opts_.horizon - kQuietTail);
+  sched_opts.nodes = nodes;
+  sched_opts.events = opts_.fault_events;
+  sched_opts.outage_regions = {r1, r2};
+  std::vector<FaultEvent> schedule =
+      generate_fault_schedule(seeds.schedule, sched_opts);
+
+  ChaosReport report = run_schedule(schedule);
+  // Only cluster-side violations are a function of the fault schedule; the
+  // compute-only checks (billing, replay) would minimize to nothing.
+  bool cluster_violation = std::any_of(
+      report.violations.begin(), report.violations.end(),
+      [](const Violation& v) {
+        return v.invariant != "billing-conservation" &&
+               v.invariant != "replay-accounting";
+      });
+  if (cluster_violation && opts_.minimize_on_violation) {
+    report.minimized = minimize(schedule);
+    report.minimization_ran = true;
+  }
+  return report;
+}
+
+ChaosReport ChaosRunner::run_schedule(const std::vector<FaultEvent>& schedule) {
+  SubSeeds seeds(seed_);
+  ChaosReport report;
+  report.seed = seed_;
+  report.schedule = schedule;
+
+  // ---- topology (must draw exactly like run() so schedules transfer) ----
+  Rng topo(seeds.topology);
+  int nodes = 3 + 2 * static_cast<int>(topo.below(2));
+  int r1 = static_cast<int>(topo.below(ec2_regions().size()));
+  int r2 = static_cast<int>(topo.below(ec2_regions().size()));
+  report.nodes = nodes;
+
+  std::vector<int> zone_pool = zones_in_region(r1);
+  if (r2 != r1) {
+    std::vector<int> more = zones_in_region(r2);
+    zone_pool.insert(zone_pool.end(), more.begin(), more.end());
+  }
+  std::map<paxos::NodeId, int> zone_of;
+  for (int i = 0; i < nodes; ++i) {
+    zone_of[i] = zone_pool[static_cast<std::size_t>(i) % zone_pool.size()];
+  }
+
+  // ---- cluster ----
+  Simulator sim;
+  paxos::SimNetwork::Options net_opts;
+  net_opts.min_latency = 0;
+  net_opts.max_latency = 2;
+  paxos::SimNetwork net(sim, seeds.net, net_opts);
+
+  paxos::Replica::Options rep_opts;
+  if (opts_.break_quorum) rep_opts.policy.quorum_override = 1;
+
+  std::map<paxos::NodeId, const RecordingSm*> recorders;
+  std::map<paxos::NodeId, lock::LockServiceState*> lock_states;
+  paxos::Group group(
+      sim, net, rep_opts,
+      [&recorders, &lock_states](paxos::NodeId id) {
+        auto inner = std::make_unique<lock::LockServiceState>();
+        lock_states[id] = inner.get();
+        auto sm = std::make_unique<RecordingSm>(std::move(inner));
+        recorders[id] = sm.get();
+        return sm;
+      },
+      seeds.group);
+
+  // ---- invariants ----
+  InvariantRegistry registry;
+  std::set<std::vector<std::uint8_t>> submitted;
+  registry.add("paxos-agreement", make_agreement_checker(group));
+  registry.add("paxos-validity", make_validity_checker(group, &submitted));
+  registry.add("log-prefix", make_log_prefix_checker(&recorders));
+  MutualExclusionOracle mutex_oracle(registry, "lock-mutual-exclusion");
+
+  group.bootstrap(nodes);
+  sim.run_until(SimTime(120));
+
+  // ---- contending lock workload ----
+  auto submit_cmd = [&](lock::LockCommand cmd, paxos::Replica::Callback cb) {
+    cmd.now = sim.now().seconds();
+    std::vector<std::uint8_t> bytes = cmd.encode();
+    submitted.insert(bytes);
+    group.submit(std::move(bytes), std::move(cb));
+  };
+  const SimTime work_end = SimTime(opts_.horizon - 60);
+
+  Rng work(seeds.workload);
+  for (int c = 0; c < opts_.clients; ++c) {
+    const std::string session = "chaos-" + std::to_string(c);
+    const TimeDelta period = work.range(40, 180);
+    const TimeDelta hold = work.range(5, 60);
+    const SimTime start_at = SimTime(150 + 13 * c);
+
+    sim.schedule_at(start_at, [&, session] {
+      lock::LockCommand open;
+      open.op = lock::LockOp::kOpenSession;
+      open.session = session;
+      open.lease = 2 * opts_.horizon;  // leases never expire mid-scenario
+      submit_cmd(open, nullptr);
+    });
+
+    auto tick = std::make_shared<std::function<void()>>();
+    auto round = std::make_shared<int>(0);
+    *tick = [&, session, period, hold, tick, round] {
+      if (sim.now() >= work_end) return;
+      // Odd rounds touch a private path (log volume and per-node variety);
+      // even rounds fight over the contended path the oracle watches.
+      bool contended = (*round)++ % 2 == 0;
+      std::string path = contended ? kContendedPath
+                                   : "/chaos/private/" + session;
+      lock::LockCommand acq;
+      acq.op = lock::LockOp::kAcquire;
+      acq.session = session;
+      acq.path = path;
+      submit_cmd(acq, [&, session, path, hold, contended](
+                          bool ok, const std::vector<std::uint8_t>& bytes) {
+        if (!ok) return;
+        lock::LockResponse resp = lock::LockResponse::decode(bytes);
+        if (resp.status != lock::LockStatus::kOk) return;
+        if (contended) mutex_oracle.on_acquire_ok(sim.now(), session, path);
+        sim.schedule_after(hold, [&, session, path, contended] {
+          if (contended) mutex_oracle.on_release_sent(sim.now(), session, path);
+          lock::LockCommand rel;
+          rel.op = lock::LockOp::kRelease;
+          rel.session = session;
+          rel.path = path;
+          submit_cmd(rel, [&, session, path, contended](
+                              bool rok, const std::vector<std::uint8_t>& rb) {
+            if (!rok || !contended) return;
+            if (lock::LockResponse::decode(rb).status ==
+                lock::LockStatus::kOk) {
+              mutex_oracle.on_release_done(session, path);
+            }
+          });
+        });
+      });
+      sim.schedule_after(period, [tick] { (*tick)(); });
+    };
+    sim.schedule_at(start_at + 30, [tick] { (*tick)(); });
+  }
+
+  // ---- faults ----
+  FaultInjector injector(sim, net, group, seeds.injector);
+  injector.set_zone_of(zone_of);
+  injector.apply(schedule);
+
+  // ---- periodic invariant polling ----
+  auto poll = std::make_shared<std::function<void()>>();
+  *poll = [&, poll] {
+    registry.check_all(sim.now());
+    if (sim.now() + 600 <= SimTime(opts_.horizon)) {
+      sim.schedule_after(600, [poll] { (*poll)(); });
+    }
+  };
+  sim.schedule_at(SimTime(300), [poll] { (*poll)(); });
+
+  sim.run_until(SimTime(opts_.horizon));
+
+  // ---- liveness probe: every fault healed kQuietTail ago, so a fresh
+  // command must commit within the probe budget ----
+  bool probe_ok = false;
+  lock::LockCommand probe;
+  probe.op = lock::LockOp::kGetOwner;
+  probe.session = "chaos-probe";
+  probe.path = kContendedPath;
+  submit_cmd(probe, [&probe_ok](bool ok, const std::vector<std::uint8_t>&) {
+    probe_ok = ok;
+  });
+  sim.run_until(SimTime(opts_.horizon + 1200));
+  if (!probe_ok) {
+    registry.report("liveness-after-heal", sim.now(),
+                    "command failed to commit although every fault healed " +
+                        std::to_string(kQuietTail) + "s before the horizon");
+  }
+  registry.check_all(sim.now());
+
+  // ---- market adversity: billing conservation on price-shocked traces ----
+  if (opts_.market_checks) {
+    Rng mrng(seeds.market);
+    std::vector<int> zones = {0, 5};
+    TraceBook book = TraceBook::synthetic(zones, InstanceKind::kM1Small,
+                                          SimTime(0), SimTime(2 * kWeek),
+                                          seeds.market);
+    for (int z : zones) {
+      SpotTrace trace = book.trace(z, InstanceKind::kM1Small);
+      PriceTick spike =
+          trace.max_price(trace.start(), SimTime(2 * kWeek)) + 1;
+      spike = PriceTick(spike.value() * 2);
+      for (int s = 0; s < 3; ++s) {
+        SimTime from = SimTime(mrng.range(kHour, 12 * kDay));
+        TimeDelta dur = mrng.range(10 * kMinute, 8 * kHour);
+        trace = trace.overlay(from, from + dur, spike);
+      }
+      for (int i = 0; i < 8; ++i) {
+        SimTime start = SimTime(mrng.range(0, 10 * kDay));
+        SimTime end = start + mrng.range(2 * kHour, 3 * kDay);
+        PriceTick low(static_cast<std::int32_t>(mrng.range(1, 50)));
+        PriceTick mid(static_cast<std::int32_t>(mrng.range(100, 900)));
+        PriceTick high(spike.value() + 10);
+        for (PriceTick bid : {low, mid, high}) {
+          if (auto why = check_billing_conservation(trace, start, end, bid)) {
+            registry.report("billing-conservation", start, *why);
+          } else {
+            report.billing_micros +=
+                bill_spot_instance(trace, start, end, bid).charge.micros();
+          }
+        }
+      }
+    }
+  }
+
+  // ---- replay adversity: availability accounting through price shocks ----
+  if (opts_.replay_checks) {
+    std::vector<int> zones = {0, 1, 2};
+    TraceBook book =
+        TraceBook::synthetic(zones, InstanceKind::kM1Small, SimTime(0),
+                             SimTime(kWeek), seeds.market ^ seed_);
+    SpotTrace shocked = book.trace(1, InstanceKind::kM1Small);
+    PriceTick spike = shocked.max_price(shocked.start(), SimTime(kWeek));
+    shocked = shocked.overlay(SimTime(30 * kHour), SimTime(34 * kHour),
+                              PriceTick(spike.value() * 2 + 50));
+    book.set(1, InstanceKind::kM1Small, std::move(shocked));
+
+    ServiceSpec spec = ServiceSpec::lock_service();
+    spec.baseline_nodes = 3;
+    ExtraStrategy strategy(spec, 1, 0.25);
+    ReplayConfig cfg;
+    cfg.spec = spec;
+    cfg.interval = kHour;
+    cfg.replay_start = SimTime(kDay);
+    cfg.replay_end = SimTime(3 * kDay);
+    cfg.zones = zones;
+    cfg.seed = seed_;
+    ReplayResult res = replay_strategy(book, strategy, cfg);
+    if (auto why = check_replay_accounting(res)) {
+      registry.report("replay-accounting", cfg.replay_start, *why);
+    }
+    report.replay_downtime = res.downtime;
+    report.replay_cost_micros = res.cost.micros();
+  }
+
+  // ---- fingerprints ----
+  report.dispatched_events = sim.dispatched_events();
+  report.messages_sent = net.messages_sent();
+  report.messages_delivered = net.messages_delivered();
+  report.messages_dropped = net.messages_dropped();
+  const RecordingSm* most_applied = nullptr;
+  paxos::NodeId most_node = -1;
+  for (const auto& [id, sm] : recorders) {
+    if (!most_applied || sm->applied().size() > most_applied->applied().size()) {
+      most_applied = sm;
+      most_node = id;
+    }
+  }
+  if (most_applied) {
+    report.commands_applied =
+        static_cast<std::int64_t>(most_applied->applied().size());
+    report.lock_digest = lock_states[most_node]->state_digest();
+  }
+  report.grants_observed = mutex_oracle.grants_observed();
+  report.faults_injected = injector.faults_injected();
+  report.checks_run = registry.checks_run();
+  report.violations = registry.violations();
+  return report;
+}
+
+std::vector<FaultEvent> ChaosRunner::minimize(
+    const std::vector<FaultEvent>& schedule) {
+  // Greedy delta debugging: drop one event at a time, keep the removal if
+  // the violation still reproduces.  Bit-reproducible runs make each probe
+  // a pure function of (seed, candidate schedule).
+  ChaosOptions probe_opts = opts_;
+  probe_opts.minimize_on_violation = false;
+  // The compute-only checks cannot depend on the fault schedule; skip them
+  // while probing.
+  probe_opts.market_checks = false;
+  probe_opts.replay_checks = false;
+  ChaosRunner prober(seed_, probe_opts);
+
+  std::vector<FaultEvent> current = schedule;
+  int budget = 64;
+  bool improved = true;
+  while (improved && budget > 0) {
+    improved = false;
+    for (std::size_t i = 0; i < current.size() && budget > 0; ++i) {
+      std::vector<FaultEvent> candidate = current;
+      candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+      --budget;
+      if (!prober.run_schedule(candidate).ok()) {
+        current = std::move(candidate);
+        improved = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace jupiter::chaos

@@ -1,0 +1,88 @@
+// Scenario fuzzer: one seed -> one complete adversarial scenario.
+//
+// A run builds a lock-service cluster on the deterministic simulator, maps
+// its replicas onto EC2 availability zones, drives a contending client
+// workload, tortures everything with a seed-derived fault schedule
+// (partitions, crash-restarts, AZ outages, duplication/latency windows),
+// and polls the invariant registry throughout.  The same seed also drives
+// pure-compute adversity: price-shocked synthetic markets checked for
+// billing conservation, and a replay whose availability accounting must
+// balance.
+//
+// On a violation the runner re-runs the seed with ever-smaller subsets of
+// the fault schedule (greedy delta debugging — cheap because runs are
+// bit-reproducible) and reports the minimized schedule next to the single
+// seed that replays the failure:   chaos_runner --seed N
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "chaos/fault_injector.hpp"
+#include "chaos/invariants.hpp"
+
+namespace jupiter::chaos {
+
+struct ChaosOptions {
+  TimeDelta horizon = 4 * kHour;  // simulated cluster-torture window
+  int fault_events = 12;          // schedule length
+  int clients = 3;                // contending lock clients
+  // Negative-test mode: force a quorum size of 1, which breaks quorum
+  // intersection.  The run MUST then report an agreement (or downstream)
+  // violation — this is how the harness proves its checkers have teeth.
+  bool break_quorum = false;
+  bool minimize_on_violation = true;
+  bool market_checks = true;      // billing conservation on shocked traces
+  bool replay_checks = true;      // replay accounting on a shocked book
+};
+
+struct ChaosReport {
+  std::uint64_t seed = 0;
+  int nodes = 0;
+  std::vector<FaultEvent> schedule;
+  std::vector<FaultEvent> minimized;  // only populated after a violation
+  std::vector<Violation> violations;
+  bool minimization_ran = false;
+
+  // Determinism fingerprints: two runs of one seed must match all of these
+  // bit for bit (the determinism regression test compares them).
+  std::uint64_t dispatched_events = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;
+  std::int64_t commands_applied = 0;   // max over replicas
+  std::uint64_t lock_digest = 0;       // most-applied replica's lock table
+  std::int64_t billing_micros = 0;     // total charge across billing checks
+  std::int64_t replay_downtime = -1;   // seconds (-1: replay check off)
+  std::int64_t replay_cost_micros = 0;
+  int grants_observed = 0;
+  int faults_injected = 0;
+  std::size_t checks_run = 0;
+
+  bool ok() const { return violations.empty(); }
+  /// One value folding every fingerprint field together.
+  std::uint64_t fingerprint() const;
+  void print(std::ostream& os) const;
+};
+
+class ChaosRunner {
+ public:
+  explicit ChaosRunner(std::uint64_t seed, ChaosOptions opts = {});
+
+  /// Generates the seed's schedule, runs it, and (on violation) minimizes.
+  ChaosReport run();
+
+  /// Runs one explicit schedule under this seed's scenario, without
+  /// minimization — the replay path and the minimizer's probe.
+  ChaosReport run_schedule(const std::vector<FaultEvent>& schedule);
+
+ private:
+  std::vector<FaultEvent> minimize(const std::vector<FaultEvent>& schedule);
+
+  std::uint64_t seed_;
+  ChaosOptions opts_;
+};
+
+}  // namespace jupiter::chaos

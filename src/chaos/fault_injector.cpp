@@ -1,0 +1,216 @@
+#include "chaos/fault_injector.hpp"
+
+#include <algorithm>
+
+#include "cloud/region.hpp"
+
+namespace jupiter::chaos {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kPartitionPair: return "partition";
+    case FaultKind::kAsymmetricCut: return "asym-cut";
+    case FaultKind::kCrashRestart: return "crash-restart";
+    case FaultKind::kLatencyBurst: return "latency-burst";
+    case FaultKind::kDuplicateWindow: return "duplicate";
+    case FaultKind::kAzOutage: return "az-outage";
+  }
+  return "?";
+}
+
+std::string FaultEvent::str() const {
+  std::string s = "t=" + std::to_string(at.seconds()) + "s " +
+                  fault_kind_name(kind);
+  switch (kind) {
+    case FaultKind::kPartitionPair:
+      s += " " + std::to_string(a) + "<->" + std::to_string(b);
+      break;
+    case FaultKind::kAsymmetricCut:
+      s += " " + std::to_string(a) + "->" + std::to_string(b);
+      break;
+    case FaultKind::kCrashRestart:
+      s += " node " + std::to_string(a);
+      break;
+    case FaultKind::kLatencyBurst:
+      s += " +" + std::to_string(static_cast<int>(magnitude)) + "s";
+      break;
+    case FaultKind::kDuplicateWindow:
+      s += " p=" + std::to_string(magnitude).substr(0, 4);
+      break;
+    case FaultKind::kAzOutage:
+      s += " region " + std::to_string(region);
+      break;
+  }
+  s += " for " + std::to_string(duration) + "s";
+  return s;
+}
+
+std::vector<FaultEvent> generate_fault_schedule(
+    std::uint64_t seed, const FaultScheduleOptions& opts) {
+  Rng rng(seed);
+  std::vector<FaultEvent> schedule;
+  if (opts.window_end <= opts.window_start || opts.events <= 0 ||
+      opts.nodes < 2) {
+    return schedule;
+  }
+  const TimeDelta window = opts.window_end - opts.window_start;
+  for (int i = 0; i < opts.events; ++i) {
+    FaultEvent ev;
+    // Weighted kind mix: partitions and crashes dominate (they are what
+    // breaks consensus implementations); bursts/duplication season the mix.
+    double kinds[] = {3.0, 2.0, 3.0, 1.0, 1.0, opts.az_outages ? 1.5 : 0.0};
+    switch (rng.categorical(kinds)) {
+      case 0: ev.kind = FaultKind::kPartitionPair; break;
+      case 1: ev.kind = FaultKind::kAsymmetricCut; break;
+      case 2: ev.kind = FaultKind::kCrashRestart; break;
+      case 3: ev.kind = FaultKind::kLatencyBurst; break;
+      case 4: ev.kind = FaultKind::kDuplicateWindow; break;
+      default: ev.kind = FaultKind::kAzOutage; break;
+    }
+    ev.duration = rng.range(opts.min_duration,
+                            std::max(opts.min_duration, opts.max_duration));
+    // The fault must fully heal inside the window so the scenario's quiet
+    // period really is quiet.
+    TimeDelta latest_start = std::max<TimeDelta>(1, window - ev.duration);
+    ev.at = opts.window_start + rng.range(0, latest_start - 1);
+    ev.a = static_cast<paxos::NodeId>(rng.below(opts.nodes));
+    do {
+      ev.b = static_cast<paxos::NodeId>(rng.below(opts.nodes));
+    } while (ev.b == ev.a);
+    switch (ev.kind) {
+      case FaultKind::kLatencyBurst:
+        ev.magnitude = static_cast<double>(rng.range(2, 10));
+        break;
+      case FaultKind::kDuplicateWindow:
+        ev.magnitude = rng.uniform(0.2, 0.8);
+        break;
+      case FaultKind::kAzOutage:
+        if (!opts.outage_regions.empty()) {
+          ev.region = opts.outage_regions[rng.below(
+              static_cast<std::uint64_t>(opts.outage_regions.size()))];
+        } else {
+          ev.region = static_cast<int>(
+              rng.below(static_cast<std::uint64_t>(ec2_regions().size())));
+        }
+        break;
+      default:
+        break;
+    }
+    schedule.push_back(ev);
+  }
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [](const FaultEvent& x, const FaultEvent& y) {
+                     return x.at < y.at;
+                   });
+  return schedule;
+}
+
+FaultInjector::FaultInjector(Simulator& sim, paxos::SimNetwork& net,
+                             paxos::Group& group, std::uint64_t seed)
+    : sim_(sim), net_(net), group_(group), rng_(seed) {
+  net_.set_fault_hook([this](paxos::NodeId, paxos::NodeId,
+                             const paxos::Message&) {
+    paxos::SimNetwork::FaultAction act;
+    if (dup_windows_active_ > 0 && rng_.bernoulli(dup_prob_)) {
+      act.duplicates = 1;
+    }
+    if (bursts_active_ > 0 && burst_extra_ > 0) {
+      act.extra_latency = rng_.range(1, burst_extra_);
+    }
+    return act;
+  });
+}
+
+FaultInjector::~FaultInjector() { net_.set_fault_hook(nullptr); }
+
+void FaultInjector::set_zone_of(std::map<paxos::NodeId, int> zone_of) {
+  zone_of_ = std::move(zone_of);
+}
+
+void FaultInjector::apply(const std::vector<FaultEvent>& schedule) {
+  for (const FaultEvent& ev : schedule) {
+    SimTime at = std::max(ev.at, sim_.now());
+    sim_.schedule_at(at, [this, ev] { inject(ev); });
+    sim_.schedule_at(at + std::max<TimeDelta>(1, ev.duration),
+                     [this, ev] { heal(ev); });
+  }
+}
+
+void FaultInjector::crash_node(paxos::NodeId id) {
+  if (!group_.has(id)) return;
+  if (++crash_depth_[id] == 1 && group_.replica(id).alive()) {
+    group_.crash(id);
+  }
+}
+
+void FaultInjector::restart_node(paxos::NodeId id) {
+  if (!group_.has(id)) return;
+  auto it = crash_depth_.find(id);
+  if (it == crash_depth_.end() || it->second == 0) return;
+  if (--it->second == 0 && !group_.replica(id).alive()) {
+    group_.restart(id);
+  }
+}
+
+void FaultInjector::inject(const FaultEvent& ev) {
+  ++injected_;
+  switch (ev.kind) {
+    case FaultKind::kPartitionPair:
+      net_.cut_pair(ev.a, ev.b);
+      break;
+    case FaultKind::kAsymmetricCut:
+      net_.cut_link(ev.a, ev.b);
+      break;
+    case FaultKind::kCrashRestart:
+      crash_node(ev.a);
+      break;
+    case FaultKind::kLatencyBurst:
+      ++bursts_active_;
+      burst_extra_ = std::max<TimeDelta>(
+          burst_extra_, static_cast<TimeDelta>(ev.magnitude));
+      break;
+    case FaultKind::kDuplicateWindow:
+      ++dup_windows_active_;
+      dup_prob_ = std::max(dup_prob_, ev.magnitude);
+      break;
+    case FaultKind::kAzOutage:
+      for (const auto& [node, zone] : zone_of_) {
+        if (all_zones().at(static_cast<std::size_t>(zone)).region ==
+            ev.region) {
+          crash_node(node);
+        }
+      }
+      break;
+  }
+}
+
+void FaultInjector::heal(const FaultEvent& ev) {
+  ++healed_;
+  switch (ev.kind) {
+    case FaultKind::kPartitionPair:
+      net_.heal_pair(ev.a, ev.b);
+      break;
+    case FaultKind::kAsymmetricCut:
+      net_.heal_link(ev.a, ev.b);
+      break;
+    case FaultKind::kCrashRestart:
+      restart_node(ev.a);
+      break;
+    case FaultKind::kLatencyBurst:
+      if (--bursts_active_ == 0) burst_extra_ = 0;
+      break;
+    case FaultKind::kDuplicateWindow:
+      if (--dup_windows_active_ == 0) dup_prob_ = 0.0;
+      break;
+    case FaultKind::kAzOutage:
+      for (const auto& [node, zone] : zone_of_) {
+        if (all_zones().at(static_cast<std::size_t>(zone)).region ==
+            ev.region) {
+          restart_node(node);
+        }
+      }
+      break;
+  }
+}
+
+}  // namespace jupiter::chaos

@@ -1,0 +1,116 @@
+// Seed-driven adversarial fault scheduling for the deterministic simulator.
+//
+// FoundationDB-style simulation testing in miniature: a fault *schedule* is
+// a pure function of a seed (generate_fault_schedule), and a FaultInjector
+// applies a schedule to a live cluster — network partitions (bidirectional
+// and asymmetric link cuts that heal after a delay), message duplication /
+// latency-burst windows (reordering), crash-restart of replicas mid-ballot,
+// and correlated availability-zone outages that take down every replica
+// placed in one region at once.
+//
+// Separating generation from application is what makes violations
+// shrinkable: ChaosRunner re-runs the same seed with subsets of the
+// schedule until no event can be removed without the violation vanishing,
+// then prints the minimized schedule next to the replayable seed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "paxos/group.hpp"
+#include "paxos/network.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace jupiter::chaos {
+
+enum class FaultKind : std::uint8_t {
+  kPartitionPair,   // cut both directions between nodes a and b
+  kAsymmetricCut,   // cut a -> b only
+  kCrashRestart,    // crash node a, restart after `duration`
+  kLatencyBurst,    // extra per-message latency on every link for `duration`
+  kDuplicateWindow, // duplicate each message with probability `magnitude`
+  kAzOutage,        // crash every node mapped to region `region`
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kPartitionPair;
+  SimTime at;                  // injection instant
+  TimeDelta duration = 0;      // heal/restart delay
+  paxos::NodeId a = -1;        // node / link endpoint
+  paxos::NodeId b = -1;        // link endpoint (partitions only)
+  int region = -1;             // kAzOutage
+  double magnitude = 0.0;      // extra latency seconds / duplication prob
+
+  std::string str() const;
+};
+
+struct FaultScheduleOptions {
+  SimTime window_start;          // no faults before this
+  SimTime window_end;            // every fault heals before this
+  int nodes = 5;                 // cluster size (node ids 0..nodes-1)
+  int events = 12;               // schedule length
+  TimeDelta min_duration = 20;   // shortest fault lifetime
+  TimeDelta max_duration = 300;  // longest fault lifetime
+  bool az_outages = true;        // include correlated region outages
+  // Regions AZ outages draw from; when empty, any EC2 region may fail
+  // (outages in regions hosting no replica are harmless no-ops).
+  std::vector<int> outage_regions;
+};
+
+/// Draws a schedule as a pure function of (seed, opts): same inputs, same
+/// schedule, bit for bit.  Events are sorted by injection time.
+std::vector<FaultEvent> generate_fault_schedule(
+    std::uint64_t seed, const FaultScheduleOptions& opts);
+
+/// Applies a fault schedule to one cluster.  Owns the network's fault hook
+/// for its lifetime (duplication and latency bursts run through it) and
+/// drives partitions/crashes directly.  All randomness (duplication coin
+/// flips, burst jitter) comes from the injector's own seeded stream, so the
+/// network's base latency stream is untouched.
+class FaultInjector {
+ public:
+  FaultInjector(Simulator& sim, paxos::SimNetwork& net, paxos::Group& group,
+                std::uint64_t seed);
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Maps node -> flattened zone index (cloud/region.hpp); required for
+  /// kAzOutage events to know their blast radius.  Unmapped nodes are never
+  /// hit by AZ outages.
+  void set_zone_of(std::map<paxos::NodeId, int> zone_of);
+
+  /// Schedules every event (and its matching heal/restart) on the
+  /// simulator.  May be called once per injector.
+  void apply(const std::vector<FaultEvent>& schedule);
+
+  int faults_injected() const { return injected_; }
+  int faults_healed() const { return healed_; }
+
+ private:
+  void inject(const FaultEvent& ev);
+  void heal(const FaultEvent& ev);
+  void crash_node(paxos::NodeId id);
+  void restart_node(paxos::NodeId id);
+
+  Simulator& sim_;
+  paxos::SimNetwork& net_;
+  paxos::Group& group_;
+  Rng rng_;
+  std::map<paxos::NodeId, int> zone_of_;
+  std::map<paxos::NodeId, int> crash_depth_;  // overlapping outage guard
+  int bursts_active_ = 0;
+  TimeDelta burst_extra_ = 0;
+  int dup_windows_active_ = 0;
+  double dup_prob_ = 0.0;
+  int injected_ = 0;
+  int healed_ = 0;
+};
+
+}  // namespace jupiter::chaos

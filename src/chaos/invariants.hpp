@@ -1,0 +1,159 @@
+// Cross-cutting invariant checkers evaluated while a chaos scenario runs.
+//
+// The registry mixes two styles:
+//   * pull — registered checkers are polled periodically and at scenario
+//     end (Paxos agreement, log-prefix consistency, chosen-value validity);
+//   * push — oracles fed by the workload report violations the moment they
+//     observe them (lock mutual exclusion from the clients' point of view).
+//
+// Checker design rule: every checker is an *independent* implementation of
+// the property it guards — the billing checker re-derives charges with a
+// dumb linear scan instead of the binary-searched SpotTrace fast paths, the
+// mutual-exclusion oracle watches client-visible grants rather than replica
+// state — so a bug in the optimized code cannot hide itself.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "market/spot_trace.hpp"
+#include "paxos/group.hpp"
+#include "replay/replay_engine.hpp"
+#include "util/time.hpp"
+
+namespace jupiter::chaos {
+
+struct Violation {
+  std::string invariant;
+  SimTime at;
+  std::string detail;
+};
+
+class InvariantRegistry {
+ public:
+  /// A checker returns nullopt when the invariant holds, or a description
+  /// of the violation.  Checkers must be side-effect free on the scenario.
+  using Checker = std::function<std::optional<std::string>()>;
+
+  void add(std::string name, Checker checker);
+
+  /// Polls every registered checker once, stamping violations with `now`.
+  void check_all(SimTime now);
+
+  /// Push-style report from a workload oracle.  Identical (invariant,
+  /// detail) pairs are recorded once — a standing violation polled every
+  /// period does not flood the report.
+  void report(const std::string& invariant, SimTime at, std::string detail);
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<Violation>& violations() const { return violations_; }
+  std::size_t checks_run() const { return checks_run_; }
+  std::vector<std::string> names() const;
+
+ private:
+  std::vector<std::pair<std::string, Checker>> checkers_;
+  std::vector<Violation> violations_;
+  std::set<std::pair<std::string, std::string>> seen_;
+  std::size_t checks_run_ = 0;
+};
+
+/// State-machine decorator that records every applied command — the raw
+/// material of the log-prefix checker and the determinism digest.
+class RecordingSm : public paxos::StateMachine {
+ public:
+  explicit RecordingSm(std::unique_ptr<paxos::StateMachine> inner)
+      : inner_(std::move(inner)) {}
+
+  std::vector<std::uint8_t> apply(
+      const std::vector<std::uint8_t>& command) override {
+    applied_.push_back(command);
+    return inner_->apply(command);
+  }
+  void apply_chunk(const paxos::Value& value) override {
+    inner_->apply_chunk(value);
+  }
+
+  const std::vector<std::vector<std::uint8_t>>& applied() const {
+    return applied_;
+  }
+  paxos::StateMachine& inner() { return *inner_; }
+
+ private:
+  std::unique_ptr<paxos::StateMachine> inner_;
+  std::vector<std::vector<std::uint8_t>> applied_;
+};
+
+// ---- pull checkers over a live Paxos group ----
+
+/// Agreement: no two replicas (alive or crashed — stable storage persists)
+/// have learned different values for the same slot.
+InvariantRegistry::Checker make_agreement_checker(paxos::Group& group);
+
+/// Validity: every chosen command value was actually submitted by a client.
+/// `submitted` is owned by the caller and consulted lazily.
+InvariantRegistry::Checker make_validity_checker(
+    paxos::Group& group,
+    const std::set<std::vector<std::uint8_t>>* submitted);
+
+/// Log-prefix consistency: of any two replicas' applied command sequences,
+/// one is a prefix of the other.
+InvariantRegistry::Checker make_log_prefix_checker(
+    const std::map<paxos::NodeId, const RecordingSm*>* sms);
+
+// ---- market / replay conservation checks ----
+
+/// Billing conservation: re-derives the bill of one spot instance with an
+/// independent linear-scan model (charges == sum of per-hour spot prices,
+/// provider-terminated partial hours free) and compares every field of
+/// bill_spot_instance's answer against it.
+std::optional<std::string> check_billing_conservation(const SpotTrace& trace,
+                                                      SimTime start,
+                                                      SimTime requested_end,
+                                                      PriceTick bid);
+
+/// Replay availability accounting: headline downtime must equal the
+/// quorum-loss seconds attributed interval by interval.
+std::optional<std::string> check_replay_accounting(const ReplayResult& result);
+
+// ---- push oracle: client-observed lock mutual exclusion ----
+
+/// Watches lock grants from the clients' side.  A grant to session B while
+/// session A (a different session) holds the lock and has not even *asked*
+/// to release it is a mutual-exclusion violation — the observable symptom
+/// of split-brain.  Release races are handled conservatively: a hold ends
+/// at the release's send time, the earliest instant it could have
+/// committed, so the oracle never false-positives on in-flight releases.
+class MutualExclusionOracle {
+ public:
+  MutualExclusionOracle(InvariantRegistry& registry, std::string name)
+      : registry_(registry), name_(std::move(name)) {}
+
+  void on_acquire_ok(SimTime at, const std::string& session,
+                     const std::string& path);
+  void on_release_sent(SimTime at, const std::string& session,
+                       const std::string& path);
+  void on_release_done(const std::string& session, const std::string& path);
+
+  int grants_observed() const { return grants_; }
+
+ private:
+  struct Hold {
+    std::string session;
+    SimTime since;
+    std::optional<SimTime> release_asked;
+    bool released = false;
+  };
+
+  InvariantRegistry& registry_;
+  std::string name_;
+  std::map<std::string, Hold> holds_;  // path -> current hold
+  int grants_ = 0;
+};
+
+}  // namespace jupiter::chaos

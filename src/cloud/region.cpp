@@ -70,6 +70,18 @@ int zone_index_by_name(const std::string& name) {
   return it == kByName.end() ? -1 : it->second;
 }
 
+std::vector<int> zones_in_region(int region) {
+  if (region < 0 || region >= static_cast<int>(ec2_regions().size())) {
+    throw std::out_of_range("bad region");
+  }
+  std::vector<int> out;
+  const auto& zones = all_zones();
+  for (int i = 0; i < static_cast<int>(zones.size()); ++i) {
+    if (zones[static_cast<std::size_t>(i)].region == region) out.push_back(i);
+  }
+  return out;
+}
+
 double region_startup_mean_seconds(int region) {
   // Per-region startup means in [250, 650] s, spread deterministically so
   // geography matters (Mao & Humphrey measured 200-700 s with regional

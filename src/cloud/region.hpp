@@ -37,6 +37,11 @@ const std::vector<int>& experiment_zone_indices();
 /// Lookup by name; returns -1 if unknown.
 int zone_index_by_name(const std::string& name);
 
+/// Flattened zone indices belonging to one region, ascending — the blast
+/// radius of a correlated AZ/region outage (chaos harness, §2.1's
+/// independence assumption is exactly what such outages violate).
+std::vector<int> zones_in_region(int region);
+
 /// Mean VM startup latency for a region, in seconds.  Startup times are
 /// 200-700 s and vary mainly by region (Mao & Humphrey; paper §4).
 /// Deterministic per region; per-launch jitter is applied by the provider.

@@ -145,6 +145,34 @@ std::optional<std::string> LockServiceState::owner_of(
 std::size_t LockServiceState::held_locks() const { return locks_.size(); }
 std::size_t LockServiceState::open_sessions() const { return sessions_.size(); }
 
+std::uint64_t LockServiceState::state_digest() const {
+  std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a
+  auto mix_byte = [&h](std::uint8_t b) {
+    h ^= b;
+    h *= 0x100000001B3ULL;
+  };
+  auto mix_str = [&](const std::string& s) {
+    for (char c : s) mix_byte(static_cast<std::uint8_t>(c));
+    mix_byte(0);  // terminator keeps ("ab","c") distinct from ("a","bc")
+  };
+  auto mix_i64 = [&](std::int64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      mix_byte(static_cast<std::uint8_t>(static_cast<std::uint64_t>(v) >> (8 * i)));
+    }
+  };
+  for (const auto& [name, session] : sessions_) {
+    mix_str(name);
+    mix_i64(session.expires);
+    for (const auto& path : session.held) mix_str(path);
+  }
+  mix_byte(0xFF);
+  for (const auto& [path, owner] : locks_) {
+    mix_str(path);
+    mix_str(owner);
+  }
+  return h;
+}
+
 LockClient::LockClient(paxos::Group& group, Simulator& sim,
                        std::string session, std::int64_t lease_seconds)
     : group_(group), sim_(sim), session_(std::move(session)),

@@ -71,6 +71,12 @@ class LockServiceState : public paxos::StateMachine {
   std::size_t held_locks() const;
   std::size_t open_sessions() const;
 
+  /// FNV-1a digest of the full lock table (sessions, lease expiries, held
+  /// locks; map order makes it canonical).  Two replicas that applied the
+  /// same command sequence produce bit-identical digests; the chaos
+  /// determinism test compares digests across whole runs.
+  std::uint64_t state_digest() const;
+
  private:
   struct Session {
     std::int64_t expires = 0;

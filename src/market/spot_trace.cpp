@@ -49,6 +49,27 @@ SpotTrace SpotTrace::slice(SimTime from, SimTime to) const {
   return out;
 }
 
+SpotTrace SpotTrace::overlay(SimTime from, SimTime to, PriceTick price) const {
+  if (to <= from) throw std::invalid_argument("empty overlay window");
+  if (empty() || from < start()) {
+    throw std::out_of_range("SpotTrace::overlay before trace start");
+  }
+  SpotTrace out;
+  for (const auto& p : points_) {
+    if (p.at >= from) break;
+    out.append(p.at, p.price);
+  }
+  out.append(from, price);
+  // At `to` the original price in force resumes (append() elides the change
+  // point if the shock already matched it).
+  out.append(to, price_at(to));
+  for (const auto& p : points_) {
+    if (p.at <= to) continue;
+    out.append(p.at, p.price);
+  }
+  return out;
+}
+
 PriceTick SpotTrace::max_price(SimTime from, SimTime to) const {
   if (to <= from) throw std::invalid_argument("empty interval");
   std::size_t i = segment_at(from);

@@ -54,6 +54,12 @@ class SpotTrace {
   /// the first change point (re-stamped at `from`).
   SpotTrace slice(SimTime from, SimTime to) const;
 
+  /// Copy of this trace with `price` forced over [from, to); at `to` the
+  /// original price resumes.  `from` must be >= start() and < to.  This is
+  /// how the chaos harness injects spot-price shocks into recorded or
+  /// synthetic markets without re-sampling them.
+  SpotTrace overlay(SimTime from, SimTime to, PriceTick price) const;
+
   /// Highest price in force anywhere in [from, to).
   PriceTick max_price(SimTime from, SimTime to) const;
 

@@ -1,31 +1,56 @@
 #include "paxos/network.hpp"
 
+#include <algorithm>
+
 namespace jupiter::paxos {
 
 void SimNetwork::send(NodeId to, const Message& msg) {
   ++sent_;
-  if (!is_up(msg.from) || (opts_.drop_rate > 0 && rng_.bernoulli(opts_.drop_rate))) {
+  if (!is_up(msg.from) || link_cut(msg.from, to)) {
+    ++dropped_;
     return;
   }
-  value_bytes_ += msg.value.payload.size();
-  for (const auto& p : msg.promises) value_bytes_ += p.value.payload.size();
-
-  TimeDelta latency = opts_.min_latency;
-  if (opts_.max_latency > opts_.min_latency) {
-    latency += static_cast<TimeDelta>(
-        rng_.below(static_cast<std::uint64_t>(opts_.max_latency -
-                                              opts_.min_latency + 1)));
+  if (opts_.drop_rate > 0 && rng_.bernoulli(opts_.drop_rate)) {
+    ++dropped_;
+    return;
   }
-  // Copy the message into the event; receiver liveness is checked at
-  // delivery time (it may have crashed in flight).
-  Message copy = msg;
-  sim_.schedule_after(latency, [this, to, copy = std::move(copy)] {
-    if (!is_up(to)) return;
-    auto it = handlers_.find(to);
-    if (it == handlers_.end()) return;
-    ++delivered_;
-    it->second(copy);
-  });
+  FaultAction act;
+  if (fault_hook_) act = fault_hook_(msg.from, to, msg);
+  if (act.drop) {
+    ++dropped_;
+    return;
+  }
+
+  int copies = 1 + std::max(0, act.duplicates);
+  for (int c = 0; c < copies; ++c) {
+    value_bytes_ += msg.value.payload.size();
+    for (const auto& p : msg.promises) value_bytes_ += p.value.payload.size();
+
+    TimeDelta latency = opts_.min_latency;
+    if (opts_.max_latency > opts_.min_latency) {
+      latency += static_cast<TimeDelta>(
+          rng_.below(static_cast<std::uint64_t>(opts_.max_latency -
+                                                opts_.min_latency + 1)));
+    }
+    latency += std::max<TimeDelta>(0, act.extra_latency);
+    // Copy the message into the event; receiver liveness and link state are
+    // re-checked at delivery time (either may have changed in flight).
+    NodeId from = msg.from;
+    Message copy = msg;
+    sim_.schedule_after(latency, [this, from, to, copy = std::move(copy)] {
+      if (!is_up(to) || link_cut(from, to)) {
+        ++dropped_;
+        return;
+      }
+      auto it = handlers_.find(to);
+      if (it == handlers_.end()) {
+        ++dropped_;
+        return;
+      }
+      ++delivered_;
+      it->second(copy);
+    });
+  }
 }
 
 }  // namespace jupiter::paxos

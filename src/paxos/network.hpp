@@ -4,10 +4,26 @@
 // to or from a node that is marked down are dropped (crash-stop between
 // repair).  Geographic placement matters in the paper (replicas sit in
 // different availability zones), so the default latency models WAN RTTs.
+//
+// Fault surface (used by the chaos harness in src/chaos):
+//   * per-link cuts — cut_link(a, b) blocks the a->b direction only
+//     (asymmetric partition); cut_pair cuts both directions.  Cuts are
+//     checked at send time *and* at delivery time, so a link severed while
+//     a message is in flight loses that message, like a real partition.
+//   * a fault hook — an optional callback consulted once per send that can
+//     drop the message, duplicate it, or add extra latency (reordering).
+//     The hook draws from its owner's RNG, never from the network's, so
+//     installing one does not perturb the base latency/drop streams.
+//
+// Determinism contract: with no cuts and no hook installed, the RNG draw
+// sequence is identical to the pre-chaos network — existing seeded tests
+// and replays are unaffected.
 #pragma once
 
 #include <functional>
+#include <set>
 #include <unordered_map>
+#include <utility>
 
 #include "paxos/types.hpp"
 #include "sim/simulator.hpp"
@@ -24,6 +40,15 @@ class SimNetwork {
     TimeDelta max_latency = 1;
     double drop_rate = 0.0;      // message loss probability
   };
+
+  /// What the fault hook may do to one message.
+  struct FaultAction {
+    bool drop = false;
+    int duplicates = 0;          // extra copies, each with its own latency draw
+    TimeDelta extra_latency = 0; // added to every copy's latency
+  };
+  using FaultHook =
+      std::function<FaultAction(NodeId from, NodeId to, const Message&)>;
 
   SimNetwork(Simulator& sim, std::uint64_t seed, Options opts)
       : sim_(sim), rng_(seed), opts_(opts) {}
@@ -42,11 +67,31 @@ class SimNetwork {
     return it == down_.end() || !it->second;
   }
 
+  // ---- per-link partitions ----
+  /// Cuts the from->to direction only (asymmetric partition).
+  void cut_link(NodeId from, NodeId to) { cut_links_.insert({from, to}); }
+  void heal_link(NodeId from, NodeId to) { cut_links_.erase({from, to}); }
+  /// Cuts both directions between a and b.
+  void cut_pair(NodeId a, NodeId b) { cut_link(a, b); cut_link(b, a); }
+  void heal_pair(NodeId a, NodeId b) { heal_link(a, b); heal_link(b, a); }
+  bool link_cut(NodeId from, NodeId to) const {
+    return cut_links_.contains({from, to});
+  }
+  std::size_t cut_link_count() const { return cut_links_.size(); }
+
+  /// Installs (or clears, with nullptr) the per-send fault hook.
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
   /// Sends msg to `to` (delivered via the simulator after a latency draw).
   void send(NodeId to, const Message& msg);
 
   std::uint64_t messages_sent() const { return sent_; }
   std::uint64_t messages_delivered() const { return delivered_; }
+  /// Messages (or duplicated copies) lost to any cause: down sender, cut
+  /// link, random drop, hook drop, or a receiver that was down/cut/detached
+  /// at delivery time.  With no duplication, sent_ == delivered_ + dropped_
+  /// once the simulator drains.
+  std::uint64_t messages_dropped() const { return dropped_; }
   /// Payload bytes of value-carrying messages — RS-Paxos's saving shows up
   /// here.
   std::uint64_t value_bytes_sent() const { return value_bytes_; }
@@ -57,8 +102,11 @@ class SimNetwork {
   Options opts_;
   std::unordered_map<NodeId, Handler> handlers_;
   std::unordered_map<NodeId, bool> down_;
+  std::set<std::pair<NodeId, NodeId>> cut_links_;
+  FaultHook fault_hook_;
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
   std::uint64_t value_bytes_ = 0;
 };
 

@@ -220,9 +220,18 @@ void Replica::become_leader() {
 
   for (Slot s = commit_index_; s < next_slot_; ++s) {
     SlotState& st = slot_state(s);
-    if (st.chosen && !st.proposal_full.payload.empty() &&
-        !st.proposal_full.coded) {
+    if (st.chosen && !st.chosen_val.coded) {
       // We know the decision and hold the full value: re-publish it.
+      // (Must be chosen_val, not proposal_full — on a slot this node lost
+      // to a competing leader, proposal_full still holds the losing value
+      // and re-publishing it would overwrite the real decision.)
+      propose(s, st.chosen_val, nullptr);
+      continue;
+    }
+    if (st.chosen && st.chosen_val.coded && !st.proposal_full.coded &&
+        st.proposal_full.value_id == st.chosen_val.value_id &&
+        !st.proposal_full.payload.empty()) {
+      // Coded slot where we also hold the matching full value.
       propose(s, st.proposal_full, nullptr);
       continue;
     }
@@ -319,7 +328,10 @@ void Replica::propose(Slot slot, Value full_value, Callback cb) {
   st.proposing = true;
   st.proposal_full = std::move(full_value);
   st.accepted_from.clear();
-  if (cb) callbacks_[slot] = std::move(cb);
+  if (cb) {
+    callbacks_[slot] = std::move(cb);
+    st.proposed_id = st.proposal_full.value_id;
+  }
   send_accepts(slot);
 }
 
@@ -475,7 +487,18 @@ void Replica::apply_ready() {
         }
       }
       if (auto cb = callbacks_.find(commit_index_); cb != callbacks_.end()) {
-        cb->second(ok, response);
+        // Ack the waiting client only if the value chosen in this slot is
+        // the one proposed on its behalf.  When a competing leader's value
+        // won the slot, the client's command never committed: report
+        // failure so the submit layer retries it.  (value_id survives
+        // prepare-phase adoption, so "chosen id == proposed id" is exact.)
+        const bool ours =
+            st.proposed_id != 0 && st.proposed_id == v.value_id;
+        if (ours) {
+          cb->second(ok, response);
+        } else {
+          cb->second(false, {});
+        }
         callbacks_.erase(cb);
       }
     }
@@ -520,18 +543,28 @@ void Replica::on_catchup(const Message& m) {
     c.from = id_;
     c.ballot = ballot_;
     c.slot = s;
-    bool have_full = !st.proposal_full.coded &&
-                     (st.proposal_full.kind != ValueKind::kCommand ||
-                      !st.proposal_full.payload.empty());
-    if (coded_mode && st.proposal_full.kind == ValueKind::kCommand &&
-        have_full && chunk_index >= 0) {
-      c.value = make_chunk_value(st.proposal_full, chunk_index);
-    } else if (have_full) {
-      c.value = st.proposal_full;
-    } else {
-      // Only our own chunk survives here; better than nothing — the
-      // follower can at least advance past the slot.
+    if (!coded_mode) {
+      // Classic mode: the chosen value IS the full value.  Never serve
+      // proposal_full here — on slots this node merely learned it is a
+      // default (noop), and on slots it lost it is the losing value.
       c.value = st.chosen_val;
+    } else {
+      // Coded mode: chosen_val is our own chunk.  proposal_full holds the
+      // reconstructed command only when it matches the chosen decision.
+      bool have_full = !st.proposal_full.coded &&
+                       st.proposal_full.value_id == st.chosen_val.value_id &&
+                       (st.proposal_full.kind != ValueKind::kCommand ||
+                        !st.proposal_full.payload.empty());
+      if (have_full && st.proposal_full.kind == ValueKind::kCommand &&
+          chunk_index >= 0) {
+        c.value = make_chunk_value(st.proposal_full, chunk_index);
+      } else if (have_full) {
+        c.value = st.proposal_full;
+      } else {
+        // Only our own chunk survives here; better than nothing — the
+        // follower can at least advance past the slot.
+        c.value = st.chosen_val;
+      }
     }
     net_.send(m.from, c);
   }

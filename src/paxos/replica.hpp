@@ -55,8 +55,15 @@ struct QuorumPolicy {
   enum class Kind { kMajority, kRsPaxos };
   Kind kind = Kind::kMajority;
   int rs_m = 3;  // data chunks (RS-Paxos only)
+  // Chaos-harness negative testing only: when > 0, overrides the computed
+  // quorum size.  Anything below the majority breaks quorum intersection —
+  // two proposers can both "win" disjoint quorums — which MUST surface as
+  // an agreement violation; the chaos invariant checkers are validated by
+  // demonstrating they catch exactly that.
+  int quorum_override = 0;
 
   int quorum(int n) const {
+    if (quorum_override > 0) return quorum_override < n ? quorum_override : n;
     return kind == Kind::kMajority ? n / 2 + 1 : (n + rs_m + 1) / 2;
   }
   bool coded() const { return kind == Kind::kRsPaxos; }
@@ -122,6 +129,12 @@ class Replica {
     std::vector<NodeId> accepted_from;
     bool proposing = false;
     Value proposal_full;          // full value being proposed (leader)
+    // value_id of the client command whose callback waits on this slot
+    // (0: none).  The callback reports success only if this exact value is
+    // chosen here — a competing leader's value winning the slot means the
+    // client's command did NOT commit, and must be reported as a failure
+    // so the submit layer retries it.
+    std::uint64_t proposed_id = 0;
   };
 
   // message handlers

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <string>
 
 #include "cloud/region.hpp"
 #include "core/market_state.hpp"
@@ -57,6 +58,47 @@ TimeDelta quorum_downtime(const std::vector<std::pair<SimTime, SimTime>>& ups,
 }
 
 }  // namespace
+
+bool ReplayResult::internally_consistent(std::string* why) const {
+  auto fail = [why](std::string msg) {
+    if (why) *why = std::move(msg);
+    return false;
+  };
+  if (decisions != static_cast<int>(timeline.size())) {
+    return fail("decisions != timeline size");
+  }
+  TimeDelta down_sum = 0, len_sum = 0;
+  int oob_sum = 0, launch_sum = 0;
+  for (std::size_t i = 0; i < timeline.size(); ++i) {
+    const IntervalRecord& rec = timeline[i];
+    if (rec.downtime < 0 || rec.downtime > rec.length) {
+      return fail("interval " + std::to_string(i) +
+                  " downtime outside [0, length]");
+    }
+    if (i + 1 < timeline.size() &&
+        rec.start + rec.length != timeline[i + 1].start) {
+      return fail("interval " + std::to_string(i) + " does not tile");
+    }
+    down_sum += rec.downtime;
+    len_sum += rec.length;
+    oob_sum += rec.out_of_bid;
+    launch_sum += rec.launches;
+  }
+  if (down_sum != downtime) {
+    return fail("downtime total != sum of attributed quorum-loss seconds");
+  }
+  if (!timeline.empty() && len_sum != elapsed) {
+    return fail("interval lengths do not cover the replay window");
+  }
+  if (oob_sum != out_of_bid_events) {
+    return fail("out-of-bid total != timeline sum");
+  }
+  if (launch_sum != instances_launched) {
+    return fail("launch total != timeline sum");
+  }
+  if (cost.micros() < 0) return fail("negative total cost");
+  return true;
+}
 
 ReplayResult replay_strategy(const TraceBook& book, BiddingStrategy& strategy,
                              const ReplayConfig& cfg) {

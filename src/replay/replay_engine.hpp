@@ -81,6 +81,15 @@ struct ReplayResult {
     if (elapsed <= 0) return 1.0;
     return 1.0 - static_cast<double>(downtime) / static_cast<double>(elapsed);
   }
+
+  /// Availability-accounting conservation check: the headline totals must
+  /// equal what the per-interval timeline attributes (downtime == observed
+  /// quorum-loss seconds, summed; launches, out-of-bid events and interval
+  /// lengths likewise), and every interval's downtime must fit inside the
+  /// interval.  Returns false and explains in `why` (if non-null) when the
+  /// accounting leaks — the chaos harness runs this as an invariant after
+  /// every replay.
+  bool internally_consistent(std::string* why = nullptr) const;
 };
 
 /// Replays `strategy` over the window in `cfg`.  The strategy is driven

@@ -35,7 +35,10 @@ class Simulator {
 
   SimTime now() const { return now_; }
 
-  /// Schedules `cb` at absolute time `at` (must be >= now()).
+  /// Schedules `cb` at absolute time `at`.  Contract: `at` must be >= now()
+  /// — scheduling in the past throws std::invalid_argument and leaves the
+  /// queue untouched; `at == now()` is allowed and fires within the current
+  /// run (after every event already pending at now(), FIFO order).
   EventHandle schedule_at(SimTime at, Callback cb);
 
   /// Schedules `cb` after `delay` seconds.
@@ -44,12 +47,17 @@ class Simulator {
   }
 
   /// Cancels a pending event; returns true if it had not yet fired.
+  /// Contract: cancelling an already-fired, already-cancelled or
+  /// default-constructed handle is a safe no-op returning false — handles
+  /// are never reused, so a stale handle can never cancel someone else's
+  /// event.
   bool cancel(EventHandle h);
 
   /// Runs events until the queue is empty or the clock would pass `until`.
-  /// Events exactly at `until` are executed.  The clock is left at `until`
-  /// (or at the last event time if the queue drains first and that is
-  /// later... it never is; we clamp to `until`).
+  /// Events exactly at `until` are executed.  Contract: on return the clock
+  /// reads exactly `until` even when the queue drains early (the clock is
+  /// clamped forward), and never past it; a second run_until with the same
+  /// horizon is a no-op.
   void run_until(SimTime until);
 
   /// Runs a single event if one is pending; returns false if queue is empty.

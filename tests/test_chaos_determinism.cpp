@@ -1,0 +1,64 @@
+// Determinism regression: the whole point of simulation testing is that a
+// seed IS the scenario.  Two runs of one seed — cluster, faults, workload,
+// market shocks, replay — must agree bit for bit on every observable
+// fingerprint field, or `chaos_runner --seed N` stops being a replay and
+// minimization stops being sound.
+#include <gtest/gtest.h>
+
+#include "chaos/chaos_runner.hpp"
+
+namespace jupiter::chaos {
+namespace {
+
+ChaosOptions quick() {
+  ChaosOptions opts;
+  opts.horizon = 2 * kHour;
+  opts.fault_events = 10;
+  return opts;
+}
+
+TEST(ChaosDeterminism, SameSeedSameFingerprint) {
+  ChaosReport a = ChaosRunner(11, quick()).run();
+  ChaosReport b = ChaosRunner(11, quick()).run();
+  // Field-by-field first, so a regression names the diverging quantity
+  // instead of just two unequal hashes.
+  EXPECT_EQ(a.nodes, b.nodes);
+  EXPECT_EQ(a.schedule.size(), b.schedule.size());
+  EXPECT_EQ(a.dispatched_events, b.dispatched_events);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.messages_delivered, b.messages_delivered);
+  EXPECT_EQ(a.messages_dropped, b.messages_dropped);
+  EXPECT_EQ(a.commands_applied, b.commands_applied);
+  EXPECT_EQ(a.lock_digest, b.lock_digest);
+  EXPECT_EQ(a.billing_micros, b.billing_micros);
+  EXPECT_EQ(a.replay_downtime, b.replay_downtime);
+  EXPECT_EQ(a.replay_cost_micros, b.replay_cost_micros);
+  EXPECT_EQ(a.grants_observed, b.grants_observed);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.checks_run, b.checks_run);
+  EXPECT_EQ(a.violations.size(), b.violations.size());
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(ChaosDeterminism, DifferentSeedsDiverge) {
+  // Not guaranteed in principle (hash collisions), but these two seeds were
+  // checked to produce different scenarios; if they ever collide the seed
+  // derivation has almost certainly broken.
+  ChaosReport a = ChaosRunner(11, quick()).run();
+  ChaosReport b = ChaosRunner(12, quick()).run();
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(ChaosDeterminism, RunScheduleMatchesRunForSameSchedule) {
+  // run() is generate + run_schedule; replaying the generated schedule by
+  // hand must land on the identical fingerprint.  This is the property the
+  // minimizer's probes rely on.
+  ChaosOptions opts = quick();
+  ChaosReport a = ChaosRunner(13, opts).run();
+  ASSERT_TRUE(a.ok());
+  ChaosReport b = ChaosRunner(13, opts).run_schedule(a.schedule);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+}  // namespace
+}  // namespace jupiter::chaos

@@ -122,6 +122,51 @@ TEST(Simulator, DispatchedCountExcludesCancelled) {
   EXPECT_EQ(sim.dispatched_events(), 1u);
 }
 
+TEST(Simulator, RunUntilClampsClockWhenQueueDrainsEarly) {
+  Simulator sim;
+  sim.schedule_at(SimTime(5), [] {});
+  sim.run_until(SimTime(100));
+  // The queue drained at t=5, but the clock still lands exactly on the
+  // horizon — callers may rely on now() == until after run_until(until).
+  EXPECT_EQ(sim.now(), SimTime(100));
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, RunUntilRepeatAndEmptyQueueAreNoops) {
+  Simulator sim;
+  sim.run_until(SimTime(30));
+  EXPECT_EQ(sim.now(), SimTime(30));
+  sim.run_until(SimTime(30));  // same horizon again
+  EXPECT_EQ(sim.now(), SimTime(30));
+  EXPECT_EQ(sim.dispatched_events(), 0u);
+}
+
+TEST(Simulator, ScheduleAtNowFiresThisInstantAfterPendingEvents) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime(10), [&] {
+    order.push_back(1);
+    // at == now() is allowed; runs at t=10 after already-queued t=10 work.
+    sim.schedule_at(sim.now(), [&] { order.push_back(3); });
+  });
+  sim.schedule_at(SimTime(10), [&] { order.push_back(2); });
+  sim.run_until(SimTime(10));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, CancelAfterHandleFiredDoesNotTouchLaterEvents) {
+  // Handles are never reused: cancelling a stale handle must not cancel a
+  // newer event that happens to live in the queue.
+  Simulator sim;
+  bool late_fired = false;
+  EventHandle h = sim.schedule_at(SimTime(1), [] {});
+  sim.run_until(SimTime(2));
+  sim.schedule_at(SimTime(5), [&] { late_fired = true; });
+  EXPECT_FALSE(sim.cancel(h));
+  sim.run_until(SimTime(10));
+  EXPECT_TRUE(late_fired);
+}
+
 TEST(PeriodicTask, FiresAtFixedCadence) {
   Simulator sim;
   std::vector<std::int64_t> fires;

@@ -108,5 +108,49 @@ TEST(SpotTrace, LoadRejectsMalformedRows) {
   EXPECT_THROW(SpotTrace::load_csv(is), std::runtime_error);
 }
 
+TEST(SpotTrace, OverlayForcesPriceOverWindowOnly) {
+  SpotTrace tr = make_trace();
+  SpotTrace shocked = tr.overlay(SimTime(150), SimTime(300), PriceTick(999));
+  // Before the window: untouched.
+  EXPECT_EQ(shocked.price_at(SimTime(0)), PriceTick(10));
+  EXPECT_EQ(shocked.price_at(SimTime(149)), PriceTick(20));
+  // Inside: the shock price, swallowing the t=250 change.
+  EXPECT_EQ(shocked.price_at(SimTime(150)), PriceTick(999));
+  EXPECT_EQ(shocked.price_at(SimTime(299)), PriceTick(999));
+  // At `to` the original price resumes, and later changes survive.
+  EXPECT_EQ(shocked.price_at(SimTime(300)), PriceTick(15));
+  EXPECT_EQ(shocked.price_at(SimTime(400)), PriceTick(30));
+  // The source trace is untouched.
+  EXPECT_EQ(tr.price_at(SimTime(200)), PriceTick(20));
+}
+
+TEST(SpotTrace, OverlayAlignedWithExistingChangePoint) {
+  SpotTrace tr = make_trace();
+  SpotTrace shocked = tr.overlay(SimTime(100), SimTime(400), PriceTick(500));
+  EXPECT_EQ(shocked.price_at(SimTime(100)), PriceTick(500));
+  EXPECT_EQ(shocked.price_at(SimTime(399)), PriceTick(500));
+  EXPECT_EQ(shocked.price_at(SimTime(400)), PriceTick(30));
+}
+
+TEST(SpotTrace, OverlayMatchingCurrentPriceCollapses) {
+  SpotTrace tr = make_trace();
+  // Shock price equals the price already in force: the trace is unchanged
+  // semantically (append() elides no-op change points).
+  SpotTrace same = tr.overlay(SimTime(100), SimTime(250), PriceTick(20));
+  for (std::int64_t t : {0, 100, 249, 250, 400}) {
+    EXPECT_EQ(same.price_at(SimTime(t)), tr.price_at(SimTime(t)));
+  }
+}
+
+TEST(SpotTrace, OverlayRejectsBadWindows) {
+  SpotTrace tr = make_trace();
+  EXPECT_THROW(tr.overlay(SimTime(200), SimTime(200), PriceTick(1)),
+               std::invalid_argument);
+  EXPECT_THROW(tr.overlay(SimTime(300), SimTime(200), PriceTick(1)),
+               std::invalid_argument);
+  EXPECT_THROW(SpotTrace{}.overlay(SimTime(0), SimTime(10), PriceTick(1)),
+               std::logic_error);
+}
+
 }  // namespace
 }  // namespace jupiter
