@@ -31,8 +31,10 @@ class TimedStrategy : public BiddingStrategy {
   std::string name() const override { return inner_.name(); }
   StrategyDecision decide(const MarketSnapshot& snapshot, SimTime now,
                           const std::vector<ZoneBid>& held) override {
+    // detlint: allow(banned-time) — wall-clock benchmark timing, not simulation time
     auto t0 = std::chrono::steady_clock::now();
     StrategyDecision d = inner_.decide(snapshot, now, held);
+    // detlint: allow(banned-time) — wall-clock benchmark timing, not simulation time
     auto t1 = std::chrono::steady_clock::now();
     decide_ns_ += static_cast<double>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());

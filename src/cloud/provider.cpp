@@ -179,6 +179,7 @@ Money CloudProvider::charges_for(const InstanceRecord& rec,
 
 Money CloudProvider::total_charges() const {
   Money total = posted_charges_;
+  // detlint: allow(hash-iteration) — integer Money sum is commutative, order-free
   for (const auto& [id, rec] : instances_) {
     if (rec.state != InstanceState::kTerminated) {
       total += charges_for(rec, sim_.now());
@@ -189,6 +190,7 @@ Money CloudProvider::total_charges() const {
 
 std::size_t CloudProvider::live_instance_count() const {
   std::size_t n = 0;
+  // detlint: allow(hash-iteration) — counting matches is commutative, order-free
   for (const auto& [id, rec] : instances_) {
     if (rec.state != InstanceState::kTerminated) ++n;
   }

@@ -39,7 +39,8 @@ struct ExhaustiveOptions {
 /// Deterministic: per-task incumbents are merged in sequential enumeration
 /// order with a strict-less-than rule, reproducing the single-threaded
 /// result independent of thread scheduling.
-std::optional<BidDecision> exhaustive_decide(const FailureModelBook& models,
+[[nodiscard]] std::optional<BidDecision> exhaustive_decide(
+    const FailureModelBook& models,
                                              const MarketSnapshot& snapshot,
                                              const ServiceSpec& spec,
                                              const ExhaustiveOptions& opts);

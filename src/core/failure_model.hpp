@@ -80,7 +80,7 @@ class BidCurve {
   /// FP (Eq. 4 composed) at an arbitrary bid.
   double fp_at(PriceTick bid) const;
   /// Smallest feasible bid with FP <= fp_target (current <= bid < on-demand).
-  std::optional<PriceTick> min_bid_for_fp(double fp_target) const;
+  [[nodiscard]] std::optional<PriceTick> min_bid_for_fp(double fp_target) const;
   /// FP at the highest allowed bid (one tick under on-demand).
   double best_achievable_fp() const;
 
@@ -147,9 +147,8 @@ class ZoneFailureModel {
   /// estimate_fp(b) <= fp_target, or nullopt if even the highest allowed
   /// bid misses the target.  Mirrors lines 6-13 of Fig. 3 but runs in one
   /// transient pass instead of tick-by-tick re-estimation.
-  std::optional<PriceTick> min_bid_for_fp(const MarketZoneState& st,
-                                          int horizon_minutes,
-                                          double fp_target) const;
+  [[nodiscard]] std::optional<PriceTick> min_bid_for_fp(
+      const MarketZoneState& st, int horizon_minutes, double fp_target) const;
 
   /// The exceedance the highest allowed bid (one tick below on-demand)
   /// achieves — the best this zone can do.  Used by the bidder's fallback

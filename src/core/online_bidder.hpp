@@ -78,7 +78,7 @@ class OnlineBidder {
     double est_fp;
   };
 
-  std::optional<BidDecision> decide_for_n(
+  [[nodiscard]] std::optional<BidDecision> decide_for_n(
       const std::vector<std::pair<int, BidCurve>>& curves,
       const ServiceSpec& spec, int n) const;
   BidDecision fallback(const std::vector<std::pair<int, BidCurve>>& curves,

@@ -115,7 +115,15 @@ SemiMarkovChain SemiMarkovChain::estimate(const SpotTrace& trace) {
                         static_cast<std::uint64_t>(sojourn);
     counts[key] += 1.0;
   }
-  for (const auto& [key, count] : counts) {
+  // Drain the hash map through a sorted vector so the kernel fold order —
+  // and therefore every downstream float accumulation — is independent of
+  // hash iteration order.  normalize_rows() re-sorts rows anyway, but the
+  // determinism contract shouldn't hinge on that invariant at a distance.
+  // detlint: allow(hash-iteration) — drained into `folded` and sorted below
+  std::vector<std::pair<std::uint64_t, double>> folded(counts.begin(),
+                                                       counts.end());
+  std::sort(folded.begin(), folded.end());
+  for (const auto& [key, count] : folded) {
     int i = static_cast<int>(key >> 40);
     int j = static_cast<int>((key >> 20) & 0xFFFFF);
     int k = static_cast<int>(key & 0xFFFFF);

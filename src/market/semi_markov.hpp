@@ -69,7 +69,7 @@ class SemiMarkovChain {
 
   /// The last change point folded by estimate()/extend(), if this chain was
   /// trained from a trace.  Its outgoing transition is still open.
-  std::optional<PricePoint> trained_tail() const { return tail_; }
+  [[nodiscard]] std::optional<PricePoint> trained_tail() const { return tail_; }
 
   // ---- state space ----
   int state_count() const { return static_cast<int>(prices_.size()); }
@@ -117,7 +117,7 @@ class SemiMarkovChain {
     int sojourn;  // minutes
   };
   /// Samples the next (destination, sojourn); nullopt for absorbing states.
-  std::optional<Jump> sample_jump(int state, Rng& rng) const;
+  [[nodiscard]] std::optional<Jump> sample_jump(int state, Rng& rng) const;
 
   /// Generates a price trace on [from, to): starts in `initial_state` at
   /// `from` and follows sampled jumps (sojourns converted to seconds).

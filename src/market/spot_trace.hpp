@@ -69,7 +69,8 @@ class SpotTrace {
 
   /// First time in [from, inf) at which the price strictly exceeds `bid`,
   /// or nullopt if it never does within the trace.
-  std::optional<SimTime> first_exceed(SimTime from, PriceTick bid) const;
+  [[nodiscard]] std::optional<SimTime> first_exceed(SimTime from,
+                                                    PriceTick bid) const;
 
   /// CSV round-trip: rows of `seconds,price_ticks`.
   void save_csv(std::ostream& os) const;

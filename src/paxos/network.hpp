@@ -100,6 +100,10 @@ class SimNetwork {
   Simulator& sim_;
   Rng rng_;
   Options opts_;
+  // Audited for determinism (detlint hash-iteration): both maps are
+  // lookup-only — dispatch is always handlers_.find(to) for a specific
+  // destination; neither is ever iterated, so hash order cannot influence
+  // message delivery order.
   std::unordered_map<NodeId, Handler> handlers_;
   std::unordered_map<NodeId, bool> down_;
   std::set<std::pair<NodeId, NodeId>> cut_links_;

@@ -17,7 +17,7 @@ double market_churn(const TraceBook& book, InstanceKind kind,
     if (now <= from) continue;
     SpotTrace w = trace.slice(from, now);
     // The re-anchored first point is the pre-existing price, not a change.
-    changes += w.size() > 0 ? w.size() - 1 : 0;
+    changes += w.empty() ? 0 : w.size() - 1;
   }
   double days = static_cast<double>(lookback) / kDay;
   return static_cast<double>(changes) /

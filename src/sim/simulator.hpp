@@ -83,6 +83,9 @@ class Simulator {
   void dispatch(Event& ev);
 
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Audited for determinism (detlint hash-iteration): both sets are
+  // membership-test-only (contains/insert/erase); event order comes from
+  // queue_'s (at, seq) comparator, never from hash iteration.
   std::unordered_set<std::uint64_t> cancelled_;
   std::unordered_set<std::uint64_t> live_ids_;
   SimTime now_ = SimTime::zero();

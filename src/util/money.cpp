@@ -3,11 +3,23 @@
 #include <cinttypes>
 #include <cstdio>
 #include <ostream>
+#include <stdexcept>
+#include <string>
 
 namespace jupiter {
 
+Money Money::from_dollars(double dollars) {
+  if (!std::isfinite(dollars)) {
+    throw std::invalid_argument("Money::from_dollars: non-finite input " +
+                                std::to_string(dollars));
+  }
+  return Money(static_cast<std::int64_t>(std::llround(dollars * 1e6)));
+}
+
 std::string Money::str() const {
-  std::int64_t abs = micros_ < 0 ? -micros_ : micros_;
+  std::int64_t abs = micros_ == INT64_MIN ? INT64_MAX
+                     : micros_ < 0        ? -micros_
+                                          : micros_;
   std::int64_t whole = abs / 1'000'000;
   // 4 decimal places: round the micro remainder to units of $0.0001.
   std::int64_t frac = (abs % 1'000'000 + 50) / 100;

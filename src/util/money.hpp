@@ -27,17 +27,22 @@ class Money {
 
   /// Builds a Money value from a dollar amount, rounding to the nearest
   /// micro-dollar.  Intended for literals and test fixtures, not for billing
-  /// math (which should stay in integers).
-  static Money from_dollars(double dollars) {
-    return Money(static_cast<std::int64_t>(std::llround(dollars * 1e6)));
-  }
+  /// math (which should stay in integers).  Throws std::invalid_argument on
+  /// NaN/infinity — llround on a non-finite input is implementation-defined,
+  /// so a bad upstream computation would otherwise turn into a silently
+  /// platform-dependent charge.
+  static Money from_dollars(double dollars);
 
   constexpr std::int64_t micros() const { return micros_; }
   double dollars() const { return static_cast<double>(micros_) * 1e-6; }
 
   constexpr Money operator+(Money o) const { return Money(micros_ + o.micros_); }
   constexpr Money operator-(Money o) const { return Money(micros_ - o.micros_); }
-  constexpr Money operator-() const { return Money(-micros_); }
+  constexpr Money operator-() const {
+    // -INT64_MIN is signed overflow (UB); saturate to the largest
+    // representable amount instead.
+    return Money(micros_ == INT64_MIN ? INT64_MAX : -micros_);
+  }
   constexpr Money& operator+=(Money o) { micros_ += o.micros_; return *this; }
   constexpr Money& operator-=(Money o) { micros_ -= o.micros_; return *this; }
   constexpr Money operator*(std::int64_t k) const { return Money(micros_ * k); }

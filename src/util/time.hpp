@@ -16,6 +16,29 @@ namespace jupiter {
 
 using TimeDelta = std::int64_t;  // seconds
 
+namespace time_detail {
+// SimTime::infinity() is INT64_MAX, so plain arithmetic on times near the
+// sentinel is signed overflow (UB, and an UBSan abort).  All SimTime
+// arithmetic saturates instead: infinity() + d stays infinity().
+constexpr std::int64_t sat_add(std::int64_t a, std::int64_t b) {
+  std::int64_t r = 0;
+  if (__builtin_add_overflow(a, b, &r)) return a > 0 ? INT64_MAX : INT64_MIN;
+  return r;
+}
+constexpr std::int64_t sat_sub(std::int64_t a, std::int64_t b) {
+  std::int64_t r = 0;
+  if (__builtin_sub_overflow(a, b, &r)) return a > 0 ? INT64_MAX : INT64_MIN;
+  return r;
+}
+constexpr std::int64_t sat_mul(std::int64_t a, std::int64_t b) {
+  std::int64_t r = 0;
+  if (__builtin_mul_overflow(a, b, &r)) {
+    return (a > 0) == (b > 0) ? INT64_MAX : INT64_MIN;
+  }
+  return r;
+}
+}  // namespace time_detail
+
 inline constexpr TimeDelta kSecond = 1;
 inline constexpr TimeDelta kMinute = 60;
 inline constexpr TimeDelta kHour = 3600;
@@ -38,17 +61,29 @@ class SimTime {
 
   /// Start of the billing hour containing this instant.
   constexpr SimTime floor_hour() const { return SimTime(secs_ / kHour * kHour); }
-  /// Start of the next billing hour strictly after this instant.
-  constexpr SimTime next_hour() const { return SimTime((secs_ / kHour + 1) * kHour); }
+  /// Start of the next billing hour strictly after this instant (saturates
+  /// at infinity(): the hour after "never" is still "never").
+  constexpr SimTime next_hour() const {
+    return SimTime(time_detail::sat_mul(secs_ / kHour + 1, kHour));
+  }
   constexpr SimTime floor_minute() const {
     return SimTime(secs_ / kMinute * kMinute);
   }
   constexpr bool on_hour_boundary() const { return secs_ % kHour == 0; }
 
-  constexpr SimTime operator+(TimeDelta d) const { return SimTime(secs_ + d); }
-  constexpr SimTime operator-(TimeDelta d) const { return SimTime(secs_ - d); }
-  constexpr TimeDelta operator-(SimTime o) const { return secs_ - o.secs_; }
-  constexpr SimTime& operator+=(TimeDelta d) { secs_ += d; return *this; }
+  constexpr SimTime operator+(TimeDelta d) const {
+    return SimTime(time_detail::sat_add(secs_, d));
+  }
+  constexpr SimTime operator-(TimeDelta d) const {
+    return SimTime(time_detail::sat_sub(secs_, d));
+  }
+  constexpr TimeDelta operator-(SimTime o) const {
+    return time_detail::sat_sub(secs_, o.secs_);
+  }
+  constexpr SimTime& operator+=(TimeDelta d) {
+    secs_ = time_detail::sat_add(secs_, d);
+    return *this;
+  }
 
   constexpr auto operator<=>(const SimTime&) const = default;
 

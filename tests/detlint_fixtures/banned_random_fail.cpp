@@ -1,0 +1,13 @@
+// detlint fixture: every randomness source below must trip banned-random
+// and nothing else.
+#include <cstdlib>
+#include <random>
+
+unsigned long bad_randomness() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  std::mt19937_64 gen64(1234);
+  std::default_random_engine eng;
+  unsigned long x = std::rand();
+  return gen() + gen64() + eng() + rd() + x;
+}

@@ -1,0 +1,16 @@
+// detlint fixture: every wall-clock source below must trip banned-time and
+// nothing else.  Excluded from the real build and the real scan
+// (tests/detlint_fixtures is on the skip list); consumed only by
+// `detlint --self-test`.
+#include <chrono>
+#include <ctime>
+
+long bad_wall_clock_sources() {
+  auto a = std::chrono::system_clock::now();
+  auto b = std::chrono::steady_clock::now();
+  auto c = std::chrono::high_resolution_clock::now();
+  long d = static_cast<long>(time(nullptr));
+  long e = static_cast<long>(clock());
+  return a.time_since_epoch().count() + b.time_since_epoch().count() +
+         c.time_since_epoch().count() + d + e;
+}

@@ -1,0 +1,41 @@
+// detlint fixture: idiomatic jupiter code — deterministic clock, Rng-style
+// seeding, sorted containers, integer money.  Must produce zero findings.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+class SimTimeLike {
+ public:
+  explicit SimTimeLike(std::int64_t secs) : secs_(secs) {}
+  std::int64_t seconds() const { return secs_; }
+
+ private:
+  std::int64_t secs_ = 0;
+};
+
+class MoneyLike {
+ public:
+  explicit MoneyLike(std::int64_t micros) : micros_(micros) {}
+  MoneyLike operator+(MoneyLike o) const { return MoneyLike(micros_ + o.micros_); }
+  std::int64_t micros() const { return micros_; }
+
+ private:
+  std::int64_t micros_ = 0;
+};
+
+inline std::int64_t total_micros(const std::map<std::string, MoneyLike>& bills) {
+  std::int64_t total = 0;
+  for (const auto& [zone, amount] : bills) total += amount.micros();
+  return total;
+}
+
+inline std::int64_t sum(const std::vector<std::int64_t>& xs) {
+  std::int64_t t = 0;
+  for (auto it = xs.begin(); it != xs.end(); ++it) t += *it;
+  return t;
+}
+
+}  // namespace fixture

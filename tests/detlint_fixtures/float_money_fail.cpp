@@ -1,0 +1,11 @@
+// detlint fixture: floating-point money identifiers must trip float-money
+// and nothing else.  (The self-test puts this directory in money scope; in
+// the real tree the rule fires only under src/market and src/cloud.)
+
+double bad_float_money(double hours) {
+  double spot_price = 0.0071;
+  double bid = 0.0213;
+  float hourly_cost = 0.0044f;
+  double total_bill = spot_price * hours + bid * 0.0;
+  return total_bill + hourly_cost;
+}

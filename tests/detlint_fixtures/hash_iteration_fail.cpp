@@ -1,0 +1,27 @@
+// detlint fixture: iterating hash-ordered containers must trip
+// hash-iteration and nothing else.  Declaring the containers is fine; the
+// findings are the loops.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Holder {
+  std::unordered_map<std::string, int> by_name_;
+  std::unordered_set<std::uint64_t> live_ids_;
+};
+
+int bad_hash_iteration(const Holder& h) {
+  int total = 0;
+  for (const auto& [name, v] : h.by_name_) {
+    total += v + static_cast<int>(name.size());
+  }
+  std::unordered_map<int, int> local_counts;
+  for (auto it = local_counts.begin(); it != local_counts.end(); ++it) {
+    total += it->second;
+  }
+  for (std::uint64_t id : h.live_ids_) {
+    total += static_cast<int>(id);
+  }
+  return total;
+}

@@ -1,0 +1,18 @@
+// detlint fixture: pointer-keyed ordered containers must trip
+// ptr-key-ordered and nothing else — their iteration order is allocator
+// address order, which varies run to run.
+#include <map>
+#include <set>
+
+struct Node {
+  int weight = 0;
+};
+
+int bad_pointer_keys(Node* a, Node* b) {
+  std::map<Node*, int> rank;
+  std::set<const Node*> seen;
+  rank[a] = 1;
+  rank[b] = 2;
+  seen.insert(a);
+  return rank[a] + static_cast<int>(seen.size());
+}

@@ -1,0 +1,10 @@
+// detlint fixture: an allow() with no reason string must trip
+// bad-suppression (and only bad-suppression — the annotation masks the
+// underlying rule so the fix is "write the reason", not two errors).
+#include <chrono>
+#include <cstdint>
+
+inline std::int64_t unjustified_clock() {
+  auto t = std::chrono::steady_clock::now();  // detlint: allow(banned-time)
+  return t.time_since_epoch().count();
+}

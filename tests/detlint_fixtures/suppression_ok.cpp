@@ -1,0 +1,18 @@
+// detlint fixture: real violations carrying well-formed suppressions — both
+// same-line and comment-above styles — must produce zero findings.
+#include <chrono>
+#include <cstdint>
+#include <unordered_map>
+
+inline std::int64_t wall_benchmark_now() {
+  auto t = std::chrono::steady_clock::now();  // detlint: allow(banned-time) — wall-clock benchmark harness, not simulation time
+  return t.time_since_epoch().count();
+}
+
+inline std::int64_t commutative_sum(
+    const std::unordered_map<std::uint64_t, std::int64_t>& charges) {
+  std::int64_t total = 0;
+  // detlint: allow(hash-iteration) — integer sum is commutative, order-free
+  for (const auto& [id, micros] : charges) total += micros;
+  return total;
+}

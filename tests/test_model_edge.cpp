@@ -49,7 +49,9 @@ TEST(ModelEdge, LivePriceAboveTrainedRange) {
   EXPECT_LT(fp, 1.0);
   // min bid can never be below the live price.
   auto bid = model.min_bid_for_fp(st, 60, 0.9);
-  if (bid) EXPECT_GE(*bid, st.price);
+  if (bid) {
+    EXPECT_GE(*bid, st.price);
+  }
 }
 
 TEST(ModelEdge, LivePriceBelowTrainedRange) {

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <sstream>
+#include <stdexcept>
 
 namespace jupiter {
 namespace {
@@ -37,6 +40,27 @@ TEST(Money, CompoundAssignment) {
   EXPECT_EQ(a.micros(), 1'500'000);
   a -= Money::from_dollars(2.0);
   EXPECT_EQ(a.micros(), -500'000);
+}
+
+TEST(Money, FromDollarsRejectsNonFinite) {
+  // llround on NaN/inf is implementation-defined; a bad upstream
+  // computation must fail loudly, not become a platform-dependent charge.
+  EXPECT_THROW(Money::from_dollars(std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_THROW(Money::from_dollars(std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_THROW(Money::from_dollars(-std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_EQ(Money::from_dollars(0.25).micros(), 250'000);
+}
+
+TEST(Money, NegationSaturatesAtInt64Min) {
+  // -INT64_MIN would be signed overflow; the negation saturates instead.
+  Money lowest{std::numeric_limits<std::int64_t>::min()};
+  EXPECT_EQ((-lowest).micros(), std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ((-Money(-5)).micros(), 5);
+  // str() on the sentinel must not overflow either.
+  EXPECT_FALSE(lowest.str().empty());
 }
 
 TEST(Money, Comparisons) {

@@ -49,6 +49,24 @@ TEST(SimTime, Ordering) {
   EXPECT_LT(SimTime(1), SimTime::infinity());
 }
 
+TEST(SimTime, ArithmeticSaturatesAtInfinity) {
+  // infinity() is INT64_MAX; arithmetic near the sentinel saturates rather
+  // than overflowing (UB, and an abort under -fsanitize=undefined).
+  SimTime inf = SimTime::infinity();
+  EXPECT_EQ(inf + kHour, inf);
+  EXPECT_EQ(inf + 1, inf);
+  SimTime t = inf;
+  t += kWeek;
+  EXPECT_EQ(t, inf);
+  EXPECT_EQ(inf.next_hour(), inf);
+  // Deltas against the sentinel clamp to the extremes.
+  EXPECT_EQ(inf - SimTime(-1), INT64_MAX);
+  EXPECT_EQ(SimTime(-2) - inf, INT64_MIN);
+  // Ordinary arithmetic is unchanged.
+  EXPECT_EQ((SimTime(100) + 50).seconds(), 150);
+  EXPECT_EQ(SimTime(100) - SimTime(40), 60);
+}
+
 TEST(SimTime, Rendering) {
   EXPECT_EQ(SimTime(0).str(), "d0 00:00:00");
   EXPECT_EQ(SimTime(kDay + kHour + kMinute + 1).str(), "d1 01:01:01");

@@ -1,0 +1,616 @@
+// detlint — determinism/correctness linter for the jupiter tree.
+//
+// The reproduction's headline claims (bit-identical bidding decisions,
+// seed-replayable chaos scenarios, exact integer billing over 11-week
+// replays) rest on invariants the compiler never checks.  detlint scans the
+// sources for the handful of constructs that historically break them:
+//
+//   banned-time       wall-clock sources (std::chrono::*_clock, time(),
+//                     clock(), gettimeofday).  Simulation code must use
+//                     SimTime; benchmarks that legitimately measure wall
+//                     time annotate the site.
+//   banned-random     <random> engines, std::rand/srand, random_device.
+//                     All randomness flows through jupiter::Rng so streams
+//                     are bit-identical across standard libraries.
+//   hash-iteration    range-for / .begin() iteration over a variable
+//                     declared as std::unordered_map/unordered_set.  Hash
+//                     iteration order is the canonical way nondeterminism
+//                     leaks into fingerprints, CSV reports, and Paxos
+//                     message order.
+//   float-money       double/float variables whose names look like money
+//                     (price/bid/cost/bill/charge/pay) inside the billing
+//                     paths (src/market, src/cloud).  Money is integer
+//                     micro-dollars; floating-point drift breaks exact
+//                     billing replay.
+//   ptr-key-ordered   std::map/std::set keyed by a raw pointer: iteration
+//                     order is address order, which varies run to run.
+//
+// Suppression: a site that is genuinely fine carries an inline annotation
+// on the same line or the line directly above:
+//
+//   // detlint: allow(hash-iteration) — commutative integer sum, order-free
+//
+// The reason text after the dash is mandatory; an allow() without one (or
+// naming an unknown rule) is itself an error (bad-suppression).  This keeps
+// every exemption justified in the tree rather than in tribal knowledge.
+//
+// Exit status: 0 clean, 1 findings, 2 usage/IO error.
+//
+// Modes:
+//   detlint --root DIR [--money-paths a,b] [--skip SUBSTR]... PATH...
+//       Scan PATHs (files or directories) under DIR; print findings.
+//   detlint --self-test FIXTURE_DIR
+//       Run the fixture contract: <rule>_fail.cpp must trip exactly that
+//       rule, clean_pass.cpp and suppression_ok.cpp must be clean, and
+//       suppression_missing_reason.cpp must trip only bad-suppression.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+const std::vector<std::string> kRuleNames = {
+    "banned-time",   "banned-random",   "hash-iteration",
+    "float-money",   "ptr-key-ordered", "bad-suppression",
+};
+
+bool known_rule(const std::string& r) {
+  return std::find(kRuleNames.begin(), kRuleNames.end(), r) != kRuleNames.end();
+}
+
+struct Finding {
+  std::string file;  // path as given on the command line
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Suppression {
+  std::vector<std::string> rules;  // empty => malformed
+  bool has_reason = false;
+  bool malformed = false;  // allow(...) present but unparseable/unknown rule
+  std::string detail;
+};
+
+// Parses every "detlint: allow(r1, r2) — reason" occurrence in a comment.
+std::optional<Suppression> parse_suppression(const std::string& comment) {
+  auto pos = comment.find("detlint:");
+  if (pos == std::string::npos) return std::nullopt;
+  Suppression s;
+  auto allow = comment.find("allow", pos);
+  if (allow == std::string::npos) {
+    s.malformed = true;
+    s.detail = "expected allow(<rule>) after 'detlint:'";
+    return s;
+  }
+  auto open = comment.find('(', allow);
+  auto close = comment.find(')', allow);
+  if (open == std::string::npos || close == std::string::npos || close < open) {
+    s.malformed = true;
+    s.detail = "unbalanced parentheses in allow(...)";
+    return s;
+  }
+  std::string inside = comment.substr(open + 1, close - open - 1);
+  std::string cur;
+  std::vector<std::string> rules;
+  auto flush = [&] {
+    // trim
+    auto b = cur.find_first_not_of(" \t");
+    auto e = cur.find_last_not_of(" \t");
+    if (b != std::string::npos) rules.push_back(cur.substr(b, e - b + 1));
+    cur.clear();
+  };
+  for (char c : inside) {
+    if (c == ',') flush();
+    else cur += c;
+  }
+  flush();
+  if (rules.empty()) {
+    s.malformed = true;
+    s.detail = "allow() names no rule";
+    return s;
+  }
+  for (const auto& r : rules) {
+    if (!known_rule(r)) {
+      s.malformed = true;
+      s.detail = "unknown rule '" + r + "' in allow()";
+      return s;
+    }
+  }
+  s.rules = rules;
+  // Reason: any non-space text after the closing paren, past an optional
+  // dash (-, --, or the em-dash "—").
+  std::string rest = comment.substr(close + 1);
+  std::size_t i = 0;
+  auto skip_ws = [&] { while (i < rest.size() && std::isspace(static_cast<unsigned char>(rest[i]))) ++i; };
+  skip_ws();
+  // UTF-8 em-dash is 0xE2 0x80 0x94; also accept ASCII hyphens and ':'.
+  while (i < rest.size() &&
+         (rest[i] == '-' || rest[i] == ':' ||
+          static_cast<unsigned char>(rest[i]) == 0xE2 ||
+          static_cast<unsigned char>(rest[i]) == 0x80 ||
+          static_cast<unsigned char>(rest[i]) == 0x94)) {
+    ++i;
+  }
+  skip_ws();
+  s.has_reason = i < rest.size();
+  return s;
+}
+
+struct Line {
+  std::string code;     // comments and string/char literals blanked out
+  std::string comment;  // concatenated comment text on this line
+};
+
+// Splits a source file into per-line code/comment streams.  String and char
+// literal contents are blanked (so "std::rand" inside a string never
+// matches); comment text is preserved separately for suppression parsing.
+std::vector<Line> preprocess(const std::vector<std::string>& raw) {
+  std::vector<Line> out(raw.size());
+  bool in_block = false;
+  for (std::size_t li = 0; li < raw.size(); ++li) {
+    const std::string& s = raw[li];
+    std::string code, comment;
+    for (std::size_t i = 0; i < s.size();) {
+      if (in_block) {
+        if (s[i] == '*' && i + 1 < s.size() && s[i + 1] == '/') {
+          in_block = false;
+          i += 2;
+        } else {
+          comment += s[i++];
+        }
+        continue;
+      }
+      if (s[i] == '/' && i + 1 < s.size() && s[i + 1] == '/') {
+        comment.append(s.substr(i + 2));
+        break;
+      }
+      if (s[i] == '/' && i + 1 < s.size() && s[i + 1] == '*') {
+        in_block = true;
+        i += 2;
+        continue;
+      }
+      if (s[i] == '"' || s[i] == '\'') {
+        char q = s[i];
+        code += q;
+        ++i;
+        while (i < s.size()) {
+          if (s[i] == '\\' && i + 1 < s.size()) {
+            code += "  ";
+            i += 2;
+            continue;
+          }
+          if (s[i] == q) break;
+          code += ' ';
+          ++i;
+        }
+        if (i < s.size()) {
+          code += q;
+          ++i;
+        }
+        continue;
+      }
+      code += s[i++];
+    }
+    out[li].code = std::move(code);
+    out[li].comment = std::move(comment);
+  }
+  return out;
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Finds `std::unordered_map<...>` / `std::unordered_set<...>` declarations
+// and returns the declared identifiers.  `text` is the whole file's code
+// stream joined by '\n' (declarations can span lines).
+std::vector<std::string> unordered_decl_names(const std::string& text) {
+  std::vector<std::string> names;
+  static const std::string kKeys[] = {"std::unordered_map<",
+                                      "std::unordered_set<"};
+  for (const auto& key : kKeys) {
+    std::size_t pos = 0;
+    while ((pos = text.find(key, pos)) != std::string::npos) {
+      std::size_t i = pos + key.size();
+      int depth = 1;
+      while (i < text.size() && depth > 0) {
+        if (text[i] == '<') ++depth;
+        else if (text[i] == '>') --depth;
+        ++i;
+      }
+      // Skip refs/pointers/whitespace/cv between '>' and the identifier.
+      while (i < text.size() &&
+             (std::isspace(static_cast<unsigned char>(text[i])) ||
+              text[i] == '&' || text[i] == '*')) {
+        ++i;
+      }
+      std::string name;
+      while (i < text.size() && ident_char(text[i])) name += text[i++];
+      if (!name.empty() && name != "const") names.push_back(name);
+      pos += key.size();
+    }
+  }
+  return names;
+}
+
+struct ScanConfig {
+  // Paths (substring match on the generic path) where float-money applies.
+  std::vector<std::string> money_paths = {"src/market", "src/cloud"};
+  // Path substrings skipped entirely.
+  std::vector<std::string> skips = {"tests/detlint_fixtures"};
+  // Identifiers known to be unordered containers in *other* files (cross
+  // file: members declared in a header, iterated in the .cpp).
+  std::set<std::string> global_unordered;
+};
+
+bool in_money_scope(const ScanConfig& cfg, const std::string& path) {
+  for (const auto& p : cfg.money_paths) {
+    if (path.find(p) != std::string::npos) return true;
+  }
+  return false;
+}
+
+const std::regex kBannedTime(
+    R"((\b(system_clock|steady_clock|high_resolution_clock)\b)|(\btime\s*\(\s*(nullptr|NULL|0)?\s*\))|(\bgettimeofday\b)|(\bclock\s*\(\s*\)))");
+const std::regex kBannedRandom(
+    R"((\bstd\s*::\s*rand\b)|(\bsrand\b)|(\brandom_device\b)|(\bmt19937(_64)?\b)|(\bminstd_rand0?\b)|(\bdefault_random_engine\b)|(\branlux(24|48)(_base)?\b)|(\bknuth_b\b)|(#\s*include\s*<random>))");
+const std::regex kRangeFor(R"(\bfor\s*\(([^;()]|\([^()]*\))*:\s*([A-Za-z_]\w*)\s*\))");
+const std::regex kFloatMoney(
+    R"(\b(double|float)\s+(\w*(price|bid|cost|bill|charge|pay|revenue)\w*)\b)",
+    std::regex::icase);
+
+// First top-level template argument of std::map</std::set< at `pos` (which
+// points just past the '<').  Returns the trimmed argument text.
+std::string first_template_arg(const std::string& text, std::size_t pos) {
+  int depth = 1;
+  std::string arg;
+  while (pos < text.size() && depth > 0) {
+    char c = text[pos];
+    if (c == '<' || c == '(') ++depth;
+    else if (c == '>' || c == ')') {
+      --depth;
+      if (depth == 0) break;
+    } else if (c == ',' && depth == 1) {
+      break;
+    }
+    arg += c;
+    ++pos;
+  }
+  auto b = arg.find_first_not_of(" \t\n");
+  auto e = arg.find_last_not_of(" \t\n");
+  if (b == std::string::npos) return "";
+  return arg.substr(b, e - b + 1);
+}
+
+void scan_file(const fs::path& file, const std::string& display_path,
+               const ScanConfig& cfg, std::vector<Finding>& findings) {
+  std::ifstream in(file);
+  if (!in) {
+    findings.push_back({display_path, 0, "bad-suppression",
+                        "cannot open file"});
+    return;
+  }
+  std::vector<std::string> raw;
+  for (std::string line; std::getline(in, line);) raw.push_back(line);
+  std::vector<Line> lines = preprocess(raw);
+
+  std::string all_code;
+  for (const auto& l : lines) {
+    all_code += l.code;
+    all_code += '\n';
+  }
+
+  // Local container names: everything declared in this file, plus the
+  // cross-file table restricted to plausible member/long names.
+  std::set<std::string> unordered_names(cfg.global_unordered);
+  for (const auto& n : unordered_decl_names(all_code)) {
+    unordered_names.insert(n);
+  }
+
+  // Suppressions per line: rule set that is allowed on that line.
+  std::vector<std::set<std::string>> allowed(lines.size() + 1);
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    if (lines[li].comment.find("detlint") == std::string::npos) continue;
+    auto sup = parse_suppression(lines[li].comment);
+    if (!sup) continue;
+    int ln = static_cast<int>(li) + 1;
+    if (sup->malformed) {
+      findings.push_back({display_path, ln, "bad-suppression", sup->detail});
+      continue;
+    }
+    if (!sup->has_reason) {
+      // The annotation itself is the finding; it still masks the target
+      // rule so the fix is "write the reason", not two overlapping errors.
+      findings.push_back(
+          {display_path, ln, "bad-suppression",
+           "allow() without a reason — append '— <why this site is safe>'"});
+    }
+    // Applies to this line and, for comment-above style, the next line.
+    for (const auto& r : sup->rules) {
+      allowed[li].insert(r);
+      if (li + 1 < allowed.size()) allowed[li + 1].insert(r);
+    }
+  }
+
+  auto report = [&](std::size_t li, const std::string& rule,
+                    const std::string& msg) {
+    if (allowed[li].count(rule)) return;
+    findings.push_back({display_path, static_cast<int>(li) + 1, rule, msg});
+  };
+
+  bool money_scope = in_money_scope(cfg, display_path);
+
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::string& code = lines[li].code;
+    if (code.empty()) continue;
+    std::smatch m;
+
+    if (std::regex_search(code, m, kBannedTime)) {
+      report(li, "banned-time",
+             "wall-clock source '" + m.str() +
+                 "' — simulation code must use SimTime");
+    }
+    if (std::regex_search(code, m, kBannedRandom)) {
+      report(li, "banned-random",
+             "non-deterministic randomness '" + m.str() +
+                 "' — use jupiter::Rng (bit-identical across stdlibs)");
+    }
+    // hash-iteration: range-for over a known unordered container...
+    auto begin_it = std::sregex_iterator(code.begin(), code.end(), kRangeFor);
+    for (auto it = begin_it; it != std::sregex_iterator(); ++it) {
+      std::string range = (*it)[2].str();
+      if (unordered_names.count(range)) {
+        report(li, "hash-iteration",
+               "range-for over unordered container '" + range +
+                   "' — hash order leaks nondeterminism; use a sorted "
+                   "container or sort the keys first");
+      }
+    }
+    // ...or an explicit .begin()/.cbegin() call on one.
+    for (const auto& n : unordered_names) {
+      for (const char* meth : {".begin()", ".cbegin()", ".rbegin()"}) {
+        if (code.find(n + meth) != std::string::npos) {
+          report(li, "hash-iteration",
+                 "iterator over unordered container '" + n +
+                     "' — hash order leaks nondeterminism");
+        }
+      }
+    }
+    if (money_scope && std::regex_search(code, m, kFloatMoney)) {
+      report(li, "float-money",
+             "floating-point money variable '" + m[2].str() +
+                 "' in a billing path — use Money (integer micro-dollars)");
+    }
+    // ptr-key-ordered: std::map< / std::set< with a pointer first arg.  The
+    // key type may wrap onto the next line, so parse from a small window
+    // starting at the match.
+    std::string window = code;
+    for (std::size_t w = li + 1; w < lines.size() && w < li + 4; ++w) {
+      window += '\n';
+      window += lines[w].code;
+    }
+    for (const std::string key : {"std::map<", "std::set<"}) {
+      std::size_t pos = 0;
+      while ((pos = window.find(key, pos)) != std::string::npos) {
+        if (pos >= code.size()) break;  // starts on a later line
+        std::string a = first_template_arg(window, pos + key.size());
+        if (!a.empty() && a.back() == '*') {
+          report(li, "ptr-key-ordered",
+                 "ordered container keyed by raw pointer '" + a +
+                     "' — iteration order is address order, which varies "
+                     "run to run");
+        }
+        pos += key.size();
+      }
+    }
+  }
+}
+
+void collect_files(const fs::path& root, const std::string& rel,
+                   const ScanConfig& cfg,
+                   std::vector<std::pair<fs::path, std::string>>& files) {
+  fs::path p = root / rel;
+  auto keep = [&](const fs::path& f, const std::string& disp) {
+    auto ext = f.extension().string();
+    if (ext != ".cpp" && ext != ".hpp" && ext != ".h" && ext != ".cc") return;
+    for (const auto& s : cfg.skips) {
+      if (disp.find(s) != std::string::npos) return;
+    }
+    files.emplace_back(f, disp);
+  };
+  if (fs::is_regular_file(p)) {
+    keep(p, rel);
+    return;
+  }
+  if (!fs::is_directory(p)) {
+    std::cerr << "detlint: no such path: " << p << "\n";
+    std::exit(2);
+  }
+  std::vector<fs::path> entries;
+  for (const auto& e : fs::recursive_directory_iterator(p)) {
+    if (e.is_regular_file()) entries.push_back(e.path());
+  }
+  std::sort(entries.begin(), entries.end());  // deterministic report order
+  for (const auto& f : entries) {
+    keep(f, fs::relative(f, root).generic_string());
+  }
+}
+
+std::vector<Finding> run_scan(const fs::path& root,
+                              const std::vector<std::string>& rel_paths,
+                              ScanConfig cfg) {
+  std::vector<std::pair<fs::path, std::string>> files;
+  for (const auto& rp : rel_paths) collect_files(root, rp, cfg, files);
+
+  // Pass 1: cross-file unordered-container symbol table.  Only names that
+  // look like members (trailing '_') or are >= 3 chars join the global
+  // table — single-letter locals would poison unrelated files.
+  for (const auto& [file, disp] : files) {
+    std::ifstream in(file);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string contents = ss.str();
+    std::vector<std::string> raw;
+    {
+      std::istringstream is(contents);
+      for (std::string line; std::getline(is, line);) raw.push_back(line);
+    }
+    auto lines = preprocess(raw);
+    std::string code;
+    for (const auto& l : lines) {
+      code += l.code;
+      code += '\n';
+    }
+    for (const auto& n : unordered_decl_names(code)) {
+      if (n.size() >= 3 || n.back() == '_') cfg.global_unordered.insert(n);
+    }
+  }
+
+  std::vector<Finding> findings;
+  for (const auto& [file, disp] : files) scan_file(file, disp, cfg, findings);
+  return findings;
+}
+
+void print_findings(const std::vector<Finding>& findings) {
+  for (const auto& f : findings) {
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  }
+}
+
+// ---- self-test -------------------------------------------------------------
+
+int self_test(const fs::path& fixture_dir) {
+  struct Case {
+    std::string file;
+    // expected: rule that every finding must carry; empty => must be clean
+    std::string rule;
+    bool must_find = true;
+  };
+  const std::vector<Case> cases = {
+      {"banned_time_fail.cpp", "banned-time", true},
+      {"banned_random_fail.cpp", "banned-random", true},
+      {"hash_iteration_fail.cpp", "hash-iteration", true},
+      {"float_money_fail.cpp", "float-money", true},
+      {"ptr_key_ordered_fail.cpp", "ptr-key-ordered", true},
+      {"suppression_missing_reason.cpp", "bad-suppression", true},
+      {"clean_pass.cpp", "", false},
+      {"suppression_ok.cpp", "", false},
+  };
+  int failures = 0;
+  for (const auto& c : cases) {
+    fs::path f = fixture_dir / c.file;
+    if (!fs::exists(f)) {
+      std::cerr << "self-test: missing fixture " << f << "\n";
+      ++failures;
+      continue;
+    }
+    ScanConfig cfg;
+    cfg.skips.clear();
+    // Fixtures live outside src/market — put them in money scope so the
+    // float-money fixture can trip.
+    cfg.money_paths = {fixture_dir.generic_string()};
+    std::vector<Finding> findings;
+    scan_file(f, (fixture_dir / c.file).generic_string(), cfg, findings);
+    if (!c.must_find) {
+      if (!findings.empty()) {
+        std::cerr << "self-test: " << c.file << " must be clean but found:\n";
+        print_findings(findings);
+        ++failures;
+      }
+      continue;
+    }
+    if (findings.empty()) {
+      std::cerr << "self-test: " << c.file << " tripped nothing (expected "
+                << c.rule << ")\n";
+      ++failures;
+      continue;
+    }
+    for (const auto& fd : findings) {
+      if (fd.rule != c.rule) {
+        std::cerr << "self-test: " << c.file << " tripped unexpected rule ["
+                  << fd.rule << "] at line " << fd.line << " (expected only "
+                  << c.rule << ")\n";
+        ++failures;
+      }
+    }
+  }
+  if (failures == 0) {
+    std::cout << "detlint self-test: " << cases.size() << " fixtures ok\n";
+    return 0;
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  fs::path root = fs::current_path();
+  ScanConfig cfg;
+  std::vector<std::string> paths;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= args.size()) {
+        std::cerr << "detlint: " << a << " needs an argument\n";
+        std::exit(2);
+      }
+      return args[++i];
+    };
+    if (a == "--root") {
+      root = next();
+    } else if (a == "--self-test") {
+      return self_test(next());
+    } else if (a == "--money-paths") {
+      cfg.money_paths.clear();
+      std::string csv = next(), cur;
+      for (char c : csv) {
+        if (c == ',') {
+          if (!cur.empty()) cfg.money_paths.push_back(cur);
+          cur.clear();
+        } else {
+          cur += c;
+        }
+      }
+      if (!cur.empty()) cfg.money_paths.push_back(cur);
+    } else if (a == "--skip") {
+      cfg.skips.push_back(next());
+    } else if (a == "--help" || a == "-h") {
+      std::cout
+          << "usage: detlint [--root DIR] [--money-paths a,b] [--skip S]... "
+             "PATH...\n       detlint --self-test FIXTURE_DIR\n";
+      return 0;
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "detlint: unknown flag " << a << "\n";
+      return 2;
+    } else {
+      paths.push_back(a);
+    }
+  }
+  if (paths.empty()) paths = {"src", "tests", "bench", "examples"};
+
+  auto findings = run_scan(root, paths, cfg);
+  print_findings(findings);
+  if (findings.empty()) {
+    std::cout << "detlint: clean (" << paths.size() << " roots)\n";
+    return 0;
+  }
+  std::cout << "detlint: " << findings.size() << " finding(s)\n";
+  return 1;
+}
