@@ -1,0 +1,33 @@
+#include "core/transient_cache.hpp"
+
+namespace jupiter {
+
+std::shared_ptr<TransientCache::Entry> TransientCache::entry(int state,
+                                                             int age,
+                                                             int horizon,
+                                                             int state_count) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto key = std::make_tuple(state, age, horizon);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) return it->second;
+  if (entries_.size() >= kMaxEntries) entries_.clear();
+  auto e = std::make_shared<Entry>();
+  e->hit.assign(static_cast<std::size_t>(state_count), 0.0);
+  e->hit_known.assign(static_cast<std::size_t>(state_count), 0);
+  entries_.emplace(key, e);
+  return e;
+}
+
+void TransientCache::invalidate() {
+  std::lock_guard<std::mutex> lk(mu_);
+  entries_.clear();
+}
+
+TransientCache::Stats TransientCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace jupiter
