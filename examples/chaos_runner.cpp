@@ -4,6 +4,9 @@
 //   chaos_runner --corpus        run the fixed 16-seed regression corpus
 //   chaos_runner --break-quorum  negative test: force quorum=1 and demand
 //                                that the invariant checkers catch it
+//   chaos_runner --metrics       also dump each run's deterministic metrics
+//                                snapshot (per-link paxos drop accounting,
+//                                billing line items, replay availability)
 //
 // Exit status is 0 iff every requested scenario finished with zero
 // invariant violations (inverted under --break-quorum, where a clean run
@@ -28,7 +31,8 @@ void usage() {
   std::cerr
       << "usage: chaos_runner [--seed N] [--corpus] [--events N]\n"
       << "                    [--horizon SECONDS] [--clients N]\n"
-      << "                    [--break-quorum] [--no-minimize] [--quiet]\n";
+      << "                    [--break-quorum] [--no-minimize] [--quiet]\n"
+      << "                    [--metrics]\n";
 }
 
 }  // namespace
@@ -41,6 +45,7 @@ int main(int argc, char** argv) {
   std::vector<std::uint64_t> seeds;
   ChaosOptions opts;
   bool quiet = false;
+  bool show_metrics = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> long long {
@@ -66,6 +71,8 @@ int main(int argc, char** argv) {
       opts.minimize_on_violation = false;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--metrics") {
+      show_metrics = true;
     } else {
       usage();
       return 2;
@@ -86,6 +93,13 @@ int main(int argc, char** argv) {
     } else {
       ++violated;
       report.print(std::cout);  // violations always print, with the seed
+    }
+    if (show_metrics) {
+      // The registry view of the same run: per-link paxos drop accounting,
+      // market billing line items, replay availability counters.  The total
+      // here must equal the messages_dropped fingerprint above.
+      std::cout << "metrics (seed " << seed << "):\n"
+                << report.metrics.to_csv();
     }
   }
   std::cout << seeds.size() << " scenario(s): " << clean << " clean, "

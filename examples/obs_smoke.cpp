@@ -1,0 +1,268 @@
+// Observability smoke: the determinism contract, enforced end to end.
+//
+// Runs the same short Jupiter replay twice with the full observability
+// stack installed (metrics registry + trace sink), and demands that
+//
+//   1. the emitted Chrome trace_event JSON parses (a strict little JSON
+//      parser lives below — no dependencies) and has the Perfetto shape:
+//      a top-level object whose "traceEvents" is an array of events with
+//      name/ph/ts/pid/tid;
+//   2. run 1 and run 2 produce byte-identical metric snapshots (JSON and
+//      CSV exports) and byte-identical trace files;
+//   3. the registry actually saw the instrumented layers fire (decisions,
+//      launches, intervals) — an empty snapshot would pass (2) vacuously.
+//
+// ctest runs this as jupiter_obs_smoke.  Optional: --out DIR writes the
+// trace and snapshot to files for loading in Perfetto.
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/strategies.hpp"
+#include "obs/obs.hpp"
+#include "replay/workloads.hpp"
+
+using namespace jupiter;
+
+namespace {
+
+/// Strict JSON syntax checker (RFC 8259 subset: no \u surrogate pairing
+/// checks).  Returns true iff `s` is one complete JSON value.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(s_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool number() {
+    std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const char* lit) {
+    for (const char* p = lit; *p; ++p, ++pos_) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) return false;
+    }
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+struct RunOutput {
+  std::string metrics_json;
+  std::string metrics_csv;
+  std::string trace_json;
+};
+
+/// One instrumented replay: fresh registry, trace sink, and strategy.
+RunOutput run_once() {
+  Scenario sc = make_scenario(InstanceKind::kM1Small, /*train_weeks=*/2,
+                              /*replay_weeks=*/1);
+  ServiceSpec spec = ServiceSpec::lock_service();
+
+  obs::Registry reg;
+  obs::MemoryTraceSink trace;
+  obs::FlightRecorder recorder(128);
+  obs::ObsContext ctx;
+  ctx.metrics = &reg;
+  ctx.trace = &trace;
+  ctx.recorder = &recorder;
+  obs::ContextScope scope(&ctx);
+
+  JupiterStrategy strategy(sc.book, spec, sc.history_start,
+                           {.horizon_minutes = 60, .max_nodes = 9});
+  ReplayConfig cfg = make_replay_config(sc, spec, 6 * kHour);
+  replay_strategy(sc.book, strategy, cfg);
+
+  RunOutput out;
+  out.metrics_json = reg.to_json();
+  out.metrics_csv = reg.to_csv();
+  out.trace_json = trace.chrome_json();
+  return out;
+}
+
+int fail(const std::string& why) {
+  std::cerr << "obs_smoke: FAIL: " << why << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_dir;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else {
+      std::cerr << "usage: obs_smoke [--out DIR]\n";
+      return 2;
+    }
+  }
+
+  RunOutput a = run_once();
+  RunOutput b = run_once();
+
+  // 1. Perfetto-loadable trace: valid JSON with the trace_event shape.
+  if (!JsonChecker(a.trace_json).valid()) {
+    return fail("trace output is not valid JSON");
+  }
+  if (a.trace_json.find("\"traceEvents\": [") == std::string::npos) {
+    return fail("trace output lacks a traceEvents array");
+  }
+  for (const char* field : {"\"ph\"", "\"ts\"", "\"pid\"", "\"tid\""}) {
+    if (a.trace_json.find(field) == std::string::npos) {
+      return fail(std::string("trace events lack the ") + field + " field");
+    }
+  }
+  if (!JsonChecker(a.metrics_json).valid()) {
+    return fail("metrics snapshot is not valid JSON");
+  }
+
+  // 2. Same seed => byte-identical exports.
+  if (a.metrics_json != b.metrics_json) {
+    return fail("metric JSON snapshots differ between same-seed runs");
+  }
+  if (a.metrics_csv != b.metrics_csv) {
+    return fail("metric CSV snapshots differ between same-seed runs");
+  }
+  if (a.trace_json != b.trace_json) {
+    return fail("trace files differ between same-seed runs");
+  }
+
+  // 3. The instrumented layers actually fired.
+  for (const char* key :
+       {"core.decisions", "replay.intervals", "market.bills"}) {
+    if (a.metrics_csv.find(key) == std::string::npos) {
+      return fail(std::string("metric ") + key +
+                  " missing — instrumentation did not fire");
+    }
+  }
+  if (a.trace_json.find("\"interval\"") == std::string::npos) {
+    return fail("replay interval spans missing from trace");
+  }
+
+  if (!out_dir.empty()) {
+    std::ofstream tf(out_dir + "/obs_smoke_trace.json");
+    tf << a.trace_json;
+    std::ofstream mf(out_dir + "/obs_smoke_metrics.json");
+    mf << a.metrics_json;
+    std::cout << "obs_smoke: wrote " << out_dir << "/obs_smoke_trace.json"
+              << " (load it at https://ui.perfetto.dev)\n";
+  }
+
+  std::size_t events = 0;
+  for (std::size_t p = a.trace_json.find("\"ph\""); p != std::string::npos;
+       p = a.trace_json.find("\"ph\"", p + 1)) {
+    ++events;
+  }
+  std::cout << "obs_smoke: OK — " << events
+            << " trace events, metrics byte-identical across two runs\n";
+  return 0;
+}

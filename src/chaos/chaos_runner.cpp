@@ -9,6 +9,7 @@
 #include "core/strategies.hpp"
 #include "lock/lock_service.hpp"
 #include "market/billing.hpp"
+#include "obs/obs.hpp"
 #include "replay/replay_engine.hpp"
 
 namespace jupiter::chaos {
@@ -90,6 +91,16 @@ void ChaosReport::print(std::ostream& os) const {
         os << "    " << ev.str() << "\n";
       }
     }
+    if (!flight.empty()) {
+      std::uint64_t evicted = flight_total - flight.size();
+      os << "  flight recorder (" << flight.size() << " of " << flight_total
+         << " event(s) retained";
+      if (evicted) os << ", " << evicted << " older evicted";
+      os << "):\n";
+      for (const std::string& line : flight) {
+        os << "    " << line << "\n";
+      }
+    }
   }
 }
 
@@ -133,6 +144,18 @@ ChaosReport ChaosRunner::run_schedule(const std::vector<FaultEvent>& schedule) {
   ChaosReport report;
   report.seed = seed_;
   report.schedule = schedule;
+
+  // Every run carries its own black box: a bounded flight recorder plus a
+  // metrics registry collecting the instrumented layers' counters.  The
+  // scope shadows any caller-installed context, so chaos probes (including
+  // the minimizer's) never leak events into an outer trace.
+  obs::Registry run_metrics;
+  obs::FlightRecorder recorder(512);
+  obs::ObsContext obs_ctx;
+  obs_ctx.metrics = &run_metrics;
+  obs_ctx.recorder = &recorder;
+  obs_ctx.trace = obs::trace();  // outer trace sink, if any, keeps recording
+  obs::ContextScope obs_scope(&obs_ctx);
 
   // ---- topology (must draw exactly like run() so schedules transfer) ----
   Rng topo(seeds.topology);
@@ -371,6 +394,9 @@ ChaosReport ChaosRunner::run_schedule(const std::vector<FaultEvent>& schedule) {
   report.faults_injected = injector.faults_injected();
   report.checks_run = registry.checks_run();
   report.violations = registry.violations();
+  report.metrics = run_metrics.snapshot();
+  report.flight = recorder.render();
+  report.flight_total = recorder.total();
   return report;
 }
 

@@ -22,6 +22,7 @@
 
 #include "chaos/fault_injector.hpp"
 #include "chaos/invariants.hpp"
+#include "obs/metrics.hpp"
 
 namespace jupiter::chaos {
 
@@ -60,6 +61,18 @@ struct ChaosReport {
   int grants_observed = 0;
   int faults_injected = 0;
   std::size_t checks_run = 0;
+
+  /// Deterministic metrics snapshot taken at the end of the run — counters
+  /// from every instrumented layer (paxos message/drop accounting, billing
+  /// line items, replay availability).  Part of the same-seed byte-identity
+  /// contract but NOT folded into fingerprint(), so adding metrics never
+  /// invalidates stored fingerprints.
+  obs::MetricsSnapshot metrics;
+  /// Flight-recorder contents (rendered, oldest first): the last noteworthy
+  /// events before the horizon.  Dumped by print() on a violation, next to
+  /// the replay seed and the minimized schedule.
+  std::vector<std::string> flight;
+  std::uint64_t flight_total = 0;  // notes recorded (>= flight.size())
 
   bool ok() const { return violations.empty(); }
   /// One value folding every fingerprint field together.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cloud/region.hpp"
+#include "obs/obs.hpp"
 
 namespace jupiter::chaos {
 
@@ -154,6 +155,15 @@ void FaultInjector::restart_node(paxos::NodeId id) {
 
 void FaultInjector::inject(const FaultEvent& ev) {
   ++injected_;
+  obs::note(sim_.now(), "chaos", "inject " + ev.str());
+  if (obs::Registry* reg = obs::metrics()) {
+    reg->counter("chaos.faults_injected", {{"kind", fault_kind_name(ev.kind)}})
+        .inc();
+  }
+  if (obs::TraceSink* tr = obs::trace()) {
+    tr->span(sim_.now(), std::max<TimeDelta>(1, ev.duration),
+             obs::TraceTrack::kChaos, fault_kind_name(ev.kind), "chaos");
+  }
   switch (ev.kind) {
     case FaultKind::kPartitionPair:
       net_.cut_pair(ev.a, ev.b);
@@ -186,6 +196,7 @@ void FaultInjector::inject(const FaultEvent& ev) {
 
 void FaultInjector::heal(const FaultEvent& ev) {
   ++healed_;
+  obs::note(sim_.now(), "chaos", "heal " + ev.str());
   switch (ev.kind) {
     case FaultKind::kPartitionPair:
       net_.heal_pair(ev.a, ev.b);

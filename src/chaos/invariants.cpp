@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "market/billing.hpp"
+#include "obs/obs.hpp"
 
 namespace jupiter::chaos {
 
@@ -20,6 +21,14 @@ void InvariantRegistry::check_all(SimTime now) {
 void InvariantRegistry::report(const std::string& invariant, SimTime at,
                                std::string detail) {
   if (!seen_.insert({invariant, detail}).second) return;
+  obs::note(at, "invariant", invariant + " VIOLATED: " + detail);
+  if (obs::Registry* reg = obs::metrics()) {
+    reg->counter("chaos.violations", {{"invariant", invariant}}).inc();
+  }
+  if (obs::TraceSink* tr = obs::trace()) {
+    tr->instant(at, obs::TraceTrack::kChaos, "invariant_violation", "chaos",
+                {{"invariant", invariant}, {"detail", detail}});
+  }
   violations_.push_back(Violation{invariant, at, std::move(detail)});
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "util/log.hpp"
 
 namespace jupiter {
@@ -36,9 +37,15 @@ CloudProvider::InstanceId CloudProvider::request_spot(int zone,
     throw std::invalid_argument("bid above the 4x on-demand cap");
   }
   const SpotTrace& trace = book_.trace(zone, kind);
+  if (obs::Registry* reg = obs::metrics()) {
+    reg->counter("cloud.spot_requests").inc();
+  }
   if (trace.price_at(sim_.now()) > bid) {
     JLOG(kInfo) << "spot request rejected in zone " << zone << ": price "
                 << trace.price_at(sim_.now()) << " > bid " << bid;
+    if (obs::Registry* reg = obs::metrics()) {
+      reg->counter("cloud.spot_rejected").inc();
+    }
     return 0;
   }
 
@@ -59,6 +66,7 @@ CloudProvider::InstanceId CloudProvider::request_spot(int zone,
     oob_events_[id] = sim_.schedule_at(*t, [this, id] { out_of_bid(id); });
   }
   if (sla_.enabled) schedule_next_crash(id);
+  record_launch(rec);
   return id;
 }
 
@@ -76,7 +84,22 @@ CloudProvider::InstanceId CloudProvider::launch_on_demand(int zone,
   instances_.emplace(id, rec);
   sim_.schedule_at(rec.ready, [this, id] { finish_startup(id); });
   if (sla_.enabled) schedule_next_crash(id);
+  record_launch(rec);
   return id;
+}
+
+void CloudProvider::record_launch(const InstanceRecord& rec) {
+  if (obs::Registry* reg = obs::metrics()) {
+    reg->counter("cloud.launches", {{"kind", rec.spot ? "spot" : "on_demand"}})
+        .inc();
+    reg->histogram("cloud.startup_seconds", 200.0, 700.0, 25)
+        .observe(static_cast<double>(rec.ready - rec.launched));
+  }
+  if (obs::TraceSink* tr = obs::trace()) {
+    tr->span(rec.launched, rec.ready - rec.launched, obs::TraceTrack::kCloud,
+             rec.spot ? "spot_startup" : "on_demand_startup", "cloud",
+             {{"zone", rec.zone}, {"id", static_cast<std::int64_t>(rec.id)}});
+  }
 }
 
 void CloudProvider::finish_startup(InstanceId id) {
@@ -101,6 +124,12 @@ void CloudProvider::out_of_bid(InstanceId id) {
   }
   oob_events_.erase(id);
   set_state(rec, InstanceState::kTerminated);
+  if (obs::Registry* reg = obs::metrics()) {
+    reg->counter("cloud.terminations", {{"reason", "out_of_bid"}}).inc();
+  }
+  obs::note(sim_.now(), "cloud",
+            "instance " + std::to_string(id) + " out of bid in zone " +
+                std::to_string(rec.zone));
 }
 
 void CloudProvider::terminate(InstanceId id) {
@@ -120,6 +149,9 @@ void CloudProvider::terminate(InstanceId id) {
     sla_events_.erase(se);
   }
   set_state(rec, InstanceState::kTerminated);
+  if (obs::Registry* reg = obs::metrics()) {
+    reg->counter("cloud.terminations", {{"reason", "user"}}).inc();
+  }
 }
 
 void CloudProvider::schedule_next_crash(InstanceId id) {
@@ -133,6 +165,11 @@ void CloudProvider::schedule_next_crash(InstanceId id) {
     sla_events_.erase(id);
     // Crashes during startup just extend the outage; model as kDown too.
     set_state(rec, InstanceState::kDown);
+    if (obs::Registry* reg = obs::metrics()) {
+      reg->counter("cloud.sla_failures").inc();
+    }
+    obs::note(sim_.now(), "cloud",
+              "instance " + std::to_string(id) + " SLA crash");
     auto repair = static_cast<TimeDelta>(
         std::max(1.0, rng_.exponential(sla_.mttr_seconds)));
     sla_events_[id] = sim_.schedule_after(repair, [this, id] {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "quorum/availability.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
@@ -108,6 +109,9 @@ BidDecision OnlineBidder::fallback(
   }
   JLOG(kWarning) << "bidder fallback engaged: best achievable availability "
                  << best.estimated_availability;
+  if (obs::Registry* reg = obs::metrics()) {
+    reg->counter("core.fallbacks").inc();
+  }
   return best;
 }
 
@@ -139,7 +143,13 @@ BidDecision OnlineBidder::decide(const FailureModelBook& models,
   // upper bound.
   for (int n = spec.min_nodes(); n <= max_n; ++n) {
     auto d = decide_for_n(curves, spec, n);
-    if (!d) continue;
+    if (!d) {
+      // No feasible equal-FP configuration at this deployment size.
+      if (obs::Registry* reg = obs::metrics()) {
+        reg->counter("core.feasibility_rejections").inc();
+      }
+      continue;
+    }
     if (!have || d->bid_sum < best.bid_sum) {
       best = std::move(*d);
       have = true;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "quorum/availability.hpp"
 
 namespace jupiter {
@@ -20,6 +21,25 @@ JupiterStrategy::JupiterStrategy(const TraceBook& book, ServiceSpec spec,
 StrategyDecision JupiterStrategy::decide(const MarketSnapshot& snapshot,
                                          SimTime now,
                                          const std::vector<ZoneBid>& held) {
+  // Wall time lands in a kVolatile histogram, so the deterministic snapshot
+  // stays byte-identical across runs no matter how slow the machine is.
+  obs::WallScope wall(obs::wall_histogram("core.decide_wall_ns"));
+  auto record_decision = [&](const char* outcome,
+                             const StrategyDecision& d) {
+    if (obs::Registry* reg = obs::metrics()) {
+      reg->counter("core.decisions", {{"outcome", outcome}}).inc();
+      TransientCache::Stats cs = models_.cache_stats();
+      reg->gauge("core.cache_hits").set(static_cast<double>(cs.hits));
+      reg->gauge("core.cache_misses").set(static_cast<double>(cs.misses));
+      reg->gauge("core.cache_hit_rate").set(cs.hit_rate());
+    }
+    if (obs::TraceSink* tr = obs::trace()) {
+      tr->instant(now, obs::TraceTrack::kCore, "bid_decision", "core",
+                  {{"outcome", outcome},
+                   {"bids", std::to_string(d.spot_bids.size())}});
+    }
+  };
+
   std::vector<int> zones;
   zones.reserve(snapshot.size());
   for (const auto& st : snapshot) zones.push_back(st.zone);
@@ -74,6 +94,7 @@ StrategyDecision JupiterStrategy::decide(const MarketSnapshot& snapshot,
   if (!full_refresh && evaluate_stay()) {
     StrategyDecision stay;
     stay.spot_bids = held;
+    record_decision("stay", stay);
     return stay;
   }
 
@@ -89,6 +110,7 @@ StrategyDecision JupiterStrategy::decide(const MarketSnapshot& snapshot,
         evaluate_stay()) {
       StrategyDecision stay;
       stay.spot_bids = held;
+      record_decision("stay", stay);
       return stay;
     }
   }
@@ -110,6 +132,7 @@ StrategyDecision JupiterStrategy::decide(const MarketSnapshot& snapshot,
     }
     out.spot_bids.push_back(ZoneBid{e.zone, bid});
   }
+  record_decision("rebid", out);
   return out;
 }
 

@@ -2,7 +2,43 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace jupiter {
+
+namespace {
+
+const char* end_reason_name(SpotEnd reason) {
+  switch (reason) {
+    case SpotEnd::kRanToEnd:
+      return "ran_to_end";
+    case SpotEnd::kOutOfBid:
+      return "out_of_bid";
+    case SpotEnd::kNeverRan:
+      return "never_ran";
+  }
+  return "unknown";
+}
+
+/// One line item per bill: how it ended, how many hours were charged, and
+/// the charge itself (in micro-dollars, so counters stay integral).
+void record_bill(const SpotBill& bill) {
+  obs::Registry* reg = obs::metrics();
+  if (!reg) return;
+  reg->counter("market.bills", {{"reason", end_reason_name(bill.reason)}})
+      .inc();
+  reg->counter("market.billed_hours").inc(bill.hours_charged);
+  reg->counter("market.billed_micros")
+      .inc(static_cast<std::uint64_t>(bill.charge.micros()));
+  if (bill.reason == SpotEnd::kOutOfBid) {
+    obs::note(bill.end, "market", "out-of-bid termination");
+    if (obs::TraceSink* tr = obs::trace()) {
+      tr->instant(bill.end, obs::TraceTrack::kMarket, "out_of_bid", "market");
+    }
+  }
+}
+
+}  // namespace
 
 SpotBill bill_spot_instance(const SpotTrace& trace, SimTime start,
                             SimTime requested_end, PriceTick bid) {
@@ -13,6 +49,7 @@ SpotBill bill_spot_instance(const SpotTrace& trace, SimTime start,
   if (trace.price_at(start) > bid) {
     bill.end = start;
     bill.reason = SpotEnd::kNeverRan;
+    record_bill(bill);
     return bill;
   }
 
@@ -38,6 +75,7 @@ SpotBill bill_spot_instance(const SpotTrace& trace, SimTime start,
       break;
     }
   }
+  record_bill(bill);
   return bill;
 }
 

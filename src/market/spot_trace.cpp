@@ -87,6 +87,16 @@ PriceTick SpotTrace::last_price_in(SimTime from, SimTime to) const {
   return price_at(to - 1);
 }
 
+std::size_t SpotTrace::transitions_in(SimTime from, SimTime to) const {
+  if (to <= from) return 0;
+  std::size_t n = 0;
+  for (std::size_t i = segment_at(from) + 1;
+       i < points_.size() && points_[i].at < to; ++i) {
+    ++n;
+  }
+  return n;
+}
+
 std::optional<SimTime> SpotTrace::first_exceed(SimTime from,
                                                PriceTick bid) const {
   std::size_t i = segment_at(from);

@@ -67,6 +67,11 @@ class SpotTrace {
   /// charges for the hour ending at `to`.
   PriceTick last_price_in(SimTime from, SimTime to) const;
 
+  /// Number of price change points strictly inside (from, to) — how busy the
+  /// market was over a window.  The segment in force at `from` is not
+  /// counted.
+  std::size_t transitions_in(SimTime from, SimTime to) const;
+
   /// First time in [from, inf) at which the price strictly exceeds `bid`,
   /// or nullopt if it never does within the trace.
   [[nodiscard]] std::optional<SimTime> first_exceed(SimTime from,

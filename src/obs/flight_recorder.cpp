@@ -1,0 +1,55 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace jupiter::obs {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : ring_(capacity ? capacity : 1) {}
+
+void FlightRecorder::note(SimTime at, std::string tag, std::string text) {
+  Entry& e = ring_[count_ % ring_.size()];
+  ++count_;
+  e.seq = count_;
+  e.at = at;
+  e.tag = std::move(tag);
+  e.text = std::move(text);
+}
+
+std::vector<FlightRecorder::Entry> FlightRecorder::entries() const {
+  std::vector<Entry> out;
+  std::size_t n = retained();
+  out.reserve(n);
+  // Oldest retained entry sits at count_ % capacity once the ring wrapped.
+  std::size_t start = count_ > ring_.size() ? count_ % ring_.size() : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<std::string> FlightRecorder::render() const {
+  std::vector<std::string> out;
+  for (const Entry& e : entries()) {
+    out.push_back("#" + std::to_string(e.seq) + " " + e.at.str() + " [" +
+                  e.tag + "] " + e.text);
+  }
+  return out;
+}
+
+void FlightRecorder::dump(std::ostream& os) const {
+  std::uint64_t evicted = count_ > ring_.size() ? count_ - ring_.size() : 0;
+  os << "flight recorder: " << retained() << " of " << count_
+     << " event(s) retained";
+  if (evicted) os << " (" << evicted << " older evicted)";
+  os << "\n";
+  for (const std::string& line : render()) os << "  " << line << "\n";
+}
+
+void FlightRecorder::clear() {
+  count_ = 0;
+  for (Entry& e : ring_) e = Entry{};
+}
+
+}  // namespace jupiter::obs

@@ -1,0 +1,56 @@
+// Bounded flight recorder — the black box of the observability layer.
+//
+// A fixed-capacity ring of the most recent noteworthy events (fault
+// injections, leader changes, out-of-bid terminations, invariant checks).
+// Recording is O(1) and never allocates beyond the ring, so it can stay on
+// for every chaos scenario; when an invariant violation fires, the chaos
+// harness dumps the ring next to the replayable seed and the minimized
+// fault schedule — the last seconds of simulated history leading into the
+// crash, like a real FDR.
+//
+// Entries are stamped with SimTime plus a monotone sequence number, so the
+// dump is deterministic for a given seed and totally ordered even when many
+// events share one simulated instant.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace jupiter::obs {
+
+class FlightRecorder {
+ public:
+  struct Entry {
+    std::uint64_t seq = 0;  // 1-based arrival order over the whole run
+    SimTime at;
+    std::string tag;   // subsystem ("paxos", "chaos", "cloud", ...)
+    std::string text;  // human-readable detail
+  };
+
+  explicit FlightRecorder(std::size_t capacity = 512);
+
+  void note(SimTime at, std::string tag, std::string text);
+
+  /// Retained entries, oldest first.
+  std::vector<Entry> entries() const;
+  /// Rendered "seq @t [tag] text" lines, oldest first.
+  std::vector<std::string> render() const;
+
+  std::size_t capacity() const { return ring_.size(); }
+  std::size_t retained() const { return count_ < ring_.size() ? count_ : ring_.size(); }
+  /// Total notes ever recorded (>= retained(); the difference was evicted).
+  std::uint64_t total() const { return count_; }
+
+  void dump(std::ostream& os) const;
+  void clear();
+
+ private:
+  std::vector<Entry> ring_;
+  std::uint64_t count_ = 0;  // next seq - 1; ring slot = count_ % capacity
+};
+
+}  // namespace jupiter::obs

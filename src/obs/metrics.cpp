@@ -1,0 +1,268 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace jupiter::obs {
+
+namespace {
+
+/// Shortest round-trip rendering of a double, deterministic for a given
+/// libc: "%.17g" always reproduces the exact bits on read-back and the
+/// exact bytes on re-write.
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const char* kind_name(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string metric_key(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key = name;
+  key += '{';
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i) key += ',';
+    key += sorted[i].first;
+    key += '=';
+    key += sorted[i].second;
+  }
+  key += '}';
+  return key;
+}
+
+Registry::Slot& Registry::slot(const std::string& name, const Labels& labels,
+                               MetricKind kind, Visibility vis) {
+  std::string key = metric_key(name, labels);
+  std::lock_guard lk(mu_);
+  auto it = slots_.find(key);
+  if (it != slots_.end()) {
+    if (it->second.kind != kind) {
+      throw std::invalid_argument("metric '" + key +
+                                  "' re-registered with a different kind");
+    }
+    return it->second;
+  }
+  Slot s;
+  s.kind = kind;
+  s.vis = vis;
+  auto [ins, ok] = slots_.emplace(std::move(key), std::move(s));
+  (void)ok;
+  return ins->second;
+}
+
+Counter& Registry::counter(const std::string& name, const Labels& labels) {
+  Slot& s = slot(name, labels, MetricKind::kCounter,
+                 Visibility::kDeterministic);
+  if (!s.counter) s.counter = std::make_unique<Counter>();
+  return *s.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const Labels& labels) {
+  Slot& s = slot(name, labels, MetricKind::kGauge, Visibility::kDeterministic);
+  if (!s.gauge) s.gauge = std::make_unique<Gauge>();
+  return *s.gauge;
+}
+
+HistogramMetric& Registry::histogram(const std::string& name, double lo,
+                                     double hi, std::size_t bins,
+                                     const Labels& labels, Visibility vis) {
+  Slot& s = slot(name, labels, MetricKind::kHistogram, vis);
+  if (!s.histogram) s.histogram = std::make_unique<HistogramMetric>(lo, hi, bins);
+  return *s.histogram;
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard lk(mu_);
+  return slots_.size();
+}
+
+MetricsSnapshot Registry::snapshot(bool include_volatile) const {
+  MetricsSnapshot snap;
+  std::lock_guard lk(mu_);
+  for (const auto& [key, s] : slots_) {  // std::map: sorted by key
+    if (s.vis == Visibility::kVolatile && !include_volatile) continue;
+    MetricsSnapshot::Row row;
+    row.key = key;
+    row.kind = s.kind;
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        row.count = s.counter->value();
+        break;
+      case MetricKind::kGauge:
+        row.value = s.gauge->value();
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = s.histogram->histogram();
+        const RunningStats& st = s.histogram->stats();
+        row.count = h.total();
+        row.value = st.mean();
+        row.sum = st.sum();
+        row.min = st.min();
+        row.max = st.max();
+        row.bin_lo = h.bin_low(0);
+        row.bin_hi = h.bin_high(h.bins() - 1);
+        row.bins.reserve(h.bins());
+        for (std::size_t i = 0; i < h.bins(); ++i) {
+          row.bins.push_back(h.bin_count(i));
+        }
+        break;
+      }
+    }
+    snap.rows.push_back(std::move(row));
+  }
+  return snap;
+}
+
+const MetricsSnapshot::Row* MetricsSnapshot::find(
+    const std::string& key) const {
+  for (const Row& r : rows) {
+    if (r.key == key) return &r;
+  }
+  return nullptr;
+}
+
+std::uint64_t MetricsSnapshot::counter(const std::string& key) const {
+  const Row* r = find(key);
+  return r ? r->count : 0;
+}
+
+double MetricsSnapshot::gauge(const std::string& key) const {
+  const Row* r = find(key);
+  return r ? r->value : 0.0;
+}
+
+MetricsSnapshot MetricsSnapshot::diff(const MetricsSnapshot& before,
+                                      const MetricsSnapshot& after) {
+  MetricsSnapshot out;
+  for (const Row& a : after.rows) {
+    const Row* b = before.find(a.key);
+    Row d = a;
+    if (b) {
+      switch (a.kind) {
+        case MetricKind::kCounter:
+          d.count = a.count >= b->count ? a.count - b->count : 0;
+          break;
+        case MetricKind::kGauge:
+          break;  // gauges: keep the after value
+        case MetricKind::kHistogram:
+          d.count = a.count >= b->count ? a.count - b->count : 0;
+          d.sum = a.sum - b->sum;
+          for (std::size_t i = 0; i < d.bins.size() && i < b->bins.size();
+               ++i) {
+            d.bins[i] = a.bins[i] >= b->bins[i] ? a.bins[i] - b->bins[i] : 0;
+          }
+          break;
+      }
+    }
+    out.rows.push_back(std::move(d));
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\n  \"metrics\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out += "    {\"key\": \"" + json_escape(r.key) + "\", \"kind\": \"" +
+           kind_name(r.kind) + "\"";
+    switch (r.kind) {
+      case MetricKind::kCounter:
+        out += ", \"count\": " + std::to_string(r.count);
+        break;
+      case MetricKind::kGauge:
+        out += ", \"value\": " + fmt_double(r.value);
+        break;
+      case MetricKind::kHistogram:
+        out += ", \"count\": " + std::to_string(r.count) +
+               ", \"mean\": " + fmt_double(r.value) +
+               ", \"sum\": " + fmt_double(r.sum) +
+               ", \"min\": " + fmt_double(r.count ? r.min : 0.0) +
+               ", \"max\": " + fmt_double(r.count ? r.max : 0.0) +
+               ", \"bin_lo\": " + fmt_double(r.bin_lo) +
+               ", \"bin_hi\": " + fmt_double(r.bin_hi) + ", \"bins\": [";
+        for (std::size_t b = 0; b < r.bins.size(); ++b) {
+          if (b) out += ", ";
+          out += std::to_string(r.bins[b]);
+        }
+        out += "]";
+        break;
+    }
+    out += "}";
+    if (i + 1 < rows.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::string MetricsSnapshot::to_csv() const {
+  std::string out = "key,kind,count,value,sum,min,max\n";
+  for (const Row& r : rows) {
+    // Keys never contain commas or quotes (metric_key builds them from
+    // identifier-style fragments), so no CSV quoting is needed.
+    out += r.key;
+    out += ',';
+    out += kind_name(r.kind);
+    out += ',';
+    out += std::to_string(r.count);
+    out += ',';
+    out += fmt_double(r.value);
+    out += ',';
+    out += fmt_double(r.sum);
+    out += ',';
+    out += fmt_double(r.count ? r.min : 0.0);
+    out += ',';
+    out += fmt_double(r.count ? r.max : 0.0);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace jupiter::obs

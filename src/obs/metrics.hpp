@@ -1,0 +1,156 @@
+// Deterministic metrics registry — the counting half of the observability
+// layer (src/obs).
+//
+// Every signal the paper's evaluation reads off the framework (out-of-bid
+// terminations, bid decisions per interval, quorum losses, billing line
+// items, §5 Figures 4-9) is a named, label-tagged metric here instead of a
+// one-off printout.  Three shapes:
+//
+//   Counter    monotone integer; inc()/add().
+//   Gauge      last-write-wins double; set().
+//   HistogramMetric  fixed-bin jupiter::Histogram plus RunningStats moments.
+//
+// Determinism contract: enumeration order is the sorted (name, labels) key,
+// never insertion or hash order, so two same-seed runs produce byte-identical
+// snapshot()/to_json()/to_csv() output.  Metrics that record *wall-clock*
+// quantities (timing scopes) must be registered kVolatile; they are excluded
+// from snapshots and exports by default so they can never break the
+// byte-identity guarantee.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace jupiter::obs {
+
+/// Label set of one metric instance.  Order-insensitive: the registry sorts
+/// by key before building the identity string.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// kDeterministic metrics carry simulation-derived values and participate in
+/// the byte-identity contract; kVolatile ones carry wall-clock measurements
+/// and are skipped by snapshot()/exporters unless explicitly requested.
+enum class Visibility { kDeterministic, kVolatile };
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Histogram with Welford moments on the side.  Not internally synchronized:
+/// instrumented paths run on the (single-threaded) simulation thread; see
+/// docs/observability.md for the threading contract.
+class HistogramMetric {
+ public:
+  HistogramMetric(double lo, double hi, std::size_t bins)
+      : histo_(lo, hi, bins) {}
+
+  void observe(double x) {
+    histo_.add(x);
+    stats_.add(x);
+  }
+  const Histogram& histogram() const { return histo_; }
+  const RunningStats& stats() const { return stats_; }
+
+ private:
+  Histogram histo_;
+  RunningStats stats_;
+};
+
+/// Point-in-time copy of a registry, in deterministic sorted order.
+struct MetricsSnapshot {
+  struct Row {
+    std::string key;  // "name{l1=v1,l2=v2}" (labels sorted), or bare name
+    MetricKind kind = MetricKind::kCounter;
+    std::uint64_t count = 0;  // counter value / histogram sample count
+    double value = 0.0;       // gauge value / histogram mean
+    double sum = 0.0, min = 0.0, max = 0.0;  // histogram only
+    double bin_lo = 0.0, bin_hi = 0.0;       // histogram bin range
+    std::vector<std::uint64_t> bins;         // histogram bin counts
+  };
+
+  std::vector<Row> rows;  // sorted by key
+
+  const Row* find(const std::string& key) const;
+  /// Counter value (0 when absent) — the common "read one number" case.
+  std::uint64_t counter(const std::string& key) const;
+  /// Gauge value (0 when absent).
+  double gauge(const std::string& key) const;
+
+  /// after - before, per key: counters/histogram counts subtract, gauges
+  /// keep the `after` value.  Keys only present in `after` pass through;
+  /// keys only in `before` are dropped (a metric cannot un-happen).
+  static MetricsSnapshot diff(const MetricsSnapshot& before,
+                              const MetricsSnapshot& after);
+
+  /// One JSON object, keys in sorted order, doubles via "%.17g" — byte
+  /// identical across same-seed runs.
+  std::string to_json() const;
+  /// CSV rows: key,kind,count,value,sum,min,max — same determinism.
+  std::string to_csv() const;
+};
+
+/// Renders the canonical identity "name{k=v,...}" used as the sort key.
+std::string metric_key(const std::string& name, const Labels& labels);
+
+class Registry {
+ public:
+  /// Finds or creates.  Re-requesting an existing key with a different kind
+  /// throws std::invalid_argument (a name collision is a bug, not data).
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  HistogramMetric& histogram(const std::string& name, double lo, double hi,
+                             std::size_t bins, const Labels& labels = {},
+                             Visibility vis = Visibility::kDeterministic);
+
+  /// Deterministic snapshot; volatile (wall-clock) metrics only when asked.
+  MetricsSnapshot snapshot(bool include_volatile = false) const;
+  std::string to_json(bool include_volatile = false) const {
+    return snapshot(include_volatile).to_json();
+  }
+  std::string to_csv(bool include_volatile = false) const {
+    return snapshot(include_volatile).to_csv();
+  }
+
+  std::size_t size() const;
+
+ private:
+  struct Slot {
+    MetricKind kind;
+    Visibility vis = Visibility::kDeterministic;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<HistogramMetric> histogram;
+  };
+
+  Slot& slot(const std::string& name, const Labels& labels, MetricKind kind,
+             Visibility vis);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Slot> slots_;  // key -> metric; sorted by key
+};
+
+}  // namespace jupiter::obs

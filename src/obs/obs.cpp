@@ -1,0 +1,31 @@
+#include "obs/obs.hpp"
+
+namespace jupiter::obs {
+
+namespace {
+thread_local ObsContext* g_context = nullptr;
+}  // namespace
+
+ObsContext* current() { return g_context; }
+
+ContextScope::ContextScope(ObsContext* ctx) : prev_(g_context) {
+  g_context = ctx;
+}
+
+ContextScope::~ContextScope() { g_context = prev_; }
+
+void note(SimTime at, std::string tag, std::string text) {
+  if (FlightRecorder* fr = recorder()) {
+    fr->note(at, std::move(tag), std::move(text));
+  }
+}
+
+HistogramMetric* wall_histogram(const std::string& name) {
+  Registry* reg = metrics();
+  if (!reg) return nullptr;
+  // 1µs .. 1s in ns; 30 log-ish coverage via linear bins is good enough for
+  // an overhead gut check — precise tails come from the RunningStats side.
+  return &reg->histogram(name, 1e3, 1e9, 30, {}, Visibility::kVolatile);
+}
+
+}  // namespace jupiter::obs

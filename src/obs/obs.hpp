@@ -1,0 +1,124 @@
+// Ambient observability context — how instrumentation reaches its sinks.
+//
+// An ObsContext bundles the three sinks of src/obs (metrics registry, trace
+// sink, flight recorder; any subset may be null).  Instrumented code never
+// owns a context: it asks for the *current* one, a thread-local pointer that
+// is null by default.  That gives the two properties the ISSUE demands:
+//
+//   zero-cost-when-disabled  with no context installed every probe is one
+//                            thread-local load and a branch — no locks, no
+//                            allocation, no formatting;
+//   determinism              the context is thread-local, so thread-pool
+//                            workers (parallel sweeps, parallel exhaustive
+//                            search) see no sinks unless a context is
+//                            explicitly installed on that thread.  The
+//                            single-threaded simulation paths record in
+//                            event-dispatch order, which is a pure function
+//                            of the seed — same seed, byte-identical
+//                            snapshots and traces.
+//
+// Install with a scope:
+//
+//   obs::Registry reg;
+//   obs::MemoryTraceSink trace;
+//   obs::ObsContext ctx{&reg, &trace, nullptr};
+//   obs::ContextScope scope(&ctx);          // restored on destruction
+//   ... run the replay / scenario ...
+//
+// WallScope is the one deliberate wall-clock citizen: it times a scope with
+// the steady clock (annotated for detlint) and feeds a *volatile* histogram
+// that snapshots exclude by default, so wall time can never leak into the
+// deterministic exports.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace jupiter::obs {
+
+struct ObsContext {
+  Registry* metrics = nullptr;
+  TraceSink* trace = nullptr;
+  FlightRecorder* recorder = nullptr;
+};
+
+/// The calling thread's context; null when observability is disabled.
+ObsContext* current();
+
+/// Installs `ctx` (may be null) for the calling thread until destruction.
+class ContextScope {
+ public:
+  explicit ContextScope(ObsContext* ctx);
+  ~ContextScope();
+  ContextScope(const ContextScope&) = delete;
+  ContextScope& operator=(const ContextScope&) = delete;
+
+ private:
+  ObsContext* prev_;
+};
+
+// ---- probe helpers: each is a no-op when the matching sink is absent ----
+
+inline Registry* metrics() {
+  ObsContext* c = current();
+  return c ? c->metrics : nullptr;
+}
+inline TraceSink* trace() {
+  ObsContext* c = current();
+  return c ? c->trace : nullptr;
+}
+inline FlightRecorder* recorder() {
+  ObsContext* c = current();
+  return c ? c->recorder : nullptr;
+}
+
+/// Flight-recorder note; drops on the floor when no recorder is installed.
+void note(SimTime at, std::string tag, std::string text);
+
+/// Measures wall time from construction.  The *only* sanctioned wall-clock
+/// use inside simulation code: results must flow into Visibility::kVolatile
+/// metrics (WallScope does) or stay out of the registry entirely.
+class WallTimer {
+ public:
+  // detlint: allow(banned-time) — the observability layer's timing scopes measure wall time by design; results feed volatile metrics that deterministic snapshots exclude
+  WallTimer() : t0_(std::chrono::steady_clock::now()) {}
+
+  double elapsed_ns() const {
+    // detlint: allow(banned-time) — same wall-clock timing scope as above
+    auto t1 = std::chrono::steady_clock::now();
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0_)
+            .count());
+  }
+
+ private:
+  // detlint: allow(banned-time) — stores the scope's wall-clock start point
+  std::chrono::steady_clock::time_point t0_;
+};
+
+/// RAII wall-clock scope: observes elapsed nanoseconds into `histogram` on
+/// destruction.  Pass null to disable (the usual "context absent" case).
+class WallScope {
+ public:
+  explicit WallScope(HistogramMetric* histogram) : histogram_(histogram) {}
+  ~WallScope() {
+    if (histogram_) histogram_->observe(timer_.elapsed_ns());
+  }
+  WallScope(const WallScope&) = delete;
+  WallScope& operator=(const WallScope&) = delete;
+
+ private:
+  HistogramMetric* histogram_;
+  WallTimer timer_;
+};
+
+/// The volatile wall-time histogram for one named scope, or null when
+/// metrics are disabled.  Bins cover 1µs .. 1s in nanoseconds.
+HistogramMetric* wall_histogram(const std::string& name);
+
+}  // namespace jupiter::obs

@@ -1,0 +1,161 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <iterator>
+#include <ostream>
+#include <sstream>
+
+namespace jupiter::obs {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Sim seconds -> trace microseconds.  Saturates at the sentinel so a span
+/// touching SimTime::infinity() cannot overflow into a negative timestamp.
+std::int64_t to_us(std::int64_t secs) {
+  constexpr std::int64_t kMax = INT64_MAX / 1'000'000;
+  if (secs >= kMax) return INT64_MAX;
+  if (secs <= -kMax) return INT64_MIN;
+  return secs * 1'000'000;
+}
+
+}  // namespace
+
+void TraceSink::instant(SimTime ts, TraceTrack track, std::string name,
+                        std::string category,
+                        std::vector<std::pair<std::string, std::string>> args) {
+  TraceEvent ev;
+  ev.ts = ts;
+  ev.phase = TracePhase::kInstant;
+  ev.track = track;
+  ev.name = std::move(name);
+  ev.category = std::move(category);
+  ev.args = std::move(args);
+  record(std::move(ev));
+}
+
+void TraceSink::span(SimTime ts, TimeDelta dur, TraceTrack track,
+                     std::string name, std::string category,
+                     std::vector<std::pair<std::string, std::int64_t>> num_args) {
+  TraceEvent ev;
+  ev.ts = ts;
+  ev.dur = dur;
+  ev.phase = TracePhase::kSpan;
+  ev.track = track;
+  ev.name = std::move(name);
+  ev.category = std::move(category);
+  ev.num_args = std::move(num_args);
+  record(std::move(ev));
+}
+
+void TraceSink::counter(SimTime ts, TraceTrack track, std::string name,
+                        std::vector<std::pair<std::string, std::int64_t>> series) {
+  TraceEvent ev;
+  ev.ts = ts;
+  ev.phase = TracePhase::kCounter;
+  ev.track = track;
+  ev.name = std::move(name);
+  ev.num_args = std::move(series);
+  record(std::move(ev));
+}
+
+void MemoryTraceSink::write_chrome_json(std::ostream& os) const {
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& ev = events_[i];
+    char phase = 'i';
+    switch (ev.phase) {
+      case TracePhase::kInstant:
+        phase = 'i';
+        break;
+      case TracePhase::kSpan:
+        phase = 'X';
+        break;
+      case TracePhase::kCounter:
+        phase = 'C';
+        break;
+    }
+    os << "  {\"name\": \"" << json_escape(ev.name) << "\", \"ph\": \""
+       << phase << "\", \"ts\": " << to_us(ev.ts.seconds())
+       << ", \"pid\": 1, \"tid\": " << static_cast<int>(ev.track);
+    if (ev.phase == TracePhase::kSpan) {
+      os << ", \"dur\": " << to_us(ev.dur);
+    }
+    if (ev.phase == TracePhase::kInstant) {
+      os << ", \"s\": \"t\"";  // instant scope: thread
+    }
+    if (!ev.category.empty()) {
+      os << ", \"cat\": \"" << json_escape(ev.category) << "\"";
+    }
+    if (!ev.args.empty() || !ev.num_args.empty()) {
+      os << ", \"args\": {";
+      bool first = true;
+      for (const auto& [k, v] : ev.num_args) {
+        if (!first) os << ", ";
+        first = false;
+        os << "\"" << json_escape(k) << "\": " << v;
+      }
+      for (const auto& [k, v] : ev.args) {
+        if (!first) os << ", ";
+        first = false;
+        os << "\"" << json_escape(k) << "\": \"" << json_escape(v) << "\"";
+      }
+      os << "}";
+    }
+    os << "}";
+    if (i + 1 < events_.size()) os << ",";
+    os << "\n";
+  }
+  // Name the tracks so Perfetto shows subsystems instead of bare tids.
+  struct TrackName {
+    TraceTrack track;
+    const char* name;
+  };
+  static constexpr TrackName kTracks[] = {
+      {TraceTrack::kMarket, "market"}, {TraceTrack::kCloud, "cloud"},
+      {TraceTrack::kCore, "core"},     {TraceTrack::kPaxos, "paxos"},
+      {TraceTrack::kReplay, "replay"}, {TraceTrack::kChaos, "chaos"},
+  };
+  for (std::size_t i = 0; i < std::size(kTracks); ++i) {
+    if (!events_.empty() || i > 0) os << ",";
+    os << "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": "
+       << static_cast<int>(kTracks[i].track) << ", \"args\": {\"name\": \""
+       << kTracks[i].name << "\"}}";
+    os << "\n";
+  }
+  os << "]}\n";
+}
+
+std::string MemoryTraceSink::chrome_json() const {
+  std::ostringstream ss;
+  write_chrome_json(ss);
+  return ss.str();
+}
+
+}  // namespace jupiter::obs

@@ -1,0 +1,90 @@
+// Sim-time event tracing — the timeline half of the observability layer.
+//
+// A TraceSink records typed events stamped with simulation time (never the
+// wall clock, so detlint's banned-time rule stays green and same-seed runs
+// emit byte-identical traces):
+//
+//   kInstant   a point event ("out-of-bid", "leader-elected");
+//   kSpan      a completed interval [ts, ts+dur) ("bidding interval",
+//              "instance lifetime") — Chrome's 'X' complete event;
+//   kCounter   a sampled value series ("availability", "live instances") —
+//              Chrome's 'C' counter event, rendered as a track in Perfetto.
+//
+// MemoryTraceSink buffers events and exports Chrome trace_event JSON
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU)
+// loadable in Perfetto / chrome://tracing.  Sim seconds map to trace
+// microseconds, so one trace "ms" is one sim millisecond.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace jupiter::obs {
+
+enum class TracePhase { kInstant, kSpan, kCounter };
+
+/// Stable track ids so every subsystem lands on its own Perfetto row.
+enum class TraceTrack : int {
+  kMarket = 1,
+  kCloud = 2,
+  kCore = 3,
+  kPaxos = 4,
+  kReplay = 5,
+  kChaos = 6,
+};
+
+struct TraceEvent {
+  SimTime ts;
+  TimeDelta dur = 0;  // kSpan only
+  TracePhase phase = TracePhase::kInstant;
+  TraceTrack track = TraceTrack::kCore;
+  std::string name;
+  std::string category;
+  /// String args render under the event in the trace viewer.
+  std::vector<std::pair<std::string, std::string>> args;
+  /// Numeric args; for kCounter these are the plotted series values.
+  std::vector<std::pair<std::string, std::int64_t>> num_args;
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void record(TraceEvent ev) = 0;
+
+  // Convenience shapes.
+  void instant(SimTime ts, TraceTrack track, std::string name,
+               std::string category = {},
+               std::vector<std::pair<std::string, std::string>> args = {});
+  void span(SimTime ts, TimeDelta dur, TraceTrack track, std::string name,
+            std::string category = {},
+            std::vector<std::pair<std::string, std::int64_t>> num_args = {});
+  void counter(SimTime ts, TraceTrack track, std::string name,
+               std::vector<std::pair<std::string, std::int64_t>> series);
+};
+
+/// Buffers every event in memory (deterministic order: the single-threaded
+/// simulation records them in event-dispatch order).
+class MemoryTraceSink : public TraceSink {
+ public:
+  void record(TraceEvent ev) override { events_.push_back(std::move(ev)); }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  /// Chrome trace_event JSON (object form, "traceEvents" array).  Output is
+  /// a pure function of the recorded events — byte-identical across
+  /// same-seed runs.
+  void write_chrome_json(std::ostream& os) const;
+  std::string chrome_json() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace jupiter::obs

@@ -1,23 +1,49 @@
 #include "paxos/network.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/obs.hpp"
 
 namespace jupiter::paxos {
 
+namespace {
+
+/// Per-link drop accounting.  Cluster sizes are single-digit, so the label
+/// cardinality (one series per ordered pair) stays tiny.
+void record_drop(NodeId from, NodeId to, const char* reason) {
+  if (obs::Registry* reg = obs::metrics()) {
+    reg->counter("paxos.messages_dropped", {{"from", std::to_string(from)},
+                                            {"to", std::to_string(to)},
+                                            {"reason", reason}})
+        .inc();
+  }
+}
+
+}  // namespace
+
 void SimNetwork::send(NodeId to, const Message& msg) {
   ++sent_;
+  if (obs::Registry* reg = obs::metrics()) {
+    reg->counter("paxos.messages_sent", {{"from", std::to_string(msg.from)},
+                                         {"to", std::to_string(to)}})
+        .inc();
+  }
   if (!is_up(msg.from) || link_cut(msg.from, to)) {
     ++dropped_;
+    record_drop(msg.from, to, "sender_down_or_cut");
     return;
   }
   if (opts_.drop_rate > 0 && rng_.bernoulli(opts_.drop_rate)) {
     ++dropped_;
+    record_drop(msg.from, to, "random");
     return;
   }
   FaultAction act;
   if (fault_hook_) act = fault_hook_(msg.from, to, msg);
   if (act.drop) {
     ++dropped_;
+    record_drop(msg.from, to, "fault_hook");
     return;
   }
 
@@ -40,14 +66,19 @@ void SimNetwork::send(NodeId to, const Message& msg) {
     sim_.schedule_after(latency, [this, from, to, copy = std::move(copy)] {
       if (!is_up(to) || link_cut(from, to)) {
         ++dropped_;
+        record_drop(from, to, "receiver_down_or_cut");
         return;
       }
       auto it = handlers_.find(to);
       if (it == handlers_.end()) {
         ++dropped_;
+        record_drop(from, to, "no_handler");
         return;
       }
       ++delivered_;
+      if (obs::Registry* reg = obs::metrics()) {
+        reg->counter("paxos.messages_delivered").inc();
+      }
       it->second(copy);
     });
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/log.hpp"
 
 namespace jupiter::paxos {
@@ -109,6 +110,9 @@ std::uint64_t Replica::fresh_value_id() {
 
 void Replica::start_election() {
   ++elections_;
+  if (obs::Registry* reg = obs::metrics()) {
+    reg->counter("paxos.elections", {{"node", std::to_string(id_)}}).inc();
+  }
   preparing_ = true;
   std::int64_t round = std::max(promised_.round, ballot_.round) + 1;
   ballot_ = Ballot{round, id_};
@@ -175,6 +179,20 @@ void Replica::become_leader() {
   leader_ = id_;
   JLOG(kDebug) << "node " << id_ << " becomes leader, ballot "
                << ballot_.str();
+  if (obs::Registry* reg = obs::metrics()) {
+    reg->counter("paxos.leader_changes").inc();
+    reg->gauge("paxos.last_ballot_round")
+        .set(static_cast<double>(ballot_.round));
+  }
+  if (obs::TraceSink* tr = obs::trace()) {
+    tr->instant(sim_.now(), obs::TraceTrack::kPaxos, "leader_elected",
+                "paxos",
+                {{"node", std::to_string(id_)},
+                 {"ballot", ballot_.str()}});
+  }
+  obs::note(sim_.now(), "paxos",
+            "node " + std::to_string(id_) + " elected leader, ballot " +
+                ballot_.str());
 
   // Gather accepted values per open slot from the promise quorum.
   std::map<Slot, std::vector<std::pair<Ballot, Value>>> seen;

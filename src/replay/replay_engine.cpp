@@ -7,6 +7,7 @@
 #include "cloud/region.hpp"
 #include "core/market_state.hpp"
 #include "market/billing.hpp"
+#include "obs/obs.hpp"
 
 namespace jupiter {
 
@@ -245,6 +246,46 @@ ReplayResult replay_strategy(const TraceBook& book, BiddingStrategy& strategy,
     rec.out_of_bid = result.out_of_bid_events - oob_before;
     rec.downtime = result.downtime - downtime_before;
     result.timeline.push_back(rec);
+
+    if (obs::Registry* reg = obs::metrics()) {
+      reg->counter("replay.intervals").inc();
+      reg->counter("replay.launches").inc(static_cast<std::uint64_t>(rec.launches));
+      reg->counter("replay.out_of_bid").inc(static_cast<std::uint64_t>(rec.out_of_bid));
+      reg->counter("replay.downtime_seconds")
+          .inc(static_cast<std::uint64_t>(rec.downtime));
+      std::size_t transitions = 0;
+      for (int zone : cfg.zones) {
+        transitions += book.trace(zone, kind).transitions_in(t, t_end);
+      }
+      reg->counter("market.price_transitions")
+          .inc(static_cast<std::uint64_t>(transitions));
+    }
+    if (obs::TraceSink* tr = obs::trace()) {
+      tr->span(rec.start, rec.length, obs::TraceTrack::kReplay, "interval",
+               "replay",
+               {{"nodes", rec.nodes},
+                {"launches", rec.launches},
+                {"out_of_bid", rec.out_of_bid},
+                {"downtime_s", rec.downtime}});
+      // Availability sample stream, rendered as a Perfetto counter track:
+      // parts-per-million of the interval the quorum was up.
+      std::int64_t ppm =
+          rec.length > 0
+              ? ((rec.length - rec.downtime) * 1'000'000) / rec.length
+              : 1'000'000;
+      tr->counter(rec.start, obs::TraceTrack::kReplay, "availability_ppm",
+                  {{"ppm", ppm}});
+      if (rec.downtime > 0) {
+        tr->instant(rec.start, obs::TraceTrack::kReplay, "quorum_loss",
+                    "replay",
+                    {{"seconds", std::to_string(rec.downtime)}});
+      }
+    }
+    if (rec.downtime > 0) {
+      obs::note(rec.start, "replay",
+                "quorum lost for " + std::to_string(rec.downtime) +
+                    "s in interval starting " + rec.start.str());
+    }
 
     t = t_end;
   }

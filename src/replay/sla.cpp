@@ -1,9 +1,14 @@
 #include "replay/sla.hpp"
 
+#include "obs/obs.hpp"
+
 namespace jupiter {
 
 Money sla_credit(const ReplayResult& result, const SlaPolicy& policy) {
   if (result.availability() >= policy.availability_floor) return Money(0);
+  if (obs::Registry* reg = obs::metrics()) {
+    reg->counter("replay.sla_breaches").inc();
+  }
   // Credit a fixed fraction of the period's charges, like EC2's schedule.
   return Money(static_cast<std::int64_t>(
       static_cast<double>(result.cost.micros()) * policy.credit_fraction));

@@ -3,7 +3,15 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/log.hpp"
+
 namespace jupiter {
+
+Simulator::Simulator() {
+  set_log_clock(this, [this] { return now_.str(); });
+}
+
+Simulator::~Simulator() { clear_log_clock(this); }
 
 EventHandle Simulator::schedule_at(SimTime at, Callback cb) {
   if (at < now_) throw std::invalid_argument("schedule_at in the past");

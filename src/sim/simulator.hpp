@@ -33,6 +33,14 @@ class Simulator {
  public:
   using Callback = std::function<void()>;
 
+  /// Registers this simulator as the process's log clock, so every JLOG
+  /// line carries the simulated instant.  First simulator wins; a second
+  /// concurrent one keeps its own time to itself.
+  Simulator();
+  ~Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
   SimTime now() const { return now_; }
 
   /// Schedules `cb` at absolute time `at`.  Contract: `at` must be >= now()

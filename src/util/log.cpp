@@ -1,13 +1,20 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 namespace jupiter {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
+std::atomic<bool> g_initialized{false};
 std::mutex g_mu;
+
+// Guarded by g_mu.
+const void* g_clock_owner = nullptr;
+std::function<std::string()> g_clock;
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -23,15 +30,82 @@ const char* level_tag(LogLevel level) {
       return "?????";
   }
 }
+
+/// First use initializes the threshold from JUPITER_LOG, unless an explicit
+/// set_log_level() claimed initialization first.
+void ensure_init() {
+  bool expected = false;
+  if (!g_initialized.compare_exchange_strong(expected, true)) return;
+  if (const char* env = std::getenv("JUPITER_LOG")) {
+    if (auto level = parse_log_level(env)) {
+      g_level.store(*level);
+    } else {
+      std::fprintf(stderr,
+                   "[WARN ] unrecognized JUPITER_LOG value \"%s\" "
+                   "(want debug|info|warning|error|off)\n",
+                   env);
+    }
+  }
+}
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
-LogLevel log_level() { return g_level.load(); }
+std::optional<LogLevel> parse_log_level(const std::string& name) {
+  std::string low;
+  low.reserve(name.size());
+  for (char c : name) {
+    low += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (low == "debug") return LogLevel::kDebug;
+  if (low == "info") return LogLevel::kInfo;
+  if (low == "warning" || low == "warn") return LogLevel::kWarning;
+  if (low == "error") return LogLevel::kError;
+  if (low == "off" || low == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+std::optional<LogLevel> init_log_level_from_env() {
+  g_initialized.store(true);
+  const char* env = std::getenv("JUPITER_LOG");
+  if (!env) return std::nullopt;
+  auto level = parse_log_level(env);
+  if (level) g_level.store(*level);
+  return level;
+}
+
+void set_log_level(LogLevel level) {
+  g_initialized.store(true);  // explicit choice beats the environment
+  g_level.store(level);
+}
+
+LogLevel log_level() {
+  ensure_init();
+  return g_level.load();
+}
+
+void set_log_clock(const void* owner, std::function<std::string()> clock) {
+  std::lock_guard lk(g_mu);
+  if (g_clock_owner && g_clock_owner != owner) return;  // first owner wins
+  g_clock_owner = owner;
+  g_clock = std::move(clock);
+}
+
+void clear_log_clock(const void* owner) {
+  std::lock_guard lk(g_mu);
+  if (g_clock_owner != owner) return;
+  g_clock_owner = nullptr;
+  g_clock = nullptr;
+}
 
 void log_line(LogLevel level, const std::string& msg) {
+  ensure_init();
   if (level < g_level.load()) return;
   std::lock_guard lk(g_mu);
-  std::fprintf(stderr, "[%s] %s\n", level_tag(level), msg.c_str());
+  if (g_clock) {
+    std::fprintf(stderr, "[%s] %s | %s\n", level_tag(level),
+                 g_clock().c_str(), msg.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", level_tag(level), msg.c_str());
+  }
 }
 
 }  // namespace jupiter

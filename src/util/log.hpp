@@ -1,9 +1,19 @@
 // Leveled logging with a process-wide threshold.  Default threshold is
 // WARNING so tests and benchmarks stay quiet; examples raise it to INFO to
 // narrate what the framework is doing.
+//
+// The threshold can also come from the environment: JUPITER_LOG=debug|info|
+// warning|error|off is read once, on first use.  An explicit
+// set_log_level() call always wins over the environment.
+//
+// When a simulator is active it registers itself as the log clock, and every
+// line carries the simulated instant it was emitted at:
+//   [INFO ] d0 03:15:42 | spot request rejected in zone 4 ...
 #pragma once
 
+#include <functional>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -13,6 +23,23 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 
 
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Parses a JUPITER_LOG value ("debug", "info", "warning"/"warn", "error",
+/// "off"; case-insensitive).  nullopt on anything else.
+std::optional<LogLevel> parse_log_level(const std::string& name);
+
+/// Re-reads JUPITER_LOG from the environment and applies it if it parses.
+/// Returns the level applied, if any.  Called implicitly on first log use;
+/// exposed so tests can exercise the path deterministically.
+std::optional<LogLevel> init_log_level_from_env();
+
+/// Registers `clock` (typically a running simulator's now().str()) as the
+/// source of the sim-time prefix on every log line.  `owner` identifies the
+/// registrant: the first owner wins until it unregisters, so nested or
+/// concurrent simulators cannot steal each other's prefix.
+void set_log_clock(const void* owner, std::function<std::string()> clock);
+/// Removes the log clock if `owner` holds it; no-op otherwise.
+void clear_log_clock(const void* owner);
 
 /// Emits one line (thread-safe) if `level` passes the threshold.
 void log_line(LogLevel level, const std::string& msg);

@@ -1,0 +1,22 @@
+// detlint fixture: an observability-style wall-clock timing scope WITHOUT
+// the mandatory allow() annotations must trip banned-time on every clock
+// touch.  This is the negative twin of src/obs's WallTimer, which carries
+// `// detlint: allow(banned-time) — ...` on each of these lines; dropping
+// any one of them must fail the lint, so wall time can never sneak into
+// instrumentation unreviewed.
+#include <chrono>
+
+class UnannotatedWallTimer {
+ public:
+  UnannotatedWallTimer() : t0_(std::chrono::steady_clock::now()) {}
+
+  double elapsed_ns() const {
+    auto t1 = std::chrono::steady_clock::now();
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0_)
+            .count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
+#include "sim/simulator.hpp"
+
 namespace jupiter {
 namespace {
 
@@ -39,6 +43,95 @@ TEST(Log, MacroBuildsCompositeMessages) {
   set_log_level(LogLevel::kOff);  // exercise the stream path quietly
   int x = 7;
   JLOG(kInfo) << "x=" << x << " y=" << 2.5 << " s=" << std::string("abc");
+}
+
+TEST(Log, ParsesLevelNames) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarning);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarning);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("DEBUG"), LogLevel::kDebug);  // case-insensitive
+  EXPECT_EQ(parse_log_level("Info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+  EXPECT_EQ(parse_log_level("debug "), std::nullopt);
+}
+
+TEST(Log, EnvVarSetsThreshold) {
+  LogLevelGuard guard;
+  ASSERT_EQ(setenv("JUPITER_LOG", "debug", 1), 0);
+  EXPECT_EQ(init_log_level_from_env(), LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+
+  // Unparsable values are ignored, keeping the current threshold.
+  set_log_level(LogLevel::kWarning);
+  ASSERT_EQ(setenv("JUPITER_LOG", "shouting", 1), 0);
+  EXPECT_EQ(init_log_level_from_env(), std::nullopt);
+  EXPECT_EQ(log_level(), LogLevel::kWarning);
+
+  // Absent variable: no-op.
+  ASSERT_EQ(unsetenv("JUPITER_LOG"), 0);
+  EXPECT_EQ(init_log_level_from_env(), std::nullopt);
+  EXPECT_EQ(log_level(), LogLevel::kWarning);
+}
+
+TEST(Log, ExplicitSetBeatsEnvironment) {
+  LogLevelGuard guard;
+  ASSERT_EQ(setenv("JUPITER_LOG", "debug", 1), 0);
+  set_log_level(LogLevel::kError);  // marks the threshold as explicit
+  // The lazy first-use initializer must not override the explicit choice
+  // (log_level() runs it when nothing claimed initialization yet).
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  ASSERT_EQ(unsetenv("JUPITER_LOG"), 0);
+}
+
+TEST(Log, SimulatorPrefixesLinesWithSimTime) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kInfo);
+  Simulator sim;
+  sim.schedule_at(SimTime(3723), [] {});
+  sim.run_until(SimTime(3723));
+
+  ::testing::internal::CaptureStderr();
+  JLOG(kInfo) << "prefixed message";
+  std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find(sim.now().str()), std::string::npos)
+      << "missing sim-time prefix in: " << out;
+  EXPECT_NE(out.find("| prefixed message"), std::string::npos) << out;
+}
+
+TEST(Log, FirstSimulatorOwnsTheLogClock) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kInfo);
+  Simulator first;
+  first.schedule_at(SimTime(100), [] {});
+  first.run_until(SimTime(100));
+  {
+    Simulator second;  // must not steal the prefix, nor clear it on exit
+    second.schedule_at(SimTime(999), [] {});
+    second.run_until(SimTime(999));
+    ::testing::internal::CaptureStderr();
+    JLOG(kInfo) << "during";
+    std::string out = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(out.find(first.now().str()), std::string::npos) << out;
+    EXPECT_EQ(out.find(second.now().str()), std::string::npos) << out;
+  }
+  ::testing::internal::CaptureStderr();
+  JLOG(kInfo) << "after";
+  std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find(first.now().str()), std::string::npos) << out;
+}
+
+TEST(Log, NoPrefixAfterLastSimulatorDies) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kInfo);
+  { Simulator sim; }
+  ::testing::internal::CaptureStderr();
+  JLOG(kInfo) << "bare line";
+  std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find(" | "), std::string::npos) << out;
 }
 
 }  // namespace

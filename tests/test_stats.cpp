@@ -65,6 +65,42 @@ TEST(Percentile, Interpolates) {
 
 TEST(Percentile, EmptyThrows) {
   EXPECT_THROW(percentile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(percentile({}, 0.0), std::invalid_argument);
+  EXPECT_THROW(percentile({}, 1.0), std::invalid_argument);
+}
+
+TEST(Percentile, SingleSampleIsEveryQuantile) {
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(percentile({42.0}, q), 42.0) << "q=" << q;
+  }
+}
+
+TEST(Percentile, ClampsOutOfRangeQuantiles) {
+  std::vector<double> xs = {3, 1, 2};  // also: input need not be sorted
+  EXPECT_DOUBLE_EQ(percentile(xs, -0.5), 1.0);  // q<=0 -> min
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 3.0);   // q>=1 -> max
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.5), 3.0);
+}
+
+TEST(RunningStats, MergeEmptyIntoEmpty) {
+  RunningStats a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeSingleSamples) {
+  RunningStats a, b;
+  a.add(1.0);
+  b.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 3.0);
+  EXPECT_NEAR(a.variance(), 2.0, 1e-12);  // sample variance of {1,3}
 }
 
 TEST(Histogram, BinningAndClamping) {

@@ -508,6 +508,7 @@ int self_test(const fs::path& fixture_dir) {
       {"float_money_fail.cpp", "float-money", true},
       {"ptr_key_ordered_fail.cpp", "ptr-key-ordered", true},
       {"suppression_missing_reason.cpp", "bad-suppression", true},
+      {"obs_wall_timer_fail.cpp", "banned-time", true},
       {"clean_pass.cpp", "", false},
       {"suppression_ok.cpp", "", false},
   };
