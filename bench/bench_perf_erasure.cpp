@@ -1,9 +1,33 @@
-// Performance microbenchmarks for the erasure-coding substrate: GF(256)
-// kernels and Reed-Solomon theta(3,5) encode/decode throughput across
-// object sizes (the storage service codes every command).
+// Erasure-coding substrate benchmark and guardrail.
+//
+// Measures GF(256) region-kernel and Reed-Solomon encode/decode throughput
+// on *every* dispatch tier this host supports (scalar log/exp reference,
+// portable 64-bit SWAR, SSSE3 pshufb, AVX2 vpshufb), at 4 KiB / 64 KiB /
+// 1 MiB payloads for theta(3, 5) and theta(2, 3), and writes the results to
+// BENCH_erasure.json — the perf-trajectory baseline for the coding path.
+//
+// Two assertions gate the exit status:
+//   1. Bit-identity: encode chunks and decoded bytes must hash identically
+//      across all tiers for every (theta, payload) cell.  This is the
+//      contract that keeps EXPERIMENTS.md storage numbers and chaos corpus
+//      fingerprints independent of the host CPU.
+//   2. Speedup: when AVX2 is available, the best tier's 1 MiB theta(3, 5)
+//      encode throughput must be >= 5x the scalar tier measured in the same
+//      run (the vpshufb kernels beat that with a wide margin; a miss means
+//      dispatch regressed to a slow tier).
+//
+// Run from the build directory:
+//   ./bench/bench_perf_erasure [out.json]
 #include <benchmark/benchmark.h>
 
-#include "ec/gf256.hpp"
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ec/cpu_dispatch.hpp"
+#include "ec/gf_kernels.hpp"
 #include "ec/reed_solomon.hpp"
 #include "util/rng.hpp"
 
@@ -11,63 +35,205 @@ using namespace jupiter;
 
 namespace {
 
-void BM_gf256_mul(benchmark::State& state) {
-  GF256::Elem a = 0x53, b = 0xCA;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(a = GF256::mul(a, b) | 1);
-  }
+double now_seconds() {
+  // detlint: allow(banned-time) — wall-clock benchmark timing, not simulation time
+  auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(t).count();
 }
-BENCHMARK(BM_gf256_mul);
 
-void BM_gf256_inv(benchmark::State& state) {
-  GF256::Elem a = 0x53;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(a = GF256::inv(a) | 1);
+/// Runs `fn` repeatedly until ~0.15 s of wall time accumulates (after one
+/// warm-up call) and returns achieved MB/s for `bytes` processed per call.
+template <typename Fn>
+double measure_mbps(std::size_t bytes, Fn&& fn) {
+  fn();  // warm-up: tables, decode-matrix cache, page faults
+  double elapsed = 0;
+  std::size_t iters = 0;
+  while (elapsed < 0.15) {
+    double t0 = now_seconds();
+    fn();
+    elapsed += now_seconds() - t0;
+    ++iters;
   }
+  double bytes_per_s = static_cast<double>(bytes) *
+                       static_cast<double>(iters) / elapsed;
+  return bytes_per_s / (1024.0 * 1024.0);
 }
-BENCHMARK(BM_gf256_inv);
 
-void BM_rs_encode(benchmark::State& state) {
-  ReedSolomon rs(3, 5);
-  Rng rng(1);
-  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)));
-  for (auto& b : data) b = static_cast<std::uint8_t>(rng.below(256));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(rs.encode(data));
+std::uint64_t fnv1a(std::uint64_t h, const std::vector<std::uint8_t>& bytes) {
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001B3ULL;
   }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          state.range(0));
+  return h;
 }
-BENCHMARK(BM_rs_encode)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
 
-void BM_rs_decode_worst_case(benchmark::State& state) {
-  // Reconstruct from the two parity chunks plus one data chunk (all
-  // non-trivial rows of the decode matrix).
-  ReedSolomon rs(3, 5);
-  Rng rng(2);
-  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)));
-  for (auto& b : data) b = static_cast<std::uint8_t>(rng.below(256));
-  auto chunks = rs.encode(data);
-  std::vector<std::pair<int, Chunk>> have = {
-      {1, chunks[1]}, {3, chunks[3]}, {4, chunks[4]}};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(rs.decode(have, data.size()));
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          state.range(0));
+std::uint64_t hash_chunks(const std::vector<Chunk>& chunks) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const auto& c : chunks) h = fnv1a(h, c);
+  return h;
 }
-BENCHMARK(BM_rs_decode_worst_case)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
 
-void BM_rs_matrix_inversion(benchmark::State& state) {
-  ReedSolomon rs(3, 5);
-  for (auto _ : state) {
-    // Rebuild the decode matrix for a parity-heavy subset.
-    auto sub = rs.encode_matrix().select_rows({1, 3, 4});
-    benchmark::DoNotOptimize(sub.inverted());
+struct Cell {
+  int m, n;
+  std::size_t payload;
+  GfTier tier;
+  double encode_mbps = 0;
+  double decode_mbps = 0;
+  std::uint64_t encode_hash = 0;
+  std::uint64_t decode_hash = 0;
+};
+
+/// Worst-case surviving set: all parity chunks plus the trailing data
+/// chunks — every decode-matrix row is non-trivial.
+std::vector<std::pair<int, Chunk>> degraded_have(
+    const std::vector<Chunk>& chunks, int m, int n) {
+  std::vector<std::pair<int, Chunk>> have;
+  for (int i = n - 1; i >= 0 && static_cast<int>(have.size()) < m; --i) {
+    have.emplace_back(i, chunks[static_cast<std::size_t>(i)]);
   }
+  return have;
 }
-BENCHMARK(BM_rs_matrix_inversion);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_erasure.json";
+  const std::vector<GfTier>& tiers = gf_supported_tiers();
+
+  std::printf("supported tiers:");
+  for (GfTier t : tiers) std::printf(" %s", gf_tier_name(t));
+  std::printf("  (dispatch: %s)\n\n", gf_tier_name(gf_active_tier()));
+
+  // Raw region-kernel throughput (64 KiB muladd) per tier.
+  Rng rng(41);
+  std::vector<std::uint8_t> ksrc(64 * 1024), kdst(64 * 1024);
+  for (auto& b : ksrc) b = static_cast<std::uint8_t>(rng.below(256));
+  for (auto& b : kdst) b = static_cast<std::uint8_t>(rng.below(256));
+  std::vector<double> kernel_mbps;
+  for (GfTier t : tiers) {
+    double mbps = measure_mbps(ksrc.size(), [&] {
+      gf_muladd_region_tier(t, 0x53, ksrc.data(), kdst.data(), ksrc.size());
+      benchmark::DoNotOptimize(kdst.data());
+    });
+    kernel_mbps.push_back(mbps);
+    std::printf("gf_muladd_region[%6s]  64 KiB  %10.1f MB/s\n",
+                gf_tier_name(t), mbps);
+  }
+  std::printf("\n");
+
+  const std::pair<int, int> thetas[] = {{3, 5}, {2, 3}};
+  const std::size_t payloads[] = {4 * 1024, 64 * 1024, 1024 * 1024};
+  std::vector<Cell> cells;
+  bool hashes_identical = true;
+
+  for (auto [m, n] : thetas) {
+    for (std::size_t payload : payloads) {
+      Rng drng(static_cast<std::uint64_t>(m * 1000 + n) + payload);
+      std::vector<std::uint8_t> data(payload);
+      for (auto& b : data) b = static_cast<std::uint8_t>(drng.below(256));
+
+      std::uint64_t want_enc = 0, want_dec = 0;
+      for (std::size_t ti = 0; ti < tiers.size(); ++ti) {
+        GfTierOverride ov(tiers[ti]);
+        ReedSolomon rs(m, n);  // fresh per tier: no warm cache cross-talk
+        Cell cell{m, n, payload, tiers[ti], 0, 0, 0, 0};
+
+        auto chunks = rs.encode(data);
+        cell.encode_hash = hash_chunks(chunks);
+        cell.encode_mbps = measure_mbps(payload, [&] {
+          benchmark::DoNotOptimize(rs.encode(data));
+        });
+
+        auto have = degraded_have(chunks, m, n);
+        auto decoded = rs.decode(have, data.size());
+        cell.decode_hash =
+            decoded ? fnv1a(0xCBF29CE484222325ULL, *decoded) : 0;
+        cell.decode_mbps = measure_mbps(payload, [&] {
+          benchmark::DoNotOptimize(rs.decode(have, data.size()));
+        });
+
+        if (ti == 0) {
+          want_enc = cell.encode_hash;
+          want_dec = cell.decode_hash;
+        } else if (cell.encode_hash != want_enc ||
+                   cell.decode_hash != want_dec) {
+          hashes_identical = false;
+          std::printf("HASH MISMATCH: theta(%d,%d) %zu B tier %s\n", m, n,
+                      payload, gf_tier_name(tiers[ti]));
+        }
+        std::printf(
+            "theta(%d,%d) %7zu B  [%6s]  encode %10.1f MB/s   decode %10.1f "
+            "MB/s\n",
+            m, n, payload, gf_tier_name(tiers[ti]), cell.encode_mbps,
+            cell.decode_mbps);
+        cells.push_back(cell);
+      }
+      std::printf("\n");
+    }
+  }
+
+  // Speedup guardrail: best vs scalar on the 1 MiB theta(3, 5) encode.
+  double scalar_1m = 0, best_1m = 0;
+  const char* best_name = "scalar";
+  for (const Cell& c : cells) {
+    if (c.m == 3 && c.n == 5 && c.payload == 1024 * 1024) {
+      if (c.tier == GfTier::kScalar) scalar_1m = c.encode_mbps;
+      if (c.encode_mbps > best_1m) {
+        best_1m = c.encode_mbps;
+        best_name = gf_tier_name(c.tier);
+      }
+    }
+  }
+  double speedup = scalar_1m > 0 ? best_1m / scalar_1m : 0;
+  bool avx2 = gf_tier_supported(GfTier::kAvx2);
+  bool speedup_ok = !avx2 || speedup >= 5.0;
+  std::printf(
+      "1 MiB theta(3,5) encode: scalar %.1f MB/s, best (%s) %.1f MB/s — "
+      "%.1fx%s\n",
+      scalar_1m, best_name, best_1m, speedup,
+      avx2 ? (speedup_ok ? " (>= 5x PASS)" : " (>= 5x FAIL)") : "");
+  std::printf("cross-tier hashes identical: %s\n",
+              hashes_identical ? "yes" : "NO");
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 2;
+  }
+  std::fprintf(f, "{\n  \"tiers\": [");
+  for (std::size_t i = 0; i < tiers.size(); ++i) {
+    std::fprintf(f, "%s\"%s\"", i ? ", " : "", gf_tier_name(tiers[i]));
+  }
+  std::fprintf(f, "],\n  \"dispatch_tier\": \"%s\",\n",
+               gf_tier_name(gf_active_tier()));
+  std::fprintf(f, "  \"muladd_region_64KiB_MBps\": {");
+  for (std::size_t i = 0; i < tiers.size(); ++i) {
+    std::fprintf(f, "%s\"%s\": %.1f", i ? ", " : "", gf_tier_name(tiers[i]),
+                 kernel_mbps[i]);
+  }
+  std::fprintf(f, "},\n  \"results\": [\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(f,
+                 "    {\"theta\": \"%d,%d\", \"payload_bytes\": %zu, "
+                 "\"tier\": \"%s\", \"encode_MBps\": %.1f, "
+                 "\"decode_MBps\": %.1f}%s\n",
+                 c.m, c.n, c.payload, gf_tier_name(c.tier), c.encode_mbps,
+                 c.decode_mbps, i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n"
+               "  \"hashes_identical\": %s,\n"
+               "  \"scalar_encode_MBps_1MiB_theta35\": %.1f,\n"
+               "  \"best_encode_MBps_1MiB_theta35\": %.1f,\n"
+               "  \"best_tier_1MiB_theta35\": \"%s\",\n"
+               "  \"best_vs_scalar_speedup\": %.2f,\n"
+               "  \"avx2_speedup_guardrail_pass\": %s\n"
+               "}\n",
+               hashes_identical ? "true" : "false", scalar_1m, best_1m,
+               best_name, speedup, speedup_ok ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  return (hashes_identical && speedup_ok) ? 0 : 1;
+}

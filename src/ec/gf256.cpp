@@ -6,19 +6,21 @@ namespace jupiter {
 
 const GF256::Tables& GF256::tables() {
   static const Tables t = [] {
-    Tables tab{};
+    Tables tab{};  // zero-initialized: exp[509..1023] stays 0 (the zero tail)
     unsigned x = 1;
     for (int i = 0; i < 255; ++i) {
       tab.exp[static_cast<std::size_t>(i)] = static_cast<Elem>(x);
-      tab.log[x] = i;
+      tab.log[x] = static_cast<std::uint16_t>(i);
       x <<= 1;
       if (x & 0x100) x ^= kPoly;
     }
-    for (int i = 255; i < 512; ++i) {
+    // Doubled region: exp[s] = alpha^(s mod 255) up to the largest sum of
+    // two real logs (254 + 254 = 508), so mul never reduces mod 255.
+    for (int i = 255; i <= 508; ++i) {
       tab.exp[static_cast<std::size_t>(i)] =
           tab.exp[static_cast<std::size_t>(i - 255)];
     }
-    tab.log[0] = -1;  // undefined; guarded by callers
+    tab.log[0] = kZeroLog;  // sentinel: any sum with it indexes the zero tail
     return tab;
   }();
   return t;

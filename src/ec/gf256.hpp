@@ -21,11 +21,12 @@ class GF256 {
   static Elem sub(Elem a, Elem b) { return a ^ b; }  // char 2: sub == add
 
   static Elem mul(Elem a, Elem b) {
-    if (a == 0 || b == 0) return 0;
+    // Branch-free: log[0] == kZeroLog pushes the sum past every real-product
+    // index into the zero-padded tail of exp, so a zero operand yields 0
+    // without testing for it.
     const Tables& t = tables();
-    int s = t.log[a] + t.log[b];
-    if (s >= 255) s -= 255;
-    return t.exp[s];
+    return t.exp[static_cast<std::size_t>(t.log[a]) +
+                 static_cast<std::size_t>(t.log[b])];
   }
 
   static Elem inv(Elem a);
@@ -44,9 +45,16 @@ class GF256 {
   }
 
  private:
+  /// Sentinel log of zero: 511 + 254 (max real log) stays within exp, while
+  /// any sum involving it lands at index >= 511, inside the zero tail.
+  static constexpr unsigned kZeroLog = 511;
+
   struct Tables {
-    std::array<Elem, 512> exp;  // doubled to skip the mod in hot paths
-    std::array<int, 256> log;
+    // exp[s] = alpha^(s mod 255) for s in [0, 509) — doubled to skip the mod
+    // for sums of two real logs — and 0 for s in [509, 1024) so that a
+    // kZeroLog operand multiplies to zero without a branch.
+    std::array<Elem, 1024> exp;
+    std::array<std::uint16_t, 256> log;  // log[0] == kZeroLog
   };
   static const Tables& tables();
 };

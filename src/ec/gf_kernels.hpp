@@ -1,0 +1,44 @@
+// Vectorized GF(256) region kernels — the erasure-coding inner loop.
+//
+// Reed-Solomon encode/decode is, per output row, a chain of
+// "dst ^= coefficient * src" operations over whole chunks.  These kernels
+// implement that region form with a split-nibble technique: for a fixed
+// coefficient c, the product c*x of any byte x = lo | (hi << 4) is
+// T_lo[c][lo] ^ T_hi[c][hi], two 16-entry table lookups that map directly
+// onto pshufb/vpshufb.  The 256 x 32-byte table set (8 KiB) is built once
+// from the scalar field and shared by every tier.
+//
+// All tiers compute exact GF(256) arithmetic, so results are bit-identical
+// across scalar / SWAR / SSSE3 / AVX2 — asserted by the property tests and
+// by bench_perf_erasure's hash guardrail.  src/dst may be unaligned; exact
+// aliasing (dst == src) is allowed, partial overlap is not.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ec/cpu_dispatch.hpp"
+
+namespace jupiter {
+
+/// dst[i] = c * src[i] for i in [0, n), dispatching on gf_active_tier().
+void gf_mul_region(std::uint8_t c, const std::uint8_t* src, std::uint8_t* dst,
+                   std::size_t n);
+
+/// dst[i] ^= c * src[i] for i in [0, n), dispatching on gf_active_tier().
+void gf_muladd_region(std::uint8_t c, const std::uint8_t* src,
+                      std::uint8_t* dst, std::size_t n);
+
+/// dst[i] ^= src[i] for i in [0, n) (the c == 1 muladd), word-at-a-time.
+void gf_xor_region(const std::uint8_t* src, std::uint8_t* dst, std::size_t n);
+
+/// Per-tier entry points for tests and benchmarks: run exactly the named
+/// tier's kernel (no c == 0 / c == 1 shortcuts).  Throws
+/// std::invalid_argument if the tier is not compiled into this build.
+void gf_mul_region_tier(GfTier tier, std::uint8_t c, const std::uint8_t* src,
+                        std::uint8_t* dst, std::size_t n);
+void gf_muladd_region_tier(GfTier tier, std::uint8_t c,
+                           const std::uint8_t* src, std::uint8_t* dst,
+                           std::size_t n);
+
+}  // namespace jupiter

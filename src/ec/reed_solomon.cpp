@@ -1,9 +1,60 @@
 #include "ec/reed_solomon.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
+#include <utility>
+
+#include "ec/gf_kernels.hpp"
+#include "util/thread_pool.hpp"
 
 namespace jupiter {
+namespace {
+
+// Cache-blocked striping: within one block every output row consumes the
+// input column while it is still L1/L2-resident (m input blocks + k output
+// blocks of 8 KiB stay well inside L2 for the storage-service shapes).
+constexpr std::size_t kBlockBytes = 8 * 1024;
+
+// Payload shards handed to parallel_for.  Shards are byte-disjoint and every
+// output byte depends only on the same offset of the inputs, so the result
+// is identical for any shard count / thread schedule.
+constexpr std::size_t kShardBytes = 128 * 1024;
+
+/// dst[r][lo, hi) ^= sum_c mat(row0 + r, c) * src[c][lo, hi), blocked.
+void coded_muladd_range(const GFMatrix& mat, std::size_t row0,
+                        const std::vector<const std::uint8_t*>& src,
+                        const std::vector<std::uint8_t*>& dst,
+                        std::size_t lo, std::size_t hi) {
+  for (std::size_t b0 = lo; b0 < hi; b0 += kBlockBytes) {
+    const std::size_t blen = std::min(kBlockBytes, hi - b0);
+    for (std::size_t c = 0; c < src.size(); ++c) {
+      const std::uint8_t* s = src[c] + b0;
+      for (std::size_t r = 0; r < dst.size(); ++r) {
+        gf_muladd_region(mat.at(row0 + r, c), s, dst[r] + b0, blen);
+      }
+    }
+  }
+}
+
+/// Full-length coded muladd, sharded across the global pool when large.
+void coded_muladd(const GFMatrix& mat, std::size_t row0,
+                  const std::vector<const std::uint8_t*>& src,
+                  const std::vector<std::uint8_t*>& dst, std::size_t len) {
+  if (dst.empty() || len == 0) return;
+  if (len >= 2 * kShardBytes) {
+    const std::size_t shards = (len + kShardBytes - 1) / kShardBytes;
+    parallel_for(global_pool(), shards, [&](std::size_t i) {
+      const std::size_t lo = i * kShardBytes;
+      const std::size_t hi = std::min(lo + kShardBytes, len);
+      coded_muladd_range(mat, row0, src, dst, lo, hi);
+    });
+  } else {
+    coded_muladd_range(mat, row0, src, dst, 0, len);
+  }
+}
+
+}  // namespace
 
 ReedSolomon::ReedSolomon(int m, int n) : m_(m), n_(n) {
   if (m < 1 || n < m || n >= GF256::kFieldSize) {
@@ -18,6 +69,22 @@ ReedSolomon::ReedSolomon(int m, int n) : m_(m), n_(n) {
   matrix_ = v.mul(v.select_rows(top).inverted());
 }
 
+const ReedSolomon& ReedSolomon::shared(int m, int n) {
+  static std::mutex mu;
+  static std::map<std::pair<int, int>, ReedSolomon>* registry =
+      new std::map<std::pair<int, int>, ReedSolomon>();  // leaked: outlives all users
+  std::lock_guard<std::mutex> lk(mu);
+  auto it = registry->find({m, n});
+  if (it == registry->end()) {
+    it = registry
+             ->emplace(std::piecewise_construct,
+                       std::forward_as_tuple(m, n),
+                       std::forward_as_tuple(m, n))
+             .first;
+  }
+  return it->second;
+}
+
 std::vector<Chunk> ReedSolomon::encode_chunks(
     const std::vector<Chunk>& data) const {
   if (static_cast<int>(data.size()) != m_) {
@@ -28,20 +95,14 @@ std::vector<Chunk> ReedSolomon::encode_chunks(
     if (c.size() != len) throw std::invalid_argument("unequal chunk sizes");
   }
   std::vector<Chunk> out(static_cast<std::size_t>(n_), Chunk(len, 0));
-  // Systematic: copy data rows, compute parity rows.
+  // Systematic: copy data rows, compute parity rows with the region kernels.
   for (int i = 0; i < m_; ++i) out[static_cast<std::size_t>(i)] = data[static_cast<std::size_t>(i)];
-  for (int r = m_; r < n_; ++r) {
-    Chunk& row = out[static_cast<std::size_t>(r)];
-    for (int c = 0; c < m_; ++c) {
-      GF256::Elem f = matrix_.at(static_cast<std::size_t>(r),
-                                 static_cast<std::size_t>(c));
-      if (f == 0) continue;
-      const Chunk& src = data[static_cast<std::size_t>(c)];
-      for (std::size_t b = 0; b < len; ++b) {
-        row[b] = GF256::add(row[b], GF256::mul(f, src[b]));
-      }
-    }
-  }
+  std::vector<const std::uint8_t*> src(static_cast<std::size_t>(m_));
+  for (int c = 0; c < m_; ++c) src[static_cast<std::size_t>(c)] = data[static_cast<std::size_t>(c)].data();
+  std::vector<std::uint8_t*> parity;
+  parity.reserve(static_cast<std::size_t>(n_ - m_));
+  for (int r = m_; r < n_; ++r) parity.push_back(out[static_cast<std::size_t>(r)].data());
+  coded_muladd(matrix_, static_cast<std::size_t>(m_), src, parity, len);
   return out;
 }
 
@@ -53,26 +114,55 @@ std::vector<Chunk> ReedSolomon::encode(
   if (chunk_len == 0) chunk_len = 1;  // keep chunks non-empty
   std::vector<Chunk> split(static_cast<std::size_t>(m_),
                            Chunk(chunk_len, 0));
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    split[i / chunk_len][i % chunk_len] = data[i];
+  for (int c = 0; c < m_; ++c) {
+    const std::size_t lo =
+        std::min(static_cast<std::size_t>(c) * chunk_len, data.size());
+    const std::size_t hi =
+        std::min(lo + chunk_len, data.size());
+    if (hi > lo) {
+      std::memcpy(split[static_cast<std::size_t>(c)].data(), data.data() + lo,
+                  hi - lo);
+    }
   }
   return encode_chunks(split);
+}
+
+const GFMatrix* ReedSolomon::decode_matrix_for(
+    const std::vector<std::size_t>& rows) const {
+  PatternKey key{};
+  for (std::size_t idx : rows) key[idx / 64] |= std::uint64_t{1} << (idx % 64);
+  {
+    std::lock_guard<std::mutex> lk(cache_mu_);
+    auto it = decode_cache_.find(key);
+    if (it != decode_cache_.end()) return &it->second;
+  }
+  // Invert outside the lock (Gauss-Jordan is the expensive part); a racing
+  // duplicate computes the same matrix and the first insert wins.
+  GFMatrix inv = matrix_.select_rows(rows).inverted();
+  std::lock_guard<std::mutex> lk(cache_mu_);
+  auto it = decode_cache_.emplace(key, std::move(inv)).first;
+  return &it->second;
+}
+
+std::size_t ReedSolomon::decode_cache_size() const {
+  std::lock_guard<std::mutex> lk(cache_mu_);
+  return decode_cache_.size();
 }
 
 std::optional<std::vector<Chunk>> ReedSolomon::reconstruct(
     const std::vector<std::pair<int, Chunk>>& have) const {
   // Deduplicate indices, keep the first m.
-  std::vector<std::pair<int, const Chunk*>> rows;
+  std::vector<std::pair<std::size_t, const Chunk*>> rows;
   for (const auto& [idx, chunk] : have) {
     if (idx < 0 || idx >= n_) throw std::out_of_range("chunk index");
     bool dup = false;
     for (const auto& [i, _] : rows) {
-      if (i == idx) {
+      if (i == static_cast<std::size_t>(idx)) {
         dup = true;
         break;
       }
     }
-    if (!dup) rows.emplace_back(idx, &chunk);
+    if (!dup) rows.emplace_back(static_cast<std::size_t>(idx), &chunk);
     if (static_cast<int>(rows.size()) == m_) break;
   }
   if (static_cast<int>(rows.size()) < m_) return std::nullopt;
@@ -82,24 +172,34 @@ std::optional<std::vector<Chunk>> ReedSolomon::reconstruct(
     if (c->size() != len) throw std::invalid_argument("unequal chunk sizes");
   }
 
-  std::vector<std::size_t> idxs;
-  idxs.reserve(rows.size());
-  for (const auto& [i, _] : rows) idxs.push_back(static_cast<std::size_t>(i));
-  GFMatrix dec = matrix_.select_rows(idxs).inverted();
+  // Canonical row order for the memoized decode matrix.  Sorting permutes
+  // matrix rows and chunk rows together, which leaves the solved data
+  // unchanged (same linear system, reordered equations — GF arithmetic is
+  // exact, so bit-identical too).
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
 
   std::vector<Chunk> data(static_cast<std::size_t>(m_), Chunk(len, 0));
-  for (int r = 0; r < m_; ++r) {
-    Chunk& dst = data[static_cast<std::size_t>(r)];
-    for (int c = 0; c < m_; ++c) {
-      GF256::Elem f = dec.at(static_cast<std::size_t>(r),
-                             static_cast<std::size_t>(c));
-      if (f == 0) continue;
-      const Chunk& src = *rows[static_cast<std::size_t>(c)].second;
-      for (std::size_t b = 0; b < len; ++b) {
-        dst[b] = GF256::add(dst[b], GF256::mul(f, src[b]));
-      }
-    }
+
+  // Fast path: all m data chunks survived (sorted + distinct + < m means
+  // exactly rows 0..m-1) — the decode matrix is the identity.
+  if (rows.back().first < static_cast<std::size_t>(m_)) {
+    for (int r = 0; r < m_; ++r) data[static_cast<std::size_t>(r)] = *rows[static_cast<std::size_t>(r)].second;
+    return data;
   }
+
+  std::vector<std::size_t> idxs;
+  idxs.reserve(rows.size());
+  for (const auto& [i, _] : rows) idxs.push_back(i);
+  const GFMatrix* dec = decode_matrix_for(idxs);
+
+  std::vector<const std::uint8_t*> src;
+  src.reserve(rows.size());
+  for (const auto& [_, c] : rows) src.push_back(c->data());
+  std::vector<std::uint8_t*> dst;
+  dst.reserve(data.size());
+  for (auto& d : data) dst.push_back(d.data());
+  coded_muladd(*dec, 0, src, dst, len);
   return data;
 }
 

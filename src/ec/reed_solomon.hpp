@@ -1,4 +1,4 @@
-// Systematic Reed-Solomon erasure coding theta(m, n) (paper §5.1.2).
+// Systematic Reed-Solomon erasure coding theta(m, n) (paper §2.1, §5.1.2).
 //
 // The original object is split into m data chunks; k = n - m parity chunks
 // are generated so that *any* m of the n chunks reconstruct the data.  The
@@ -6,9 +6,25 @@
 // are the identity (systematic: the first m chunks are the data verbatim).
 // Every m-row submatrix stays invertible under that normalization, which is
 // the any-m-of-n guarantee RS-Paxos relies on.
+//
+// The byte work runs through the vectorized GF(256) region kernels
+// (gf_kernels.hpp) with cache-blocked striping — every parity/output row is
+// updated while an input block is still L1/L2-resident — and large payloads
+// shard across the nested-safe parallel_for.  Outputs are bit-identical to
+// the scalar path on every dispatch tier (GF arithmetic is exact), so coded
+// bytes never depend on the host CPU, shard count, or thread schedule.
+//
+// Decode-matrix inversions are memoized per instance, keyed by the
+// erasure-pattern bitmask: repeated degraded reads with the same surviving
+// set pay the Gauss-Jordan invert once.  `shared(m, n)` returns a
+// process-wide instance so independent callers (Paxos replicas, recovery)
+// also share encode matrices and warm decode caches.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -22,6 +38,16 @@ class ReedSolomon {
  public:
   /// theta(m, n): m data chunks, n total.  Requires 1 <= m <= n < 256.
   ReedSolomon(int m, int n);
+
+  // The decode-matrix cache owns a mutex; instances are shared by
+  // reference (see shared()), not copied.
+  ReedSolomon(const ReedSolomon&) = delete;
+  ReedSolomon& operator=(const ReedSolomon&) = delete;
+
+  /// Process-wide memoized instance for theta(m, n) — thread-safe; callers
+  /// that code with the same parameters share one encode matrix and one
+  /// decode-matrix cache instead of rebuilding both per call.
+  static const ReedSolomon& shared(int m, int n);
 
   int data_chunks() const { return m_; }
   int total_chunks() const { return n_; }
@@ -49,9 +75,26 @@ class ReedSolomon {
 
   const GFMatrix& encode_matrix() const { return matrix_; }
 
+  /// Number of memoized decode-matrix inversions (tests/benchmarks).
+  std::size_t decode_cache_size() const;
+
  private:
+  // 256-bit erasure-pattern bitmask: bit i set <=> chunk i was used.
+  using PatternKey = std::array<std::uint64_t, 4>;
+
+  /// The inverted decode matrix for the (sorted, distinct) surviving-row
+  /// set, memoized by bitmask.  The returned pointer stays valid for the
+  /// instance's lifetime (no eviction).
+  const GFMatrix* decode_matrix_for(
+      const std::vector<std::size_t>& rows) const;
+
   int m_, n_;
   GFMatrix matrix_;  // n x m, top m rows identity
+
+  mutable std::mutex cache_mu_;
+  // Ordered map: deterministic iteration, and node stability keeps the
+  // pointers decode_matrix_for hands out valid across later insertions.
+  mutable std::map<PatternKey, GFMatrix> decode_cache_;
 };
 
 }  // namespace jupiter

@@ -308,7 +308,7 @@ void Replica::become_leader() {
 
 Value Replica::make_chunk_value(const Value& full, int chunk_index) const {
   int n = static_cast<int>(config_.size());
-  ReedSolomon rs(opts_.policy.rs_m, n);
+  const ReedSolomon& rs = ReedSolomon::shared(opts_.policy.rs_m, n);
   auto chunks = rs.encode(full.payload);
   Value v;
   v.kind = full.kind;
@@ -326,7 +326,7 @@ std::optional<Value> Replica::reconstruct_from_chunks(
   if (chunks.empty()) return std::nullopt;
   int n = chunks.front().rs_n;
   if (n < opts_.policy.rs_m) return std::nullopt;
-  ReedSolomon rs(opts_.policy.rs_m, n);
+  const ReedSolomon& rs = ReedSolomon::shared(opts_.policy.rs_m, n);
   std::vector<std::pair<int, Chunk>> have;
   for (const auto& c : chunks) {
     if (c.rs_n != n) continue;  // stale mix; matching value_id implies same n

@@ -107,7 +107,9 @@ std::size_t KvStoreState::reconstruct_into(
       full_size = it->second.full_size;
     }
     if (static_cast<int>(have.size()) < rs_m || rs_n < rs_m) continue;
-    ReedSolomon rs(rs_m, rs_n);
+    // Shared instance: recovery decodes thousands of commands with the same
+    // theta and the same surviving set — reuse the memoized decode matrix.
+    const ReedSolomon& rs = ReedSolomon::shared(rs_m, rs_n);
     auto data = rs.decode(have, full_size);
     if (!data) continue;
     out.handle(KvCommand::decode(*data));

@@ -21,6 +21,28 @@ TEST(GF256, MultiplicativeIdentityAndZero) {
   }
 }
 
+// Pins the branch-free (zero-masked log lookup) rewrite of mul against an
+// independent bitwise carry-less multiply for the full 256 x 256 table.
+TEST(GF256, ExhaustiveMulMatchesBitwiseReference) {
+  auto ref_mul = [](unsigned a, unsigned b) -> E {
+    unsigned acc = 0;
+    for (int bit = 0; bit < 8; ++bit) {
+      if ((b >> bit) & 1) acc ^= a << bit;
+    }
+    for (int bit = 15; bit >= 8; --bit) {
+      if (acc & (1u << bit)) acc ^= 0x11Du << (bit - 8);
+    }
+    return static_cast<E>(acc);
+  };
+  for (unsigned a = 0; a < 256; ++a) {
+    for (unsigned b = 0; b < 256; ++b) {
+      ASSERT_EQ(GF256::mul(static_cast<E>(a), static_cast<E>(b)),
+                ref_mul(a, b))
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
 TEST(GF256, KnownProducts) {
   // 2 * 0x80 = 0x100, reduced by x^8+x^4+x^3+x^2+1 (0x11D) -> 0x1D.
   EXPECT_EQ(GF256::mul(0x02, 0x80), 0x1D);

@@ -1,0 +1,164 @@
+// Property tests for the GF(256) region-kernel layer: every dispatch tier
+// must be byte-identical to the scalar reference for every coefficient,
+// awkward lengths, misaligned buffers, and in-place use — the contract that
+// keeps coded chunks (and therefore EXPERIMENTS.md fingerprints) independent
+// of the host CPU.
+#include "ec/gf_kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "ec/cpu_dispatch.hpp"
+#include "ec/gf256.hpp"
+#include "util/rng.hpp"
+
+namespace jupiter {
+namespace {
+
+/// Bitwise carry-less multiply + 0x11D reduction: an implementation
+/// independent of both the log/exp tables and the nibble tables.
+std::uint8_t ref_mul(std::uint8_t a, std::uint8_t b) {
+  unsigned acc = 0;
+  for (int bit = 0; bit < 8; ++bit) {
+    if ((b >> bit) & 1) acc ^= static_cast<unsigned>(a) << bit;
+  }
+  for (int bit = 15; bit >= 8; --bit) {
+    if (acc & (1u << bit)) acc ^= 0x11Du << (bit - 8);
+  }
+  return static_cast<std::uint8_t>(acc);
+}
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, Rng& rng) {
+  std::vector<std::uint8_t> v(n);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.below(256));
+  return v;
+}
+
+TEST(GfKernels, ScalarAndSwarAlwaysSupported) {
+  EXPECT_TRUE(gf_tier_supported(GfTier::kScalar));
+  EXPECT_TRUE(gf_tier_supported(GfTier::kSwar));
+  EXPECT_TRUE(gf_tier_supported(gf_active_tier()));
+  for (GfTier t : gf_supported_tiers()) {
+    EXPECT_STRNE(gf_tier_name(t), "unknown");
+  }
+}
+
+TEST(GfKernels, TierOverrideRestores) {
+  GfTier before = gf_active_tier();
+  {
+    GfTierOverride ov(GfTier::kScalar);
+    EXPECT_EQ(gf_active_tier(), GfTier::kScalar);
+  }
+  EXPECT_EQ(gf_active_tier(), before);
+  EXPECT_THROW(gf_mul_region_tier(static_cast<GfTier>(99), 2, nullptr,
+                                  nullptr, 0),
+               std::invalid_argument);
+}
+
+// Every tier x every coefficient: mul and muladd match the bitwise
+// reference on a misaligned, non-multiple-of-16 region.
+TEST(GfKernels, EveryTierEveryCoefficientMatchesReference) {
+  Rng rng(0xEC01);
+  const std::size_t kLen = 131;
+  auto backing_src = random_bytes(kLen + 1, rng);
+  auto backing_acc = random_bytes(kLen + 1, rng);
+  const std::uint8_t* src = backing_src.data() + 1;  // misaligned
+  for (GfTier tier : gf_supported_tiers()) {
+    for (int c = 0; c < 256; ++c) {
+      std::vector<std::uint8_t> mul_out(kLen + 1, 0xAA);
+      gf_mul_region_tier(tier, static_cast<std::uint8_t>(c), src,
+                         mul_out.data() + 1, kLen);
+      std::vector<std::uint8_t> acc = backing_acc;
+      gf_muladd_region_tier(tier, static_cast<std::uint8_t>(c), src,
+                            acc.data() + 1, kLen);
+      for (std::size_t i = 0; i < kLen; ++i) {
+        std::uint8_t want = ref_mul(static_cast<std::uint8_t>(c), src[i]);
+        ASSERT_EQ(mul_out[i + 1], want)
+            << gf_tier_name(tier) << " c=" << c << " i=" << i;
+        ASSERT_EQ(acc[i + 1], static_cast<std::uint8_t>(backing_acc[i + 1] ^ want))
+            << gf_tier_name(tier) << " c=" << c << " i=" << i;
+      }
+      ASSERT_EQ(mul_out[0], 0xAA);  // no write before the region
+    }
+  }
+}
+
+// Odd lengths (including 0 and the 4096+3 page straddle) crossed with
+// misaligned src/dst offsets: all tiers agree with the scalar tier.
+TEST(GfKernels, OddLengthsAndMisalignedOffsets) {
+  Rng rng(0xEC02);
+  const std::size_t lengths[] = {0, 1, 15, 16, 17, 63, 64, 4096 + 3};
+  const std::size_t offsets[] = {0, 1, 3};
+  const std::uint8_t coeffs[] = {0, 1, 2, 0x53, 0x8E, 0xFF};
+  auto src_back = random_bytes(4096 + 3 + 4, rng);
+  auto acc_back = random_bytes(4096 + 3 + 4, rng);
+  for (std::size_t len : lengths) {
+    for (std::size_t soff : offsets) {
+      for (std::size_t doff : offsets) {
+        for (std::uint8_t c : coeffs) {
+          std::vector<std::uint8_t> want_mul, want_add;
+          for (GfTier tier : gf_supported_tiers()) {
+            std::vector<std::uint8_t> mul_out(len + doff + 1, 0x55);
+            gf_mul_region_tier(tier, c, src_back.data() + soff,
+                               mul_out.data() + doff, len);
+            std::vector<std::uint8_t> add_out(acc_back.begin(),
+                                              acc_back.begin() +
+                                                  static_cast<std::ptrdiff_t>(
+                                                      len + doff + 1));
+            gf_muladd_region_tier(tier, c, src_back.data() + soff,
+                                  add_out.data() + doff, len);
+            if (tier == GfTier::kScalar) {
+              want_mul = mul_out;
+              want_add = add_out;
+            } else {
+              ASSERT_EQ(mul_out, want_mul)
+                  << gf_tier_name(tier) << " len=" << len << " soff=" << soff
+                  << " doff=" << doff << " c=" << int(c);
+              ASSERT_EQ(add_out, want_add)
+                  << gf_tier_name(tier) << " len=" << len << " soff=" << soff
+                  << " doff=" << doff << " c=" << int(c);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// The dispatched wrappers (with their c == 0 / c == 1 shortcuts) match the
+// reference too, including in-place multiplication.
+TEST(GfKernels, DispatchedWrappersMatchReference) {
+  Rng rng(0xEC03);
+  auto src = random_bytes(777, rng);
+  for (std::uint8_t c : {0, 1, 2, 0xCA}) {
+    std::vector<std::uint8_t> out(src.size(), 0x11);
+    gf_mul_region(c, src.data(), out.data(), src.size());
+    auto acc = random_bytes(src.size(), rng);
+    auto acc_before = acc;
+    gf_muladd_region(c, src.data(), acc.data(), src.size());
+    std::vector<std::uint8_t> inplace = src;
+    gf_mul_region(c, inplace.data(), inplace.data(), inplace.size());
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      std::uint8_t want = ref_mul(c, src[i]);
+      ASSERT_EQ(out[i], want) << "c=" << int(c) << " i=" << i;
+      ASSERT_EQ(acc[i], static_cast<std::uint8_t>(acc_before[i] ^ want));
+      ASSERT_EQ(inplace[i], want);
+    }
+  }
+}
+
+TEST(GfKernels, XorRegionMatchesByteXor) {
+  Rng rng(0xEC04);
+  auto a = random_bytes(1027, rng);
+  auto b = random_bytes(1027, rng);
+  auto dst = b;
+  gf_xor_region(a.data(), dst.data(), a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(dst[i], static_cast<std::uint8_t>(a[i] ^ b[i]));
+  }
+}
+
+}  // namespace
+}  // namespace jupiter

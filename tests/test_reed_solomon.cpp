@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "ec/cpu_dispatch.hpp"
 #include "util/rng.hpp"
 
 namespace jupiter {
@@ -123,6 +124,91 @@ TEST(ReedSolomon, TrivialCodes) {
                            data.size());
   ASSERT_TRUE(out.has_value());
   EXPECT_EQ(*out, data);
+}
+
+// Encode -> erase -> decode round-trip over *every* erasure pattern of
+// theta(3, 5) (all surviving subsets of size >= m), on every dispatch tier.
+// The payload crosses the parallel-shard threshold so the sharded path is
+// exercised too; chunks must be bit-identical across tiers.
+TEST(ReedSolomon, EveryErasurePatternEveryTier) {
+  ReedSolomon rs(3, 5);
+  Rng rng(6);
+  auto data = random_data(900 * 1024 + 7, rng);  // > 2 shards per chunk
+  std::vector<std::vector<Chunk>> per_tier;
+  for (GfTier tier : gf_supported_tiers()) {
+    GfTierOverride ov(tier);
+    per_tier.push_back(rs.encode(data));
+    ASSERT_EQ(per_tier.back(), per_tier.front())
+        << "encode differs on tier " << gf_tier_name(tier);
+  }
+  const auto& chunks = per_tier.front();
+  for (int pattern = 0; pattern < (1 << 5); ++pattern) {
+    if (__builtin_popcount(static_cast<unsigned>(pattern)) < 3) continue;
+    std::vector<std::pair<int, Chunk>> have;
+    for (int i = 0; i < 5; ++i) {
+      if (pattern & (1 << i)) have.emplace_back(i, chunks[static_cast<std::size_t>(i)]);
+    }
+    std::optional<std::vector<std::uint8_t>> first;
+    for (GfTier tier : gf_supported_tiers()) {
+      GfTierOverride ov(tier);
+      auto out = rs.decode(have, data.size());
+      ASSERT_TRUE(out.has_value()) << "pattern " << pattern;
+      ASSERT_EQ(*out, data)
+          << "pattern " << pattern << " tier " << gf_tier_name(tier);
+      if (!first) first = out;
+      ASSERT_EQ(*out, *first);
+    }
+  }
+}
+
+// Repeated degraded reads with the same surviving set must invert the
+// decode matrix once (memoized by erasure-pattern bitmask); the pure-data
+// fast path must not populate the cache at all.
+TEST(ReedSolomon, DecodeMatrixMemoized) {
+  ReedSolomon rs(3, 5);
+  Rng rng(7);
+  auto data = random_data(333, rng);
+  auto chunks = rs.encode(data);
+  EXPECT_EQ(rs.decode_cache_size(), 0u);
+
+  auto all_data = rs.decode({{0, chunks[0]}, {1, chunks[1]}, {2, chunks[2]}},
+                            data.size());
+  ASSERT_TRUE(all_data.has_value());
+  EXPECT_EQ(*all_data, data);
+  EXPECT_EQ(rs.decode_cache_size(), 0u);  // identity fast path, no invert
+
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    auto out = rs.decode({{1, chunks[1]}, {3, chunks[3]}, {4, chunks[4]}},
+                         data.size());
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, data);
+    EXPECT_EQ(rs.decode_cache_size(), 1u);
+  }
+  // Supplying the same survivors in a different order hits the same entry.
+  auto out = rs.decode({{4, chunks[4]}, {1, chunks[1]}, {3, chunks[3]}},
+                       data.size());
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, data);
+  EXPECT_EQ(rs.decode_cache_size(), 1u);
+  // A different erasure pattern adds a second entry.
+  auto out2 = rs.decode({{0, chunks[0]}, {2, chunks[2]}, {4, chunks[4]}},
+                        data.size());
+  ASSERT_TRUE(out2.has_value());
+  EXPECT_EQ(*out2, data);
+  EXPECT_EQ(rs.decode_cache_size(), 2u);
+}
+
+TEST(ReedSolomon, SharedInstancesAreMemoized) {
+  const ReedSolomon& a = ReedSolomon::shared(3, 5);
+  const ReedSolomon& b = ReedSolomon::shared(3, 5);
+  const ReedSolomon& c = ReedSolomon::shared(2, 3);
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(static_cast<const void*>(&a), static_cast<const void*>(&c));
+  // Shared and fresh instances code identically.
+  ReedSolomon fresh(3, 5);
+  Rng rng(8);
+  auto data = random_data(512, rng);
+  EXPECT_EQ(a.encode(data), fresh.encode(data));
 }
 
 struct RsCase {
