@@ -234,7 +234,10 @@ ChaosReport ChaosRunner::run_schedule(const std::vector<FaultEvent>& schedule) {
 
     auto tick = std::make_shared<std::function<void()>>();
     auto round = std::make_shared<int>(0);
-    *tick = [&, session, period, hold, tick, round] {
+    // Weak self-reference: the scheduled re-arm event owns the strong ref,
+    // so the chain frees itself past work_end instead of cycling forever.
+    std::weak_ptr<std::function<void()>> wtick = tick;
+    *tick = [&, session, period, hold, wtick, round] {
       if (sim.now() >= work_end) return;
       // Odd rounds touch a private path (log volume and per-node variety);
       // even rounds fight over the contended path the oracle watches.
@@ -251,7 +254,10 @@ ChaosReport ChaosRunner::run_schedule(const std::vector<FaultEvent>& schedule) {
         lock::LockResponse resp = lock::LockResponse::decode(bytes);
         if (resp.status != lock::LockStatus::kOk) return;
         if (contended) mutex_oracle.on_acquire_ok(sim.now(), session, path);
-        sim.schedule_after(hold, [&, session, path, contended] {
+        // Two owned strings overflow the inline-callback capacity; the
+        // release timer is rare (one per grant), so box it.
+        sim.schedule_after(hold, Simulator::Callback::boxed(
+                                     [&, session, path, contended] {
           if (contended) mutex_oracle.on_release_sent(sim.now(), session, path);
           lock::LockCommand rel;
           rel.op = lock::LockOp::kRelease;
@@ -265,9 +271,9 @@ ChaosReport ChaosRunner::run_schedule(const std::vector<FaultEvent>& schedule) {
               mutex_oracle.on_release_done(session, path);
             }
           });
-        });
+        }));
       });
-      sim.schedule_after(period, [tick] { (*tick)(); });
+      if (auto t = wtick.lock()) sim.schedule_after(period, [t] { (*t)(); });
     };
     sim.schedule_at(start_at + 30, [tick] { (*tick)(); });
   }
@@ -279,10 +285,11 @@ ChaosReport ChaosRunner::run_schedule(const std::vector<FaultEvent>& schedule) {
 
   // ---- periodic invariant polling ----
   auto poll = std::make_shared<std::function<void()>>();
-  *poll = [&, poll] {
+  std::weak_ptr<std::function<void()>> wpoll = poll;
+  *poll = [&, wpoll] {
     registry.check_all(sim.now());
     if (sim.now() + 600 <= SimTime(opts_.horizon)) {
-      sim.schedule_after(600, [poll] { (*poll)(); });
+      if (auto p = wpoll.lock()) sim.schedule_after(600, [p] { (*p)(); });
     }
   };
   sim.schedule_at(SimTime(300), [poll] { (*poll)(); });

@@ -129,11 +129,13 @@ void FaultInjector::set_zone_of(std::map<paxos::NodeId, int> zone_of) {
 }
 
 void FaultInjector::apply(const std::vector<FaultEvent>& schedule) {
-  for (const FaultEvent& ev : schedule) {
+  applied_ = schedule;
+  for (std::size_t i = 0; i < applied_.size(); ++i) {
+    const FaultEvent& ev = applied_[i];
     SimTime at = std::max(ev.at, sim_.now());
-    sim_.schedule_at(at, [this, ev] { inject(ev); });
+    sim_.schedule_at(at, [this, i] { inject(applied_[i]); });
     sim_.schedule_at(at + std::max<TimeDelta>(1, ev.duration),
-                     [this, ev] { heal(ev); });
+                     [this, i] { heal(applied_[i]); });
   }
 }
 

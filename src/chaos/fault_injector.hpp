@@ -111,6 +111,10 @@ class FaultInjector {
   double dup_prob_ = 0.0;
   int injected_ = 0;
   int healed_ = 0;
+  // The applied schedule, owned here so the inject/heal timer closures can
+  // capture a slot index (a FaultEvent by value would overflow the inline
+  // callback capacity).
+  std::vector<FaultEvent> applied_;
 };
 
 }  // namespace jupiter::chaos

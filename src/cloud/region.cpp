@@ -1,7 +1,8 @@
 #include "cloud/region.hpp"
 
 #include <stdexcept>
-#include <unordered_map>
+
+#include "util/interner.hpp"
 
 namespace jupiter {
 
@@ -58,16 +59,15 @@ const std::vector<int>& experiment_zone_indices() {
 }
 
 int zone_index_by_name(const std::string& name) {
-  static const std::unordered_map<std::string, int> kByName = [] {
-    std::unordered_map<std::string, int> m;
-    const auto& zones = all_zones();
-    for (int i = 0; i < static_cast<int>(zones.size()); ++i) {
-      m.emplace(zones[static_cast<std::size_t>(i)].name, i);
-    }
-    return m;
+  // Zone names are interned in all_zones() order, so the dense interner id
+  // IS the flattened zone index — one hash probe, no per-call allocation.
+  static const Interner& kByName = []() -> const Interner& {
+    static Interner interner;
+    for (const ZoneInfo& z : all_zones()) interner.intern(z.name);
+    return interner;
   }();
-  auto it = kByName.find(name);
-  return it == kByName.end() ? -1 : it->second;
+  Interner::Id id = kByName.lookup(name);
+  return id == Interner::kNone ? -1 : static_cast<int>(id);
 }
 
 std::vector<int> zones_in_region(int region) {

@@ -43,7 +43,7 @@ LockResponse LockResponse::decode(const std::vector<std::uint8_t>& bytes) {
 void LockServiceState::expire_sessions(std::int64_t now) {
   for (auto it = sessions_.begin(); it != sessions_.end();) {
     if (it->second.expires <= now) {
-      for (const auto& path : it->second.held) {
+      for (Interner::Id path : it->second.held) {
         auto lk = locks_.find(path);
         if (lk != locks_.end() && lk->second == it->first) locks_.erase(lk);
       }
@@ -56,15 +56,18 @@ void LockServiceState::expire_sessions(std::int64_t now) {
 
 LockResponse LockServiceState::handle(const LockCommand& cmd) {
   expire_sessions(cmd.now);
+  // Interning is the only string work per command; everything below is
+  // integer-keyed.  kGetOwner on a never-seen path must not mint an id, so
+  // it uses lookup() instead.
   LockResponse resp;
   switch (cmd.op) {
     case LockOp::kOpenSession: {
-      Session& s = sessions_[cmd.session];
+      Session& s = sessions_[names_.intern(cmd.session)];
       s.expires = cmd.now + cmd.lease;
       break;
     }
     case LockOp::kKeepAlive: {
-      auto it = sessions_.find(cmd.session);
+      auto it = sessions_.find(names_.lookup(cmd.session));
       if (it == sessions_.end()) {
         resp.status = LockStatus::kNoSession;
       } else {
@@ -73,11 +76,12 @@ LockResponse LockServiceState::handle(const LockCommand& cmd) {
       break;
     }
     case LockOp::kCloseSession: {
-      auto it = sessions_.find(cmd.session);
+      Interner::Id session = names_.lookup(cmd.session);
+      auto it = sessions_.find(session);
       if (it != sessions_.end()) {
-        for (const auto& path : it->second.held) {
+        for (Interner::Id path : it->second.held) {
           auto lk = locks_.find(path);
-          if (lk != locks_.end() && lk->second == cmd.session) locks_.erase(lk);
+          if (lk != locks_.end() && lk->second == session) locks_.erase(lk);
         }
         sessions_.erase(it);
       }
@@ -85,44 +89,48 @@ LockResponse LockServiceState::handle(const LockCommand& cmd) {
     }
     case LockOp::kAcquire:
     case LockOp::kTryAcquire: {
-      auto sess = sessions_.find(cmd.session);
+      Interner::Id session = names_.lookup(cmd.session);
+      auto sess = sessions_.find(session);
       if (sess == sessions_.end()) {
         resp.status = LockStatus::kNoSession;
         break;
       }
-      auto lk = locks_.find(cmd.path);
+      Interner::Id path = names_.intern(cmd.path);
+      auto lk = locks_.find(path);
       if (lk == locks_.end()) {
-        locks_[cmd.path] = cmd.session;
-        sess->second.held.push_back(cmd.path);
-      } else if (lk->second == cmd.session) {
+        locks_[path] = session;
+        sess->second.held.push_back(path);
+      } else if (lk->second == session) {
         // Re-acquire by the owner is a no-op success (advisory lock).
       } else {
         resp.status = LockStatus::kHeldByOther;
-        resp.owner = lk->second;
+        resp.owner = names_.str(lk->second);
       }
       break;
     }
     case LockOp::kRelease: {
-      auto lk = locks_.find(cmd.path);
-      if (lk == locks_.end() || lk->second != cmd.session) {
+      Interner::Id path = names_.lookup(cmd.path);
+      Interner::Id session = names_.lookup(cmd.session);
+      auto lk = locks_.find(path);
+      if (path == Interner::kNone || lk == locks_.end() ||
+          lk->second != session || session == Interner::kNone) {
         resp.status = LockStatus::kNotHeld;
         break;
       }
       locks_.erase(lk);
-      auto sess = sessions_.find(cmd.session);
+      auto sess = sessions_.find(session);
       if (sess != sessions_.end()) {
         auto& held = sess->second.held;
-        held.erase(std::remove(held.begin(), held.end(), cmd.path),
-                   held.end());
+        held.erase(std::remove(held.begin(), held.end(), path), held.end());
       }
       break;
     }
     case LockOp::kGetOwner: {
-      auto lk = locks_.find(cmd.path);
+      auto lk = locks_.find(names_.lookup(cmd.path));
       if (lk == locks_.end()) {
         resp.status = LockStatus::kNotHeld;
       } else {
-        resp.owner = lk->second;
+        resp.owner = names_.str(lk->second);
       }
       break;
     }
@@ -137,9 +145,9 @@ std::vector<std::uint8_t> LockServiceState::apply(
 
 std::optional<std::string> LockServiceState::owner_of(
     const std::string& path) const {
-  auto it = locks_.find(path);
+  auto it = locks_.find(names_.lookup(path));
   if (it == locks_.end()) return std::nullopt;
-  return it->second;
+  return names_.str(it->second);
 }
 
 std::size_t LockServiceState::held_locks() const { return locks_.size(); }
@@ -160,15 +168,27 @@ std::uint64_t LockServiceState::state_digest() const {
       mix_byte(static_cast<std::uint8_t>(static_cast<std::uint64_t>(v) >> (8 * i)));
     }
   };
-  for (const auto& [name, session] : sessions_) {
-    mix_str(name);
-    mix_i64(session.expires);
-    for (const auto& path : session.held) mix_str(path);
+  // The tables iterate in id (first-use) order; the historical digest walked
+  // string-keyed std::maps, so re-sort by string to keep the byte stream —
+  // and every recorded fingerprint — unchanged.
+  auto by_string = [this](const auto& table) {
+    std::vector<typename std::decay_t<decltype(table)>::const_iterator> order;
+    order.reserve(table.size());
+    for (auto it = table.begin(); it != table.end(); ++it) order.push_back(it);
+    std::sort(order.begin(), order.end(), [this](const auto& a, const auto& b) {
+      return names_.str(a->first) < names_.str(b->first);
+    });
+    return order;
+  };
+  for (const auto& it : by_string(sessions_)) {
+    mix_str(names_.str(it->first));
+    mix_i64(it->second.expires);
+    for (Interner::Id path : it->second.held) mix_str(names_.str(path));
   }
   mix_byte(0xFF);
-  for (const auto& [path, owner] : locks_) {
-    mix_str(path);
-    mix_str(owner);
+  for (const auto& it : by_string(locks_)) {
+    mix_str(names_.str(it->first));
+    mix_str(names_.str(it->second));
   }
   return h;
 }
@@ -233,13 +253,19 @@ void LockClient::acquire_blocking(const std::string& path, Callback cb,
                                   TimeDelta deadline) {
   SimTime give_up = sim_.now() + deadline;
   auto attempt = std::make_shared<std::function<void()>>();
-  *attempt = [this, path, cb, give_up, attempt] {
-    acquire(path, [this, path, cb, give_up, attempt](LockResponse r) {
+  // Weak self-reference: the in-flight acquire callback and retry events
+  // carry the strong refs, so the chain frees itself when it settles (a
+  // strong self-capture is a shared_ptr cycle and leaks every call).
+  std::weak_ptr<std::function<void()>> self = attempt;
+  *attempt = [this, path, cb, give_up, self] {
+    auto live = self.lock();  // the invoking continuation keeps us alive
+    if (!live) return;
+    acquire(path, [this, path, cb, give_up, live](LockResponse r) {
       if (r.status == LockStatus::kOk || sim_.now() >= give_up) {
         if (cb) cb(r);
         return;
       }
-      sim_.schedule_after(5, [attempt] { (*attempt)(); });
+      sim_.schedule_after(5, [live] { (*live)(); });
     });
   };
   (*attempt)();

@@ -20,6 +20,7 @@
 #include "paxos/group.hpp"
 #include "paxos/replica.hpp"
 #include "util/bytes.hpp"
+#include "util/interner.hpp"
 
 namespace jupiter::lock {
 
@@ -80,14 +81,20 @@ class LockServiceState : public paxos::StateMachine {
  private:
   struct Session {
     std::int64_t expires = 0;
-    std::vector<std::string> held;
+    std::vector<Interner::Id> held;  // path ids, acquisition order
   };
 
   void expire_sessions(std::int64_t now);
   LockResponse handle(const LockCommand& cmd);
 
-  std::map<std::string, Session> sessions_;
-  std::map<std::string, std::string> locks_;  // path -> session
+  // Session names and lock paths share one interner; the tables key on the
+  // dense ids, so a command replays as two integer-map probes instead of
+  // string hashing.  std::map keyed on ids keeps iteration deterministic
+  // (first-use order) without touching strings; state_digest() re-sorts by
+  // string to stay bit-identical with the historical string-keyed digest.
+  Interner names_;
+  std::map<Interner::Id, Session> sessions_;
+  std::map<Interner::Id, Interner::Id> locks_;  // path id -> session id
 };
 
 /// Client library: wraps a Paxos group with the Chubby-style RPC surface.

@@ -58,8 +58,15 @@ void Group::submit(std::vector<std::uint8_t> command, Replica::Callback cb,
   auto attempt = std::make_shared<std::function<void()>>();
   auto cmd = std::make_shared<std::vector<std::uint8_t>>(std::move(command));
   auto done = std::make_shared<bool>(false);
-  *attempt = [this, cmd, cb, give_up, attempt, done] {
+  // The stored lambda holds only a weak self-reference; every pending
+  // continuation (retry event, replica callback) re-acquires a strong ref.
+  // A strong self-capture would be a shared_ptr cycle: one leaked retry
+  // closure per submission, forever.
+  std::weak_ptr<std::function<void()>> self = attempt;
+  *attempt = [this, cmd, cb, give_up, self, done] {
     if (*done) return;
+    auto live = self.lock();  // the invoking continuation keeps us alive
+    if (!live) return;
     if (sim_.now() >= give_up) {
       *done = true;
       if (cb) cb(false, {});
@@ -67,17 +74,17 @@ void Group::submit(std::vector<std::uint8_t> command, Replica::Callback cb,
     }
     NodeId lead = leader_id();
     if (lead < 0) {
-      sim_.schedule_after(2, [attempt] { (*attempt)(); });
+      sim_.schedule_after(2, [live] { (*live)(); });
       return;
     }
-    replica(lead).submit(*cmd, [this, cb, attempt, done](
+    replica(lead).submit(*cmd, [this, cb, live, done](
                                    bool ok, const std::vector<std::uint8_t>& r) {
       if (*done) return;
       if (ok) {
         *done = true;
         if (cb) cb(true, r);
       } else {
-        sim_.schedule_after(2, [attempt] { (*attempt)(); });
+        sim_.schedule_after(2, [live] { (*live)(); });
       }
     });
   };

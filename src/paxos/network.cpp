@@ -9,41 +9,75 @@ namespace jupiter::paxos {
 
 namespace {
 
-/// Per-link drop accounting.  Cluster sizes are single-digit, so the label
-/// cardinality (one series per ordered pair) stays tiny.
-void record_drop(NodeId from, NodeId to, const char* reason) {
-  if (obs::Registry* reg = obs::metrics()) {
-    reg->counter("paxos.messages_dropped", {{"from", std::to_string(from)},
-                                            {"to", std::to_string(to)},
-                                            {"reason", reason}})
-        .inc();
+const char* drop_reason_name(int reason) {
+  switch (reason) {
+    case 0: return "sender_down_or_cut";
+    case 1: return "random";
+    case 2: return "fault_hook";
+    case 3: return "receiver_down_or_cut";
+    case 4: return "no_handler";
   }
+  return "?";
 }
 
 }  // namespace
 
+SimNetwork::LinkStats& SimNetwork::link_stats(NodeId from, NodeId to,
+                                              obs::Registry* reg) {
+  if (reg != stats_reg_) {
+    // A different registry was installed (new run); every cached pointer is
+    // stale.
+    link_stats_.clear();
+    delivered_counter_ = nullptr;
+    stats_reg_ = reg;
+  }
+  // Counters materialize lazily — a series must not exist in the registry
+  // (and hence in snapshots) until the first event it would count, exactly
+  // as when the labels were rebuilt per message.
+  LinkStats& ls = link_stats_[{from, to}];
+  if (ls.sent == nullptr) {
+    ls.sent = &reg->counter("paxos.messages_sent", {{"from", std::to_string(from)},
+                                                    {"to", std::to_string(to)}});
+  }
+  return ls;
+}
+
+/// Per-link drop accounting.  Cluster sizes are single-digit, so the label
+/// cardinality (one series per ordered pair) stays tiny.
+void SimNetwork::record_drop(NodeId from, NodeId to, DropReason reason) {
+  if (obs::Registry* reg = obs::metrics()) {
+    LinkStats& ls = link_stats(from, to, reg);
+    if (ls.drops[reason] == nullptr) {
+      ls.drops[reason] = &reg->counter(
+          "paxos.messages_dropped",
+          {{"from", std::to_string(from)},
+           {"to", std::to_string(to)},
+           {"reason", drop_reason_name(reason)}});
+    }
+    ls.drops[reason]->inc();
+  }
+}
+
 void SimNetwork::send(NodeId to, const Message& msg) {
   ++sent_;
   if (obs::Registry* reg = obs::metrics()) {
-    reg->counter("paxos.messages_sent", {{"from", std::to_string(msg.from)},
-                                         {"to", std::to_string(to)}})
-        .inc();
+    link_stats(msg.from, to, reg).sent->inc();
   }
   if (!is_up(msg.from) || link_cut(msg.from, to)) {
     ++dropped_;
-    record_drop(msg.from, to, "sender_down_or_cut");
+    record_drop(msg.from, to, kDropSenderDownOrCut);
     return;
   }
   if (opts_.drop_rate > 0 && rng_.bernoulli(opts_.drop_rate)) {
     ++dropped_;
-    record_drop(msg.from, to, "random");
+    record_drop(msg.from, to, kDropRandom);
     return;
   }
   FaultAction act;
   if (fault_hook_) act = fault_hook_(msg.from, to, msg);
   if (act.drop) {
     ++dropped_;
-    record_drop(msg.from, to, "fault_hook");
+    record_drop(msg.from, to, kDropFaultHook);
     return;
   }
 
@@ -63,24 +97,36 @@ void SimNetwork::send(NodeId to, const Message& msg) {
     // re-checked at delivery time (either may have changed in flight).
     NodeId from = msg.from;
     Message copy = msg;
-    sim_.schedule_after(latency, [this, from, to, copy = std::move(copy)] {
+    // The in-flight Message exceeds the inline-callback capacity, so this
+    // closure is boxed: one explicit allocation per send, alongside the
+    // payload copies the Message itself already makes.
+    sim_.schedule_after(latency, Simulator::Callback::boxed(
+                                     [this, from, to, copy = std::move(copy)] {
       if (!is_up(to) || link_cut(from, to)) {
         ++dropped_;
-        record_drop(from, to, "receiver_down_or_cut");
+        record_drop(from, to, kDropReceiverDownOrCut);
         return;
       }
-      auto it = handlers_.find(to);
-      if (it == handlers_.end()) {
+      const Handler* handler =
+          in_range(handlers_, to) ? &handlers_[static_cast<std::size_t>(to)]
+                                  : nullptr;
+      if (handler == nullptr || !*handler) {
         ++dropped_;
-        record_drop(from, to, "no_handler");
+        record_drop(from, to, kDropNoHandler);
         return;
       }
       ++delivered_;
       if (obs::Registry* reg = obs::metrics()) {
-        reg->counter("paxos.messages_delivered").inc();
+        if (reg != stats_reg_ || delivered_counter_ == nullptr) {
+          // Reuse the cache-invalidation path, then pin the unlabelled
+          // delivery counter.
+          link_stats(from, to, reg);
+          delivered_counter_ = &reg->counter("paxos.messages_delivered");
+        }
+        delivered_counter_->inc();
       }
-      it->second(copy);
-    });
+      (*handler)(copy);
+    }));
   }
 }
 

@@ -20,11 +20,14 @@
 // and replays are unaffected.
 #pragma once
 
+#include <cstddef>
 #include <functional>
+#include <map>
 #include <set>
-#include <unordered_map>
 #include <utility>
+#include <vector>
 
+#include "obs/metrics.hpp"
 #include "paxos/types.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
@@ -56,15 +59,18 @@ class SimNetwork {
       : SimNetwork(sim, seed, Options{}) {}
 
   /// Registers (or replaces) a node's delivery handler.
-  void attach(NodeId id, Handler handler) { handlers_[id] = std::move(handler); }
-  void detach(NodeId id) { handlers_.erase(id); }
+  void attach(NodeId id, Handler handler) {
+    slot(handlers_, id) = std::move(handler);
+  }
+  void detach(NodeId id) {
+    if (in_range(handlers_, id)) handlers_[static_cast<std::size_t>(id)] = nullptr;
+  }
 
   /// Marks a node reachable/unreachable (down nodes neither send nor
   /// receive).
-  void set_up(NodeId id, bool up) { down_[id] = !up; }
+  void set_up(NodeId id, bool up) { slot(down_, id) = !up; }
   bool is_up(NodeId id) const {
-    auto it = down_.find(id);
-    return it == down_.end() || !it->second;
+    return !in_range(down_, id) || !down_[static_cast<std::size_t>(id)];
   }
 
   // ---- per-link partitions ----
@@ -97,17 +103,51 @@ class SimNetwork {
   std::uint64_t value_bytes_sent() const { return value_bytes_; }
 
  private:
+  enum DropReason {
+    kDropSenderDownOrCut = 0,
+    kDropRandom,
+    kDropFaultHook,
+    kDropReceiverDownOrCut,
+    kDropNoHandler,
+    kDropReasonCount,
+  };
+
+  /// Cached metric handles for one ordered link: the registry keeps metrics
+  /// behind stable pointers, so the label strings ("from"/"to" rendered with
+  /// std::to_string) are built once per link instead of once per message.
+  struct LinkStats {
+    obs::Counter* sent = nullptr;
+    obs::Counter* drops[kDropReasonCount] = {};
+  };
+
+  template <class V>
+  static bool in_range(const V& v, NodeId id) {
+    return id >= 0 && static_cast<std::size_t>(id) < v.size();
+  }
+  template <class V>
+  static typename V::reference slot(V& v, NodeId id) {
+    if (!in_range(v, id)) v.resize(static_cast<std::size_t>(id) + 1);
+    return v[static_cast<std::size_t>(id)];
+  }
+
+  LinkStats& link_stats(NodeId from, NodeId to, obs::Registry* reg);
+  void record_drop(NodeId from, NodeId to, DropReason reason);
+
   Simulator& sim_;
   Rng rng_;
   Options opts_;
-  // Audited for determinism (detlint hash-iteration): both maps are
-  // lookup-only — dispatch is always handlers_.find(to) for a specific
-  // destination; neither is ever iterated, so hash order cannot influence
-  // message delivery order.
-  std::unordered_map<NodeId, Handler> handlers_;
-  std::unordered_map<NodeId, bool> down_;
+  // Node ids are dense (0..n-1 for single-digit n), so handler dispatch and
+  // liveness are plain vector indexing — no hashing per message.
+  std::vector<Handler> handlers_;
+  std::vector<bool> down_;
   std::set<std::pair<NodeId, NodeId>> cut_links_;
   FaultHook fault_hook_;
+  // Counter cache, invalidated when the installed registry changes (each
+  // chaos run installs a fresh one).  std::map iteration order is
+  // deterministic, though nothing iterates it today.
+  std::map<std::pair<NodeId, NodeId>, LinkStats> link_stats_;
+  obs::Registry* stats_reg_ = nullptr;
+  obs::Counter* delivered_counter_ = nullptr;
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;

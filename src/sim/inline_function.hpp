@@ -1,0 +1,149 @@
+// Small-buffer, allocation-free callable — the event loop's replacement for
+// std::function.
+//
+// Every event the simulator dispatches used to carry a std::function<void()>,
+// whose heap allocation (any capture past the ~16-byte SSO) dominated the
+// event loop long before the actual work did.  InlineFunction stores its
+// callable inline in a fixed 48-byte buffer and REJECTS larger captures at
+// compile time: the constructor is constrained on sizeof(F), so an oversized
+// lambda fails overload resolution with the constraint named in the error,
+// and `!std::is_constructible_v<...>` is testable (the static_assert fixture
+// in tests/test_sim_core.cpp pins both directions).
+//
+// A call site that genuinely needs a big capture (the paxos network's
+// message-delivery closure carries the whole Message) opts into one explicit
+// heap allocation with InlineFunction::boxed(f) — the box is a unique_ptr
+// whose 8-byte handle then fits inline.  Boxed constructions are counted in
+// a process-wide counter so the sim-core bench can assert the steady-state
+// replay loop performs zero of them.
+//
+// Move-only (captures may own resources; the event arena moves records when
+// the slab grows), destroys the capture exactly once, and never allocates on
+// construction, move, call, or destruction.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace jupiter {
+
+namespace inline_fn_detail {
+/// Process-wide count of boxed() constructions — the explicit allocations
+/// the capacity limit forced into the open.  Read by the sim-core bench.
+inline std::atomic<std::uint64_t> boxed_constructions{0};
+}  // namespace inline_fn_detail
+
+inline std::uint64_t inline_function_boxed_count() {
+  return inline_fn_detail::boxed_constructions.load(std::memory_order_relaxed);
+}
+
+template <typename Signature>
+class InlineFunction;  // primary template left undefined
+
+template <typename R, typename... Args>
+class InlineFunction<R(Args...)> {
+ public:
+  /// Inline storage, sized so an EventSlot stays within one cache-line pair:
+  /// six pointers of capture (e.g. [this, id, at, three more words]) covers
+  /// every hot scheduling site in the tree.
+  static constexpr std::size_t kCapacity = 48;
+  static constexpr std::size_t kAlign = alignof(std::max_align_t);
+
+  template <typename F>
+  static constexpr bool fits =
+      sizeof(std::decay_t<F>) <= kCapacity &&
+      alignof(std::decay_t<F>) <= kAlign;
+
+  InlineFunction() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, InlineFunction> &&
+             std::is_invocable_r_v<R, std::decay_t<F>&, Args...> &&
+             fits<F>)
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+    vt_ = &vtable_for<Fn>;
+  }
+
+  /// Escape hatch for captures larger than kCapacity: one explicit heap
+  /// allocation, counted, after which the unique_ptr handle fits inline.
+  template <typename F>
+    requires(std::is_invocable_r_v<R, std::decay_t<F>&, Args...>)
+  static InlineFunction boxed(F&& f) {
+    using Fn = std::decay_t<F>;
+    inline_fn_detail::boxed_constructions.fetch_add(1,
+                                                    std::memory_order_relaxed);
+    auto box = std::make_unique<Fn>(std::forward<F>(f));
+    return InlineFunction(
+        [p = std::move(box)](Args... args) -> R {
+          return (*p)(std::forward<Args>(args)...);
+        });
+  }
+
+  InlineFunction(InlineFunction&& o) noexcept { move_from(o); }
+  InlineFunction& operator=(InlineFunction&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  R operator()(Args... args) {
+    return vt_->invoke(buf_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return vt_ != nullptr; }
+
+  /// Destroys the stored callable (exactly once); empty afterwards.
+  void reset() {
+    if (vt_) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    R (*invoke)(void*, Args&&...);
+    void (*relocate)(void* dst, void* src);  // move-construct dst, destroy src
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr VTable vtable_for{
+      [](void* p, Args&&... args) -> R {
+        return (*static_cast<Fn*>(p))(std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) {
+        Fn* s = static_cast<Fn*>(src);
+        ::new (dst) Fn(std::move(*s));
+        s->~Fn();
+      },
+      [](void* p) { static_cast<Fn*>(p)->~Fn(); },
+  };
+
+  void move_from(InlineFunction& o) noexcept {
+    vt_ = o.vt_;
+    if (vt_) {
+      vt_->relocate(buf_, o.buf_);
+      o.vt_ = nullptr;
+    }
+  }
+
+  alignas(kAlign) unsigned char buf_[kCapacity];
+  const VTable* vt_ = nullptr;
+};
+
+}  // namespace jupiter

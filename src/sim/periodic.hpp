@@ -2,19 +2,20 @@
 // heartbeats).  Owns its rescheduling; cancelling stops the chain.
 #pragma once
 
-#include <functional>
-#include <memory>
-
+#include "sim/inline_function.hpp"
 #include "sim/simulator.hpp"
 
 namespace jupiter {
 
 class PeriodicTask {
  public:
+  /// The tick callback; inline storage only (sim/inline_function.hpp), so a
+  /// large capture must be boxed explicitly by the caller.
+  using TickFn = InlineFunction<void(SimTime)>;
+
   /// Fires `cb` every `period` seconds starting at `first_at`.
   /// The callback receives the firing time.
-  PeriodicTask(Simulator& sim, SimTime first_at, TimeDelta period,
-               std::function<void(SimTime)> cb)
+  PeriodicTask(Simulator& sim, SimTime first_at, TimeDelta period, TickFn cb)
       : sim_(sim), period_(period), cb_(std::move(cb)) {
     handle_ = sim_.schedule_at(first_at, [this] { fire(); });
   }
@@ -43,7 +44,7 @@ class PeriodicTask {
 
   Simulator& sim_;
   TimeDelta period_;
-  std::function<void(SimTime)> cb_;
+  TickFn cb_;
   EventHandle handle_;
   bool stopped_ = false;
 };

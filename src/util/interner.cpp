@@ -1,0 +1,19 @@
+#include "util/interner.hpp"
+
+namespace jupiter {
+
+Interner::Id Interner::intern(std::string_view s) {
+  auto it = ids_.find(s);
+  if (it != ids_.end()) return it->second;
+  const Id id = static_cast<Id>(strings_.size());
+  const std::string& stored = strings_.emplace_back(s);
+  ids_.emplace(std::string_view(stored), id);
+  return id;
+}
+
+Interner::Id Interner::lookup(std::string_view s) const {
+  auto it = ids_.find(s);
+  return it == ids_.end() ? kNone : it->second;
+}
+
+}  // namespace jupiter

@@ -1,0 +1,60 @@
+// String interner: hot identities (zone names, lock paths, session names,
+// metric labels) mapped to dense u32 ids.
+//
+// The simulator core is allocator-bound long before it is CPU-bound, and a
+// large share of those allocations are std::string keys — every zone lookup,
+// lock-table probe, and metric label used to hash and compare whole strings.
+// An Interner assigns each distinct string a dense id once; afterwards the
+// hot path carries 4-byte ids and the containers key on integers.
+//
+// Determinism contract: ids are dense and numbered in INSERTION ORDER —
+// intern("a"), intern("b") yields 0, 1 on every run that makes the same
+// calls in the same order, regardless of standard library or hash seed.
+// Iterating [0, size()) therefore enumerates strings in first-use order,
+// which is a pure function of the (deterministic) call sequence.  Anything
+// that feeds a fingerprint must either iterate ids in first-use order or
+// sort by string explicitly (the lock table digest does the latter to stay
+// bit-identical with its pre-interner history).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace jupiter {
+
+class Interner {
+ public:
+  using Id = std::uint32_t;
+  static constexpr Id kNone = 0xFFFFFFFFu;
+
+  Interner() = default;
+  Interner(const Interner&) = delete;
+  Interner& operator=(const Interner&) = delete;
+
+  /// Returns the id for `s`, assigning the next dense id on first sight.
+  Id intern(std::string_view s);
+
+  /// Lookup without insertion; kNone when the string was never interned.
+  Id lookup(std::string_view s) const;
+
+  /// The string for an id.  Ids are dense, so this is an O(1) vector index;
+  /// the reference stays valid for the interner's lifetime (strings are
+  /// never removed).
+  const std::string& str(Id id) const { return strings_[id]; }
+
+  std::size_t size() const { return strings_.size(); }
+
+ private:
+  // id -> string, insertion order.  A deque so element addresses are stable
+  // under growth: ids_ holds string_views into these elements.
+  std::deque<std::string> strings_;
+  // Audited for determinism (detlint hash-iteration): membership/lookup
+  // only — ids come from the insertion-ordered strings_ vector, never from
+  // hash iteration.
+  std::unordered_map<std::string_view, Id> ids_;  // views into strings_
+};
+
+}  // namespace jupiter

@@ -1,0 +1,18 @@
+// detlint fixture: std::function inside simulator hot-path code must trip
+// sim-std-function.  Events carry InlineFunction (48-byte inline capture,
+// compile-time size check); a std::function record here silently
+// reintroduces a heap allocation per scheduled event.
+#include <functional>
+
+namespace fixture {
+
+struct EventRecord {
+  long at = 0;
+  std::function<void()> cb;  // the per-event heap cell the rule exists to ban
+};
+
+inline void fire(EventRecord& ev) {
+  if (ev.cb) ev.cb();
+}
+
+}  // namespace fixture

@@ -2,11 +2,18 @@
 // same-line and comment-above styles — must produce zero findings.
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 
 inline std::int64_t wall_benchmark_now() {
   auto t = std::chrono::steady_clock::now();  // detlint: allow(banned-time) — wall-clock benchmark harness, not simulation time
   return t.time_since_epoch().count();
+}
+
+// detlint: allow(sim-std-function) — process-lifetime shutdown hook, not the per-event path
+inline std::function<void()>& shutdown_hook() {
+  static std::function<void()> hook;  // detlint: allow(sim-std-function) — same hook, same-line style
+  return hook;
 }
 
 inline std::int64_t commutative_sum(

@@ -1,0 +1,82 @@
+// util::Interner — the dense u32 string-id table behind zone lookup, lock
+// session/resource keys and paxos routing.  The contracts that matter:
+// ids are dense and assigned in first-intern order (so id order is
+// insertion order, usable as a deterministic sort key), lookup never mints,
+// and stored strings stay stable as the table grows.
+#include "util/interner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+
+namespace jupiter {
+namespace {
+
+TEST(Interner, DenseIdsInFirstInternOrder) {
+  Interner in;
+  EXPECT_EQ(in.size(), 0u);
+  EXPECT_EQ(in.intern("us-east-1a"), 0u);
+  EXPECT_EQ(in.intern("us-east-1b"), 1u);
+  EXPECT_EQ(in.intern("eu-west-1a"), 2u);
+  EXPECT_EQ(in.size(), 3u);
+}
+
+TEST(Interner, DuplicateInternReturnsSameId) {
+  Interner in;
+  Interner::Id a = in.intern("session-7");
+  Interner::Id b = in.intern("session-7");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(in.size(), 1u);
+}
+
+TEST(Interner, LookupNeverMints) {
+  Interner in;
+  in.intern("present");
+  EXPECT_EQ(in.lookup("absent"), Interner::kNone);
+  EXPECT_EQ(in.size(), 1u);  // the failed lookup must not create an id
+  EXPECT_NE(in.lookup("present"), Interner::kNone);
+}
+
+TEST(Interner, StrRoundTrips) {
+  Interner in;
+  Interner::Id id = in.intern("lock:/jupiter/master");
+  EXPECT_EQ(in.str(id), "lock:/jupiter/master");
+}
+
+TEST(Interner, StableUnderGrowth) {
+  // The id -> string mapping must survive arbitrary growth (storage must
+  // not invalidate earlier entries when it expands).
+  Interner in;
+  std::string_view first = "zone-0";
+  Interner::Id id0 = in.intern(first);
+  const char* addr0 = in.str(id0).data();
+  for (int i = 1; i < 10'000; ++i) {
+    in.intern("zone-" + std::to_string(i));
+  }
+  EXPECT_EQ(in.size(), 10'000u);
+  EXPECT_EQ(in.str(id0), "zone-0");
+  EXPECT_EQ(in.str(id0).data(), addr0) << "stored strings must not move";
+  for (int i = 0; i < 10'000; ++i) {
+    std::string name = "zone-" + std::to_string(i);
+    Interner::Id id = in.lookup(name);
+    ASSERT_NE(id, Interner::kNone) << name;
+    EXPECT_EQ(static_cast<int>(id), i) << "ids are dense, insertion-ordered";
+    EXPECT_EQ(in.str(id), name);
+  }
+}
+
+TEST(Interner, InternDoesNotAliasCallerBuffer) {
+  // The interner must own its copy: intern from a buffer that dies.
+  Interner in;
+  Interner::Id id;
+  {
+    std::string temp = "ephemeral-name";
+    id = in.intern(temp);
+  }
+  EXPECT_EQ(in.str(id), "ephemeral-name");
+  EXPECT_EQ(in.lookup("ephemeral-name"), id);
+}
+
+}  // namespace
+}  // namespace jupiter

@@ -224,8 +224,10 @@ TEST(ObsContextTest, WallHistogramIsVolatile) {
     obs::WallScope ws(obs::wall_histogram("test.wall_ns"));
   }
   EXPECT_EQ(reg.snapshot().find("test.wall_ns"), nullptr);
-  const MetricsSnapshot::Row* row =
-      reg.snapshot(/*include_volatile=*/true).find("test.wall_ns");
+  // Bind the snapshot: find() returns a pointer into its rows, which would
+  // dangle past the full-expression on a temporary.
+  MetricsSnapshot with_volatile = reg.snapshot(/*include_volatile=*/true);
+  const MetricsSnapshot::Row* row = with_volatile.find("test.wall_ns");
   ASSERT_NE(row, nullptr);
   EXPECT_EQ(row->count, 1u);  // the scope observed exactly once
 }

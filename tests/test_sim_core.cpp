@@ -1,0 +1,401 @@
+// Hardware-fast simulator core: contracts the calendar-queue engine must
+// honour forever.
+//
+//   * SimCoreGolden — the 16-seed chaos corpus pinned to exact fingerprint
+//     and metrics-CSV hashes captured from the binary-heap seed engine.  The
+//     calendar queue, slab arena and inline callbacks may change *how*
+//     events are stored, never *what* order they fire in: any drift here is
+//     a determinism regression, not a tuning choice.
+//   * SimCore — scheduling/cancel/run_until contracts with emphasis on the
+//     places a bucketed engine could diverge from the old global heap:
+//     same-timestamp FIFO across bucket boundaries and queue tiers, horizon
+//     clamping, eager tombstone reclaim under cancel-heavy load.
+//   * InlineFunction — the 48-byte inline callback: compile-time capacity
+//     rejection, move-only captures, destroy-exactly-once across fired,
+//     cancelled, and torn-down events.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "chaos/chaos_runner.hpp"
+#include "sim/inline_function.hpp"
+#include "sim/simulator.hpp"
+#include "util/time.hpp"
+
+namespace jupiter {
+namespace {
+
+// ---- golden determinism corpus --------------------------------------------
+
+std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+struct Golden {
+  std::uint64_t seed;
+  std::uint64_t fingerprint;
+  std::uint64_t metrics_csv_fnv;
+};
+
+// Captured from the seed (binary-heap, std::function) engine; the calendar
+// queue must reproduce every byte.  Regenerate ONLY for an intentional
+// behaviour change, never for an engine optimization:
+//   for seed in 1..16: ChaosRunner(seed).run() -> {fingerprint(),
+//   fnv1a64(metrics.to_csv())}
+constexpr Golden kGoldens[] = {
+    {1ULL, 0x2D3A7678FCF233B5ULL, 0xA51004EE9F7C95D6ULL},
+    {2ULL, 0x753A3C09E7289622ULL, 0xA52F27933C07226BULL},
+    {3ULL, 0xB576B2CCFA4A5795ULL, 0xF4924E392FC69F78ULL},
+    {4ULL, 0x9340C7C78003DBC3ULL, 0x58D9084F62E90F6CULL},
+    {5ULL, 0x3E0034AE935C17CAULL, 0xD5015BC3A48C1F23ULL},
+    {6ULL, 0xE0C916D680838EA4ULL, 0xBF66B6C9DAEDB927ULL},
+    {7ULL, 0x4E1C9EB529B51CEDULL, 0x7B21DEAD35BD1C70ULL},
+    {8ULL, 0xA3E70920E3B18DA3ULL, 0xF1C7975188A8C172ULL},
+    {9ULL, 0xAD0CA0B2B33AE974ULL, 0x4136AFF4BA9CE027ULL},
+    {10ULL, 0x7091380D83B2F745ULL, 0x284C2EEB4DB7C4DAULL},
+    {11ULL, 0x727B8A4E820FBAAAULL, 0xCB48F539EE4910D3ULL},
+    {12ULL, 0x48D90FE25F0E4AD4ULL, 0x4134F5845ED4CF85ULL},
+    {13ULL, 0x26A1C2986EF5E7BBULL, 0x074584B16AA37F09ULL},
+    {14ULL, 0x4BF414A398EA3070ULL, 0xB574439A61F5FD70ULL},
+    {15ULL, 0xB179A9E798F7B4F9ULL, 0x987D0DC8BE82FC41ULL},
+    {16ULL, 0xF6F43039E24CCFD9ULL, 0xAD1F9D0B680A5B80ULL},
+};
+
+TEST(SimCoreGolden, SixteenSeedCorpusByteIdentical) {
+  for (const Golden& g : kGoldens) {
+    chaos::ChaosReport report = chaos::ChaosRunner(g.seed).run();
+    EXPECT_EQ(report.fingerprint(), g.fingerprint)
+        << "seed " << g.seed << ": chaos fingerprint drifted";
+    EXPECT_EQ(fnv1a64(report.metrics.to_csv()), g.metrics_csv_fnv)
+        << "seed " << g.seed << ": metrics snapshot drifted";
+  }
+}
+
+// ---- bounded memory under cancel-heavy load -------------------------------
+
+TEST(SimCore, MillionFarFutureCancelsStayBounded) {
+  // The seed engine kept every cancelled event in its heap until the
+  // timestamp surfaced — a million cancelled week-out guards meant a million
+  // resident tombstones.  The calendar queue reclaims eagerly: one arena
+  // slot is recycled a million times.
+  Simulator sim;
+  const SimTime far(365LL * 24 * 3600);  // a year out: deep in the overflow tier
+  for (int i = 0; i < 1'000'000; ++i) {
+    EventHandle h = sim.schedule_at(far + i, [] {});
+    ASSERT_TRUE(sim.cancel(h));
+  }
+  EXPECT_EQ(sim.pending_events(), 0u);
+  Simulator::CoreStats st = sim.core_stats();
+  EXPECT_EQ(st.cancelled, 1'000'000u);
+  EXPECT_EQ(st.peak_pending, 1u);  // never more than one live at a time
+  EXPECT_LE(st.arena_slots, 4u);   // eager reclaim: the slab never grows
+  sim.run_until(far + 2'000'000);
+  EXPECT_EQ(sim.dispatched_events(), 0u);
+}
+
+TEST(SimCore, InterleavedCancelKeepsArenaAtHighWater) {
+  // Guard-churn shape: a window of live events slides forward; the arena
+  // must plateau at the window's width, not the total churned count.
+  Simulator sim;
+  constexpr int kWindow = 256;
+  std::vector<EventHandle> live;
+  for (int i = 0; i < kWindow; ++i) {
+    live.push_back(sim.schedule_at(SimTime(1'000'000 + i), [] {}));
+  }
+  for (int i = 0; i < 100'000; ++i) {
+    ASSERT_TRUE(sim.cancel(live[static_cast<std::size_t>(i % kWindow)]));
+    live[static_cast<std::size_t>(i % kWindow)] =
+        sim.schedule_at(SimTime(1'000'000 + kWindow + i), [] {});
+  }
+  EXPECT_EQ(sim.pending_events(), static_cast<std::size_t>(kWindow));
+  EXPECT_LE(sim.core_stats().arena_slots, static_cast<std::size_t>(kWindow) + 4);
+}
+
+// ---- run_until contracts ---------------------------------------------------
+
+TEST(SimCore, RunUntilClampsClockWhenQueueDrainsEarly) {
+  Simulator sim;
+  sim.schedule_at(SimTime(10), [] {});
+  sim.run_until(SimTime(1000));
+  EXPECT_EQ(sim.now(), SimTime(1000));  // clamped forward past the last event
+  Simulator empty;
+  empty.run_until(SimTime(77));
+  EXPECT_EQ(empty.now(), SimTime(77));  // even with nothing to run
+}
+
+TEST(SimCore, EventExactlyAtHorizonExecutes) {
+  Simulator sim;
+  bool at_horizon = false;
+  bool past_horizon = false;
+  sim.schedule_at(SimTime(100), [&] { at_horizon = true; });
+  sim.schedule_at(SimTime(101), [&] { past_horizon = true; });
+  sim.run_until(SimTime(100));
+  EXPECT_TRUE(at_horizon);
+  EXPECT_FALSE(past_horizon);
+  EXPECT_EQ(sim.now(), SimTime(100));
+}
+
+TEST(SimCore, RepeatedSameHorizonIsNoOp) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(SimTime(50), [&] { ++fired; });
+  sim.run_until(SimTime(100));
+  std::uint64_t dispatched = sim.dispatched_events();
+  sim.run_until(SimTime(100));
+  sim.run_until(SimTime(100));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.dispatched_events(), dispatched);
+  EXPECT_EQ(sim.now(), SimTime(100));
+}
+
+TEST(SimCore, SameTimestampFifoAcrossBucketBoundaries) {
+  // Default bucket width is 8 s: timestamps 7/8/9 straddle a cell boundary,
+  // and several events share each timestamp.  Dispatch must be (at, seq) —
+  // insertion order within a timestamp — regardless of which ring cell or
+  // heap each event passed through.
+  Simulator sim;
+  std::vector<int> order;
+  int tag = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (std::int64_t t : {9, 7, 8, 15, 16, 17}) {
+      int id = tag++;
+      sim.schedule_at(SimTime(t), [&order, id] { order.push_back(id); });
+    }
+  }
+  sim.run_until(SimTime(20));
+  // Reconstruct expected order: sort by (t, insertion index) — insertion
+  // index is the tag itself, timestamps repeat across reps.
+  const std::int64_t at[] = {9, 7, 8, 15, 16, 17};
+  std::vector<std::pair<std::int64_t, int>> expect_pairs;
+  for (int id = 0; id < tag; ++id) {
+    expect_pairs.push_back({at[id % 6], id});
+  }
+  std::sort(expect_pairs.begin(), expect_pairs.end());
+  std::vector<int> expect;
+  for (const auto& [t, id] : expect_pairs) expect.push_back(id);
+  EXPECT_EQ(order, expect);
+}
+
+TEST(SimCore, SameTimestampFifoAcrossQueueTiers) {
+  // One event enters the far-future overflow tier, the wheel reseeds onto
+  // its bucket, then two more arrive at the identical timestamp straight
+  // into the ready heap.  FIFO by insertion order must survive the tier
+  // migrations.
+  Simulator sim;
+  std::vector<int> order;
+  const SimTime T(1'000'000);  // far outside the initial wheel window
+  sim.schedule_at(T, [&] { order.push_back(0); });      // overflow tier
+  sim.run_until(T - 3);                                 // reseed onto T's bucket
+  sim.schedule_at(T, [&] { order.push_back(1); });      // ready/ring direct
+  sim.schedule_at(T, [&] { order.push_back(2); });
+  sim.run_until(T);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SimCore, StaleHandleCannotCancelRecycledSlot) {
+  Simulator sim;
+  bool second_fired = false;
+  EventHandle h1 = sim.schedule_at(SimTime(10), [] {});
+  ASSERT_TRUE(sim.cancel(h1));
+  EXPECT_FALSE(sim.cancel(h1));  // double cancel is a safe no-op
+  // The arena recycles h1's slot for the next event; the stale handle must
+  // not be able to kill it.
+  EventHandle h2 = sim.schedule_at(SimTime(20), [&] { second_fired = true; });
+  EXPECT_FALSE(sim.cancel(h1));
+  sim.run_until(SimTime(20));
+  EXPECT_TRUE(second_fired);
+  EXPECT_FALSE(sim.cancel(h2));  // fired => no longer cancellable
+}
+
+TEST(SimCore, CancelOfReadyHeapEventTombstones) {
+  // Events in the currently-expanded bucket sit in the ready heap; cancel
+  // must still win if it arrives before dispatch (callback cancelling a
+  // sibling scheduled at a later instant of the same bucket).
+  Simulator sim;
+  bool victim_fired = false;
+  EventHandle victim;
+  sim.schedule_at(SimTime(1), [&] {
+    // Canceller first in FIFO order, so it runs before the victim would.
+    sim.schedule_at(SimTime(2), [&] { EXPECT_TRUE(sim.cancel(victim)); });
+    victim = sim.schedule_at(SimTime(2), [&] { victim_fired = true; });
+  });
+  sim.run_until(SimTime(10));
+  EXPECT_FALSE(victim_fired);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimCore, ReservePendingIsSemanticsNeutral) {
+  Simulator a;
+  Simulator b;
+  b.reserve_pending(10'000);
+  std::vector<int> order_a, order_b;
+  for (int i = 0; i < 500; ++i) {
+    a.schedule_at(SimTime(1 + (i * 7) % 97), [&order_a, i] { order_a.push_back(i); });
+    b.schedule_at(SimTime(1 + (i * 7) % 97), [&order_b, i] { order_b.push_back(i); });
+  }
+  a.run_until(SimTime(100));
+  b.run_until(SimTime(100));
+  EXPECT_EQ(order_a, order_b);
+  EXPECT_EQ(b.core_stats().engine_allocs, 0u);  // reservation covered it all
+}
+
+// ---- InlineFunction --------------------------------------------------------
+
+struct FitsExactly {
+  unsigned char pad[InlineFunction<void()>::kCapacity];
+  void operator()() const {}
+};
+struct OneByteTooBig {
+  unsigned char pad[InlineFunction<void()>::kCapacity + 1];
+  void operator()() const {}
+};
+
+// The capacity limit is a compile-time contract, testable in both
+// directions through is_constructible (the constructor is constrained, not
+// static_asserted, so oversize captures fail overload resolution cleanly).
+static_assert(std::is_constructible_v<InlineFunction<void()>, FitsExactly>,
+              "a capture of exactly kCapacity bytes must fit inline");
+static_assert(!std::is_constructible_v<InlineFunction<void()>, OneByteTooBig>,
+              "a capture one byte over kCapacity must be rejected");
+static_assert(!std::is_constructible_v<InlineFunction<void()>, int>,
+              "non-callables must never construct");
+static_assert(
+    !std::is_copy_constructible_v<InlineFunction<void()>> &&
+        std::is_move_constructible_v<InlineFunction<void()>>,
+    "InlineFunction is move-only");
+
+TEST(InlineFunction, InvokesAndPassesArguments) {
+  InlineFunction<int(int, int)> add = [](int a, int b) { return a + b; };
+  EXPECT_TRUE(static_cast<bool>(add));
+  EXPECT_EQ(add(20, 22), 42);
+}
+
+TEST(InlineFunction, MoveOnlyCaptureWorks) {
+  auto p = std::make_unique<int>(41);
+  InlineFunction<int()> f = [p = std::move(p)] { return *p + 1; };
+  InlineFunction<int()> g = std::move(f);  // relocates the unique_ptr
+  EXPECT_FALSE(static_cast<bool>(f));      // moved-from is empty
+  EXPECT_EQ(g(), 42);
+}
+
+TEST(InlineFunction, MoveOnlyCaptureThroughSimulator) {
+  Simulator sim;
+  int seen = 0;
+  auto p = std::make_unique<int>(7);
+  sim.schedule_at(SimTime(1), [&seen, p = std::move(p)] { seen = *p; });
+  sim.run_until(SimTime(1));
+  EXPECT_EQ(seen, 7);
+}
+
+/// Counts live instances across every construct/move/destroy; leak or
+/// double-destroy shows up as a nonzero balance.
+struct LifeCounter {
+  static int alive;
+  static int destroyed;
+  LifeCounter() { ++alive; }
+  LifeCounter(const LifeCounter&) { ++alive; }
+  LifeCounter(LifeCounter&&) noexcept { ++alive; }
+  ~LifeCounter() {
+    --alive;
+    ++destroyed;
+  }
+  static void reset() {
+    alive = 0;
+    destroyed = 0;
+  }
+};
+int LifeCounter::alive = 0;
+int LifeCounter::destroyed = 0;
+
+TEST(InlineFunction, DestroysCaptureExactlyOnceWhenFired) {
+  LifeCounter::reset();
+  {
+    Simulator sim;
+    sim.schedule_at(SimTime(1), [c = LifeCounter{}] { (void)c; });
+    sim.run_until(SimTime(1));
+    EXPECT_EQ(LifeCounter::alive, 0) << "capture must be destroyed after fire";
+  }
+  EXPECT_EQ(LifeCounter::alive, 0);
+  EXPECT_GT(LifeCounter::destroyed, 0);
+}
+
+TEST(InlineFunction, DestroysCaptureExactlyOnceWhenCancelled) {
+  LifeCounter::reset();
+  {
+    Simulator sim;
+    // Wheel-resident cancel (eager reclaim) and ready-heap cancel
+    // (tombstone) both release the capture exactly once.
+    EventHandle wheel_ev =
+        sim.schedule_at(SimTime(500), [c = LifeCounter{}] { (void)c; });
+    ASSERT_TRUE(sim.cancel(wheel_ev));
+    EXPECT_EQ(LifeCounter::alive, 0) << "eager cancel must destroy in place";
+
+    EventHandle ready_ev;
+    sim.schedule_at(SimTime(1), [&] {
+      // Canceller first in FIFO order, so it runs before the victim would.
+      sim.schedule_at(SimTime(2), [&] { ASSERT_TRUE(sim.cancel(ready_ev)); });
+      ready_ev = sim.schedule_at(SimTime(2), [c = LifeCounter{}] { (void)c; });
+    });
+    sim.run_until(SimTime(10));
+    EXPECT_EQ(LifeCounter::alive, 0) << "tombstoned cancel must destroy";
+  }
+  EXPECT_EQ(LifeCounter::alive, 0);
+}
+
+TEST(InlineFunction, DestroysCaptureExactlyOnceOnTeardown) {
+  LifeCounter::reset();
+  {
+    Simulator sim;
+    for (int i = 0; i < 100; ++i) {
+      sim.schedule_at(SimTime(10'000 + i), [c = LifeCounter{}] { (void)c; });
+    }
+    EXPECT_GT(LifeCounter::alive, 0);
+    // Simulator destroyed with events still pending: each capture must be
+    // released exactly once by the arena teardown.
+  }
+  EXPECT_EQ(LifeCounter::alive, 0);
+}
+
+TEST(InlineFunction, BoxedEscapeHatchCountsItsAllocation) {
+  struct Huge {
+    unsigned char pad[256];
+    int tag = 9;
+  };
+  static_assert(!InlineFunction<int()>::fits<Huge>,
+                "test premise: Huge must exceed inline capacity");
+  std::uint64_t before = inline_function_boxed_count();
+  Huge h;
+  InlineFunction<int()> f =
+      InlineFunction<int()>::boxed([h] { return static_cast<int>(h.tag); });
+  EXPECT_EQ(f(), 9);
+  EXPECT_EQ(inline_function_boxed_count(), before + 1);
+}
+
+TEST(InlineFunction, ResetAndMoveSemantics) {
+  int calls = 0;
+  InlineFunction<void()> f = [&calls] { ++calls; };
+  f();
+  f.reset();
+  EXPECT_FALSE(static_cast<bool>(f));
+  InlineFunction<void()> g;  // default-constructed is empty
+  EXPECT_FALSE(static_cast<bool>(g));
+  g = [&calls] { calls += 10; };
+  InlineFunction<void()> h = std::move(g);
+  EXPECT_FALSE(static_cast<bool>(g));
+  h();
+  EXPECT_EQ(calls, 11);
+}
+
+}  // namespace
+}  // namespace jupiter

@@ -24,6 +24,11 @@
 //                     billing replay.
 //   ptr-key-ordered   std::map/std::set keyed by a raw pointer: iteration
 //                     order is address order, which varies run to run.
+//   sim-std-function  std::function in the simulator hot paths (src/sim).
+//                     Events carry InlineFunction (48-byte inline capture,
+//                     compile-time size check); a std::function there
+//                     silently reintroduces a heap allocation per event and
+//                     undoes the allocation-free engine guarantee.
 //
 // Suppression: a site that is genuinely fine carries an inline annotation
 // on the same line or the line directly above:
@@ -63,8 +68,9 @@ namespace fs = std::filesystem;
 namespace {
 
 const std::vector<std::string> kRuleNames = {
-    "banned-time",   "banned-random",   "hash-iteration",
-    "float-money",   "ptr-key-ordered", "bad-suppression",
+    "banned-time",     "banned-random",   "hash-iteration",
+    "float-money",     "ptr-key-ordered", "sim-std-function",
+    "bad-suppression",
 };
 
 bool known_rule(const std::string& r) {
@@ -250,6 +256,9 @@ std::vector<std::string> unordered_decl_names(const std::string& text) {
 struct ScanConfig {
   // Paths (substring match on the generic path) where float-money applies.
   std::vector<std::string> money_paths = {"src/market", "src/cloud"};
+  // Paths where sim-std-function applies: the event-loop hot paths, where
+  // every callback must be an InlineFunction.
+  std::vector<std::string> sim_hot_paths = {"src/sim"};
   // Path substrings skipped entirely.
   std::vector<std::string> skips = {"tests/detlint_fixtures"};
   // Identifiers known to be unordered containers in *other* files (cross
@@ -257,8 +266,8 @@ struct ScanConfig {
   std::set<std::string> global_unordered;
 };
 
-bool in_money_scope(const ScanConfig& cfg, const std::string& path) {
-  for (const auto& p : cfg.money_paths) {
+bool path_in(const std::vector<std::string>& scopes, const std::string& path) {
+  for (const auto& p : scopes) {
     if (path.find(p) != std::string::npos) return true;
   }
   return false;
@@ -352,7 +361,8 @@ void scan_file(const fs::path& file, const std::string& display_path,
     findings.push_back({display_path, static_cast<int>(li) + 1, rule, msg});
   };
 
-  bool money_scope = in_money_scope(cfg, display_path);
+  bool money_scope = path_in(cfg.money_paths, display_path);
+  bool sim_scope = path_in(cfg.sim_hot_paths, display_path);
 
   for (std::size_t li = 0; li < lines.size(); ++li) {
     const std::string& code = lines[li].code;
@@ -389,6 +399,13 @@ void scan_file(const fs::path& file, const std::string& display_path,
                      "' — hash order leaks nondeterminism");
         }
       }
+    }
+    if (sim_scope && code.find("std::function") != std::string::npos) {
+      report(li, "sim-std-function",
+             "std::function in a simulator hot path — events carry "
+             "InlineFunction (inline capture, no per-event allocation); use "
+             "Simulator::Callback, or Callback::boxed() for a deliberate, "
+             "counted allocation");
     }
     if (money_scope && std::regex_search(code, m, kFloatMoney)) {
       report(li, "float-money",
@@ -507,6 +524,7 @@ int self_test(const fs::path& fixture_dir) {
       {"hash_iteration_fail.cpp", "hash-iteration", true},
       {"float_money_fail.cpp", "float-money", true},
       {"ptr_key_ordered_fail.cpp", "ptr-key-ordered", true},
+      {"sim_std_function_fail.cpp", "sim-std-function", true},
       {"suppression_missing_reason.cpp", "bad-suppression", true},
       {"obs_wall_timer_fail.cpp", "banned-time", true},
       {"clean_pass.cpp", "", false},
@@ -522,9 +540,10 @@ int self_test(const fs::path& fixture_dir) {
     }
     ScanConfig cfg;
     cfg.skips.clear();
-    // Fixtures live outside src/market — put them in money scope so the
-    // float-money fixture can trip.
+    // Fixtures live outside src/market and src/sim — put them in both
+    // scopes so the path-gated fixtures can trip.
     cfg.money_paths = {fixture_dir.generic_string()};
+    cfg.sim_hot_paths = {fixture_dir.generic_string()};
     std::vector<Finding> findings;
     scan_file(f, (fixture_dir / c.file).generic_string(), cfg, findings);
     if (!c.must_find) {
