@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "chaos/chaos_runner.hpp"
+#include "chaos/fleet_invariants.hpp"
 
 namespace {
 
@@ -27,12 +28,38 @@ namespace {
 const std::uint64_t kCorpus[] = {1,  2,  3,  4,  5,  6,  7,  8,
                                  9,  10, 11, 12, 13, 14, 15, 16};
 
+// The fleet corpus (ctest: jupiter_fleet_chaos): each seed derives a
+// correlated AZ-outage + capacity-crunch schedule over a small fleet and
+// checks market conservation, fleet billing conservation and liveness.
+const std::uint64_t kFleetCorpus[] = {1, 2, 3, 4, 5, 6, 7, 8};
+
 void usage() {
   std::cerr
       << "usage: chaos_runner [--seed N] [--corpus] [--events N]\n"
       << "                    [--horizon SECONDS] [--clients N]\n"
       << "                    [--break-quorum] [--no-minimize] [--quiet]\n"
-      << "                    [--metrics]\n";
+      << "                    [--metrics]\n"
+      << "       chaos_runner --fleet [--seed N] [--quiet]\n";
+}
+
+// --fleet mode: run the fleet chaos corpus (or the given seeds) and report
+// violations of the fleet-level invariants.
+int run_fleet_mode(std::vector<std::uint64_t> seeds, bool quiet) {
+  if (seeds.empty()) {
+    seeds.insert(seeds.end(), std::begin(kFleetCorpus),
+                 std::end(kFleetCorpus));
+  }
+  int violated = 0;
+  for (std::uint64_t seed : seeds) {
+    jupiter::chaos::FleetChaosReport report =
+        jupiter::chaos::run_fleet_chaos(seed);
+    if (!report.ok()) ++violated;
+    if (!quiet || !report.ok()) report.print(std::cout);
+  }
+  std::cout << seeds.size() << " fleet scenario(s): "
+            << static_cast<int>(seeds.size()) - violated << " clean, "
+            << violated << " violated\n";
+  return violated == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -46,6 +73,7 @@ int main(int argc, char** argv) {
   ChaosOptions opts;
   bool quiet = false;
   bool show_metrics = false;
+  bool fleet_mode = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> long long {
@@ -73,11 +101,14 @@ int main(int argc, char** argv) {
       quiet = true;
     } else if (arg == "--metrics") {
       show_metrics = true;
+    } else if (arg == "--fleet") {
+      fleet_mode = true;
     } else {
       usage();
       return 2;
     }
   }
+  if (fleet_mode) return run_fleet_mode(std::move(seeds), quiet);
   if (seeds.empty()) {
     seeds.insert(seeds.end(), std::begin(kCorpus), std::end(kCorpus));
   }

@@ -1,0 +1,104 @@
+// Fleet-scale demo (docs/fleet.md): hundreds of independently-bidding
+// deployments in one endogenous spot market.
+//
+//   fleet_report [--services N] [--weeks W] [--seed S] [--clusters C]
+//                [--csv]         also dump the deterministic metrics CSV
+//                [--prices]      dump each market's endogenous price path
+//
+// Prints the fleet report: per-service availability and cost distributions
+// broken down by strategy, SLA violation counts, and the markets' clearing
+// statistics — the fleet-scale analogue of run_experiment's tables.
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cloud/region.hpp"
+#include "fleet/fleet.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace jupiter;
+  fleet::FleetOptions opts;
+  opts.services = 200;
+  bool csv = false, prices = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> long long {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << '\n';
+        std::exit(2);
+      }
+      return std::atoll(argv[++i]);
+    };
+    if (arg == "--services") {
+      opts.services = static_cast<int>(next());
+    } else if (arg == "--weeks") {
+      opts.horizon = static_cast<TimeDelta>(next()) * kWeek;
+    } else if (arg == "--seed") {
+      opts.seed = static_cast<std::uint64_t>(next());
+    } else if (arg == "--clusters") {
+      opts.clusters = static_cast<int>(next());
+    } else if (arg == "--csv") {
+      csv = true;
+    } else if (arg == "--prices") {
+      prices = true;
+    } else {
+      std::cerr << "usage: fleet_report [--services N] [--weeks W] "
+                   "[--seed S] [--clusters C] [--csv] [--prices]\n";
+      return 2;
+    }
+  }
+
+  fleet::FleetReport report = fleet::run_fleet(opts);
+  report.print_summary(std::cout);
+
+  // Per-strategy breakdown: the fleet-scale version of the paper's Table 3
+  // comparison (cost vs availability per bidding approach).
+  std::map<std::string, std::vector<const fleet::ServiceResult*>> by;
+  for (const fleet::ServiceResult& s : report.services) {
+    by[s.strategy].push_back(&s);
+  }
+  std::cout << "\nstrategy                n   avail(p50)   avail(min)   "
+               "$median    $max   sla-viol\n";
+  for (const auto& [name, group] : by) {
+    std::vector<double> avail, cost;
+    int viol = 0;
+    for (const fleet::ServiceResult* s : group) {
+      avail.push_back(s->availability());
+      cost.push_back(s->cost.dollars());
+      viol += s->sla_violations;
+    }
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%-20s %4zu   %.6f     %.6f     %8.2f %8.2f   %d\n",
+                  name.c_str(), group.size(), percentile(avail, 0.5),
+                  percentile(avail, 0.0), percentile(cost, 0.5),
+                  percentile(cost, 1.0), viol);
+    std::cout << buf;
+  }
+
+  std::string why;
+  if (!report.internally_consistent(&why)) {
+    std::cout << "\nACCOUNTING LEAK: " << why << '\n';
+    return 1;
+  }
+  std::cout << "\nfingerprint 0x" << std::hex << report.fingerprint()
+            << std::dec << " (accounting conserved)\n";
+
+  if (csv) std::cout << '\n' << report.metrics_csv();
+  if (prices) {
+    std::cout << "\nmarket,at_s,price_ticks\n";
+    for (const fleet::MarketAudit& m : report.markets) {
+      std::string id =
+          all_zones().at(static_cast<std::size_t>(m.zone)).name + "." +
+          instance_type_info(m.kind).name;
+      for (const auto& p : m.published.points()) {
+        if (p.at < report.start) continue;  // history is the baseline's
+        std::cout << id << ',' << p.at.seconds() << ',' << p.price.value()
+                  << '\n';
+      }
+    }
+  }
+  return 0;
+}

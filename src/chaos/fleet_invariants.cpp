@@ -1,0 +1,180 @@
+#include "chaos/fleet_invariants.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <utility>
+
+#include "chaos/invariants.hpp"
+#include "cloud/region.hpp"
+#include "market/billing.hpp"
+
+namespace jupiter::chaos {
+
+namespace {
+
+std::string market_name(const fleet::MarketAudit& m) {
+  return all_zones().at(static_cast<std::size_t>(m.zone)).name + "." +
+         instance_type_info(m.kind).name;
+}
+
+}  // namespace
+
+std::optional<std::string> check_market_conservation(
+    const fleet::MarketAudit& market) {
+  for (std::size_t i = 0; i < market.clearings.size(); ++i) {
+    const fleet::SpotMarket::ClearingRecord& c = market.clearings[i];
+    if (c.price < c.baseline) {
+      return "market " + market_name(market) + " clearing " +
+             std::to_string(i) + ": price below baseline";
+    }
+    int markup = c.price.value() - c.baseline.value();
+    int supply = market.curve.supply_at(markup, c.capacity_permille);
+    if (c.demand > 0 && c.allocated > supply) {
+      return "market " + market_name(market) + " clearing " +
+             std::to_string(i) + ": allocated " +
+             std::to_string(c.allocated) + " > supply " +
+             std::to_string(supply) + " at the clearing price";
+    }
+    if (c.allocated > c.demand) {
+      return "market " + market_name(market) + " clearing " +
+             std::to_string(i) + ": allocated > demand";
+    }
+    if (c.demand == 0 && c.price != c.baseline) {
+      return "market " + market_name(market) + " clearing " +
+             std::to_string(i) + ": empty market moved off the baseline";
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_fleet_billing(
+    const fleet::FleetReport& report) {
+  if (report.instances.empty() && report.total_cost().micros() != 0) {
+    return "billing check needs keep_instance_records";
+  }
+  std::map<std::pair<int, int>, const fleet::MarketAudit*> by_key;
+  for (const fleet::MarketAudit& m : report.markets) {
+    by_key[{m.zone, static_cast<int>(m.kind)}] = &m;
+  }
+  Money sum;
+  for (std::size_t i = 0; i < report.instances.size(); ++i) {
+    const fleet::InstanceRecord& r = report.instances[i];
+    Money expect;
+    if (r.spot) {
+      auto it = by_key.find({r.zone, static_cast<int>(r.kind)});
+      if (it == by_key.end()) {
+        return "instance " + std::to_string(i) + ": no market audit for " +
+               std::to_string(r.zone);
+      }
+      const SpotTrace& trace = it->second->published;
+      if (auto bad =
+              check_billing_conservation(trace, r.launch, r.term, r.bid)) {
+        return "instance " + std::to_string(i) + ": " + *bad;
+      }
+      expect = bill_spot_instance(trace, r.launch, r.term, r.bid).charge;
+    } else {
+      expect = bill_on_demand(on_demand_price_zone(r.zone, r.kind), r.launch,
+                              r.term);
+    }
+    if (expect != r.charge) {
+      return "instance " + std::to_string(i) + ": recorded charge " +
+             std::to_string(r.charge.micros()) +
+             " != re-derived " + std::to_string(expect.micros());
+    }
+    sum += r.charge;
+  }
+  if (sum != report.total_cost()) {
+    return "fleet bill leaks: instances sum to " +
+           std::to_string(sum.micros()) + " micros, services sum to " +
+           std::to_string(report.total_cost().micros());
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_fleet_liveness(
+    const fleet::FleetReport& report, SimTime healed) {
+  for (const fleet::ServiceResult& s : report.services) {
+    int post = 0;
+    bool any_up = false;
+    for (const IntervalRecord& rec : s.timeline) {
+      if (rec.start < healed) continue;
+      ++post;
+      if (rec.downtime < rec.length) any_up = true;
+    }
+    if (post > 0 && !any_up) {
+      return "service " + std::to_string(s.id) + " (" + s.strategy +
+             ") starved: zero quorum uptime in all " + std::to_string(post) +
+             " intervals after the last fault healed";
+    }
+  }
+  return std::nullopt;
+}
+
+std::uint64_t FleetChaosReport::fingerprint() const {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= static_cast<std::uint8_t>(v >> (8 * i));
+      h *= 0x100000001B3ULL;
+    }
+  };
+  mix(seed);
+  mix(report.fingerprint());
+  mix(static_cast<std::uint64_t>(violations.size()));
+  return h;
+}
+
+void FleetChaosReport::print(std::ostream& os) const {
+  os << "fleet chaos seed " << seed << ": "
+     << (ok() ? "OK" : "VIOLATIONS") << ", fingerprint 0x" << std::hex
+     << fingerprint() << std::dec << '\n';
+  for (const fleet::FleetFault& f : report.options.faults) {
+    os << "  fault: " << f.str() << '\n';
+  }
+  report.print_summary(os);
+  for (const std::string& v : violations) {
+    os << "  VIOLATION: " << v << '\n';
+  }
+}
+
+FleetChaosReport run_fleet_chaos(std::uint64_t seed) {
+  fleet::FleetOptions opts;
+  opts.services = 16;
+  opts.clusters = 2;
+  opts.horizon = 2 * kDay;
+  opts.history = kWeek;
+  opts.seed = seed;
+  opts.keep_instance_records = true;
+  opts.keep_clearing_records = true;
+  SimTime start = SimTime::zero() + opts.history;
+  opts.faults = fleet::make_fleet_fault_schedule(seed, start, opts.horizon);
+
+  FleetChaosReport out;
+  out.seed = seed;
+  out.report = run_fleet(opts);
+
+  std::string why;
+  if (!out.report.internally_consistent(&why)) {
+    out.violations.push_back("accounting: " + why);
+  }
+  for (const fleet::MarketAudit& m : out.report.markets) {
+    if (auto bad = check_market_conservation(m)) {
+      out.violations.push_back(*bad);
+      break;  // one witness per invariant keeps reports readable
+    }
+  }
+  if (auto bad = check_fleet_billing(out.report)) {
+    out.violations.push_back(*bad);
+  }
+  SimTime healed = start;
+  for (const fleet::FleetFault& f : opts.faults) {
+    healed = std::max(healed, f.to);
+  }
+  if (auto bad = check_fleet_liveness(out.report, healed)) {
+    out.violations.push_back(*bad);
+  }
+  return out;
+}
+
+}  // namespace jupiter::chaos

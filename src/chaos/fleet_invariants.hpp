@@ -1,0 +1,64 @@
+// Fleet-level chaos invariants (ISSUE 7): conservation laws that must hold
+// for the whole fleet, re-derived from independent first principles rather
+// than read back from the driver's own counters.
+//
+//   * market conservation — at every clearing, the units allocated fit
+//     inside the supply the (scaled) curve offers at the clearing price;
+//   * billing conservation — every instance's charge re-derives from the
+//     published endogenous trace with the linear-scan billing model, and
+//     the per-instance charges sum to the fleet's total cost exactly;
+//   * liveness — no service is starved forever: once the last injected
+//     fault heals, every service regains at least one instant of quorum.
+//
+// run_fleet_chaos ties them together: one seed derives a correlated fault
+// schedule (AZ outage + capacity crunches), runs a small fleet under it,
+// and checks every invariant — the `chaos_runner --fleet` corpus.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet.hpp"
+
+namespace jupiter::chaos {
+
+/// Re-derives the supply bound of every recorded clearing from the stored
+/// curve and capacity scale, and checks allocated <= supply, allocated <=
+/// demand and price >= baseline.  Requires clearing records to be kept.
+std::optional<std::string> check_market_conservation(
+    const fleet::MarketAudit& market);
+
+/// Re-bills every recorded instance against the published trace (spot:
+/// cross-checked against the independent linear-scan model of
+/// check_billing_conservation; on-demand: bill_on_demand) and demands the
+/// charges sum to FleetReport::total_cost() exactly.  Requires instance
+/// records to be kept.
+std::optional<std::string> check_fleet_billing(
+    const fleet::FleetReport& report);
+
+/// No service starved forever: for every service with at least one complete
+/// bidding interval after `healed`, at least one of those intervals must
+/// see some quorum uptime.
+std::optional<std::string> check_fleet_liveness(
+    const fleet::FleetReport& report, SimTime healed);
+
+struct FleetChaosReport {
+  std::uint64_t seed = 0;
+  fleet::FleetReport report;
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+  /// seed + the fleet's own outcome fingerprint; byte-stable across runs.
+  std::uint64_t fingerprint() const;
+  void print(std::ostream& os) const;
+};
+
+/// One seed-driven fleet chaos scenario: a 16-service, 2-cluster fleet over
+/// a 2-day window under the seed's correlated fault schedule, with every
+/// fleet invariant checked afterwards.
+FleetChaosReport run_fleet_chaos(std::uint64_t seed);
+
+}  // namespace jupiter::chaos

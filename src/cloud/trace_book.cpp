@@ -23,6 +23,12 @@ const SpotTrace& TraceBook::trace(int zone, InstanceKind kind) const {
   return it->second;
 }
 
+SpotTrace* TraceBook::mutable_trace(int zone, InstanceKind kind) {
+  auto it = traces_.find({zone, static_cast<int>(kind)});
+  if (it == traces_.end()) throw std::out_of_range("no trace for zone/type");
+  return &it->second;
+}
+
 std::vector<int> TraceBook::zones_for(InstanceKind kind) const {
   std::vector<int> zones;
   for (const auto& [key, _] : traces_) {

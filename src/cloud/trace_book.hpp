@@ -22,6 +22,13 @@ class TraceBook {
   bool has(int zone, InstanceKind kind) const;
   const SpotTrace& trace(int zone, InstanceKind kind) const;
 
+  /// Live-write access for the fleet's endogenous markets: the returned
+  /// pointer stays valid for the life of the book (map nodes are stable),
+  /// so a SpotMarket can append cleared prices in place while strategies
+  /// keep reading the same trace through the const API.  Throws if the
+  /// (zone, kind) pair has no trace yet — seed it with set() first.
+  SpotTrace* mutable_trace(int zone, InstanceKind kind);
+
   /// Zones with a trace for `kind`, ascending.
   std::vector<int> zones_for(InstanceKind kind) const;
 

@@ -1,0 +1,83 @@
+#include "fleet/spot_market.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace jupiter::fleet {
+
+SpotMarket::SpotMarket(int zone, InstanceKind kind, const SpotTrace* baseline,
+                       SpotTrace* published, SupplyCurve curve)
+    : zone_(zone),
+      kind_(kind),
+      baseline_(baseline),
+      published_(published),
+      curve_(std::move(curve)) {
+  if (baseline_ == nullptr || baseline_->empty()) {
+    throw std::invalid_argument("SpotMarket needs a non-empty baseline");
+  }
+  if (published_ == nullptr || published_->empty()) {
+    throw std::invalid_argument("SpotMarket needs a seeded published trace");
+  }
+  // Skip the baseline points already covered by the published history; the
+  // cursor then walks forward monotonically as epochs advance.
+  const auto& pts = baseline_->points();
+  SimTime seeded_to = published_->last_change();
+  while (baseline_cursor_ < pts.size() &&
+         pts[baseline_cursor_].at <= seeded_to) {
+    ++baseline_cursor_;
+  }
+  peak_price_ = published_->points().back().price;
+}
+
+void SpotMarket::add_capacity_window(SimTime from, SimTime to, int permille) {
+  if (to <= from) throw std::invalid_argument("empty capacity window");
+  if (permille < 0) throw std::invalid_argument("negative capacity");
+  windows_.push_back(CapacityWindow{from, to, permille});
+}
+
+int SpotMarket::capacity_permille_at(SimTime t) const {
+  // Overlapping windows compound multiplicatively (a regional crunch on top
+  // of an AZ outage cannot *add* capacity back).
+  std::int64_t permille = kFullCapacityPermille;
+  for (const CapacityWindow& w : windows_) {
+    if (t >= w.from && t < w.to) {
+      permille = permille * w.permille / kFullCapacityPermille;
+    }
+  }
+  return static_cast<int>(permille);
+}
+
+void SpotMarket::advance_to(SimTime t) {
+  const auto& pts = baseline_->points();
+  while (baseline_cursor_ < pts.size() && pts[baseline_cursor_].at < t) {
+    // A baseline change point that coincided with an earlier clearing
+    // instant was already superseded by the clearing price published there.
+    if (pts[baseline_cursor_].at > published_->last_change()) {
+      PriceTick p = pts[baseline_cursor_].price + markup_ticks_;
+      published_->append(pts[baseline_cursor_].at, p);
+      peak_price_ = std::max(peak_price_, p);
+    }
+    ++baseline_cursor_;
+  }
+}
+
+ClearingResult SpotMarket::clear(SimTime t, std::vector<PriceTick> bids,
+                                 bool record) {
+  PriceTick base = baseline_->price_at(t);
+  int permille = capacity_permille_at(t);
+  ClearingResult res = clear_market(base, curve_, bids, permille);
+  markup_ticks_ = res.price.value() - base.value();
+  published_->append(t, res.price);
+  peak_price_ = std::max(peak_price_, res.price);
+  ++clearings_;
+  units_allocated_ += res.allocated;
+  units_demanded_ += res.demand;
+  if (record) {
+    records_.push_back(ClearingRecord{t, base, res.price, res.demand,
+                                      res.allocated, res.supply_at_price,
+                                      permille});
+  }
+  return res;
+}
+
+}  // namespace jupiter::fleet

@@ -1,0 +1,102 @@
+// One endogenous spot market: the price history of one (zone, instance
+// type) pair whose post-history segment is *written by the simulation*
+// instead of replayed.
+//
+// The market composes two layers:
+//
+//   * the exogenous baseline — a calibrated semi-Markov trace covering the
+//     whole horizon (training history plus run window), standing in for
+//     every bidder who is not part of the simulated fleet;
+//   * an endogenous markup — set by clearing the fleet's aggregate demand
+//     against a piecewise SupplyCurve once per epoch, held between
+//     clearings.
+//
+// The published price path (the SpotTrace the strategies train on, the
+// snapshots read, and the billing code charges against) is
+//     price(t) = baseline(t) + markup(last clearing <= t),
+// materialized change point by change point into a SpotTrace owned by the
+// cluster's shared TraceBook.  With zero fleet demand the markup is always
+// zero and the published trace is byte-identical to the baseline — the
+// replay-era world is a special case, which is what makes the fleet results
+// comparable to the paper's single-service numbers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cloud/instance_type.hpp"
+#include "fleet/supply_curve.hpp"
+#include "market/spot_trace.hpp"
+#include "util/time.hpp"
+
+namespace jupiter::fleet {
+
+class SpotMarket {
+ public:
+  /// One clearing, as audited: everything the market-conservation checker
+  /// needs to re-derive the allocation bound independently.
+  struct ClearingRecord {
+    SimTime at;
+    PriceTick baseline;       ///< exogenous price at the clearing instant
+    PriceTick price;          ///< uniform clearing price published
+    int demand = 0;
+    int allocated = 0;
+    int supply_at_price = 0;
+    int capacity_permille = kFullCapacityPermille;
+  };
+
+  /// `baseline` must cover the full horizon; `published` is the trace the
+  /// rest of the system reads (typically a slot inside the cluster's shared
+  /// TraceBook), pre-seeded with the training history.  Both must outlive
+  /// the market.
+  SpotMarket(int zone, InstanceKind kind, const SpotTrace* baseline,
+             SpotTrace* published, SupplyCurve curve);
+
+  int zone() const { return zone_; }
+  InstanceKind kind() const { return kind_; }
+  const SupplyCurve& curve() const { return curve_; }
+  const SpotTrace& published() const { return *published_; }
+  PriceTick current_markup() const { return PriceTick(markup_ticks_); }
+
+  /// Chaos hook: scales the curve's capacity to `permille` over [from, to).
+  /// A permille of 0 is a full AZ outage — nothing clears, every fleet
+  /// instance in the market dies at the next epoch.
+  void add_capacity_window(SimTime from, SimTime to, int permille);
+  int capacity_permille_at(SimTime t) const;
+
+  /// Publishes baseline change points strictly before `t` (markup applied).
+  /// Call once per epoch before clearing at `t`.
+  void advance_to(SimTime t);
+
+  /// Clears the epoch at `t` against `bids` (consumed), publishes the new
+  /// price point at `t`, and records the clearing when `record` is set.
+  ClearingResult clear(SimTime t, std::vector<PriceTick> bids, bool record);
+
+  const std::vector<ClearingRecord>& records() const { return records_; }
+  std::uint64_t clearings() const { return clearings_; }
+  PriceTick peak_price() const { return peak_price_; }
+  std::int64_t units_allocated() const { return units_allocated_; }
+  std::int64_t units_demanded() const { return units_demanded_; }
+
+ private:
+  struct CapacityWindow {
+    SimTime from, to;
+    int permille;
+  };
+
+  int zone_;
+  InstanceKind kind_;
+  const SpotTrace* baseline_;
+  SpotTrace* published_;
+  SupplyCurve curve_;
+  std::vector<CapacityWindow> windows_;
+  std::vector<ClearingRecord> records_;
+  std::size_t baseline_cursor_ = 0;  ///< first baseline point not yet published
+  int markup_ticks_ = 0;
+  std::uint64_t clearings_ = 0;
+  PriceTick peak_price_;
+  std::int64_t units_allocated_ = 0;
+  std::int64_t units_demanded_ = 0;
+};
+
+}  // namespace jupiter::fleet

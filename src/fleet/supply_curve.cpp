@@ -1,0 +1,115 @@
+#include "fleet/supply_curve.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace jupiter::fleet {
+
+SupplyCurve::SupplyCurve(std::vector<Tier> tiers) : tiers_(std::move(tiers)) {
+  int prev_upto = 0;
+  int prev_markup = -1;
+  for (const Tier& t : tiers_) {
+    if (t.upto <= prev_upto) {
+      throw std::invalid_argument("SupplyCurve tiers must strictly increase");
+    }
+    if (t.markup_ticks < std::max(prev_markup, 0)) {
+      throw std::invalid_argument("SupplyCurve markups must be non-decreasing");
+    }
+    prev_upto = t.upto;
+    prev_markup = t.markup_ticks;
+  }
+}
+
+namespace {
+
+int scaled(int units, int permille) {
+  if (permille >= kFullCapacityPermille) return units;
+  if (permille <= 0) return 0;
+  return static_cast<int>(
+      (static_cast<std::int64_t>(units) * permille) / kFullCapacityPermille);
+}
+
+}  // namespace
+
+int SupplyCurve::supply_at(int markup_ticks, int capacity_permille) const {
+  int units = 0;
+  for (const Tier& t : tiers_) {
+    if (t.markup_ticks > markup_ticks) break;
+    units = scaled(t.upto, capacity_permille);
+  }
+  return units;
+}
+
+SupplyCurve SupplyCurve::standard(int capacity, PriceTick on_demand) {
+  if (capacity <= 0) throw std::invalid_argument("capacity must be positive");
+  int od = on_demand.value();
+  auto frac = [capacity](int pct) {
+    return std::max(1, capacity * pct / 100);
+  };
+  std::vector<Tier> tiers;
+  tiers.push_back({frac(60), 0});
+  int t80 = std::max(frac(80), frac(60) + 1);
+  tiers.push_back({t80, std::max(1, od * 2 / 100)});
+  int t92 = std::max(frac(92), t80 + 1);
+  tiers.push_back({t92, std::max(2, od * 8 / 100)});
+  int t100 = std::max(capacity, t92 + 1);
+  tiers.push_back({t100, std::max(4, od * 25 / 100)});
+  return SupplyCurve(std::move(tiers));
+}
+
+ClearingResult clear_market(PriceTick baseline, const SupplyCurve& curve,
+                            std::vector<PriceTick>& bids,
+                            int capacity_permille) {
+  std::sort(bids.begin(), bids.end(),
+            [](PriceTick a, PriceTick b) { return a > b; });
+  ClearingResult res;
+  res.demand = static_cast<int>(bids.size());
+
+  // Units bid at or above price p: the sorted-descending prefix >= p.
+  auto demand_at = [&bids](PriceTick p) {
+    auto it = std::partition_point(bids.begin(), bids.end(),
+                                   [p](PriceTick b) { return b >= p; });
+    return static_cast<int>(it - bids.begin());
+  };
+
+  if (bids.empty()) {
+    // A market nobody in the fleet bids in quotes the exogenous baseline —
+    // this is the demand=0 => replay-era prices identity the tests pin.
+    res.price = baseline;
+    res.allocated = 0;
+    res.supply_at_price = curve.supply_at(0, capacity_permille);
+    return res;
+  }
+
+  // Walk the tier grid bottom-up: the clearing price is the first tier
+  // price at which demand fits inside the (scaled) supply.
+  for (const SupplyCurve::Tier& t : curve.tiers()) {
+    PriceTick p = baseline + t.markup_ticks;
+    int supply = curve.supply_at(t.markup_ticks, capacity_permille);
+    int d = demand_at(p);
+    if (d <= supply) {
+      res.price = p;
+      res.allocated = d;
+      res.supply_at_price = supply;
+      return res;
+    }
+  }
+
+  // Demand exceeds capacity even at the top markup: ration by price.  The
+  // uniform clearing price is one tick above the first rejected bid — the
+  // smallest price at which demand fits inside capacity (ties are rejected
+  // together, so allocation can come in under capacity but never over).
+  int cap = curve.supply_at(curve.tiers().empty()
+                                ? 0
+                                : curve.tiers().back().markup_ticks,
+                            capacity_permille);
+  PriceTick p = cap < static_cast<int>(bids.size())
+                    ? bids[static_cast<std::size_t>(cap)] + 1
+                    : baseline;  // unreachable: d > cap implies bids > cap
+  res.price = p;
+  res.allocated = demand_at(p);
+  res.supply_at_price = cap;
+  return res;
+}
+
+}  // namespace jupiter::fleet

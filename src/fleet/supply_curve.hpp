@@ -1,0 +1,87 @@
+// Piecewise supply curve for one endogenous spot market.
+//
+// The replay stack treats spot prices as an exogenous recording; at fleet
+// scale that breaks down — when thousands of Jupiter deployments bid in the
+// same (zone, instance type) market, their aggregate demand *is* a large
+// share of the demand the price responds to.  We model the provider side as
+// a piecewise-constant supply schedule layered on top of the calibrated
+// semi-Markov baseline price (the exogenous component: everyone who is not
+// part of the simulated fleet):
+//
+//   * the first tier of capacity clears at the baseline price (markup 0) —
+//     a small fleet is a price taker and the replay-era behaviour is
+//     recovered exactly;
+//   * deeper tiers clear at increasing markups over baseline — the fleet
+//     bidding for a sizable fraction of the zone's spare capacity pushes
+//     the clearing price up;
+//   * demand beyond the last tier is rationed by price: the market clears
+//     at one tick above the highest rejected bid, which is the uniform
+//     price at which demand first fits inside capacity (a bid war).
+//
+// Everything is integer arithmetic on the $0.0001 tick grid, so clearing is
+// bit-reproducible and monotone: more demand can never lower the clearing
+// price (tests/test_fleet_market.cpp pins both properties).
+#pragma once
+
+#include <vector>
+
+#include "util/money.hpp"
+
+namespace jupiter::fleet {
+
+/// Capacity scale factors are expressed in per-mille so chaos capacity
+/// crunches stay in integer arithmetic (700 = 70% of nominal capacity).
+inline constexpr int kFullCapacityPermille = 1000;
+
+class SupplyCurve {
+ public:
+  /// Units with index in [previous tier's upto, `upto`) clear at
+  /// baseline + `markup_ticks`.
+  struct Tier {
+    int upto = 0;          ///< cumulative units available through this tier
+    int markup_ticks = 0;  ///< price markup over the baseline, in ticks
+  };
+
+  SupplyCurve() = default;
+  /// Tiers must have strictly increasing `upto` and non-decreasing markup.
+  explicit SupplyCurve(std::vector<Tier> tiers);
+
+  const std::vector<Tier>& tiers() const { return tiers_; }
+  /// Nominal capacity: the last tier's `upto` (0 for an empty curve).
+  int capacity() const { return tiers_.empty() ? 0 : tiers_.back().upto; }
+
+  /// Units on offer at a clearing markup of at most `markup_ticks`, with
+  /// every tier's capacity scaled by `capacity_permille` (rounded down).
+  /// Markups beyond the last tier still offer only the (scaled) capacity.
+  int supply_at(int markup_ticks,
+                int capacity_permille = kFullCapacityPermille) const;
+
+  /// The default fleet curve: 60% of capacity at the baseline price, 80% at
+  /// +2% of on-demand, 92% at +8%, 100% at +25% — gentle until the fleet
+  /// asks for most of the zone's spare capacity, then steep.
+  static SupplyCurve standard(int capacity, PriceTick on_demand);
+
+ private:
+  std::vector<Tier> tiers_;
+};
+
+/// Outcome of one uniform-price clearing.
+struct ClearingResult {
+  PriceTick price;          ///< uniform clearing price (>= baseline)
+  int demand = 0;           ///< units bid for
+  int allocated = 0;        ///< units with bid >= price
+  int supply_at_price = 0;  ///< scaled supply the curve offers at `price`
+};
+
+/// Clears one epoch: finds the lowest price on the curve's tier grid (or,
+/// when demand exceeds capacity even at the top markup, one tick above the
+/// highest rejected bid) at which demand fits inside supply.  Exactly the
+/// units whose bid is >= the clearing price are allocated, so
+/// `allocated <= supply_at_price` always holds — the market-conservation
+/// invariant the chaos harness re-checks.  `bids` is consumed (sorted
+/// descending in place); input order does not affect the result.
+ClearingResult clear_market(PriceTick baseline, const SupplyCurve& curve,
+                            std::vector<PriceTick>& bids,
+                            int capacity_permille = kFullCapacityPermille);
+
+}  // namespace jupiter::fleet

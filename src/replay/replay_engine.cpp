@@ -28,6 +28,8 @@ struct Holding {
   }
 };
 
+}  // namespace
+
 TimeDelta draw_startup(Rng& rng, int zone) {
   int region = all_zones().at(static_cast<std::size_t>(zone)).region;
   double mean = region_startup_mean_seconds(region);
@@ -35,8 +37,6 @@ TimeDelta draw_startup(Rng& rng, int zone) {
   return std::clamp<TimeDelta>(secs, 200, 700);
 }
 
-/// Downtime within [t0, t1) given each member's up-interval [up_from,
-/// up_to) and the quorum size.
 TimeDelta quorum_downtime(const std::vector<std::pair<SimTime, SimTime>>& ups,
                           SimTime t0, SimTime t1, int quorum) {
   std::vector<SimTime> edges{t0, t1};
@@ -57,8 +57,6 @@ TimeDelta quorum_downtime(const std::vector<std::pair<SimTime, SimTime>>& ups,
   }
   return down;
 }
-
-}  // namespace
 
 bool ReplayResult::internally_consistent(std::string* why) const {
   auto fail = [why](std::string msg) {

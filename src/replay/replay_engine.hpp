@@ -98,4 +98,18 @@ struct ReplayResult {
 ReplayResult replay_strategy(const TraceBook& book, BiddingStrategy& strategy,
                              const ReplayConfig& cfg);
 
+// ---- shared driver pieces --------------------------------------------------
+// The single-service replay above and the fleet driver (src/fleet) account
+// availability and startup identically; these are the common primitives.
+
+/// Downtime within [t0, t1) given each member's up-interval [up_from,
+/// up_to) and the quorum size: seconds during which fewer than `quorum`
+/// members are simultaneously up.
+TimeDelta quorum_downtime(const std::vector<std::pair<SimTime, SimTime>>& ups,
+                          SimTime t0, SimTime t1, int quorum);
+
+/// Draws one instance-startup latency for `zone` (region-dependent mean,
+/// +/-20% jitter, clamped to the paper's 200-700 s band).
+TimeDelta draw_startup(Rng& rng, int zone);
+
 }  // namespace jupiter
