@@ -8,6 +8,7 @@
 #include "chaos/invariants.hpp"
 #include "cloud/region.hpp"
 #include "market/billing.hpp"
+#include "util/shared_state_audit.hpp"
 
 namespace jupiter::chaos {
 
@@ -152,7 +153,17 @@ FleetChaosReport run_fleet_chaos(std::uint64_t seed) {
 
   FleetChaosReport out;
   out.seed = seed;
-  out.report = run_fleet(opts);
+  {
+    // The whole scenario runs under the shared-state auditor: a cross-phase
+    // write anywhere in the fleet joins the seed's invariant report, so the
+    // reproducing seed also localizes the offending site.
+    AuditScope audit(AuditPolicy::kRecord);
+    out.report = run_fleet(opts);
+    for (const AuditViolation& v : SharedStateAuditor::drain()) {
+      out.violations.push_back("shared-state audit: " + v.kind + " at " +
+                               v.site + " (" + v.detail + ")");
+    }
+  }
 
   std::string why;
   if (!out.report.internally_consistent(&why)) {

@@ -10,6 +10,7 @@
 namespace jupiter {
 
 void TraceBook::set(int zone, InstanceKind kind, SpotTrace trace) {
+  audit_.write("TraceBook::set");
   traces_[{zone, static_cast<int>(kind)}] = std::move(trace);
 }
 
@@ -24,6 +25,7 @@ const SpotTrace& TraceBook::trace(int zone, InstanceKind kind) const {
 }
 
 SpotTrace* TraceBook::mutable_trace(int zone, InstanceKind kind) {
+  audit_.write("TraceBook::mutable_trace");
   auto it = traces_.find({zone, static_cast<int>(kind)});
   if (it == traces_.end()) throw std::out_of_range("no trace for zone/type");
   return &it->second;
@@ -91,6 +93,7 @@ TraceBook TraceBook::load_dir(const std::string& dir) {
 }
 
 void TraceBook::merge(TraceBook other) {
+  audit_.write("TraceBook::merge");
   for (auto& [key, trace] : other.traces_) {
     traces_[key] = std::move(trace);
   }

@@ -13,6 +13,7 @@
 #include "cloud/instance_type.hpp"
 #include "market/price_process.hpp"
 #include "market/spot_trace.hpp"
+#include "util/shared_state_audit.hpp"
 
 namespace jupiter {
 
@@ -54,10 +55,17 @@ class TraceBook {
   /// Loads every `*.csv` trace previously written by save_dir.
   static TraceBook load_dir(const std::string& dir);
 
+  /// SharedStateAuditor phase hooks: a fleet cluster binds the book to its
+  /// thread for the duration of its run (Cluster::run); while bound, every
+  /// write through set/merge/mutable_trace must come from that thread.
+  void audit_acquire() { audit_.acquire("TraceBook::audit_acquire"); }
+  void audit_release() { audit_.release(); }
+
  private:
   using Key = std::pair<int, int>;  // (zone, kind)
   std::map<Key, SpotTrace> traces_;
   std::map<Key, ZoneProfile> profiles_;
+  AuditToken audit_{"TraceBook", AuditMode::kPhased};
 };
 
 }  // namespace jupiter

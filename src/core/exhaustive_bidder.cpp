@@ -136,6 +136,7 @@ std::optional<BidDecision> exhaustive_decide(const FailureModelBook& models,
   if (tasks.empty()) return std::nullopt;
 
   std::vector<TaskResult> results(tasks.size());
+  // par: owned — each task writes only its own results[t] slot
   parallel_for(global_pool(), tasks.size(), [&](std::size_t t) {
     const Task& task = tasks[t];
     TaskResult& r = results[t];

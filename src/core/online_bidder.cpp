@@ -133,6 +133,7 @@ BidDecision OnlineBidder::decide(const FailureModelBook& models,
   // after another on this thread.  Priming computes the same values
   // (hit_curve is bit-identical to per-threshold hit_one), so decisions are
   // unaffected.
+  // par: owned — each index primes only its own curve's private cache
   parallel_for(global_pool(), curves.size(),
                [&](std::size_t i) { curves[i].second.prime_all(); });
 

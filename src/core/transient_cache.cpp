@@ -10,6 +10,7 @@ std::shared_ptr<TransientCache::Entry> TransientCache::entry(int state,
   auto key = std::make_tuple(state, age, horizon);
   auto it = entries_.find(key);
   if (it != entries_.end()) return it->second;
+  AuditWriteScope audit(audit_, "TransientCache::entry");
   if (entries_.size() >= kMaxEntries) entries_.clear();
   auto e = std::make_shared<Entry>();
   e->hit.assign(static_cast<std::size_t>(state_count), 0.0);
@@ -20,6 +21,7 @@ std::shared_ptr<TransientCache::Entry> TransientCache::entry(int state,
 
 void TransientCache::invalidate() {
   std::lock_guard<std::mutex> lk(mu_);
+  AuditWriteScope audit(audit_, "TransientCache::invalidate");
   entries_.clear();
 }
 

@@ -23,6 +23,8 @@
 #include <tuple>
 #include <vector>
 
+#include "util/shared_state_audit.hpp"
+
 namespace jupiter {
 
 class TransientCache {
@@ -74,6 +76,8 @@ class TransientCache {
 
   mutable std::mutex mu_;
   std::map<std::tuple<int, int, int>, std::shared_ptr<Entry>> entries_;
+  // Map mutations happen under mu_; the auditor proves the serialization.
+  AuditToken audit_{"TransientCache", AuditMode::kSerialized};
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
 };

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "ec/gf_kernels.hpp"
+#include "util/shared_state_audit.hpp"
 #include "util/thread_pool.hpp"
 
 namespace jupiter {
@@ -44,6 +45,7 @@ void coded_muladd(const GFMatrix& mat, std::size_t row0,
   if (dst.empty() || len == 0) return;
   if (len >= 2 * kShardBytes) {
     const std::size_t shards = (len + kShardBytes - 1) / kShardBytes;
+    // par: owned — shards write disjoint [lo, hi) byte ranges of dst
     parallel_for(global_pool(), shards, [&](std::size_t i) {
       const std::size_t lo = i * kShardBytes;
       const std::size_t hi = std::min(lo + kShardBytes, len);
@@ -70,10 +72,15 @@ ReedSolomon::ReedSolomon(int m, int n) : m_(m), n_(n) {
 }
 
 const ReedSolomon& ReedSolomon::shared(int m, int n) {
+  // Coding output is independent of which thread populates an entry first.
+  // detlint: allow(par-shared) — guards the manifest-listed registry below
   static std::mutex mu;
   static std::map<std::pair<int, int>, ReedSolomon>* registry =
       new std::map<std::pair<int, int>, ReedSolomon>();  // leaked: outlives all users
+  // detlint: allow(par-shared) — the registry's audit token, same guard
+  static AuditToken audit("ReedSolomon::shared", AuditMode::kSerialized);
   std::lock_guard<std::mutex> lk(mu);
+  AuditWriteScope scope(audit, "ReedSolomon::shared");
   auto it = registry->find({m, n});
   if (it == registry->end()) {
     it = registry

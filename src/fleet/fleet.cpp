@@ -160,12 +160,21 @@ class Cluster {
   }
 
   void run() {
+    // Phase ownership: until the releases below, this thread is the only
+    // legal writer of the cluster's books and markets.  The merge loop in
+    // run_fleet moves results out on the main thread strictly after.
+    shared_.audit_acquire();
+    baseline_.audit_acquire();
+    for (SpotMarket& m : markets_) m.audit_acquire();
     sim_ = std::make_unique<Simulator>();
     prev_tick_ = start_;
     sim_->schedule_at(start_, [this] { tick(); });
     sim_->run_until(end_);
     events_dispatched_ = sim_->core_stats().dispatched;
     finish();
+    for (SpotMarket& m : markets_) m.audit_release();
+    baseline_.audit_release();
+    shared_.audit_release();
   }
 
   // ---- outputs (valid after run()) ----
@@ -194,6 +203,12 @@ class Cluster {
 
   void tick() {
     SimTime t = sim_->now();
+    if (opts_.debug_foreign_book && t == start_ && index_ == 0) {
+      // Deliberate cross-phase write; see FleetOptions::debug_foreign_book.
+      // Only cluster 0 writes so the injection races with the *phase
+      // discipline*, never structurally with another injecting cluster.
+      opts_.debug_foreign_book->set(index_, kKinds[0], SpotTrace{});
+    }
     // 1. Publish the baseline's change points since the previous epoch.
     for (SpotMarket& m : markets_) m.advance_to(t);
     // 2. Discover out-of-bid deaths caused by those baseline moves.
@@ -219,6 +234,8 @@ class Cluster {
       TimeDelta interval = 0;
     };
     std::vector<Slot> slots(due.size());
+    // par: owned — each index fills its own pre-allocated decision slot;
+    // decisions are applied sequentially in service order afterwards
     parallel_for(pool_, due.size(), [&](std::size_t i) {
       ServiceState& s = services_[due[i]];
       TimeDelta iv = s.cfg.interval;
@@ -664,6 +681,8 @@ FleetReport run_fleet(const FleetOptions& opts,
 
   std::vector<std::unique_ptr<Cluster>> clusters(
       static_cast<std::size_t>(nclusters));
+  // par: merged — clusters touch disjoint zone sets and merge in cluster
+  // order below, so fingerprints are identical across pool sizes
   parallel_for(tp, static_cast<std::size_t>(nclusters), [&](std::size_t i) {
     clusters[i] = std::make_unique<Cluster>(opts, static_cast<int>(i),
                                             zone_sets[i],

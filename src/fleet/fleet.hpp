@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "cloud/trace_book.hpp"
 #include "fleet/spot_market.hpp"
 #include "replay/replay_engine.hpp"
 #include "replay/strategy_factory.hpp"
@@ -91,6 +92,11 @@ struct FleetOptions {
   bool keep_instance_records = true;
   bool keep_clearing_records = true;
   std::vector<FleetFault> faults;
+  /// Test-only hook (SharedStateAuditor regression): when set, every
+  /// cluster performs one deliberate write into this *foreign* book at its
+  /// first tick — exactly the cross-cluster write the audit layer exists to
+  /// catch.  Must never be set outside tests.
+  TraceBook* debug_foreign_book = nullptr;
 };
 
 /// Per-service outcome, same accounting as ReplayResult (the timeline

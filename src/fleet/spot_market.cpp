@@ -48,6 +48,7 @@ int SpotMarket::capacity_permille_at(SimTime t) const {
 }
 
 void SpotMarket::advance_to(SimTime t) {
+  audit_.write("SpotMarket::advance_to");
   const auto& pts = baseline_->points();
   while (baseline_cursor_ < pts.size() && pts[baseline_cursor_].at < t) {
     // A baseline change point that coincided with an earlier clearing
@@ -63,6 +64,7 @@ void SpotMarket::advance_to(SimTime t) {
 
 ClearingResult SpotMarket::clear(SimTime t, std::vector<PriceTick> bids,
                                  bool record) {
+  audit_.write("SpotMarket::clear");
   PriceTick base = baseline_->price_at(t);
   int permille = capacity_permille_at(t);
   ClearingResult res = clear_market(base, curve_, bids, permille);

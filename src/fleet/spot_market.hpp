@@ -27,6 +27,7 @@
 #include "cloud/instance_type.hpp"
 #include "fleet/supply_curve.hpp"
 #include "market/spot_trace.hpp"
+#include "util/shared_state_audit.hpp"
 #include "util/time.hpp"
 
 namespace jupiter::fleet {
@@ -72,6 +73,12 @@ class SpotMarket {
   /// price point at `t`, and records the clearing when `record` is set.
   ClearingResult clear(SimTime t, std::vector<PriceTick> bids, bool record);
 
+  /// SharedStateAuditor phase hooks: the owning cluster binds the market to
+  /// its thread for the duration of the run (advance_to/clear write the
+  /// published trace through the cached pointer, bypassing TraceBook).
+  void audit_acquire() { audit_.acquire("SpotMarket::audit_acquire"); }
+  void audit_release() { audit_.release(); }
+
   const std::vector<ClearingRecord>& records() const { return records_; }
   std::uint64_t clearings() const { return clearings_; }
   PriceTick peak_price() const { return peak_price_; }
@@ -97,6 +104,7 @@ class SpotMarket {
   PriceTick peak_price_;
   std::int64_t units_allocated_ = 0;
   std::int64_t units_demanded_ = 0;
+  AuditToken audit_{"SpotMarket", AuditMode::kPhased};
 };
 
 }  // namespace jupiter::fleet

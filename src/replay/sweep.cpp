@@ -27,6 +27,7 @@ std::vector<SweepCell> run_sweep(const Scenario& sc, const ServiceSpec& spec,
   }
 
   std::vector<SweepCell> cells(jobs.size());
+  // par: owned — each job writes only its own cells[i]
   parallel_for(global_pool(), jobs.size(), [&](std::size_t i) {
     const Job& job = jobs[i];
     ReplayConfig cfg = make_replay_config(sc, spec, job.interval);

@@ -5,6 +5,7 @@ namespace jupiter {
 Interner::Id Interner::intern(std::string_view s) {
   auto it = ids_.find(s);
   if (it != ids_.end()) return it->second;
+  AuditWriteScope audit(audit_, "Interner::intern");
   const Id id = static_cast<Id>(strings_.size());
   const std::string& stored = strings_.emplace_back(s);
   ids_.emplace(std::string_view(stored), id);

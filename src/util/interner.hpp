@@ -23,6 +23,8 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "util/shared_state_audit.hpp"
+
 namespace jupiter {
 
 class Interner {
@@ -55,6 +57,9 @@ class Interner {
   // only — ids come from the insertion-ordered strings_ vector, never from
   // hash iteration.
   std::unordered_map<std::string_view, Id> ids_;  // views into strings_
+  // Writes must be externally serialized (each simulator owns its interner);
+  // the auditor proves that claim when enabled.
+  AuditToken audit_{"Interner", AuditMode::kSerialized};
 };
 
 }  // namespace jupiter

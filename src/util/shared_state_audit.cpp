@@ -1,0 +1,170 @@
+#include "util/shared_state_audit.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace jupiter {
+
+namespace {
+
+struct Global {
+  std::atomic<int> policy{static_cast<int>(AuditPolicy::kAbort)};
+  std::atomic<std::uint64_t> next_thread_id{1};
+  std::mutex mu;
+  std::vector<AuditViolation> violations;
+  std::map<std::string, std::size_t> live;  // kind -> registered tokens
+};
+
+Global& g() {
+  static Global s;
+  return s;
+}
+
+}  // namespace
+
+std::atomic<bool>& SharedStateAuditor::enabled_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+void SharedStateAuditor::enable(AuditPolicy policy) {
+  g().policy.store(static_cast<int>(policy), std::memory_order_relaxed);
+  enabled_flag().store(true, std::memory_order_release);
+}
+
+void SharedStateAuditor::disable() {
+  enabled_flag().store(false, std::memory_order_release);
+}
+
+AuditPolicy SharedStateAuditor::policy() {
+  return static_cast<AuditPolicy>(g().policy.load(std::memory_order_relaxed));
+}
+
+std::vector<AuditViolation> SharedStateAuditor::drain() {
+  std::lock_guard<std::mutex> lk(g().mu);
+  std::vector<AuditViolation> out = std::move(g().violations);
+  g().violations.clear();
+  return out;
+}
+
+std::uint64_t SharedStateAuditor::thread_id() {
+  thread_local std::uint64_t id = 0;
+  if (id == 0) id = g().next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::size_t SharedStateAuditor::registered(const char* kind) {
+  std::lock_guard<std::mutex> lk(g().mu);
+  auto it = g().live.find(kind);
+  return it == g().live.end() ? 0 : it->second;
+}
+
+void SharedStateAuditor::report(const char* kind, const char* site,
+                                std::string detail) {
+  if (policy() == AuditPolicy::kAbort) {
+    std::fprintf(stderr,
+                 "SharedStateAuditor: cross-phase write\n  object: %s\n"
+                 "  site:   %s\n  %s\n",
+                 kind, site, detail.c_str());
+    std::abort();
+  }
+  std::lock_guard<std::mutex> lk(g().mu);
+  g().violations.push_back({kind, site, std::move(detail)});
+}
+
+AuditToken::AuditToken(const char* kind, AuditMode mode)
+    : kind_(kind), mode_(mode) {
+  std::lock_guard<std::mutex> lk(g().mu);
+  ++g().live[kind_];
+}
+
+AuditToken::~AuditToken() {
+  std::lock_guard<std::mutex> lk(g().mu);
+  auto it = g().live.find(kind_);
+  if (it != g().live.end() && --it->second == 0) g().live.erase(it);
+}
+
+void AuditToken::acquire(const char* site) {
+  if (!SharedStateAuditor::enabled()) return;
+  const std::uint64_t me = SharedStateAuditor::thread_id();
+  std::uint64_t expected = 0;
+  if (!owner_.compare_exchange_strong(expected, me,
+                                      std::memory_order_acq_rel) &&
+      expected != me) {
+    SharedStateAuditor::report(
+        kind_, site,
+        "acquire by thread " + std::to_string(me) + " while thread " +
+            std::to_string(expected) + " still owns the phase");
+    owner_.store(me, std::memory_order_release);
+  }
+}
+
+void AuditToken::release() { owner_.store(0, std::memory_order_release); }
+
+void AuditToken::write(const char* site) {
+  if (!SharedStateAuditor::enabled()) return;
+  const std::uint64_t me = SharedStateAuditor::thread_id();
+  if (mode_ == AuditMode::kPhased) {
+    const std::uint64_t owner = owner_.load(std::memory_order_acquire);
+    if (owner != 0 && owner != me) {
+      SharedStateAuditor::report(
+          kind_, site,
+          "write from thread " + std::to_string(me) +
+              " outside the owning phase (owner: thread " +
+              std::to_string(owner) + ")");
+    }
+    return;
+  }
+  AuditWriteScope scope(*this, site);
+}
+
+AuditWriteScope::AuditWriteScope(AuditToken& token, const char* site)
+    : token_(&token) {
+  if (!SharedStateAuditor::enabled() ||
+      token.mode() != AuditMode::kSerialized) {
+    return;
+  }
+  active_ = true;
+  const std::uint64_t me = SharedStateAuditor::thread_id();
+  std::uint64_t expected = 0;
+  if (token_->writer_.compare_exchange_strong(expected, me,
+                                              std::memory_order_acq_rel)) {
+    token_->depth_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (expected == me) {  // same-thread reentry is fine
+    token_->depth_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  SharedStateAuditor::report(
+      token_->kind_, site,
+      "overlapping writes: thread " + std::to_string(me) +
+          " entered while thread " + std::to_string(expected) +
+          " is still writing — the declared serialization is missing");
+  active_ = false;
+}
+
+AuditWriteScope::~AuditWriteScope() {
+  if (!active_) return;
+  if (token_->depth_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    token_->writer_.store(0, std::memory_order_release);
+  }
+}
+
+AuditScope::AuditScope(AuditPolicy policy)
+    : was_enabled_(SharedStateAuditor::enabled()),
+      prior_policy_(SharedStateAuditor::policy()) {
+  SharedStateAuditor::enable(policy);
+}
+
+AuditScope::~AuditScope() {
+  if (was_enabled_) {
+    SharedStateAuditor::enable(prior_policy_);
+  } else {
+    SharedStateAuditor::disable();
+  }
+}
+
+}  // namespace jupiter

@@ -1,0 +1,132 @@
+// SharedStateAuditor: runtime enforcement of the parallel ownership
+// contract that detlint's parlint rules check statically.
+//
+// The fleet's thread-count determinism rests on a discipline, not a lock:
+// every object that more than one thread can reach declares how it may be
+// written —
+//
+//   * kPhased      the object has an owning phase.  One thread acquires it
+//                  (Cluster::run acquires its TraceBook and SpotMarkets),
+//                  every write while owned must come from the owner, and
+//                  release() hands it back (the merge loop on the main
+//                  thread runs after release).  A write from a foreign
+//                  thread IS the cross-cluster race the fleet contract
+//                  forbids.
+//   * kSerialized  writes may come from any thread but never overlap: the
+//                  registries (interner, ReedSolomon::shared, transient
+//                  cache) are mutex-guarded, and a WriteScope inside the
+//                  critical section proves it — two live scopes from
+//                  different threads mean the guard is gone.
+//
+// The auditor is a cheap runtime layer, off by default: a disabled token
+// costs one relaxed atomic load per write.  Tests and the chaos runner
+// enable it (AuditScope), so a seed that reproduces a violation also
+// localizes it: the report carries the object kind and the offending call
+// site.  Policy kAbort crashes at the site (debug runs); kRecord collects
+// violations for drain() (the chaos runner appends them to its invariant
+// report).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jupiter {
+
+enum class AuditMode { kPhased, kSerialized };
+enum class AuditPolicy { kAbort, kRecord };
+
+struct AuditViolation {
+  std::string kind;    ///< object kind ("TraceBook", "Interner", ...)
+  std::string site;    ///< offending call site ("TraceBook::set", ...)
+  std::string detail;  ///< owner/writer thread ids
+};
+
+class SharedStateAuditor {
+ public:
+  static bool enabled() {
+    return enabled_flag().load(std::memory_order_relaxed);
+  }
+  static void enable(AuditPolicy policy);
+  static void disable();
+  static AuditPolicy policy();
+
+  /// Recorded violations (kRecord policy), oldest first; clears the list.
+  static std::vector<AuditViolation> drain();
+
+  /// Dense per-thread id, assigned on first use; never 0 (0 = unowned).
+  static std::uint64_t thread_id();
+
+  /// Live registered tokens of a kind (tests assert the wiring exists).
+  static std::size_t registered(const char* kind);
+
+  /// Reports through the active policy: abort with the site, or record.
+  static void report(const char* kind, const char* site, std::string detail);
+
+ private:
+  static std::atomic<bool>& enabled_flag();
+};
+
+/// Embedded in each audited object; owns its own state so registration is
+/// allocation-free and copy/move of the host object starts a fresh slot
+/// (ownership never transfers implicitly between objects).
+class AuditToken {
+ public:
+  AuditToken(const char* kind, AuditMode mode);
+  ~AuditToken();
+  AuditToken(const AuditToken& o) : AuditToken(o.kind_, o.mode_) {}
+  AuditToken& operator=(const AuditToken&) { return *this; }
+
+  AuditMode mode() const { return mode_; }
+  const char* kind() const { return kind_; }
+
+  /// Phased tokens: bind/unbind the owning thread.  Acquiring an object
+  /// another thread still owns is itself a violation.
+  void acquire(const char* site);
+  void release();
+
+  /// Checks one write against the declared mode.  Phased: while owned,
+  /// only the owner may write.  Serialized: equivalent to a point-sized
+  /// WriteScope.
+  void write(const char* site);
+
+ private:
+  friend class AuditWriteScope;
+  const char* kind_;
+  AuditMode mode_;
+  std::atomic<std::uint64_t> owner_{0};   // phased: owning thread id
+  std::atomic<std::uint64_t> writer_{0};  // serialized: thread inside a scope
+  std::atomic<std::uint32_t> depth_{0};   // serialized: same-thread reentry
+};
+
+/// RAII span of one serialized write (hold it for the whole critical
+/// section).  Two overlapping scopes from different threads mean the
+/// external serialization the object declared does not actually exist.
+class AuditWriteScope {
+ public:
+  AuditWriteScope(AuditToken& token, const char* site);
+  ~AuditWriteScope();
+  AuditWriteScope(const AuditWriteScope&) = delete;
+  AuditWriteScope& operator=(const AuditWriteScope&) = delete;
+
+ private:
+  AuditToken* token_;
+  bool active_ = false;
+};
+
+/// RAII enable/disable for tests and the chaos runner; restores the prior
+/// enabled state and policy on destruction.
+class AuditScope {
+ public:
+  explicit AuditScope(AuditPolicy policy);
+  ~AuditScope();
+  AuditScope(const AuditScope&) = delete;
+  AuditScope& operator=(const AuditScope&) = delete;
+
+ private:
+  bool was_enabled_;
+  AuditPolicy prior_policy_;
+};
+
+}  // namespace jupiter

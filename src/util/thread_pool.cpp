@@ -135,6 +135,8 @@ void parallel_for(ThreadPool& pool, std::size_t n,
 }
 
 ThreadPool& global_pool() {
+  // Work items own their state; batches are claim-cursor ordered.
+  // detlint: allow(par-shared) — the process-wide pool itself, not a cache
   static ThreadPool pool;
   return pool;
 }

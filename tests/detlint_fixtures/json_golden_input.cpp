@@ -1,0 +1,10 @@
+// Fixture for the detlint --json golden test (jupiter_detlint_json_golden):
+// two stable findings whose JSON rendering is pinned byte-for-byte by
+// tools/detlint/json_golden.txt.
+#include <cstdlib>
+#include <ctime>
+
+long jitter() {
+  long seed = static_cast<long>(time(nullptr));
+  return seed + std::rand();
+}

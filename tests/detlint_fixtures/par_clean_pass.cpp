@@ -1,0 +1,21 @@
+// Fixture: annotated ref captures, per-index slot writes, const statics and
+// a body-local accumulator are all fine — the parlint rules stay quiet.
+#include <cstddef>
+#include <vector>
+
+struct ThreadPool;
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::size_t n, Fn fn);
+
+static const int kScale = 3;
+
+std::vector<long> fill(ThreadPool& pool, std::size_t n) {
+  std::vector<long> out(n);
+  // par: owned — each index writes its own slot
+  parallel_for(pool, n, [&](std::size_t i) {
+    long acc = 0;
+    acc += static_cast<long>(i) * kScale;
+    out[i] = acc;
+  });
+  return out;
+}

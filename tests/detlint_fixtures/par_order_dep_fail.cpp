@@ -1,0 +1,20 @@
+// Fixture: order-sensitive reductions inside a parallel body (container
+// append, accumulation into captured state) must trip par-order-dep.  The
+// capture itself is annotated so only the reduction rule fires.
+#include <cstddef>
+#include <vector>
+
+struct ThreadPool;
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::size_t n, Fn fn);
+
+double scan(ThreadPool& pool, const std::vector<double>& weights) {
+  double total = 0.0;
+  std::vector<std::size_t> heavy;
+  // par: owned
+  parallel_for(pool, weights.size(), [&](std::size_t i) {
+    total += weights[i];
+    if (weights[i] > 1.0) heavy.push_back(i);
+  });
+  return total + static_cast<double>(heavy.size());
+}

@@ -1,0 +1,16 @@
+// Fixture: a by-reference capture handed to parallel_for without a
+// '// par: owned' or '// par: merged' ownership annotation must trip
+// par-ref-capture.
+#include <cstddef>
+#include <vector>
+
+struct ThreadPool;
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::size_t n, Fn fn);
+
+std::vector<int> squares(ThreadPool& pool, std::size_t n) {
+  std::vector<int> out(n);
+  parallel_for(pool, n,
+               [&](std::size_t i) { out[i] = static_cast<int>(i * i); });
+  return out;
+}

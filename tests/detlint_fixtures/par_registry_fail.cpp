@@ -1,0 +1,10 @@
+// Fixture: a mutable static container (the "shared() registry" pattern)
+// must trip par-registry in ANY translation unit — no parallel_for needed.
+// The self-test also replays this fixture with a manifest entry for
+// `price_cache` (finding silenced) and a stale entry (finding reported).
+#include <map>
+
+const std::map<int, int>& lookup() {
+  static std::map<int, int> price_cache;
+  return price_cache;
+}

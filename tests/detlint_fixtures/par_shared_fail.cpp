@@ -1,0 +1,15 @@
+// Fixture: a mutable static in a translation unit that fans out via
+// parallel_for must trip par-shared (and nothing else).
+#include <cstddef>
+
+struct ThreadPool;
+void parallel_for(ThreadPool& pool, std::size_t n, void (*fn)(std::size_t));
+
+static long pages_scanned;  // mutable process-wide state
+
+void touch(std::size_t) {}
+
+void drive(ThreadPool& pool) {
+  parallel_for(pool, 8, touch);
+  pages_scanned = 1;
+}

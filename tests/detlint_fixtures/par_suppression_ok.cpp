@@ -1,0 +1,20 @@
+// Fixture: a reasoned allow() silences par-shared and par-order-dep at
+// deliberate sites, and an ownership annotation covers the ref capture.
+#include <cstddef>
+
+struct ThreadPool;
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::size_t n, Fn fn);
+
+// detlint: allow(par-shared) — test scratchpad, reset between runs
+static int scratch_slots;
+
+int drive(ThreadPool& pool, std::size_t n) {
+  int hits = 0;
+  // par: merged — commutative count folded under the claim cursor
+  parallel_for(pool, n, [&](std::size_t i) {
+    // detlint: allow(par-order-dep) — commutative integer sum
+    hits += static_cast<int>(i != 0);
+  });
+  return hits + scratch_slots;
+}

@@ -1,0 +1,100 @@
+// SharedStateAuditor at fleet scale (src/fleet + src/util): an injected
+// cross-cluster TraceBook write is caught with the offending site, goes
+// unnoticed when the auditor is off (the regression this layer exists to
+// close), never perturbs the simulation itself, and a clean fleet run under
+// the auditor is violation-free and thread-count deterministic.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "cloud/trace_book.hpp"
+#include "fleet/fleet.hpp"
+#include "util/shared_state_audit.hpp"
+#include "util/thread_pool.hpp"
+#include "util/time.hpp"
+
+namespace jupiter::fleet {
+namespace {
+
+FleetOptions small_fleet() {
+  FleetOptions opts;
+  opts.services = 8;
+  opts.clusters = 2;
+  opts.horizon = kDay;
+  opts.history = kWeek;
+  opts.seed = 77;
+  return opts;
+}
+
+// Binds `book` to a thread that immediately exits: its auditor id matches
+// neither the main thread nor any pool worker, so *every* write into the
+// book during the run is a cross-phase write.  (parallel_for's caller
+// participates in the batch, so acquiring from the test thread itself could
+// let the injecting cluster land on the owning thread and mask the write.)
+void bind_to_foreign_thread(TraceBook& book) {
+  std::thread t([&] { book.audit_acquire(); });
+  t.join();
+}
+
+TEST(FleetAudit, InjectedForeignWriteCaughtWithSite) {
+  SharedStateAuditor::drain();
+  AuditScope audit(AuditPolicy::kRecord);  // acquire() is a no-op when off
+  TraceBook victim;
+  bind_to_foreign_thread(victim);
+  FleetOptions opts = small_fleet();
+  opts.debug_foreign_book = &victim;
+  run_fleet(opts);
+  auto v = SharedStateAuditor::drain();
+  ASSERT_EQ(v.size(), 1u);  // exactly the injected write, nothing else
+  EXPECT_EQ(v[0].kind, "TraceBook");
+  EXPECT_EQ(v[0].site, "TraceBook::set");
+  EXPECT_NE(v[0].detail.find("outside the owning phase"), std::string::npos);
+}
+
+TEST(FleetAudit, InjectedWriteGoesUnnoticedWithoutAuditor) {
+  SharedStateAuditor::drain();
+  TraceBook victim;
+  bind_to_foreign_thread(victim);
+  FleetOptions opts = small_fleet();
+  opts.debug_foreign_book = &victim;
+  run_fleet(opts);  // auditor off: the race runs silently
+  EXPECT_TRUE(SharedStateAuditor::drain().empty());
+}
+
+TEST(FleetAudit, AuditorAndInjectionDoNotPerturbTheFleet) {
+  FleetOptions plain = small_fleet();
+  FleetReport baseline = run_fleet(plain);
+
+  TraceBook victim;
+  FleetOptions hooked = small_fleet();
+  hooked.debug_foreign_book = &victim;
+  std::uint64_t audited_fp;
+  {
+    AuditScope audit(AuditPolicy::kRecord);
+    bind_to_foreign_thread(victim);
+    audited_fp = run_fleet(hooked).fingerprint();
+    SharedStateAuditor::drain();
+  }
+  EXPECT_EQ(baseline.fingerprint(), audited_fp);
+}
+
+TEST(FleetAudit, CleanRunIsDeterministicAcrossThreadCountsUnderAudit) {
+  SharedStateAuditor::drain();
+  FleetOptions opts = small_fleet();
+  AuditScope audit(AuditPolicy::kRecord);
+  ThreadPool one(1), two(2), hw(0);
+  FleetReport r1 = run_fleet(opts, &one);
+  FleetReport r2 = run_fleet(opts, &two);
+  FleetReport rh = run_fleet(opts, &hw);
+  EXPECT_EQ(r1.fingerprint(), r2.fingerprint());
+  EXPECT_EQ(r1.fingerprint(), rh.fingerprint());
+  EXPECT_EQ(r1.metrics_csv(), rh.metrics_csv());
+  for (const AuditViolation& v : SharedStateAuditor::drain()) {
+    ADD_FAILURE() << "clean fleet run violated the ownership contract: "
+                  << v.kind << " at " << v.site << " (" << v.detail << ")";
+  }
+}
+
+}  // namespace
+}  // namespace jupiter::fleet

@@ -1,0 +1,183 @@
+// SharedStateAuditor contracts (src/util/shared_state_audit): phased
+// tokens catch writes from outside the owning phase, serialized tokens
+// catch overlapping write scopes, AuditScope restores the prior state, a
+// copied token starts fresh (ownership never transfers between objects),
+// and the audited core objects actually carry tokens — so the wiring the
+// fleet's determinism contract depends on cannot silently disappear.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "cloud/trace_book.hpp"
+#include "core/transient_cache.hpp"
+#include "util/interner.hpp"
+#include "util/shared_state_audit.hpp"
+
+namespace jupiter {
+namespace {
+
+// Every test flushes leftovers first: the violation list is process-global.
+void flush() { SharedStateAuditor::drain(); }
+
+TEST(SharedStateAudit, DisabledTokenRecordsNothing) {
+  flush();
+  AuditToken token("UnitProbe", AuditMode::kPhased);
+  std::thread t([&] { token.acquire("test"); });
+  t.join();
+  token.write("test");  // foreign write, but the auditor is off
+  token.release();
+  AuditScope audit(AuditPolicy::kRecord);
+  EXPECT_TRUE(SharedStateAuditor::drain().empty());
+}
+
+TEST(SharedStateAudit, PhasedForeignWriteCaught) {
+  flush();
+  AuditScope audit(AuditPolicy::kRecord);
+  AuditToken token("UnitProbe", AuditMode::kPhased);
+  std::thread t([&] { token.acquire("UnitProbe::acquire"); });
+  t.join();
+  token.write("UnitProbe::poke");
+  token.release();
+  auto v = SharedStateAuditor::drain();
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].kind, "UnitProbe");
+  EXPECT_EQ(v[0].site, "UnitProbe::poke");
+  EXPECT_NE(v[0].detail.find("outside the owning phase"), std::string::npos);
+}
+
+TEST(SharedStateAudit, PhasedOwnerAndUnownedWritesClean) {
+  flush();
+  AuditScope audit(AuditPolicy::kRecord);
+  AuditToken token("UnitProbe", AuditMode::kPhased);
+  token.write("unowned");  // no phase bound: any thread may write
+  token.acquire("own");
+  token.write("owned");
+  token.release();
+  token.write("unowned-again");
+  EXPECT_TRUE(SharedStateAuditor::drain().empty());
+}
+
+TEST(SharedStateAudit, DoubleAcquireCaught) {
+  flush();
+  AuditScope audit(AuditPolicy::kRecord);
+  AuditToken token("UnitProbe", AuditMode::kPhased);
+  std::thread t([&] { token.acquire("first"); });
+  t.join();
+  token.acquire("second");  // the other thread never released
+  token.release();
+  auto v = SharedStateAuditor::drain();
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].site, "second");
+  EXPECT_NE(v[0].detail.find("still owns the phase"), std::string::npos);
+}
+
+TEST(SharedStateAudit, SerializedOverlapCaught) {
+  flush();
+  AuditScope audit(AuditPolicy::kRecord);
+  AuditToken token("UnitProbe", AuditMode::kSerialized);
+  std::atomic<bool> inside{false};
+  std::atomic<bool> done{false};
+  std::thread t([&] {
+    AuditWriteScope scope(token, "holder");
+    inside.store(true);
+    while (!done.load()) std::this_thread::yield();
+  });
+  while (!inside.load()) std::this_thread::yield();
+  token.write("intruder");  // overlaps the live scope on the other thread
+  done.store(true);
+  t.join();
+  auto v = SharedStateAuditor::drain();
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].site, "intruder");
+  EXPECT_NE(v[0].detail.find("overlapping writes"), std::string::npos);
+}
+
+TEST(SharedStateAudit, SerializedReentryAndSequentialWritesClean) {
+  flush();
+  AuditScope audit(AuditPolicy::kRecord);
+  AuditToken token("UnitProbe", AuditMode::kSerialized);
+  {
+    AuditWriteScope outer(token, "outer");
+    AuditWriteScope inner(token, "inner");  // same-thread reentry
+  }
+  token.write("later");
+  std::thread t([&] { token.write("other-thread"); });  // non-overlapping
+  t.join();
+  EXPECT_TRUE(SharedStateAuditor::drain().empty());
+}
+
+TEST(SharedStateAudit, ScopeRestoresPriorState) {
+  ASSERT_FALSE(SharedStateAuditor::enabled());
+  {
+    AuditScope outer(AuditPolicy::kRecord);
+    EXPECT_TRUE(SharedStateAuditor::enabled());
+    EXPECT_EQ(SharedStateAuditor::policy(), AuditPolicy::kRecord);
+    {
+      AuditScope inner(AuditPolicy::kAbort);
+      EXPECT_EQ(SharedStateAuditor::policy(), AuditPolicy::kAbort);
+    }
+    EXPECT_TRUE(SharedStateAuditor::enabled());
+    EXPECT_EQ(SharedStateAuditor::policy(), AuditPolicy::kRecord);
+  }
+  EXPECT_FALSE(SharedStateAuditor::enabled());
+}
+
+TEST(SharedStateAudit, TokenCopyStartsFresh) {
+  flush();
+  AuditScope audit(AuditPolicy::kRecord);
+  AuditToken original("UnitProbe", AuditMode::kPhased);
+  std::thread t([&] { original.acquire("bind"); });
+  t.join();
+  AuditToken copy = original;
+  copy.write("copy-write");  // the copy is unowned: clean
+  EXPECT_TRUE(SharedStateAuditor::drain().empty());
+  original.write("original-write");  // the original is still foreign-owned
+  original.release();
+  EXPECT_EQ(SharedStateAuditor::drain().size(), 1u);
+}
+
+TEST(SharedStateAudit, RegisteredCountsLiveTokens) {
+  EXPECT_EQ(SharedStateAuditor::registered("UnitCensus"), 0u);
+  {
+    AuditToken a("UnitCensus", AuditMode::kPhased);
+    AuditToken b("UnitCensus", AuditMode::kSerialized);
+    EXPECT_EQ(SharedStateAuditor::registered("UnitCensus"), 2u);
+  }
+  EXPECT_EQ(SharedStateAuditor::registered("UnitCensus"), 0u);
+}
+
+// The wiring test: the shared objects the fleet contract names must embed
+// tokens.  If a refactor drops one, the race coverage silently vanishes —
+// this pins it.
+TEST(SharedStateAudit, CoreObjectsCarryTokens) {
+  std::size_t interner0 = SharedStateAuditor::registered("Interner");
+  std::size_t cache0 = SharedStateAuditor::registered("TransientCache");
+  std::size_t book0 = SharedStateAuditor::registered("TraceBook");
+  Interner interner;
+  TransientCache cache;
+  TraceBook book;
+  EXPECT_EQ(SharedStateAuditor::registered("Interner"), interner0 + 1);
+  EXPECT_EQ(SharedStateAuditor::registered("TransientCache"), cache0 + 1);
+  EXPECT_EQ(SharedStateAuditor::registered("TraceBook"), book0 + 1);
+}
+
+TEST(SharedStateAudit, AuditedObjectsStayCleanWhenUsedCorrectly) {
+  flush();
+  AuditScope audit(AuditPolicy::kRecord);
+  Interner interner;
+  interner.intern("us-east-1a");
+  interner.intern("us-east-1b");
+  interner.intern("us-east-1a");  // hit path: no write scope needed
+  TransientCache cache;
+  cache.entry(0, 0, 10, 4);
+  cache.invalidate();
+  TraceBook book;
+  book.audit_acquire();
+  book.set(0, InstanceKind::kM1Small, SpotTrace{});
+  book.audit_release();
+  EXPECT_TRUE(SharedStateAuditor::drain().empty());
+}
+
+}  // namespace
+}  // namespace jupiter

@@ -53,6 +53,7 @@ TEST(ThreadPool, SingleThreadStillWorks) {
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
   ThreadPool pool(4);
   std::vector<std::atomic<int>> hits(257);
+  // par: owned — atomic per-index slots
   parallel_for(pool, hits.size(), [&](std::size_t i) { ++hits[i]; });
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
@@ -65,6 +66,7 @@ TEST(ParallelFor, ZeroIterations) {
 TEST(ParallelFor, ResultsAreDeterministic) {
   ThreadPool pool(4);
   std::vector<double> out(100);
+  // par: owned — each index writes its own slot
   parallel_for(pool, out.size(), [&](std::size_t i) {
     out[i] = static_cast<double>(i) * 2.0;
   });
@@ -80,6 +82,7 @@ TEST(ParallelFor, NestedCallsFromPoolTasksComplete) {
   // caller.
   ThreadPool pool(2);
   std::vector<std::atomic<int>> hits(8 * 16);
+  // par: owned — atomic per-index slots (covers the nested call too)
   parallel_for(pool, 8, [&](std::size_t outer) {
     parallel_for(pool, 16, [&](std::size_t inner) {
       ++hits[outer * 16 + inner];

@@ -30,6 +30,42 @@
 //                     silently reintroduces a heap allocation per event and
 //                     undoes the allocation-free engine guarantee.
 //
+// The parlint family sees concurrency.  Since the fleet layer, every hot
+// path runs on the nested-safe parallel_for, and the thread-count
+// determinism contract (fingerprints identical across pool sizes {1,2,hw})
+// only holds if no parallel body touches shared mutable state outside a
+// declared ownership discipline:
+//
+//   par-shared        a mutable `static` (function-local or class/namespace
+//                     scope) declared in a translation unit that also uses
+//                     parallel_for.  Statics are process-wide; a parallel
+//                     body reaching one is a race or an ordering leak.
+//                     Annotate deliberate ones:
+//                       // detlint: allow(par-shared) — <why safe>
+//   par-registry      a mutable `static` container (map/set/vector/deque,
+//                     ordered or not) in ANY translation unit — the
+//                     "shared() registry" pattern.  Every such registry
+//                     must be listed in the checked manifest
+//                     (tools/detlint/par_shared_manifest.txt, passed via
+//                     --manifest); unlisted registries and stale manifest
+//                     entries are both findings.  This mechanizes the old
+//                     hand-performed docs/fleet.md single-market audit.
+//   par-ref-capture   a lambda with a by-reference (or `this`) capture
+//                     passed to parallel_for without an ownership
+//                     annotation.  Write one of
+//                       // par: owned    (each index writes disjoint state)
+//                       // par: merged   (results merged deterministically
+//                                         after the join)
+//                     on the call line or up to two lines above.  A `par:`
+//                     annotation naming anything else is bad-suppression.
+//   par-order-dep     an order-sensitive reduction inside a parallel_for
+//                     body: `x += ...` or `x.push_back(...)` where x is not
+//                     declared in the body and not indexed per-iteration.
+//                     Accumulate into per-index slots and merge after the
+//                     join instead; a deliberate site (e.g. under its own
+//                     mutex with commutative math) carries
+//                       // detlint: allow(par-order-dep) — <why>
+//
 // Suppression: a site that is genuinely fine carries an inline annotation
 // on the same line or the line directly above:
 //
@@ -42,12 +78,14 @@
 // Exit status: 0 clean, 1 findings, 2 usage/IO error.
 //
 // Modes:
-//   detlint --root DIR [--money-paths a,b] [--skip SUBSTR]... PATH...
-//       Scan PATHs (files or directories) under DIR; print findings.
+//   detlint --root DIR [--money-paths a,b] [--skip SUBSTR]...
+//           [--manifest FILE] [--json] [--no-skip] PATH...
+//       Scan PATHs (files or directories) under DIR; print findings
+//       (human-readable, or a JSON array under --json).
 //   detlint --self-test FIXTURE_DIR
 //       Run the fixture contract: <rule>_fail.cpp must trip exactly that
-//       rule, clean_pass.cpp and suppression_ok.cpp must be clean, and
-//       suppression_missing_reason.cpp must trip only bad-suppression.
+//       rule, *_pass.cpp / *_ok.cpp must be clean, and the case table must
+//       cover every rule in the rule list.
 
 #include <algorithm>
 #include <cctype>
@@ -70,7 +108,8 @@ namespace {
 const std::vector<std::string> kRuleNames = {
     "banned-time",     "banned-random",   "hash-iteration",
     "float-money",     "ptr-key-ordered", "sim-std-function",
-    "bad-suppression",
+    "par-shared",      "par-registry",    "par-ref-capture",
+    "par-order-dep",   "bad-suppression",
 };
 
 bool known_rule(const std::string& r) {
@@ -91,7 +130,8 @@ struct Suppression {
   std::string detail;
 };
 
-// Parses every "detlint: allow(r1, r2) — reason" occurrence in a comment.
+// Parses a suppression comment: the marker token, then the allowed rule
+// list in parentheses, then the mandatory reason past a dash.
 std::optional<Suppression> parse_suppression(const std::string& comment) {
   auto pos = comment.find("detlint:");
   if (pos == std::string::npos) return std::nullopt;
@@ -221,6 +261,26 @@ bool ident_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
 
+// True iff text[pos..pos+word.size()) is `word` as a whole token.
+bool token_at(const std::string& text, std::size_t pos,
+              const std::string& word) {
+  if (text.compare(pos, word.size(), word) != 0) return false;
+  if (pos > 0 && ident_char(text[pos - 1])) return false;
+  std::size_t end = pos + word.size();
+  if (end < text.size() && ident_char(text[end])) return false;
+  return true;
+}
+
+// True iff `word` occurs anywhere in `text` as a whole token.
+bool has_token(const std::string& text, const std::string& word) {
+  std::size_t pos = 0;
+  while ((pos = text.find(word, pos)) != std::string::npos) {
+    if (token_at(text, pos, word)) return true;
+    pos += 1;
+  }
+  return false;
+}
+
 // Finds `std::unordered_map<...>` / `std::unordered_set<...>` declarations
 // and returns the declared identifiers.  `text` is the whole file's code
 // stream joined by '\n' (declarations can span lines).
@@ -253,6 +313,16 @@ std::vector<std::string> unordered_decl_names(const std::string& text) {
   return names;
 }
 
+// One line of the par-shared/par-registry manifest:
+//   <display-path>:<identifier> — <reason>
+struct ManifestEntry {
+  std::string path;
+  std::string name;
+  std::string reason;
+  int line = 0;          // line in the manifest file, for stale reports
+  bool used = false;     // matched by a scanned registry declaration
+};
+
 struct ScanConfig {
   // Paths (substring match on the generic path) where float-money applies.
   std::vector<std::string> money_paths = {"src/market", "src/cloud"};
@@ -264,6 +334,10 @@ struct ScanConfig {
   // Identifiers known to be unordered containers in *other* files (cross
   // file: members declared in a header, iterated in the .cpp).
   std::set<std::string> global_unordered;
+  // The par-registry manifest (display path of the file it came from, for
+  // stale-entry reports).
+  std::vector<ManifestEntry> manifest;
+  std::string manifest_path;
 };
 
 bool path_in(const std::vector<std::string>& scopes, const std::string& path) {
@@ -305,8 +379,289 @@ std::string first_template_arg(const std::string& text, std::size_t pos) {
   return arg.substr(b, e - b + 1);
 }
 
+// ---- parlint helpers -------------------------------------------------------
+
+// The spelled-out name of the fan-out entry point.  Built from pieces so the
+// code stream of this very file does not itself contain the token (detlint
+// lints tools/, and par-shared keys off the token's presence in a TU).
+const std::string kParFn = std::string("parallel") + "_for";
+
+// Maps a byte offset in the joined code stream back to its 0-based line.
+struct LineMap {
+  std::vector<std::size_t> starts;  // starts[i] = offset of line i
+  std::size_t line_of(std::size_t off) const {
+    auto it = std::upper_bound(starts.begin(), starts.end(), off);
+    return static_cast<std::size_t>(it - starts.begin()) - 1;
+  }
+};
+
+// Result of parsing one `static` declaration out of the code stream.
+struct StaticDecl {
+  std::size_t line = 0;   // 0-based line of the `static` keyword
+  std::string text;       // declaration text, `static` .. terminator
+  std::string name;       // declared identifier (best effort)
+  bool is_function = false;
+  bool is_immutable = false;  // const/constexpr/constinit/thread_local
+  bool is_container = false;  // registry-shaped (map/set/vector/deque)
+};
+
+// Last identifier of a declaration after stripping template argument lists
+// and array extents — `static std::map<K, V>* registry` -> "registry".
+std::string decl_name(const std::string& decl) {
+  std::string flat;
+  int angle = 0;
+  for (std::size_t i = 0; i < decl.size(); ++i) {
+    char c = decl[i];
+    if (c == '<') { ++angle; continue; }
+    if (c == '>') { if (angle > 0) --angle; continue; }
+    if (angle == 0) flat += c;
+  }
+  std::string name, cur;
+  for (std::size_t i = 0; i <= flat.size(); ++i) {
+    char c = i < flat.size() ? flat[i] : ' ';
+    if (ident_char(c)) {
+      cur += c;
+    } else {
+      if (!cur.empty()) name = cur;
+      cur.clear();
+      if (c == '[') break;  // array extent: name precedes it
+    }
+  }
+  return name;
+}
+
+// Scans the joined code stream for `static` variable declarations.
+std::vector<StaticDecl> collect_statics(const std::string& text,
+                                        const LineMap& lm) {
+  static const char* kContainerKeys[] = {
+      "std::map<",    "std::unordered_map<", "std::set<",
+      "std::unordered_set<", "std::vector<", "std::deque<"};
+  std::vector<StaticDecl> out;
+  std::size_t pos = 0;
+  while ((pos = text.find("static", pos)) != std::string::npos) {
+    if (!token_at(text, pos, "static")) {
+      pos += 6;
+      continue;
+    }
+    StaticDecl d;
+    d.line = lm.line_of(pos);
+    // Walk to the declaration terminator: `;`, `=` or `{` at top level.  A
+    // top-level `(` first means this is a function declaration/definition.
+    std::size_t i = pos;
+    int angle = 0;
+    const std::size_t limit = std::min(text.size(), pos + 600);
+    while (i < limit) {
+      char c = text[i];
+      if (c == '<') ++angle;
+      else if (c == '>') { if (angle > 0) --angle; }
+      else if (angle == 0) {
+        if (c == '(') { d.is_function = true; break; }
+        if (c == ';' || c == '=' || c == '{') break;
+      }
+      ++i;
+    }
+    d.text = text.substr(pos, i - pos);
+    pos = i + 1;
+    if (d.is_function) continue;
+    d.is_immutable = has_token(d.text, "const") ||
+                     has_token(d.text, "constexpr") ||
+                     has_token(d.text, "constinit") ||
+                     has_token(d.text, "thread_local");
+    for (const char* key : kContainerKeys) {
+      if (d.text.find(key) != std::string::npos) {
+        d.is_container = true;
+        break;
+      }
+    }
+    d.name = decl_name(d.text);
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+// Matching close for the opener at `open` ('(' or '{' or '[') in blanked
+// code.  Returns npos if unbalanced.
+std::size_t match_close(const std::string& text, std::size_t open) {
+  char o = text[open];
+  char c = o == '(' ? ')' : o == '{' ? '}' : ']';
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == o) ++depth;
+    else if (text[i] == c && --depth == 0) return i;
+  }
+  return std::string::npos;
+}
+
+// A lambda introducer inside an argument list: `[` whose previous
+// non-whitespace char is `(` or `,`.
+bool is_capture_open(const std::string& text, std::size_t pos) {
+  std::size_t j = pos;
+  while (j > 0) {
+    char p = text[j - 1];
+    if (std::isspace(static_cast<unsigned char>(p))) { --j; continue; }
+    return p == '(' || p == ',';
+  }
+  return false;
+}
+
+struct ParCall {
+  std::size_t line = 0;        // 0-based line of the call
+  std::size_t open = 0;        // offset of the call's '('
+  std::size_t close = 0;       // offset of the matching ')'
+  bool has_ref_capture = false;
+  std::size_t lambda_line = 0; // 0-based line of the first ref-capturing '['
+  std::size_t body_open = std::string::npos;   // offset of the body '{'
+  std::size_t body_close = std::string::npos;
+};
+
+// Finds every parallel_for *call* (token followed by '(').  The function's
+// own declaration/definition has a parameter list with no lambda inside, so
+// it yields a ParCall with no captures and an empty body — harmless.
+std::vector<ParCall> collect_par_calls(const std::string& text,
+                                       const LineMap& lm) {
+  std::vector<ParCall> out;
+  std::size_t pos = 0;
+  while ((pos = text.find(kParFn, pos)) != std::string::npos) {
+    if (!token_at(text, pos, kParFn)) {
+      pos += kParFn.size();
+      continue;
+    }
+    std::size_t i = pos + kParFn.size();
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    if (i >= text.size() || text[i] != '(') {
+      pos = i;
+      continue;
+    }
+    ParCall call;
+    call.line = lm.line_of(pos);
+    call.open = i;
+    call.close = match_close(text, i);
+    if (call.close == std::string::npos) {
+      pos = i;
+      continue;
+    }
+    // Lambdas inside the call's argument extent.
+    for (std::size_t j = call.open + 1; j < call.close; ++j) {
+      if (text[j] != '[' || !is_capture_open(text, j)) continue;
+      std::size_t cap_close = match_close(text, j);
+      if (cap_close == std::string::npos || cap_close > call.close) break;
+      std::string caps = text.substr(j + 1, cap_close - j - 1);
+      bool by_ref = caps.find('&') != std::string::npos ||
+                    has_token(caps, "this");
+      if (by_ref && !call.has_ref_capture) {
+        call.has_ref_capture = true;
+        call.lambda_line = lm.line_of(j);
+      }
+      if (call.body_open == std::string::npos) {
+        // Body: first '{' after the capture list (skipping the parameter
+        // list if present).
+        std::size_t k = cap_close + 1;
+        while (k < call.close &&
+               std::isspace(static_cast<unsigned char>(text[k]))) {
+          ++k;
+        }
+        if (k < call.close && text[k] == '(') {
+          std::size_t pc = match_close(text, k);
+          if (pc == std::string::npos) break;
+          k = pc + 1;
+        }
+        while (k < call.close && text[k] != '{') ++k;
+        if (k < call.close) {
+          std::size_t bc = match_close(text, k);
+          if (bc != std::string::npos && bc <= call.close) {
+            call.body_open = k;
+            call.body_close = bc;
+          }
+        }
+      }
+      j = cap_close;
+    }
+    out.push_back(call);
+    pos = call.open;
+  }
+  return out;
+}
+
+// Root identifier of the expression ending just before `end` — for
+// `slots[i].second.x` returns "slots".  Walks back through identifier
+// chars, `.`, `->`, and balanced `[...]` / `(...)` groups.
+std::string root_ident_before(const std::string& text, std::size_t end) {
+  std::size_t i = end;
+  auto skip_group = [&](char close, char open) {
+    int depth = 0;
+    while (i > 0) {
+      char c = text[i - 1];
+      if (c == close) ++depth;
+      else if (c == open && --depth == 0) { --i; return; }
+      --i;
+    }
+  };
+  while (i > 0) {
+    char c = text[i - 1];
+    if (ident_char(c)) { --i; continue; }
+    if (c == ']') { skip_group(']', '['); continue; }
+    if (c == ')') { skip_group(')', '('); continue; }
+    if (c == '.') { --i; continue; }
+    if (c == '>' && i > 1 && text[i - 2] == '-') { i -= 2; continue; }
+    break;
+  }
+  // First identifier from position i.
+  std::string name;
+  while (i < end && ident_char(text[i])) name += text[i++];
+  return name;
+}
+
+// Heuristic: is `name` declared inside `body`?  True if some occurrence is
+// preceded (ignoring spaces) by an identifier char, `>`, `*` or `&` — i.e.
+// a type precedes it.  Errs toward "local" (fewer findings).
+bool declared_in(const std::string& body, const std::string& name) {
+  std::size_t pos = 0;
+  while ((pos = body.find(name, pos)) != std::string::npos) {
+    if (!token_at(body, pos, name)) { pos += 1; continue; }
+    std::size_t j = pos;
+    while (j > 0 && (body[j - 1] == ' ' || body[j - 1] == '\t')) --j;
+    if (j > 0) {
+      char p = body[j - 1];
+      if (ident_char(p) || p == '>' || p == '*' || p == '&') return true;
+    }
+    pos += name.size();
+  }
+  return false;
+}
+
+// The `// par: owned` / `// par: merged` annotation grammar.  Returns the
+// word after `par:` if present (empty optional if no annotation).
+std::optional<std::string> parse_par_annotation(const std::string& comment) {
+  std::size_t pos = 0;
+  while ((pos = comment.find("par:", pos)) != std::string::npos) {
+    if (pos > 0 && ident_char(comment[pos - 1])) {
+      pos += 4;
+      continue;
+    }
+    std::size_t i = pos + 4;
+    while (i < comment.size() &&
+           std::isspace(static_cast<unsigned char>(comment[i]))) {
+      ++i;
+    }
+    std::string word;
+    while (i < comment.size() && ident_char(comment[i])) word += comment[i++];
+    // No word at all => prose mentioning the marker, not an annotation.
+    if (word.empty()) {
+      pos = i;
+      continue;
+    }
+    return word;
+  }
+  return std::nullopt;
+}
+
+// ---- the scanner -----------------------------------------------------------
+
 void scan_file(const fs::path& file, const std::string& display_path,
-               const ScanConfig& cfg, std::vector<Finding>& findings) {
+               ScanConfig& cfg, std::vector<Finding>& findings) {
   std::ifstream in(file);
   if (!in) {
     findings.push_back({display_path, 0, "bad-suppression",
@@ -318,7 +673,9 @@ void scan_file(const fs::path& file, const std::string& display_path,
   std::vector<Line> lines = preprocess(raw);
 
   std::string all_code;
+  LineMap lm;
   for (const auto& l : lines) {
+    lm.starts.push_back(all_code.size());
     all_code += l.code;
     all_code += '\n';
   }
@@ -355,9 +712,24 @@ void scan_file(const fs::path& file, const std::string& display_path,
     }
   }
 
+  // Ownership annotations per line (the grammar behind par-ref-capture).
+  std::vector<bool> par_annotated(lines.size(), false);
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    auto ann = parse_par_annotation(lines[li].comment);
+    if (!ann) continue;
+    if (*ann == "owned" || *ann == "merged") {
+      par_annotated[li] = true;
+    } else {
+      findings.push_back(
+          {display_path, static_cast<int>(li) + 1, "bad-suppression",
+           "malformed ownership annotation 'par: " + *ann +
+               "' — expected 'par: owned' or 'par: merged'"});
+    }
+  }
+
   auto report = [&](std::size_t li, const std::string& rule,
                     const std::string& msg) {
-    if (allowed[li].count(rule)) return;
+    if (li < allowed.size() && allowed[li].count(rule)) return;
     findings.push_back({display_path, static_cast<int>(li) + 1, rule, msg});
   };
 
@@ -435,6 +807,165 @@ void scan_file(const fs::path& file, const std::string& display_path,
       }
     }
   }
+
+  // ---- parlint: shared statics + registries --------------------------------
+  bool uses_par = has_token(all_code, kParFn);
+  for (const StaticDecl& d : collect_statics(all_code, lm)) {
+    if (d.is_function || d.is_immutable) continue;
+    if (d.is_container) {
+      // Registry-shaped: must be in the manifest, regardless of whether
+      // this TU itself fans out — registries are process-wide.
+      bool listed = false;
+      for (ManifestEntry& e : cfg.manifest) {
+        if (e.path == display_path && e.name == d.name) {
+          e.used = true;
+          listed = true;
+        }
+      }
+      if (!listed) {
+        report(d.line, "par-registry",
+               "mutable static container '" + d.name +
+                   "' — a process-wide registry must be listed in the "
+                   "checked manifest (tools/detlint/par_shared_manifest.txt) "
+                   "with a reason");
+      }
+      continue;
+    }
+    if (uses_par) {
+      report(d.line, "par-shared",
+             "mutable static '" + d.name +
+                 "' in a translation unit that fans out via " + kParFn +
+                 " — shared mutable state breaks thread-count determinism; "
+                 "annotate a deliberate site with 'detlint: "
+                 "allow(par-shared) — <why safe>'");
+    }
+  }
+
+  // ---- parlint: ref captures + order-dependent reductions ------------------
+  for (const ParCall& call : collect_par_calls(all_code, lm)) {
+    if (call.has_ref_capture) {
+      bool annotated = false;
+      std::size_t lo = call.line >= 2 ? call.line - 2 : 0;
+      std::size_t hi = std::max(call.line, call.lambda_line);
+      for (std::size_t li = lo; li <= hi && li < lines.size(); ++li) {
+        if (par_annotated[li]) annotated = true;
+      }
+      if (!annotated) {
+        report(call.line, "par-ref-capture",
+               "by-reference lambda capture passed to " + kParFn +
+                   " without an ownership annotation — write '// par: owned' "
+                   "(indices write disjoint state) or '// par: merged' "
+                   "(deterministic merge after the join) on or above the "
+                   "call");
+      }
+    }
+    if (call.body_open == std::string::npos) continue;
+    const std::string body =
+        all_code.substr(call.body_open + 1, call.body_close - call.body_open - 1);
+    auto body_line = [&](std::size_t body_off) {
+      return lm.line_of(call.body_open + 1 + body_off);
+    };
+    // x.push_back(...) / x.emplace_back(...) on a non-local, non-indexed x.
+    for (const std::string meth : {".push_back", ".emplace_back"}) {
+      std::size_t pos = 0;
+      while ((pos = body.find(meth, pos)) != std::string::npos) {
+        std::size_t end = pos;
+        bool indexed = end > 0 && body[end - 1] == ']';
+        std::string root = root_ident_before(body, end);
+        pos += meth.size();
+        if (root.empty() || indexed || declared_in(body, root)) continue;
+        report(body_line(pos - meth.size()), "par-order-dep",
+               "container append to '" + root +
+                   "' inside a parallel body — insertion order depends on "
+                   "thread interleaving; fill per-index slots and merge "
+                   "after the join");
+      }
+    }
+    // x += ... on a non-local, non-indexed x.
+    std::size_t pos = 0;
+    while ((pos = body.find("+=", pos)) != std::string::npos) {
+      std::size_t end = pos;
+      pos += 2;
+      while (end > 0 && (body[end - 1] == ' ' || body[end - 1] == '\t')) --end;
+      if (end == 0) continue;
+      bool indexed = body[end - 1] == ']';
+      std::string root = root_ident_before(body, end);
+      if (root.empty() || indexed || declared_in(body, root)) continue;
+      report(body_line(pos - 2), "par-order-dep",
+             "accumulation '" + root +
+                 " +=' inside a parallel body — order-sensitive reduction; "
+                 "accumulate per-index and fold deterministically after the "
+                 "join");
+    }
+  }
+}
+
+// ---- manifest --------------------------------------------------------------
+
+// Manifest line grammar (one registry per line, '#' comments):
+//   <display-path>:<identifier> — <reason>
+std::vector<ManifestEntry> load_manifest(const fs::path& file,
+                                         std::vector<Finding>& findings,
+                                         const std::string& display) {
+  std::vector<ManifestEntry> out;
+  std::ifstream in(file);
+  if (!in) {
+    findings.push_back({display, 0, "bad-suppression",
+                        "cannot open manifest file"});
+    return out;
+  }
+  int ln = 0;
+  for (std::string line; std::getline(in, line);) {
+    ++ln;
+    auto b = line.find_first_not_of(" \t");
+    if (b == std::string::npos || line[b] == '#') continue;
+    ManifestEntry e;
+    e.line = ln;
+    auto colon = line.find(':', b);
+    if (colon == std::string::npos) {
+      findings.push_back({display, ln, "bad-suppression",
+                          "manifest line has no ':' separator"});
+      continue;
+    }
+    e.path = line.substr(b, colon - b);
+    std::size_t i = colon + 1;
+    while (i < line.size() && ident_char(line[i])) e.name += line[i++];
+    // Reason: text past the dash/em-dash separator.
+    while (i < line.size() &&
+           (std::isspace(static_cast<unsigned char>(line[i])) ||
+            line[i] == '-' || line[i] == ':' ||
+            static_cast<unsigned char>(line[i]) == 0xE2 ||
+            static_cast<unsigned char>(line[i]) == 0x80 ||
+            static_cast<unsigned char>(line[i]) == 0x94)) {
+      ++i;
+    }
+    e.reason = line.substr(i);
+    if (e.name.empty() || e.reason.empty()) {
+      findings.push_back(
+          {display, ln, "bad-suppression",
+           "manifest entry needs '<path>:<name> — <reason>' (reason is "
+           "mandatory, like allow())"});
+      continue;
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+// Stale-entry check: every manifest entry whose file was scanned must have
+// matched a registry declaration.  Entries for unscanned files are left
+// alone (a partial-path scan must not invalidate the manifest).
+void check_manifest_stale(const ScanConfig& cfg,
+                          const std::set<std::string>& scanned,
+                          std::vector<Finding>& findings) {
+  for (const ManifestEntry& e : cfg.manifest) {
+    if (e.used || !scanned.count(e.path)) continue;
+    findings.push_back(
+        {cfg.manifest_path, e.line, "par-registry",
+         "stale manifest entry '" + e.path + ":" + e.name +
+             "' — no such mutable static container exists any more; delete "
+             "the entry"});
+  }
 }
 
 void collect_files(const fs::path& root, const std::string& rel,
@@ -498,7 +1029,12 @@ std::vector<Finding> run_scan(const fs::path& root,
   }
 
   std::vector<Finding> findings;
-  for (const auto& [file, disp] : files) scan_file(file, disp, cfg, findings);
+  std::set<std::string> scanned;
+  for (const auto& [file, disp] : files) {
+    scanned.insert(disp);
+    scan_file(file, disp, cfg, findings);
+  }
+  check_manifest_stale(cfg, scanned, findings);
   return findings;
 }
 
@@ -507,6 +1043,42 @@ void print_findings(const std::vector<Finding>& findings) {
     std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
               << f.message << "\n";
   }
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Machine-readable findings: a JSON array, one object per finding, in the
+// same deterministic order as the human report.  CI diffs this.
+void print_findings_json(const std::vector<Finding>& findings) {
+  std::cout << "[\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    std::cout << "  {\"file\": \"" << json_escape(f.file)
+              << "\", \"line\": " << f.line << ", \"rule\": \""
+              << json_escape(f.rule) << "\", \"message\": \""
+              << json_escape(f.message) << "\"}"
+              << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  std::cout << "]\n";
 }
 
 // ---- self-test -------------------------------------------------------------
@@ -527,10 +1099,40 @@ int self_test(const fs::path& fixture_dir) {
       {"sim_std_function_fail.cpp", "sim-std-function", true},
       {"suppression_missing_reason.cpp", "bad-suppression", true},
       {"obs_wall_timer_fail.cpp", "banned-time", true},
+      {"par_shared_fail.cpp", "par-shared", true},
+      {"par_registry_fail.cpp", "par-registry", true},
+      {"par_ref_capture_fail.cpp", "par-ref-capture", true},
+      {"par_order_dep_fail.cpp", "par-order-dep", true},
       {"clean_pass.cpp", "", false},
       {"suppression_ok.cpp", "", false},
+      {"par_clean_pass.cpp", "", false},
+      {"par_suppression_ok.cpp", "", false},
   };
   int failures = 0;
+  // The case table must stay exhaustive over the rule list: every rule has
+  // at least one fixture that trips it.  Adding a rule without a fixture is
+  // a self-test failure, not a silent gap.
+  for (const auto& r : kRuleNames) {
+    bool covered = false;
+    for (const auto& c : cases) {
+      if (c.must_find && c.rule == r) covered = true;
+    }
+    if (!covered) {
+      std::cerr << "self-test: rule '" << r
+                << "' has no must-find fixture — the fixture contract is no "
+                   "longer exhaustive\n";
+      ++failures;
+    }
+  }
+  auto fixture_cfg = [&] {
+    ScanConfig cfg;
+    cfg.skips.clear();
+    // Fixtures live outside src/market and src/sim — put them in both
+    // scopes so the path-gated fixtures can trip.
+    cfg.money_paths = {fixture_dir.generic_string()};
+    cfg.sim_hot_paths = {fixture_dir.generic_string()};
+    return cfg;
+  };
   for (const auto& c : cases) {
     fs::path f = fixture_dir / c.file;
     if (!fs::exists(f)) {
@@ -538,12 +1140,7 @@ int self_test(const fs::path& fixture_dir) {
       ++failures;
       continue;
     }
-    ScanConfig cfg;
-    cfg.skips.clear();
-    // Fixtures live outside src/market and src/sim — put them in both
-    // scopes so the path-gated fixtures can trip.
-    cfg.money_paths = {fixture_dir.generic_string()};
-    cfg.sim_hot_paths = {fixture_dir.generic_string()};
+    ScanConfig cfg = fixture_cfg();
     std::vector<Finding> findings;
     scan_file(f, (fixture_dir / c.file).generic_string(), cfg, findings);
     if (!c.must_find) {
@@ -569,8 +1166,46 @@ int self_test(const fs::path& fixture_dir) {
       }
     }
   }
+  // Manifest contract, checked programmatically against the par-registry
+  // fixture: a matching entry silences the finding and is marked used; a
+  // stale entry for a scanned file is itself a finding.
+  {
+    const std::string disp =
+        (fixture_dir / "par_registry_fail.cpp").generic_string();
+    ScanConfig cfg = fixture_cfg();
+    cfg.manifest_path = "par_shared_manifest.txt";
+    cfg.manifest.push_back({disp, "price_cache", "self-test entry", 1, false});
+    cfg.manifest.push_back({disp, "gone_registry", "stale entry", 2, false});
+    std::vector<Finding> findings;
+    scan_file(fixture_dir / "par_registry_fail.cpp", disp, cfg, findings);
+    check_manifest_stale(cfg, {disp}, findings);
+    bool listed_silenced = true;
+    bool stale_reported = false;
+    for (const auto& fd : findings) {
+      if (fd.rule == "par-registry" &&
+          fd.message.find("price_cache") != std::string::npos &&
+          fd.file == disp) {
+        listed_silenced = false;
+      }
+      if (fd.rule == "par-registry" &&
+          fd.message.find("stale manifest entry") != std::string::npos) {
+        stale_reported = true;
+      }
+    }
+    if (!cfg.manifest[0].used || !listed_silenced) {
+      std::cerr << "self-test: manifest entry did not silence the "
+                   "par-registry finding it matches\n";
+      ++failures;
+    }
+    if (!stale_reported) {
+      std::cerr << "self-test: stale manifest entry was not reported\n";
+      ++failures;
+    }
+  }
   if (failures == 0) {
-    std::cout << "detlint self-test: " << cases.size() << " fixtures ok\n";
+    std::cout << "detlint self-test: " << cases.size()
+              << " fixtures ok, manifest contract ok, "
+              << kRuleNames.size() << " rules covered\n";
     return 0;
   }
   return 1;
@@ -583,6 +1218,7 @@ int main(int argc, char** argv) {
   fs::path root = fs::current_path();
   ScanConfig cfg;
   std::vector<std::string> paths;
+  bool json = false;
 
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
@@ -611,9 +1247,23 @@ int main(int argc, char** argv) {
       if (!cur.empty()) cfg.money_paths.push_back(cur);
     } else if (a == "--skip") {
       cfg.skips.push_back(next());
+    } else if (a == "--no-skip") {
+      cfg.skips.clear();
+    } else if (a == "--manifest") {
+      std::string mf = next();
+      cfg.manifest_path = mf;
+      std::vector<Finding> errs;
+      cfg.manifest = load_manifest(mf, errs, mf);
+      if (!errs.empty()) {
+        print_findings(errs);
+        return 2;
+      }
+    } else if (a == "--json") {
+      json = true;
     } else if (a == "--help" || a == "-h") {
       std::cout
           << "usage: detlint [--root DIR] [--money-paths a,b] [--skip S]... "
+             "[--manifest FILE] [--json] [--no-skip] "
              "PATH...\n       detlint --self-test FIXTURE_DIR\n";
       return 0;
     } else if (!a.empty() && a[0] == '-') {
@@ -626,6 +1276,10 @@ int main(int argc, char** argv) {
   if (paths.empty()) paths = {"src", "tests", "bench", "examples"};
 
   auto findings = run_scan(root, paths, cfg);
+  if (json) {
+    print_findings_json(findings);
+    return findings.empty() ? 0 : 1;
+  }
   print_findings(findings);
   if (findings.empty()) {
     std::cout << "detlint: clean (" << paths.size() << " roots)\n";

@@ -1,0 +1,21 @@
+# Golden-file test for `detlint --json` (ctest: jupiter_detlint_json_golden).
+# Runs detlint over the dedicated fixture and demands byte-identical JSON —
+# CI and future tooling diff this format, so drift is a breaking change.
+#
+# Variables: DETLINT (binary), ROOT (source dir), GOLDEN (expected output).
+execute_process(
+  COMMAND ${DETLINT} --root ${ROOT} --no-skip --json
+          tests/detlint_fixtures/json_golden_input.cpp
+  OUTPUT_VARIABLE actual
+  RESULT_VARIABLE rv)
+if(NOT rv EQUAL 1)
+  message(FATAL_ERROR
+          "detlint --json on the golden fixture exited ${rv} (expected 1 — "
+          "the fixture carries deliberate findings)")
+endif()
+file(READ ${GOLDEN} expected)
+if(NOT actual STREQUAL expected)
+  message(FATAL_ERROR "detlint --json output drifted from ${GOLDEN}:\n"
+                      "---- actual ----\n${actual}\n---- expected ----\n"
+                      "${expected}")
+endif()
