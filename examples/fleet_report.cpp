@@ -4,13 +4,21 @@
 //   fleet_report [--services N] [--weeks W] [--seed S] [--clusters C]
 //                [--csv]         also dump the deterministic metrics CSV
 //                [--prices]      dump each market's endogenous price path
+//                [--telemetry]   also dump the fleet telemetry CSV (merged
+//                                shard metrics, per-epoch market rows,
+//                                flight-recorder lines)
+//                [--html FILE]   write a self-contained HTML summary
 //
 // Prints the fleet report: per-service availability and cost distributions
 // broken down by strategy, SLA violation counts, and the markets' clearing
 // statistics — the fleet-scale analogue of run_experiment's tables.
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -18,11 +26,124 @@
 #include "fleet/fleet.hpp"
 #include "util/stats.hpp"
 
+namespace {
+
+std::string html_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Self-contained HTML summary: headline numbers, the per-strategy table,
+/// an inline-SVG sparkline of each market's clearing-price path, and the
+/// telemetry sections when collected.  No external assets, so the file can
+/// be attached to a report or opened from a sandbox.
+void write_html(const jupiter::fleet::FleetReport& report, std::ostream& os) {
+  using namespace jupiter;
+  os << "<!doctype html>\n<html><head><meta charset=\"utf-8\">\n"
+     << "<title>fleet report</title>\n"
+     << "<style>body{font:14px sans-serif;margin:2em;max-width:70em}"
+     << "table{border-collapse:collapse}td,th{border:1px solid #999;"
+     << "padding:2px 8px;text-align:right}th{background:#eee}"
+     << "td:first-child,th:first-child{text-align:left}"
+     << "pre{background:#f6f6f6;padding:1em;overflow-x:auto}</style>"
+     << "</head><body>\n";
+  std::ostringstream summary;
+  report.print_summary(summary);
+  os << "<h1>fleet report</h1>\n<pre>" << html_escape(summary.str())
+     << "</pre>\n";
+  char fp[32];
+  std::snprintf(fp, sizeof(fp), "%016llX",
+                static_cast<unsigned long long>(report.fingerprint()));
+  os << "<p>fingerprint <code>0x" << fp << "</code></p>\n";
+
+  os << "<h2>per-strategy</h2>\n<table><tr><th>strategy</th><th>n</th>"
+     << "<th>avail p50</th><th>avail min</th><th>$ median</th><th>$ max</th>"
+     << "<th>sla viol</th></tr>\n";
+  std::map<std::string, std::vector<const fleet::ServiceResult*>> by;
+  for (const fleet::ServiceResult& s : report.services) {
+    by[s.strategy].push_back(&s);
+  }
+  for (const auto& [name, group] : by) {
+    std::vector<double> avail, cost;
+    int viol = 0;
+    for (const fleet::ServiceResult* s : group) {
+      avail.push_back(s->availability());
+      cost.push_back(s->cost.dollars());
+      viol += s->sla_violations;
+    }
+    char row[256];
+    std::snprintf(row, sizeof(row),
+                  "<tr><td>%s</td><td>%zu</td><td>%.6f</td><td>%.6f</td>"
+                  "<td>%.2f</td><td>%.2f</td><td>%d</td></tr>\n",
+                  html_escape(name).c_str(), group.size(),
+                  percentile(avail, 0.5), percentile(avail, 0.0),
+                  percentile(cost, 0.5), percentile(cost, 1.0), viol);
+    os << row;
+  }
+  os << "</table>\n";
+
+  if (report.telemetry.enabled) {
+    // Clearing-price sparkline per market, drawn from the epoch rows.
+    std::map<std::string, std::vector<int>> paths;
+    int peak = 1;
+    for (const fleet::MarketEpochRow& r : report.telemetry.epochs) {
+      std::string id =
+          all_zones().at(static_cast<std::size_t>(r.zone)).name + "." +
+          instance_type_info(r.kind).name;
+      paths[id].push_back(r.price_ticks);
+      peak = std::max(peak, r.price_ticks);
+    }
+    os << "<h2>clearing prices (" << report.telemetry.epochs.size()
+       << " epochs, peak " << peak << " ticks)</h2>\n";
+    for (const auto& [id, ticks] : paths) {
+      constexpr int kW = 600, kH = 40;
+      os << "<div><code>" << html_escape(id) << "</code><br>"
+         << "<svg width=\"" << kW << "\" height=\"" << kH
+         << "\" style=\"background:#f6f6f6\"><polyline fill=\"none\" "
+         << "stroke=\"#369\" points=\"";
+      for (std::size_t i = 0; i < ticks.size(); ++i) {
+        int x = ticks.size() > 1
+                    ? static_cast<int>(i * (kW - 2) / (ticks.size() - 1)) + 1
+                    : kW / 2;
+        int y = kH - 2 - ticks[i] * (kH - 4) / peak;
+        os << x << ',' << y << ' ';
+      }
+      os << "\"/></svg></div>\n";
+    }
+
+    os << "<h2>merged shard metrics</h2>\n<pre>"
+       << html_escape(report.telemetry.metrics.to_csv()) << "</pre>\n";
+    os << "<h2>flight recorder</h2>\n<pre>";
+    for (const std::string& line : report.telemetry.flight) {
+      os << html_escape(line) << '\n';
+    }
+    os << "</pre>\n";
+    char tfp[32];
+    std::snprintf(tfp, sizeof(tfp), "%016llX",
+                  static_cast<unsigned long long>(
+                      report.telemetry.fingerprint()));
+    os << "<p>telemetry fingerprint <code>0x" << tfp << "</code></p>\n";
+  }
+  os << "</body></html>\n";
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace jupiter;
   fleet::FleetOptions opts;
   opts.services = 200;
-  bool csv = false, prices = false;
+  bool csv = false, prices = false, telemetry = false;
+  std::string html_path;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> long long {
@@ -44,12 +165,23 @@ int main(int argc, char** argv) {
       csv = true;
     } else if (arg == "--prices") {
       prices = true;
+    } else if (arg == "--telemetry") {
+      telemetry = true;
+    } else if (arg == "--html") {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for --html\n";
+        return 2;
+      }
+      html_path = argv[++i];
     } else {
       std::cerr << "usage: fleet_report [--services N] [--weeks W] "
-                   "[--seed S] [--clusters C] [--csv] [--prices]\n";
+                   "[--seed S] [--clusters C] [--csv] [--prices] "
+                   "[--telemetry] [--html FILE]\n";
       return 2;
     }
   }
+  // Telemetry shards feed both text sections and the HTML summary.
+  opts.collect_telemetry = telemetry || !html_path.empty();
 
   fleet::FleetReport report = fleet::run_fleet(opts);
   report.print_summary(std::cout);
@@ -87,6 +219,7 @@ int main(int argc, char** argv) {
             << std::dec << " (accounting conserved)\n";
 
   if (csv) std::cout << '\n' << report.metrics_csv();
+  if (telemetry) std::cout << '\n' << report.telemetry.csv();
   if (prices) {
     std::cout << "\nmarket,at_s,price_ticks\n";
     for (const fleet::MarketAudit& m : report.markets) {
@@ -99,6 +232,15 @@ int main(int argc, char** argv) {
                   << '\n';
       }
     }
+  }
+  if (!html_path.empty()) {
+    std::ofstream out(html_path);
+    if (!out) {
+      std::cerr << "cannot open " << html_path << " for writing\n";
+      return 1;
+    }
+    write_html(report, out);
+    std::cout << "wrote " << html_path << '\n';
   }
   return 0;
 }

@@ -137,6 +137,32 @@ void FleetChaosReport::print(std::ostream& os) const {
   for (const std::string& v : violations) {
     os << "  VIOLATION: " << v << '\n';
   }
+  if (!ok() && report.telemetry.enabled) {
+    // Black-box dump: the last market clearings and every cluster's flight
+    // ring, the simulated seconds leading into the violation.
+    constexpr std::size_t kLastEpochs = 24;
+    std::size_t n = report.telemetry.epochs.size();
+    std::size_t from = n > kLastEpochs ? n - kLastEpochs : 0;
+    os << "  last " << (n - from) << " market clearings (of " << n << "):\n";
+    for (std::size_t i = from; i < n; ++i) {
+      const fleet::MarketEpochRow& r = report.telemetry.epochs[i];
+      os << "    c" << r.cluster << " zone " << r.zone << " "
+         << instance_type_info(r.kind).name << " @" << r.at.seconds()
+         << "s: price " << r.price_ticks << " ticks (markup "
+         << r.markup_ticks << ", tier " << r.tier << "), " << r.allocated
+         << '/' << r.demand << " allocated";
+      if (r.rejected > 0) os << ", " << r.rejected << " rejected";
+      if (r.capacity_permille != fleet::kFullCapacityPermille) {
+        os << ", capacity " << r.capacity_permille << "%o";
+      }
+      os << '\n';
+    }
+    os << "  flight recorder (" << report.telemetry.flight.size()
+       << " lines):\n";
+    for (const std::string& line : report.telemetry.flight) {
+      os << "    " << line << '\n';
+    }
+  }
 }
 
 FleetChaosReport run_fleet_chaos(std::uint64_t seed) {
@@ -148,6 +174,11 @@ FleetChaosReport run_fleet_chaos(std::uint64_t seed) {
   opts.seed = seed;
   opts.keep_instance_records = true;
   opts.keep_clearing_records = true;
+  // Telemetry rides along so a violating seed's report carries the flight
+  // rings and the last market clearings.  Collection draws no randomness,
+  // so report.fingerprint() — and the pinned corpus — is unchanged.
+  opts.collect_telemetry = true;
+  opts.flight_capacity = 128;
   SimTime start = SimTime::zero() + opts.history;
   opts.faults = fleet::make_fleet_fault_schedule(seed, start, opts.horizon);
 

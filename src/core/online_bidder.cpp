@@ -157,6 +157,14 @@ BidDecision OnlineBidder::decide(const FailureModelBook& models,
     }
   }
   if (!have) return fallback(curves, spec);
+  if (obs::Registry* reg = obs::metrics()) {
+    // Distribution of the chosen portfolio's total bid (micros) — the
+    // integer twin of the per-decision cost gauges, mergeable across fleet
+    // shards without touching floating point.
+    reg->det_histogram("core.bid_total_micros")
+        .observe(static_cast<std::uint64_t>(
+            std::max<std::int64_t>(0, best.bid_sum.micros())));
+  }
   return best;
 }
 

@@ -13,8 +13,10 @@
 #include "core/market_state.hpp"
 #include "market/billing.hpp"
 #include "obs/obs.hpp"
+#include "obs/shard.hpp"
 #include "replay/adaptive.hpp"
 #include "sim/simulator.hpp"
+#include "util/log.hpp"
 #include "util/stats.hpp"
 
 namespace jupiter::fleet {
@@ -157,12 +159,21 @@ class Cluster {
       s.out.elapsed = end_ - start_;
       services_.push_back(std::move(s));
     }
+    if (opts_.collect_telemetry) {
+      shard_ = std::make_unique<obs::MetricsShard>(
+          "c" + std::to_string(index_), opts_.flight_capacity);
+    }
   }
 
   void run() {
     // Phase ownership: until the releases below, this thread is the only
-    // legal writer of the cluster's books and markets.  The merge loop in
-    // run_fleet moves results out on the main thread strictly after.
+    // legal writer of the cluster's books, markets and metrics shard.  The
+    // merge loop in run_fleet moves results out on the main thread strictly
+    // after.  The log tag keeps interleaved JUPITER_LOG lines from parallel
+    // clusters attributable.
+    LogTagScope log_tag("c" + std::to_string(index_));
+    if (shard_) shard_->acquire("Cluster::run");
+    obs::ContextScope obs_scope(shard_ ? shard_->context() : nullptr);
     shared_.audit_acquire();
     baseline_.audit_acquire();
     for (SpotMarket& m : markets_) m.audit_acquire();
@@ -175,6 +186,7 @@ class Cluster {
     for (SpotMarket& m : markets_) m.audit_release();
     baseline_.audit_release();
     shared_.audit_release();
+    if (shard_) shard_->release();
   }
 
   // ---- outputs (valid after run()) ----
@@ -182,6 +194,8 @@ class Cluster {
   std::vector<SpotMarket>& markets() { return markets_; }
   TraceBook& shared_book() { return shared_; }
   std::vector<InstanceRecord>& instance_records() { return records_; }
+  obs::MetricsShard* shard() { return shard_.get(); }
+  std::vector<MarketEpochRow>& epoch_rows() { return epoch_rows_; }
   std::uint64_t events_dispatched() const { return events_dispatched_; }
   int index() const { return index_; }
 
@@ -237,6 +251,11 @@ class Cluster {
     // par: owned — each index fills its own pre-allocated decision slot;
     // decisions are applied sequentially in service order afterwards
     parallel_for(pool_, due.size(), [&](std::size_t i) {
+      // Decision batches land on arbitrary pool threads — the cluster
+      // thread (shard context installed) among them.  Suppress the context
+      // uniformly so strategy-internal metrics cannot vary with the pool
+      // size; the single-service replay path still records them.
+      obs::ContextScope quiet(nullptr);
       ServiceState& s = services_[due[i]];
       TimeDelta iv = s.cfg.interval;
       if (s.cfg.adaptive_interval) {
@@ -288,6 +307,12 @@ class Cluster {
             ServiceState& s = services_[svc_slot(inst.service)];
             ++s.out.out_of_bid;
             ++s.interval.out_of_bid;
+            if (obs::Registry* reg = obs::metrics()) {
+              reg->counter("fleet.out_of_bid_kills").inc();
+            }
+            obs::note(*oob, "fleet",
+                      s.cfg.strategy.spec.name + " out-of-bid in zone " +
+                          std::to_string(inst.zone));
           }
         }
       }
@@ -323,8 +348,19 @@ class Cluster {
             ? 1.0 - static_cast<double>(rec.downtime) /
                         static_cast<double>(rec.length)
             : 1.0;
-    if (avail < s.cfg.strategy.spec.target_availability()) {
-      ++s.out.sla_violations;
+    bool violated = avail < s.cfg.strategy.spec.target_availability();
+    if (violated) ++s.out.sla_violations;
+    if (obs::Registry* reg = obs::metrics()) {
+      obs::Labels svc{{"service", s.cfg.strategy.spec.name}};
+      reg->counter("fleet.intervals", svc).inc();
+      reg->counter("fleet.downtime_s", svc)
+          .inc(static_cast<std::uint64_t>(rec.downtime));
+      if (violated) {
+        reg->counter("fleet.sla_violations", svc).inc();
+        obs::note(t_end, "sla",
+                  s.cfg.strategy.spec.name + " below target over interval at " +
+                      rec.start.str());
+      }
     }
     s.out.timeline.push_back(rec);
     s.interval_open = false;
@@ -437,6 +473,7 @@ class Cluster {
       list.resize(w);
       ClearingResult res =
           markets_[m].clear(t, std::move(bids), opts_.keep_clearing_records);
+      if (opts_.collect_telemetry) record_epoch(m, t, res);
       for (std::uint32_t id : list) {
         Instance& inst = instances_[id];
         if (inst.bid >= res.price) {
@@ -448,6 +485,14 @@ class Cluster {
                                    draw_startup(
                                        services_[svc_slot(inst.service)].rng,
                                        inst.zone);
+            if (obs::Registry* reg = obs::metrics()) {
+              // Bid-to-serving lag: 0 for the bootstrapped first interval,
+              // the startup draw otherwise.  Integer seconds, shard-merge
+              // exact.
+              reg->det_histogram("fleet.bid_ready_lag_s")
+                  .observe(static_cast<std::uint64_t>(
+                      std::max<TimeDelta>(0, inst.ready - inst.launch)));
+            }
           }
           continue;
         }
@@ -463,6 +508,58 @@ class Cluster {
         }
       }
     }
+  }
+
+  /// Telemetry for one clearing: an integer MarketEpochRow in the cluster's
+  /// private list plus shard counters/histograms.  Runs on the cluster
+  /// thread under the shard's phased ownership; draws no randomness, so the
+  /// simulation (and the report fingerprint) is unchanged by collection.
+  void record_epoch(std::size_t m, SimTime t, const ClearingResult& res) {
+    const SpotMarket& mkt = markets_[m];
+    MarketEpochRow row;
+    row.cluster = index_;
+    row.zone = mkt.zone();
+    row.kind = mkt.kind();
+    row.at = t;
+    row.price_ticks = res.price.value();
+    row.markup_ticks = mkt.current_markup().value();
+    row.tier = tier_of(mkt.curve(), row.markup_ticks);
+    row.demand = res.demand;
+    row.allocated = res.allocated;
+    row.rejected = res.demand - res.allocated;
+    row.supply_at_price = res.supply_at_price;
+    row.capacity_permille = mkt.capacity_permille_at(t);
+    if (shard_) shard_->audit_write("Cluster::record_epoch");
+    epoch_rows_.push_back(row);
+    if (obs::Registry* reg = obs::metrics()) {
+      reg->counter("fleet.clearings").inc();
+      reg->counter("fleet.rationing_rejections")
+          .inc(static_cast<std::uint64_t>(row.rejected));
+      reg->det_histogram("fleet.clearing_price_ticks")
+          .observe(static_cast<std::uint64_t>(
+              std::max(0, row.price_ticks)));
+      reg->det_histogram("fleet.clearing_demand")
+          .observe(static_cast<std::uint64_t>(std::max(0, row.demand)));
+    }
+    if (row.rejected > 0) {
+      obs::note(t, "market",
+                "zone " + std::to_string(row.zone) + " rationed " +
+                    std::to_string(row.rejected) + "/" +
+                    std::to_string(row.demand) + " units at " +
+                    std::to_string(row.price_ticks) + " ticks");
+    }
+  }
+
+  /// Supply tier index that cleared at `markup_ticks` (first tier whose
+  /// markup covers it); tiers().size() means the bid-war regime beyond the
+  /// curve.
+  static int tier_of(const SupplyCurve& curve, int markup_ticks) {
+    int tier = 0;
+    for (const SupplyCurve::Tier& t : curve.tiers()) {
+      if (markup_ticks <= t.markup_ticks) return tier;
+      ++tier;
+    }
+    return tier;
   }
 
   void bill_and_drop(ServiceState& s, Instance& inst, SimTime t) {
@@ -530,6 +627,8 @@ class Cluster {
   std::vector<ServiceState> services_;
   std::vector<Instance> instances_;
   std::vector<InstanceRecord> records_;
+  std::unique_ptr<obs::MetricsShard> shard_;  ///< when collect_telemetry
+  std::vector<MarketEpochRow> epoch_rows_;    ///< when collect_telemetry
   std::unique_ptr<Simulator> sim_;
   std::uint64_t events_dispatched_ = 0;
 };
@@ -697,6 +796,8 @@ FleetReport run_fleet(const FleetOptions& opts,
   report.end = report.start + opts.horizon;
   report.configs = std::move(configs);
   report.services.resize(report.configs.size());
+  report.telemetry.enabled = opts.collect_telemetry;
+  std::vector<obs::MetricsSnapshot> shard_parts;
   for (auto& cl : clusters) {
     for (ServiceState& s : cl->services()) {
       report.services[static_cast<std::size_t>(s.out.id)] = std::move(s.out);
@@ -721,9 +822,54 @@ FleetReport run_fleet(const FleetOptions& opts,
       report.instances.insert(report.instances.end(), recs.begin(),
                               recs.end());
     }
+    if (obs::MetricsShard* sh = cl->shard()) {
+      // Re-acquire on the merge thread: the cluster thread released at the
+      // bottom of Cluster::run, so this is the phased ownership handoff the
+      // auditor expects (same pattern as the TraceBook moves above).
+      sh->acquire("run_fleet::merge");
+      shard_parts.push_back(sh->snapshot());
+      for (const std::string& line : sh->recorder().render()) {
+        report.telemetry.flight.push_back("[" + sh->name() + "] " + line);
+      }
+      sh->release();
+      auto& rows = cl->epoch_rows();
+      report.telemetry.epochs.insert(report.telemetry.epochs.end(),
+                                     rows.begin(), rows.end());
+    }
     report.events_dispatched += cl->events_dispatched();
   }
+  if (opts.collect_telemetry) {
+    report.telemetry.metrics = obs::MetricsSnapshot::merge(shard_parts);
+  }
   return report;
+}
+
+std::string FleetTelemetry::csv() const {
+  std::ostringstream os;
+  os << "section,metrics\n";
+  os << metrics.to_csv();
+  os << "section,market_epochs\n";
+  os << "cluster,zone,kind,at_s,price_ticks,markup_ticks,tier,demand,"
+        "allocated,rejected,supply_at_price,capacity_permille\n";
+  for (const MarketEpochRow& r : epochs) {
+    os << r.cluster << ',' << r.zone << ','
+       << instance_type_info(r.kind).name << ',' << r.at.seconds() << ','
+       << r.price_ticks << ',' << r.markup_ticks << ',' << r.tier << ','
+       << r.demand << ',' << r.allocated << ',' << r.rejected << ','
+       << r.supply_at_price << ',' << r.capacity_permille << '\n';
+  }
+  os << "section,flight\n";
+  for (const std::string& line : flight) os << line << '\n';
+  return os.str();
+}
+
+std::uint64_t FleetTelemetry::fingerprint() const {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : csv()) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
 }
 
 Money FleetReport::total_cost() const {

@@ -28,6 +28,7 @@
 // across thread counts and across runs.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
@@ -36,6 +37,7 @@
 
 #include "cloud/trace_book.hpp"
 #include "fleet/spot_market.hpp"
+#include "obs/metrics.hpp"
 #include "replay/replay_engine.hpp"
 #include "replay/strategy_factory.hpp"
 #include "util/money.hpp"
@@ -91,6 +93,14 @@ struct FleetOptions {
   /// report (needed by the chaos invariants; benches switch them off).
   bool keep_instance_records = true;
   bool keep_clearing_records = true;
+  /// Fleet observability: when set, every cluster records counters, integer
+  /// log2-bucket histograms, per-epoch market rows and a bounded flight ring
+  /// into its own obs::MetricsShard, merged in cluster order into
+  /// FleetReport::telemetry.  Recording draws no randomness and never feeds
+  /// back into the simulation, so fingerprints match telemetry-off runs.
+  bool collect_telemetry = false;
+  /// Per-cluster flight-recorder ring capacity (collect_telemetry only).
+  std::size_t flight_capacity = 256;
   std::vector<FleetFault> faults;
   /// Test-only hook (SharedStateAuditor regression): when set, every
   /// cluster performs one deliberate write into this *foreign* book at its
@@ -151,6 +161,41 @@ struct MarketAudit {
   std::int64_t units_demanded = 0;
 };
 
+/// One market clearing as telemetry: the per-(zone, kind, epoch) price,
+/// demand, supply tier and rationing outcome.  Pure integers, so the CSV
+/// rendering is byte-identical across thread counts and runs.
+struct MarketEpochRow {
+  int cluster = 0;
+  int zone = -1;
+  InstanceKind kind = InstanceKind::kM1Small;
+  SimTime at;
+  int price_ticks = 0;       ///< uniform clearing price published at `at`
+  int markup_ticks = 0;      ///< endogenous markup over the baseline
+  int tier = 0;              ///< supply tier cleared (tiers().size() = bid war)
+  int demand = 0;            ///< units bid for this epoch
+  int allocated = 0;         ///< units with bid >= price
+  int rejected = 0;          ///< demand - allocated (rationing)
+  int supply_at_price = 0;   ///< scaled supply on offer at the price
+  int capacity_permille = kFullCapacityPermille;  ///< chaos capacity scale
+};
+
+/// Fleet observability output (FleetOptions::collect_telemetry): the merged
+/// shard metrics, every market clearing, and the per-cluster flight rings.
+/// All three are recorded under the phased shard discipline and merged in
+/// cluster order, so csv() — and fingerprint(), FNV-1a over its bytes — is
+/// byte-identical across pool sizes and repeated runs.
+struct FleetTelemetry {
+  bool enabled = false;
+  obs::MetricsSnapshot metrics;        ///< merged across cluster shards
+  std::vector<MarketEpochRow> epochs;  ///< every clearing, cluster order
+  std::vector<std::string> flight;     ///< "[cN] seq @t [tag] text" lines
+
+  /// Three sections — merged metrics, market epoch rows, flight lines —
+  /// each introduced by a "section,<name>" row.
+  std::string csv() const;
+  std::uint64_t fingerprint() const;
+};
+
 struct FleetReport {
   FleetOptions options;
   SimTime start;  ///< fleet window start (= history end)
@@ -159,6 +204,7 @@ struct FleetReport {
   std::vector<ServiceResult> services;
   std::vector<MarketAudit> markets;
   std::vector<InstanceRecord> instances;  ///< when kept
+  FleetTelemetry telemetry;               ///< when options.collect_telemetry
   std::uint64_t events_dispatched = 0;    ///< summed over cluster simulators
 
   Money total_cost() const;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace jupiter::lock {
 
 std::vector<std::uint8_t> LockCommand::encode() const {
@@ -251,17 +253,29 @@ void LockClient::get_owner(const std::string& path, Callback cb) {
 
 void LockClient::acquire_blocking(const std::string& path, Callback cb,
                                   TimeDelta deadline) {
-  SimTime give_up = sim_.now() + deadline;
+  SimTime t0 = sim_.now();
+  SimTime give_up = t0 + deadline;
   auto attempt = std::make_shared<std::function<void()>>();
   // Weak self-reference: the in-flight acquire callback and retry events
   // carry the strong refs, so the chain frees itself when it settles (a
   // strong self-capture is a shared_ptr cycle and leaks every call).
   std::weak_ptr<std::function<void()>> self = attempt;
-  *attempt = [this, path, cb, give_up, self] {
+  *attempt = [this, path, cb, give_up, t0, self] {
     auto live = self.lock();  // the invoking continuation keeps us alive
     if (!live) return;
-    acquire(path, [this, path, cb, give_up, live](LockResponse r) {
+    acquire(path, [this, path, cb, give_up, t0, live](LockResponse r) {
       if (r.status == LockStatus::kOk || sim_.now() >= give_up) {
+        if (obs::Registry* reg = obs::metrics()) {
+          // Sim-seconds from the blocking call to settlement (grant or
+          // give-up) — integer-exact, so fleet shard merges stay byte-stable.
+          std::uint64_t waited = static_cast<std::uint64_t>(
+              std::max<TimeDelta>(0, sim_.now() - t0));
+          reg->det_histogram("lock.acquire_wait_s",
+                             {{"outcome", r.status == LockStatus::kOk
+                                              ? "ok"
+                                              : "timeout"}})
+              .observe(waited);
+        }
         if (cb) cb(r);
         return;
       }

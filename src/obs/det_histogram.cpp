@@ -1,0 +1,95 @@
+#include "obs/det_histogram.hpp"
+
+#include <algorithm>
+
+namespace jupiter::obs {
+
+std::size_t DetHistogram::bucket_of(std::uint64_t v) {
+  if (v == 0) return 0;
+  std::size_t b = 1;
+  while (v >>= 1) ++b;  // b = 1 + floor(log2(v))
+  return std::min<std::size_t>(b, kBuckets - 1);
+}
+
+std::uint64_t DetHistogram::bucket_floor(std::size_t i) {
+  if (i == 0) return 0;
+  return std::uint64_t{1} << (i - 1);
+}
+
+void DetHistogram::observe(std::uint64_t v) {
+  ++bins_[bucket_of(v)];
+  ++count_;
+  sum_ += v;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+void DetHistogram::merge(const DetHistogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) bins_[i] += other.bins_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+std::uint64_t DetHistogram::percentile_from_bins(const std::uint64_t* bins,
+                                                 std::size_t n,
+                                                 std::uint64_t count,
+                                                 unsigned q) {
+  if (count == 0) return 0;
+  if (q > 100) q = 100;
+  // rank = ceil(q/100 * count), clamped to [1, count]; integer arithmetic
+  // only (count is bounded by observe() calls, no overflow in practice; the
+  // widened product is exact for counts below ~1.8e17).
+  std::uint64_t rank = (count * q + 99) / 100;
+  rank = std::max<std::uint64_t>(1, std::min(rank, count));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    seen += bins[i];
+    if (seen >= rank) return bucket_floor(i);
+  }
+  return bucket_floor(n ? n - 1 : 0);
+}
+
+std::uint64_t DetHistogram::percentile(unsigned q) const {
+  return percentile_from_bins(bins_.data(), kBuckets, count_, q);
+}
+
+std::string DetHistogram::to_text() const {
+  std::string out = "count=" + std::to_string(count_) +
+                    " sum=" + std::to_string(sum_) +
+                    " min=" + std::to_string(min()) +
+                    " max=" + std::to_string(max_) +
+                    " p50=" + std::to_string(percentile(50)) +
+                    " p90=" + std::to_string(percentile(90)) +
+                    " p99=" + std::to_string(percentile(99)) + "\n";
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (bins_[i] == 0) continue;
+    out += "  >=" + std::to_string(bucket_floor(i)) + ": " +
+           std::to_string(bins_[i]) + "\n";
+  }
+  return out;
+}
+
+std::string DetHistogram::to_json() const {
+  std::string out = "{\"count\": " + std::to_string(count_) +
+                    ", \"sum\": " + std::to_string(sum_) +
+                    ", \"min\": " + std::to_string(min()) +
+                    ", \"max\": " + std::to_string(max_) +
+                    ", \"p50\": " + std::to_string(percentile(50)) +
+                    ", \"p90\": " + std::to_string(percentile(90)) +
+                    ", \"p99\": " + std::to_string(percentile(99)) +
+                    ", \"bins\": [";
+  bool first = true;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (bins_[i] == 0) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += "[" + std::to_string(bucket_floor(i)) + ", " +
+           std::to_string(bins_[i]) + "]";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace jupiter::obs

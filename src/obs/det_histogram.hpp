@@ -1,0 +1,73 @@
+// Deterministic log2-bucket histogram — the integer-exact half of the
+// latency/size distribution story (ISSUE 9 tentpole b).
+//
+// jupiter::Histogram + RunningStats (metrics.hpp) accumulate doubles, which
+// is fine for single-threaded replay but awkward for the fleet path: shard
+// merges must be byte-identical across ThreadPool {1,2,hw}, and floating
+// summation orders are exactly the kind of thing that drifts.  DetHistogram
+// holds *only* integers — 64 fixed log2 buckets, a uint64 count/sum/min/max —
+// so merging shards is plain integer addition and every export
+// (to_text/to_json, snapshot CSV) is byte-stable by construction.
+//
+// Bucketing: value 0 lands in bucket 0; value v > 0 lands in bucket
+// 1 + floor(log2(v)), clamped to 63.  Bucket i >= 1 therefore covers
+// [2^(i-1), 2^i).  Percentiles return the *lower bound* of the bucket that
+// contains the requested rank — a deterministic integer, never an
+// interpolated double.
+//
+// Not internally synchronized: instrumented paths run on one simulation
+// thread per MetricsShard (docs/observability.md, threading contract).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace jupiter::obs {
+
+class DetHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  /// Bucket index for a value: 0 for 0, else 1 + floor(log2(v)), clamped.
+  static std::size_t bucket_of(std::uint64_t v);
+  /// Smallest value that lands in bucket i (0, 1, 2, 4, 8, ...).
+  static std::uint64_t bucket_floor(std::size_t i);
+
+  void observe(std::uint64_t v);
+  /// Integer addition per field — associative, so merge order cannot change
+  /// the result (only gauge-free state lives here).
+  void merge(const DetHistogram& other);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  /// 0 when empty (exports must not leak the UINT64_MAX sentinel).
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return max_; }
+  std::uint64_t bucket(std::size_t i) const { return bins_.at(i); }
+
+  /// Lower bound of the bucket holding rank ceil(q/100 * count); 0 when
+  /// empty.  q outside [0,100] is clamped.
+  std::uint64_t percentile(unsigned q) const;
+
+  /// Percentile over an externally merged bucket vector (snapshot merge
+  /// recomputes p50/p90/p99 from summed bins with this).
+  static std::uint64_t percentile_from_bins(const std::uint64_t* bins,
+                                            std::size_t n,
+                                            std::uint64_t count, unsigned q);
+
+  /// "count=N sum=S min=M max=X p50=A p90=B p99=C" + one line per non-empty
+  /// bucket — pure integers, byte-stable.
+  std::string to_text() const;
+  /// {"count": N, ..., "bins": [[floor, count], ...]} — byte-stable.
+  std::string to_json() const;
+
+ private:
+  std::array<std::uint64_t, kBuckets> bins_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;  // wraps mod 2^64 on overflow; still deterministic
+  std::uint64_t min_ = UINT64_MAX;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace jupiter::obs

@@ -55,8 +55,21 @@ const char* kind_name(MetricKind k) {
       return "gauge";
     case MetricKind::kHistogram:
       return "histogram";
+    case MetricKind::kDetHistogram:
+      return "det_histogram";
   }
   return "?";
+}
+
+/// Recompute the integer percentiles of a det-histogram row from its
+/// (possibly just merged) bucket counts.
+void refresh_det_percentiles(MetricsSnapshot::Row& r) {
+  r.p50 = DetHistogram::percentile_from_bins(r.bins.data(), r.bins.size(),
+                                             r.count, 50);
+  r.p90 = DetHistogram::percentile_from_bins(r.bins.data(), r.bins.size(),
+                                             r.count, 90);
+  r.p99 = DetHistogram::percentile_from_bins(r.bins.data(), r.bins.size(),
+                                             r.count, 99);
 }
 
 }  // namespace
@@ -118,6 +131,14 @@ HistogramMetric& Registry::histogram(const std::string& name, double lo,
   return *s.histogram;
 }
 
+DetHistogram& Registry::det_histogram(const std::string& name,
+                                      const Labels& labels) {
+  Slot& s = slot(name, labels, MetricKind::kDetHistogram,
+                 Visibility::kDeterministic);
+  if (!s.det) s.det = std::make_unique<DetHistogram>();
+  return *s.det;
+}
+
 std::size_t Registry::size() const {
   std::lock_guard lk(mu_);
   return slots_.size();
@@ -152,6 +173,19 @@ MetricsSnapshot Registry::snapshot(bool include_volatile) const {
         for (std::size_t i = 0; i < h.bins(); ++i) {
           row.bins.push_back(h.bin_count(i));
         }
+        break;
+      }
+      case MetricKind::kDetHistogram: {
+        const DetHistogram& d = *s.det;
+        row.count = d.count();
+        row.isum = d.sum();
+        row.imin = d.min();
+        row.imax = d.max();
+        row.bins.reserve(DetHistogram::kBuckets);
+        for (std::size_t i = 0; i < DetHistogram::kBuckets; ++i) {
+          row.bins.push_back(d.bucket(i));
+        }
+        refresh_det_percentiles(row);
         break;
       }
     }
@@ -199,10 +233,77 @@ MetricsSnapshot MetricsSnapshot::diff(const MetricsSnapshot& before,
             d.bins[i] = a.bins[i] >= b->bins[i] ? a.bins[i] - b->bins[i] : 0;
           }
           break;
+        case MetricKind::kDetHistogram:
+          d.count = a.count >= b->count ? a.count - b->count : 0;
+          d.isum = a.isum - b->isum;  // mod 2^64, matching observe()
+          for (std::size_t i = 0; i < d.bins.size() && i < b->bins.size();
+               ++i) {
+            d.bins[i] = a.bins[i] >= b->bins[i] ? a.bins[i] - b->bins[i] : 0;
+          }
+          refresh_det_percentiles(d);
+          break;
       }
     }
     out.rows.push_back(std::move(d));
   }
+  return out;
+}
+
+MetricsSnapshot MetricsSnapshot::merge(
+    const std::vector<MetricsSnapshot>& parts) {
+  std::map<std::string, Row> acc;  // sorted-key union
+  for (const MetricsSnapshot& part : parts) {
+    for (const Row& r : part.rows) {
+      auto it = acc.find(r.key);
+      if (it == acc.end()) {
+        acc.emplace(r.key, r);
+        continue;
+      }
+      Row& m = it->second;
+      if (m.kind != r.kind) {
+        throw std::invalid_argument("metric '" + r.key +
+                                    "' merged across different kinds");
+      }
+      switch (r.kind) {
+        case MetricKind::kCounter:
+          m.count += r.count;
+          break;
+        case MetricKind::kGauge:
+          m.value = r.value;  // last part in merge order wins (documented)
+          break;
+        case MetricKind::kHistogram: {
+          bool both = m.count > 0 && r.count > 0;
+          m.min = both ? std::min(m.min, r.min) : (r.count ? r.min : m.min);
+          m.max = both ? std::max(m.max, r.max) : (r.count ? r.max : m.max);
+          m.count += r.count;
+          m.sum += r.sum;  // fixed part order => fixed summation order
+          m.value = m.count ? m.sum / static_cast<double>(m.count) : 0.0;
+          if (m.bins.size() < r.bins.size()) m.bins.resize(r.bins.size(), 0);
+          for (std::size_t i = 0; i < r.bins.size(); ++i) {
+            m.bins[i] += r.bins[i];
+          }
+          break;
+        }
+        case MetricKind::kDetHistogram: {
+          bool both = m.count > 0 && r.count > 0;
+          m.imin = both ? std::min(m.imin, r.imin)
+                        : (r.count ? r.imin : m.imin);
+          m.imax = std::max(m.imax, r.imax);
+          m.count += r.count;
+          m.isum += r.isum;
+          if (m.bins.size() < r.bins.size()) m.bins.resize(r.bins.size(), 0);
+          for (std::size_t i = 0; i < r.bins.size(); ++i) {
+            m.bins[i] += r.bins[i];
+          }
+          refresh_det_percentiles(m);
+          break;
+        }
+      }
+    }
+  }
+  MetricsSnapshot out;
+  out.rows.reserve(acc.size());
+  for (auto& [key, row] : acc) out.rows.push_back(std::move(row));
   return out;
 }
 
@@ -233,6 +334,29 @@ std::string MetricsSnapshot::to_json() const {
         }
         out += "]";
         break;
+      case MetricKind::kDetHistogram:
+        // Sparse [bucket_floor, count] pairs: 64 mostly-zero buckets per row
+        // would swamp the export.  All values are integers via
+        // std::to_string — no "%.17g" anywhere in a det row.
+        out += ", \"count\": " + std::to_string(r.count) +
+               ", \"sum\": " + std::to_string(r.isum) +
+               ", \"min\": " + std::to_string(r.imin) +
+               ", \"max\": " + std::to_string(r.imax) +
+               ", \"p50\": " + std::to_string(r.p50) +
+               ", \"p90\": " + std::to_string(r.p90) +
+               ", \"p99\": " + std::to_string(r.p99) + ", \"bins\": [";
+        {
+          bool first = true;
+          for (std::size_t b = 0; b < r.bins.size(); ++b) {
+            if (r.bins[b] == 0) continue;
+            if (!first) out += ", ";
+            first = false;
+            out += "[" + std::to_string(DetHistogram::bucket_floor(b)) +
+                   ", " + std::to_string(r.bins[b]) + "]";
+          }
+        }
+        out += "]";
+        break;
     }
     out += "}";
     if (i + 1 < rows.size()) out += ",";
@@ -253,13 +377,24 @@ std::string MetricsSnapshot::to_csv() const {
     out += ',';
     out += std::to_string(r.count);
     out += ',';
-    out += fmt_double(r.value);
-    out += ',';
-    out += fmt_double(r.sum);
-    out += ',';
-    out += fmt_double(r.count ? r.min : 0.0);
-    out += ',';
-    out += fmt_double(r.count ? r.max : 0.0);
+    if (r.kind == MetricKind::kDetHistogram) {
+      // value column carries p50; every field is an integer string.
+      out += std::to_string(r.p50);
+      out += ',';
+      out += std::to_string(r.isum);
+      out += ',';
+      out += std::to_string(r.imin);
+      out += ',';
+      out += std::to_string(r.imax);
+    } else {
+      out += fmt_double(r.value);
+      out += ',';
+      out += fmt_double(r.sum);
+      out += ',';
+      out += fmt_double(r.count ? r.min : 0.0);
+      out += ',';
+      out += fmt_double(r.count ? r.max : 0.0);
+    }
     out += '\n';
   }
   return out;

@@ -9,6 +9,9 @@
 //   Counter    monotone integer; inc()/add().
 //   Gauge      last-write-wins double; set().
 //   HistogramMetric  fixed-bin jupiter::Histogram plus RunningStats moments.
+//   DetHistogram     integer log2-bucket histogram (det_histogram.hpp) —
+//                    the only shape whose merge is exactly associative,
+//                    so it is what fleet shards use for distributions.
 //
 // Determinism contract: enumeration order is the sorted (name, labels) key,
 // never insertion or hash order, so two same-seed runs produce byte-identical
@@ -27,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/det_histogram.hpp"
 #include "util/stats.hpp"
 
 namespace jupiter::obs {
@@ -35,7 +39,7 @@ namespace jupiter::obs {
 /// by key before building the identity string.
 using Labels = std::vector<std::pair<std::string, std::string>>;
 
-enum class MetricKind { kCounter, kGauge, kHistogram };
+enum class MetricKind { kCounter, kGauge, kHistogram, kDetHistogram };
 
 /// kDeterministic metrics carry simulation-derived values and participate in
 /// the byte-identity contract; kVolatile ones carry wall-clock measurements
@@ -90,6 +94,10 @@ struct MetricsSnapshot {
     double sum = 0.0, min = 0.0, max = 0.0;  // histogram only
     double bin_lo = 0.0, bin_hi = 0.0;       // histogram bin range
     std::vector<std::uint64_t> bins;         // histogram bin counts
+    // kDetHistogram only: pure integers, rendered via std::to_string so the
+    // rows never pass through "%.17g".  bins above holds the bucket counts.
+    std::uint64_t isum = 0, imin = 0, imax = 0;
+    std::uint64_t p50 = 0, p90 = 0, p99 = 0;  // log2-bucket lower bounds
   };
 
   std::vector<Row> rows;  // sorted by key
@@ -105,6 +113,15 @@ struct MetricsSnapshot {
   /// keys only in `before` are dropped (a metric cannot un-happen).
   static MetricsSnapshot diff(const MetricsSnapshot& before,
                               const MetricsSnapshot& after);
+
+  /// Deterministic shard merge: the union of keys in sorted order.
+  /// Counters and histogram counts/bins/sums add; det-histogram percentiles
+  /// are recomputed from the summed buckets; gauges take the value from the
+  /// *last* part (in `parts` order) that carries the key — merge order is
+  /// cluster order, fixed by FleetOptions, never by thread schedule.
+  /// A key registered with different kinds in two parts throws
+  /// std::invalid_argument.
+  static MetricsSnapshot merge(const std::vector<MetricsSnapshot>& parts);
 
   /// One JSON object, keys in sorted order, doubles via "%.17g" — byte
   /// identical across same-seed runs.
@@ -125,6 +142,9 @@ class Registry {
   HistogramMetric& histogram(const std::string& name, double lo, double hi,
                              std::size_t bins, const Labels& labels = {},
                              Visibility vis = Visibility::kDeterministic);
+  /// Integer log2-bucket histogram — always deterministic by construction.
+  DetHistogram& det_histogram(const std::string& name,
+                              const Labels& labels = {});
 
   /// Deterministic snapshot; volatile (wall-clock) metrics only when asked.
   MetricsSnapshot snapshot(bool include_volatile = false) const;
@@ -144,6 +164,7 @@ class Registry {
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<HistogramMetric> histogram;
+    std::unique_ptr<DetHistogram> det;
   };
 
   Slot& slot(const std::string& name, const Labels& labels, MetricKind kind,

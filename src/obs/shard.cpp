@@ -1,0 +1,47 @@
+#include "obs/shard.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
+namespace jupiter::obs {
+
+namespace {
+
+// Process-wide live-shard directory.  Mutex-guarded (kSerialized in the
+// manifest's terms): shards are constructed/destroyed on whichever thread
+// runs their cluster, so registration must be externally serialized here.
+// Registered in tools/detlint/par_shared_manifest.txt.
+std::mutex& directory_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<MetricsShard*>& directory() {
+  static std::vector<MetricsShard*> g_shard_directory;
+  return g_shard_directory;
+}
+
+}  // namespace
+
+MetricsShard::MetricsShard(std::string name, std::size_t flight_capacity)
+    : name_(std::move(name)),
+      recorder_(flight_capacity),
+      context_{&registry_, nullptr, &recorder_},
+      audit_("MetricsShard", AuditMode::kPhased) {
+  std::lock_guard lk(directory_mu());
+  directory().push_back(this);
+}
+
+MetricsShard::~MetricsShard() {
+  std::lock_guard lk(directory_mu());
+  auto& dir = directory();
+  dir.erase(std::remove(dir.begin(), dir.end(), this), dir.end());
+}
+
+std::size_t MetricsShard::live() {
+  std::lock_guard lk(directory_mu());
+  return directory().size();
+}
+
+}  // namespace jupiter::obs

@@ -1,0 +1,76 @@
+// MetricsShard — one fleet cluster's private observability state.
+//
+// run_fleet() runs each cluster's discrete-event simulator on a pool thread;
+// with a single shared Registry the write order (and any wall-clock-free
+// counter that two clusters both touch) would depend on the thread schedule.
+// A shard gives each cluster its own Registry + FlightRecorder behind an
+// ObsContext that Cluster::run installs thread-locally for the duration of
+// the run.  The shard follows the same phased-ownership discipline as the
+// cluster's TraceBook and SpotMarkets (PR 9's SharedStateAuditor):
+//
+//   acquire()   on the cluster thread at the top of Cluster::run
+//   record...   every telemetry write goes through the owning thread
+//   release()   at the bottom of Cluster::run, before the main thread
+//               snapshots and merges in *cluster order* (never thread order)
+//
+// MetricsSnapshot::merge then folds the per-shard snapshots into one
+// byte-identical view: counters and histogram buckets add, det-histogram
+// percentiles are recomputed from the summed buckets.  Cluster partition is
+// a pure function of FleetOptions (never of the pool size), so the merged
+// CSV is byte-identical across ThreadPool {1,2,hw}.
+//
+// Every live shard is tracked in a mutex-guarded process-wide directory
+// (shard.cpp `g_shard_directory`, registered in
+// tools/detlint/par_shared_manifest.txt) so tests can assert that no fleet
+// run leaks a shard past its report.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "util/shared_state_audit.hpp"
+
+namespace jupiter::obs {
+
+class MetricsShard {
+ public:
+  /// `name` labels audit reports and flight-recorder dumps ("c0", "c1"...).
+  explicit MetricsShard(std::string name, std::size_t flight_capacity = 256);
+  ~MetricsShard();
+  MetricsShard(const MetricsShard&) = delete;
+  MetricsShard& operator=(const MetricsShard&) = delete;
+
+  const std::string& name() const { return name_; }
+  Registry& registry() { return registry_; }
+  FlightRecorder& recorder() { return recorder_; }
+  /// Prewired {&registry, nullptr, &recorder} — hand to obs::ContextScope.
+  ObsContext* context() { return &context_; }
+
+  /// Phased ownership (audited): the owning cluster thread brackets its run.
+  void acquire(const char* site) { audit_.acquire(site); }
+  void release() { audit_.release(); }
+  /// Audited write check for telemetry recorded outside the Registry's own
+  /// mutex (e.g. appends to cluster-local telemetry rows).
+  void audit_write(const char* site) { audit_.write(site); }
+
+  /// Deterministic snapshot of this shard's registry.
+  MetricsSnapshot snapshot(bool include_volatile = false) const {
+    return registry_.snapshot(include_volatile);
+  }
+
+  /// Live shards in the process-wide directory (tests assert 0 after a
+  /// fleet run returns — shards must not outlive their report).
+  static std::size_t live();
+
+ private:
+  std::string name_;
+  Registry registry_;
+  FlightRecorder recorder_;
+  ObsContext context_;
+  AuditToken audit_;
+};
+
+}  // namespace jupiter::obs

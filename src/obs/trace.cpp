@@ -85,10 +85,29 @@ void TraceSink::counter(SimTime ts, TraceTrack track, std::string name,
   record(std::move(ev));
 }
 
+void TraceSink::flow(SimTime ts, int tid, std::string name, TraceFlow phase,
+                     std::uint64_t flow_id, std::string category) {
+  if (phase == TraceFlow::kNone || flow_id == 0) return;
+  TraceEvent ev;
+  ev.ts = ts;
+  ev.phase = TracePhase::kInstant;
+  ev.name = std::move(name);
+  ev.category = std::move(category);
+  ev.flow = phase;
+  ev.flow_id = flow_id;
+  ev.tid_override = tid;
+  record(std::move(ev));
+}
+
 void MemoryTraceSink::write_chrome_json(std::ostream& os) const {
   os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
-  for (std::size_t i = 0; i < events_.size(); ++i) {
-    const TraceEvent& ev = events_[i];
+  bool any = false;
+  auto begin_obj = [&os, &any] {
+    if (any) os << ",\n";
+    any = true;
+    os << "  ";
+  };
+  for (const TraceEvent& ev : events_) {
     char phase = 'i';
     switch (ev.phase) {
       case TracePhase::kInstant:
@@ -101,9 +120,37 @@ void MemoryTraceSink::write_chrome_json(std::ostream& os) const {
         phase = 'C';
         break;
     }
-    os << "  {\"name\": \"" << json_escape(ev.name) << "\", \"ph\": \""
-       << phase << "\", \"ts\": " << to_us(ev.ts.seconds())
-       << ", \"pid\": 1, \"tid\": " << static_cast<int>(ev.track);
+    int tid = ev.tid_override ? ev.tid_override : static_cast<int>(ev.track);
+    bool in_flow = ev.flow != TraceFlow::kNone && ev.flow_id != 0;
+    std::int64_t ts = to_us(ev.ts.seconds());
+    if (in_flow) {
+      // Flow events bind to the slice at the same (pid, tid, ts), so emit a
+      // 1µs anchor slice instead of a bare instant — both Perfetto and
+      // legacy chrome://tracing attach the arrow to it.
+      begin_obj();
+      os << "{\"name\": \"" << json_escape(ev.name)
+         << "\", \"ph\": \"X\", \"ts\": " << ts
+         << ", \"dur\": 1, \"pid\": 1, \"tid\": " << tid;
+      if (!ev.category.empty()) {
+        os << ", \"cat\": \"" << json_escape(ev.category) << "\"";
+      }
+      os << "}";
+      char fph = ev.flow == TraceFlow::kStart ? 's'
+                 : ev.flow == TraceFlow::kEnd ? 'f'
+                                              : 't';
+      begin_obj();
+      // One shared name/cat per flow chain: legacy chrome://tracing matches
+      // s/t/f events by (cat, name, id).
+      os << "{\"name\": \"op\", \"cat\": \"flow\", \"ph\": \"" << fph
+         << "\", \"ts\": " << ts << ", \"pid\": 1, \"tid\": " << tid
+         << ", \"id\": " << ev.flow_id;
+      if (fph == 'f') os << ", \"bp\": \"e\"";  // bind to enclosing slice
+      os << "}";
+      continue;
+    }
+    begin_obj();
+    os << "{\"name\": \"" << json_escape(ev.name) << "\", \"ph\": \"" << phase
+       << "\", \"ts\": " << ts << ", \"pid\": 1, \"tid\": " << tid;
     if (ev.phase == TracePhase::kSpan) {
       os << ", \"dur\": " << to_us(ev.dur);
     }
@@ -129,8 +176,6 @@ void MemoryTraceSink::write_chrome_json(std::ostream& os) const {
       os << "}";
     }
     os << "}";
-    if (i + 1 < events_.size()) os << ",";
-    os << "\n";
   }
   // Name the tracks so Perfetto shows subsystems instead of bare tids.
   struct TrackName {
@@ -143,13 +188,18 @@ void MemoryTraceSink::write_chrome_json(std::ostream& os) const {
       {TraceTrack::kReplay, "replay"}, {TraceTrack::kChaos, "chaos"},
   };
   for (std::size_t i = 0; i < std::size(kTracks); ++i) {
-    if (!events_.empty() || i > 0) os << ",";
-    os << "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": "
+    begin_obj();
+    os << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": "
        << static_cast<int>(kTracks[i].track) << ", \"args\": {\"name\": \""
        << kTracks[i].name << "\"}}";
-    os << "\n";
   }
-  os << "]}\n";
+  // Dynamic tracks (per-replica flow rows), sorted by tid via std::map.
+  for (const auto& [tid, name] : track_names_) {
+    begin_obj();
+    os << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": "
+       << tid << ", \"args\": {\"name\": \"" << json_escape(name) << "\"}}";
+  }
+  os << "\n]}\n";
 }
 
 std::string MemoryTraceSink::chrome_json() const {

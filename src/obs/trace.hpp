@@ -14,10 +14,18 @@
 // (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU)
 // loadable in Perfetto / chrome://tracing.  Sim seconds map to trace
 // microseconds, so one trace "ms" is one sim millisecond.
+//
+// Causal flows: an event may additionally carry a flow phase + flow id
+// (Chrome 's'/'t'/'f' events).  The sink renders such an event as a 1µs
+// anchor slice plus the flow event bound to it, so one client operation —
+// its TraceId propagated through paxos::SimNetwork message headers —
+// renders as a connected arrow chain across the per-replica tracks
+// (tid kReplicaTrackBase + node id, named via name_track()).
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
@@ -28,6 +36,9 @@ namespace jupiter::obs {
 
 enum class TracePhase { kInstant, kSpan, kCounter };
 
+/// Position of an event inside a causal flow ('s'/'t'/'f' in Chrome terms).
+enum class TraceFlow : std::uint8_t { kNone, kStart, kStep, kEnd };
+
 /// Stable track ids so every subsystem lands on its own Perfetto row.
 enum class TraceTrack : int {
   kMarket = 1,
@@ -37,6 +48,10 @@ enum class TraceTrack : int {
   kReplay = 5,
   kChaos = 6,
 };
+
+/// Per-replica flow tracks live at kReplicaTrackBase + node id, well clear
+/// of the static TraceTrack ids above.
+inline constexpr int kReplicaTrackBase = 100;
 
 struct TraceEvent {
   SimTime ts;
@@ -49,12 +64,26 @@ struct TraceEvent {
   std::vector<std::pair<std::string, std::string>> args;
   /// Numeric args; for kCounter these are the plotted series values.
   std::vector<std::pair<std::string, std::int64_t>> num_args;
+  /// Causal-flow membership; flow_id != 0 with flow != kNone makes the
+  /// Chrome export emit an 's'/'t'/'f' event bound to this one.
+  TraceFlow flow = TraceFlow::kNone;
+  std::uint64_t flow_id = 0;
+  /// Explicit Perfetto tid; 0 means "use the track enum".  Per-replica flow
+  /// steps set kReplicaTrackBase + node so each replica gets its own row.
+  int tid_override = 0;
 };
 
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
   virtual void record(TraceEvent ev) = 0;
+
+  /// Names a dynamic track (per-replica rows).  Idempotent; default no-op
+  /// for sinks that do not render track metadata.
+  virtual void name_track(int tid, const std::string& name) {
+    (void)tid;
+    (void)name;
+  }
 
   // Convenience shapes.
   void instant(SimTime ts, TraceTrack track, std::string name,
@@ -65,6 +94,16 @@ class TraceSink {
             std::vector<std::pair<std::string, std::int64_t>> num_args = {});
   void counter(SimTime ts, TraceTrack track, std::string name,
                std::vector<std::pair<std::string, std::int64_t>> series);
+  /// One hop of a causal flow on an explicit tid (per-replica track).
+  void flow(SimTime ts, int tid, std::string name, TraceFlow phase,
+            std::uint64_t flow_id, std::string category = {});
+
+  /// Deterministic TraceId allocator: ids are handed out in record order on
+  /// the (single-threaded) simulation thread, so same seed => same ids.
+  std::uint64_t next_flow_id() { return ++last_flow_id_; }
+
+ private:
+  std::uint64_t last_flow_id_ = 0;
 };
 
 /// Buffers every event in memory (deterministic order: the single-threaded
@@ -72,10 +111,16 @@ class TraceSink {
 class MemoryTraceSink : public TraceSink {
  public:
   void record(TraceEvent ev) override { events_.push_back(std::move(ev)); }
+  void name_track(int tid, const std::string& name) override {
+    track_names_[tid] = name;
+  }
 
   const std::vector<TraceEvent>& events() const { return events_; }
   std::size_t size() const { return events_.size(); }
-  void clear() { events_.clear(); }
+  void clear() {
+    events_.clear();
+    track_names_.clear();
+  }
 
   /// Chrome trace_event JSON (object form, "traceEvents" array).  Output is
   /// a pure function of the recorded events — byte-identical across
@@ -85,6 +130,7 @@ class MemoryTraceSink : public TraceSink {
 
  private:
   std::vector<TraceEvent> events_;
+  std::map<int, std::string> track_names_;  // sorted => deterministic export
 };
 
 }  // namespace jupiter::obs

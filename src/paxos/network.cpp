@@ -20,6 +20,37 @@ const char* drop_reason_name(int reason) {
   return "?";
 }
 
+const char* msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::kPrepare: return "prepare";
+    case MsgType::kPromise: return "promise";
+    case MsgType::kPrepareNack: return "prepare_nack";
+    case MsgType::kAccept: return "accept";
+    case MsgType::kAccepted: return "accepted";
+    case MsgType::kAcceptNack: return "accept_nack";
+    case MsgType::kChosen: return "chosen";
+    case MsgType::kHeartbeat: return "heartbeat";
+    case MsgType::kForward: return "forward";
+    case MsgType::kCatchup: return "catchup";
+  }
+  return "?";
+}
+
+/// One hop of a traced message on a per-replica flow track.  No-op unless a
+/// trace sink is installed *and* the message carries a TraceId; the flow
+/// chain is: submit (kStart) -> each send/delivery hop (kStep) -> the
+/// deciding replica's apply (kEnd).
+void flow_hop(NodeId node, const Message& msg, const char* direction,
+              SimTime now) {
+  if (msg.trace_id == 0) return;
+  obs::TraceSink* tr = obs::trace();
+  if (tr == nullptr) return;
+  int tid = obs::kReplicaTrackBase + node;
+  tr->name_track(tid, "paxos.replica-" + std::to_string(node));
+  tr->flow(now, tid, std::string(direction) + ":" + msg_type_name(msg.type),
+           obs::TraceFlow::kStep, msg.trace_id, "paxos");
+}
+
 }  // namespace
 
 SimNetwork::LinkStats& SimNetwork::link_stats(NodeId from, NodeId to,
@@ -81,6 +112,8 @@ void SimNetwork::send(NodeId to, const Message& msg) {
     return;
   }
 
+  flow_hop(msg.from, msg, "send", sim_.now());
+
   int copies = 1 + std::max(0, act.duplicates);
   for (int c = 0; c < copies; ++c) {
     value_bytes_ += msg.value.payload.size();
@@ -125,6 +158,7 @@ void SimNetwork::send(NodeId to, const Message& msg) {
         }
         delivered_counter_->inc();
       }
+      flow_hop(to, copy, "recv", sim_.now());
       (*handler)(copy);
     }));
   }

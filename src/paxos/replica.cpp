@@ -341,11 +341,13 @@ std::optional<Value> Replica::reconstruct_from_chunks(
   return full;
 }
 
-void Replica::propose(Slot slot, Value full_value, Callback cb) {
+void Replica::propose(Slot slot, Value full_value, Callback cb,
+                      std::uint64_t trace_id) {
   SlotState& st = slot_state(slot);
   st.proposing = true;
   st.proposal_full = std::move(full_value);
   st.accepted_from.clear();
+  if (trace_id != 0) st.trace_id = trace_id;
   if (cb) {
     callbacks_[slot] = std::move(cb);
     st.proposed_id = st.proposal_full.value_id;
@@ -363,6 +365,7 @@ void Replica::send_accepts(Slot slot) {
     m.from = id_;
     m.ballot = ballot_;
     m.slot = slot;
+    m.trace_id = st.trace_id;
     m.value = code_it ? make_chunk_value(st.proposal_full, static_cast<int>(i))
                       : st.proposal_full;
     net_.send(config_[i], m);
@@ -384,6 +387,7 @@ void Replica::on_accept(const Message& m) {
     r.from = id_;
     r.ballot = m.ballot;
     r.slot = m.slot;
+    r.trace_id = m.trace_id;  // echo: the reply is part of the same op
     net_.send(m.from, r);
   } else {
     Message r;
@@ -416,6 +420,7 @@ void Replica::on_accepted(const Message& m) {
     c.from = id_;
     c.ballot = ballot_;
     c.slot = m.slot;
+    c.trace_id = st.trace_id;
     c.value = coded ? make_chunk_value(st.proposal_full, static_cast<int>(i))
                     : st.proposal_full;
     if (config_[i] == id_) {
@@ -440,6 +445,8 @@ void Replica::on_chosen(const Message& m) {
   if (!st.chosen) {
     st.chosen = true;
     st.chosen_val = m.value;
+    if (m.trace_id != 0) st.trace_id = m.trace_id;
+    note_commit_lag(m.slot);
   }
   apply_ready();
 }
@@ -451,8 +458,22 @@ void Replica::decide(Slot slot, const Value& own_value,
     st.chosen = true;
     st.chosen_val = own_value;
     if (full_value) st.proposal_full = *full_value;
+    note_commit_lag(slot);
   }
   apply_ready();
+}
+
+/// Distance between a freshly chosen slot and this node's applied prefix —
+/// the "how far behind is the pipeline" distribution (det histogram, so the
+/// fleet's merged exports stay integer-exact).
+void Replica::note_commit_lag(Slot slot) {
+  if (obs::Registry* reg = obs::metrics()) {
+    std::uint64_t lag =
+        slot >= commit_index_
+            ? static_cast<std::uint64_t>(slot - commit_index_)
+            : 0;
+    reg->det_histogram("paxos.commit_slot_lag").observe(lag);
+  }
 }
 
 // ---------------------------------------------------------------- learning
@@ -502,6 +523,19 @@ void Replica::apply_ready() {
             });
           }
           break;
+        }
+      }
+      if (st.trace_id != 0) {
+        // Mark the op's flow where it takes effect on this replica; the
+        // replica that owns the client callback (the proposing leader)
+        // terminates the arrow chain, followers contribute a step.
+        if (obs::TraceSink* tr = obs::trace()) {
+          bool ends = callbacks_.find(commit_index_) != callbacks_.end();
+          int tid = obs::kReplicaTrackBase + id_;
+          tr->name_track(tid, "paxos.replica-" + std::to_string(id_));
+          tr->flow(sim_.now(), tid, "apply",
+                   ends ? obs::TraceFlow::kEnd : obs::TraceFlow::kStep,
+                   st.trace_id, "paxos");
         }
       }
       if (auto cb = callbacks_.find(commit_index_); cb != callbacks_.end()) {
@@ -613,12 +647,23 @@ void Replica::submit(std::vector<std::uint8_t> command, Callback cb) {
     if (cb) cb(false, {});
     return;
   }
+  // Allocate the op's causal TraceId at the moment the leader takes it on;
+  // every accept/accepted/chosen hop below echoes it, so the Chrome export
+  // draws one connected arrow chain from this point to apply_ready().
+  std::uint64_t trace_id = 0;
+  if (obs::TraceSink* tr = obs::trace()) {
+    trace_id = tr->next_flow_id();
+    int tid = obs::kReplicaTrackBase + id_;
+    tr->name_track(tid, "paxos.replica-" + std::to_string(id_));
+    tr->flow(sim_.now(), tid, "submit", obs::TraceFlow::kStart, trace_id,
+             "paxos");
+  }
   Value v;
   v.kind = ValueKind::kCommand;
   v.value_id = fresh_value_id();
   v.payload = std::move(command);
   if (next_slot_ < commit_index_) next_slot_ = commit_index_;
-  propose(next_slot_++, std::move(v), std::move(cb));
+  propose(next_slot_++, std::move(v), std::move(cb), trace_id);
 }
 
 void Replica::propose_config(std::vector<NodeId> members, Callback cb) {

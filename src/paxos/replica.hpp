@@ -135,6 +135,10 @@ class Replica {
     // client's command did NOT commit, and must be reported as a failure
     // so the submit layer retries it.
     std::uint64_t proposed_id = 0;
+    // Causal TraceId of the client op driving this slot (0: untraced).
+    // Stamped into every accept/chosen message so SimNetwork renders the
+    // op as one connected Perfetto flow across replica tracks.
+    std::uint64_t trace_id = 0;
   };
 
   // message handlers
@@ -153,9 +157,11 @@ class Replica {
   // roles
   void start_election();
   void become_leader();
-  void propose(Slot slot, Value full_value, Callback cb);
+  void propose(Slot slot, Value full_value, Callback cb,
+               std::uint64_t trace_id = 0);
   void send_accepts(Slot slot);
   void decide(Slot slot, const Value& own_value, const Value* full_value);
+  void note_commit_lag(Slot slot);
   void apply_ready();
   void broadcast(Message m);
   void arm_failure_detector();

@@ -89,6 +89,11 @@ struct Message {
   Value value;            // accept/chosen/forward
   std::vector<PromiseInfo> promises;  // promise
   Slot commit_index = 0;  // heartbeat: leader's chosen prefix
+  /// Causal TraceId of the client operation this message serves; 0 = none.
+  /// Allocated by the submitter (TraceSink::next_flow_id), echoed through
+  /// replies and broadcasts, and emitted by SimNetwork as Perfetto flow
+  /// steps so one client op renders as a connected arrow chain.
+  std::uint64_t trace_id = 0;
 };
 
 /// Serialized membership for kConfig values: little-endian int32 count then

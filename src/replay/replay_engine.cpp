@@ -199,6 +199,12 @@ ReplayResult replay_strategy(const TraceBook& book, BiddingStrategy& strategy,
                               : 0;
       h.ready = decide_at + startup;
       ++result.instances_launched;
+      if (obs::Registry* reg = obs::metrics()) {
+        // Bidding-decision sim-latency: seconds from the decision to the
+        // instance serving, integer-exact for deterministic shard merges.
+        reg->det_histogram("replay.bid_ready_lag_s")
+            .observe(static_cast<std::uint64_t>(startup));
+      }
       if (trace.price_at(decide_at) > b.bid) {
         h.never_ran = true;
       } else {

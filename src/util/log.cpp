@@ -16,6 +16,9 @@ std::mutex g_mu;
 const void* g_clock_owner = nullptr;
 std::function<std::string()> g_clock;
 
+// Per-thread line tag; no lock needed (each thread reads only its own).
+thread_local std::string g_tag;
+
 const char* level_tag(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
@@ -96,15 +99,25 @@ void clear_log_clock(const void* owner) {
   g_clock = nullptr;
 }
 
+const std::string& log_tag() { return g_tag; }
+
+LogTagScope::LogTagScope(std::string tag) : prev_(std::move(g_tag)) {
+  g_tag = std::move(tag);
+}
+
+LogTagScope::~LogTagScope() { g_tag = std::move(prev_); }
+
 void log_line(LogLevel level, const std::string& msg) {
   ensure_init();
   if (level < g_level.load()) return;
+  std::string tag = g_tag.empty() ? std::string() : "[" + g_tag + "] ";
   std::lock_guard lk(g_mu);
   if (g_clock) {
-    std::fprintf(stderr, "[%s] %s | %s\n", level_tag(level),
+    std::fprintf(stderr, "[%s] %s%s | %s\n", level_tag(level), tag.c_str(),
                  g_clock().c_str(), msg.c_str());
   } else {
-    std::fprintf(stderr, "[%s] %s\n", level_tag(level), msg.c_str());
+    std::fprintf(stderr, "[%s] %s%s\n", level_tag(level), tag.c_str(),
+                 msg.c_str());
   }
 }
 

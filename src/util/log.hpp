@@ -41,6 +41,26 @@ void set_log_clock(const void* owner, std::function<std::string()> clock);
 /// Removes the log clock if `owner` holds it; no-op otherwise.
 void clear_log_clock(const void* owner);
 
+/// The calling thread's log tag ("" when unset).  Fleet clusters set it to
+/// their cluster id ("c0", "c1", ...) so interleaved lines from parallel
+/// clusters stay attributable:
+///   [INFO ] [c2] d0 03:15:42 | spot request rejected ...
+const std::string& log_tag();
+
+/// RAII thread-local log tag: every line this thread logs while the scope
+/// is alive is prefixed with "[tag]".  Scopes nest; each restores the
+/// previous tag on destruction.
+class LogTagScope {
+ public:
+  explicit LogTagScope(std::string tag);
+  ~LogTagScope();
+  LogTagScope(const LogTagScope&) = delete;
+  LogTagScope& operator=(const LogTagScope&) = delete;
+
+ private:
+  std::string prev_;
+};
+
 /// Emits one line (thread-safe) if `level` passes the threshold.
 void log_line(LogLevel level, const std::string& msg);
 

@@ -1,0 +1,15 @@
+// Fixture: a metrics-shard-style directory — a mutable static vector of
+// pointers to per-cluster observability state — is exactly the registry
+// shape par-registry exists for.  An unregistered one must trip the rule;
+// the real directory (src/obs/shard.cpp g_shard_directory) is listed in
+// tools/detlint/par_shared_manifest.txt with its guarding discipline.
+#include <vector>
+
+struct FakeShard {
+  int cluster = 0;
+};
+
+std::vector<FakeShard*>& shard_directory() {
+  static std::vector<FakeShard*> directory;
+  return directory;
+}

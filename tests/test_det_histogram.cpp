@@ -1,0 +1,166 @@
+// DetHistogram contracts (ISSUE 9 tentpole b): fixed log2 bucketing,
+// rank-based integer percentiles, associative merges, byte-stable exports,
+// and the registry/snapshot integration the fleet shard merge rides on.
+#include "obs/det_histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace jupiter::obs {
+namespace {
+
+TEST(DetHistogram, BucketBoundaries) {
+  // 0 is its own bucket; bucket i >= 1 covers [2^(i-1), 2^i).
+  EXPECT_EQ(DetHistogram::bucket_of(0), 0u);
+  EXPECT_EQ(DetHistogram::bucket_of(1), 1u);
+  EXPECT_EQ(DetHistogram::bucket_of(2), 2u);
+  EXPECT_EQ(DetHistogram::bucket_of(3), 2u);
+  EXPECT_EQ(DetHistogram::bucket_of(4), 3u);
+  EXPECT_EQ(DetHistogram::bucket_of(7), 3u);
+  EXPECT_EQ(DetHistogram::bucket_of(8), 4u);
+  EXPECT_EQ(DetHistogram::bucket_of((1ULL << 62) - 1), 62u);
+  EXPECT_EQ(DetHistogram::bucket_of(1ULL << 62), 63u);
+  EXPECT_EQ(DetHistogram::bucket_of(UINT64_MAX), 63u);
+  for (std::size_t i = 1; i < DetHistogram::kBuckets; ++i) {
+    // Every bucket floor maps back into its own bucket.
+    EXPECT_EQ(DetHistogram::bucket_of(DetHistogram::bucket_floor(i)), i);
+  }
+  EXPECT_EQ(DetHistogram::bucket_floor(0), 0u);
+  EXPECT_EQ(DetHistogram::bucket_floor(1), 1u);
+  EXPECT_EQ(DetHistogram::bucket_floor(5), 16u);
+}
+
+TEST(DetHistogram, CountSumMinMax) {
+  DetHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);  // sentinel must not leak when empty
+  EXPECT_EQ(h.max(), 0u);
+  h.observe(10);
+  h.observe(3);
+  h.observe(700);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 713u);
+  EXPECT_EQ(h.min(), 3u);
+  EXPECT_EQ(h.max(), 700u);
+}
+
+TEST(DetHistogram, PercentilesAreBucketFloors) {
+  DetHistogram h;
+  // 90 values of 1, 9 of 100, 1 of 5000: p50 -> bucket of 1, p99 -> bucket
+  // of 100, p100 -> bucket of 5000.
+  for (int i = 0; i < 90; ++i) h.observe(1);
+  for (int i = 0; i < 9; ++i) h.observe(100);
+  h.observe(5000);
+  EXPECT_EQ(h.percentile(50), 1u);
+  EXPECT_EQ(h.percentile(90), 1u);
+  EXPECT_EQ(h.percentile(91), DetHistogram::bucket_floor(
+                                  DetHistogram::bucket_of(100)));
+  EXPECT_EQ(h.percentile(99), DetHistogram::bucket_floor(
+                                  DetHistogram::bucket_of(100)));
+  EXPECT_EQ(h.percentile(100), DetHistogram::bucket_floor(
+                                   DetHistogram::bucket_of(5000)));
+  // Out-of-range q clamps instead of throwing.
+  EXPECT_EQ(h.percentile(0), h.percentile(1));
+  EXPECT_EQ(h.percentile(250), h.percentile(100));
+  DetHistogram empty;
+  EXPECT_EQ(empty.percentile(50), 0u);
+}
+
+TEST(DetHistogram, MergeIsAssociativeAndOrderFree) {
+  std::vector<std::uint64_t> a{0, 5, 17, 4096};
+  std::vector<std::uint64_t> b{3, 3, 900000};
+  std::vector<std::uint64_t> c{1ULL << 40};
+  auto fill = [](const std::vector<std::uint64_t>& vs) {
+    DetHistogram h;
+    for (std::uint64_t v : vs) h.observe(v);
+    return h;
+  };
+  DetHistogram left = fill(a);
+  left.merge(fill(b));
+  left.merge(fill(c));
+  DetHistogram right = fill(c);
+  right.merge(fill(a));
+  right.merge(fill(b));
+  EXPECT_EQ(left.to_text(), right.to_text());
+  EXPECT_EQ(left.to_json(), right.to_json());
+  // Merged state equals observing everything into one histogram.
+  DetHistogram all;
+  for (const auto* vs : {&a, &b, &c}) {
+    for (std::uint64_t v : *vs) all.observe(v);
+  }
+  EXPECT_EQ(left.to_text(), all.to_text());
+}
+
+TEST(DetHistogram, ExportsAreByteStable) {
+  auto fill = [] {
+    DetHistogram h;
+    h.observe(0);
+    h.observe(9);
+    h.observe(9);
+    h.observe(123456);
+    return h;
+  };
+  EXPECT_EQ(fill().to_text(), fill().to_text());
+  EXPECT_EQ(fill().to_json(), fill().to_json());
+  // Spot-check the shapes: integer fields, sparse bins.
+  std::string text = fill().to_text();
+  EXPECT_NE(text.find("count=4"), std::string::npos) << text;
+  EXPECT_NE(text.find("min=0"), std::string::npos) << text;
+  EXPECT_NE(text.find("max=123456"), std::string::npos) << text;
+  std::string json = fill().to_json();
+  EXPECT_NE(json.find("\"count\": 4"), std::string::npos) << json;
+}
+
+TEST(DetHistogram, RegistrySnapshotCarriesIntegerPercentiles) {
+  Registry reg;
+  DetHistogram& h = reg.det_histogram("paxos.commit_slot_lag");
+  for (int i = 0; i < 10; ++i) h.observe(static_cast<std::uint64_t>(i));
+  MetricsSnapshot snap = reg.snapshot();
+  const MetricsSnapshot::Row* row = snap.find("paxos.commit_slot_lag");
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->kind, MetricKind::kDetHistogram);
+  EXPECT_EQ(row->count, 10u);
+  EXPECT_EQ(row->isum, 45u);
+  EXPECT_EQ(row->imin, 0u);
+  EXPECT_EQ(row->imax, 9u);
+  EXPECT_EQ(row->p50, h.percentile(50));
+  // CSV renders the row through std::to_string, never %.17g.
+  std::string csv = snap.to_csv();
+  EXPECT_NE(csv.find("det_histogram"), std::string::npos) << csv;
+  EXPECT_EQ(csv.find("e+"), std::string::npos) << csv;
+}
+
+TEST(DetHistogram, SnapshotMergeRecomputesPercentiles) {
+  Registry a, b;
+  for (int i = 0; i < 50; ++i) a.det_histogram("lag").observe(1);
+  for (int i = 0; i < 50; ++i) b.det_histogram("lag").observe(1000);
+  MetricsSnapshot merged =
+      MetricsSnapshot::merge({a.snapshot(), b.snapshot()});
+  const MetricsSnapshot::Row* row = merged.find("lag");
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->count, 100u);
+  EXPECT_EQ(row->isum, 50u + 50u * 1000u);
+  EXPECT_EQ(row->imin, 1u);
+  EXPECT_EQ(row->imax, 1000u);
+  // Rank 50 of 100 sits in the last bucket of the low half; rank 90 in the
+  // high half — exactly what a per-part percentile average would get wrong.
+  EXPECT_EQ(row->p50, 1u);
+  EXPECT_EQ(row->p90,
+            DetHistogram::bucket_floor(DetHistogram::bucket_of(1000)));
+}
+
+TEST(DetHistogram, SnapshotMergeRejectsKindCollisions) {
+  Registry a, b;
+  a.counter("x").inc();
+  b.det_histogram("x").observe(1);
+  EXPECT_THROW(MetricsSnapshot::merge({a.snapshot(), b.snapshot()}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jupiter::obs

@@ -1,0 +1,132 @@
+// Causal trace flows (ISSUE 9 tentpole c): one client op threads a TraceId
+// through SimNetwork message headers so the Chrome/Perfetto export renders a
+// connected s/t/f arrow chain across per-replica tracks.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "lock/lock_service.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "sim/simulator.hpp"
+
+namespace jupiter {
+namespace {
+
+// Concrete harness (not a gtest fixture) so tests can spin up a second,
+// independent copy to compare byte streams across runs.
+struct FlowHarness {
+  FlowHarness()
+      : net(sim, 17),
+        group(sim, net, paxos::Replica::Options{},
+              [](paxos::NodeId) {
+                return std::make_unique<lock::LockServiceState>();
+              },
+              888) {
+    ctx.trace = &trace;
+    ctx.metrics = &reg;
+  }
+
+  void bootstrap_and_acquire() {
+    obs::ContextScope scope(&ctx);
+    group.bootstrap(5);
+    sim.run_until(sim.now() + 200);
+    lock::LockClient alice(group, sim, "alice", 7200);
+    alice.open_session();
+    sim.run_until(sim.now() + 120);
+    lock::LockStatus st = lock::LockStatus::kExpired;
+    alice.acquire("/flow/leader", [&](lock::LockResponse r) { st = r.status; });
+    sim.run_until(sim.now() + 120);
+    ASSERT_EQ(st, lock::LockStatus::kOk);
+  }
+
+  Simulator sim;
+  paxos::SimNetwork net;
+  paxos::Group group;
+  obs::Registry reg;
+  obs::MemoryTraceSink trace;
+  obs::ObsContext ctx;
+};
+
+struct TraceFlow : ::testing::Test {
+  FlowHarness h;
+  Simulator& sim = h.sim;
+  paxos::Group& group = h.group;
+  obs::Registry& reg = h.reg;
+  obs::MemoryTraceSink& trace = h.trace;
+  void bootstrap_and_acquire() { h.bootstrap_and_acquire(); }
+};
+
+TEST_F(TraceFlow, AcquireEmitsConnectedFlowAcrossReplicas) {
+  bootstrap_and_acquire();
+
+  // Group flow events by id and check at least one flow starts, hops, and
+  // ends — and that its hops touch >= 3 distinct replica tracks.
+  std::map<std::uint64_t, std::set<obs::TraceFlow>> phases;
+  std::map<std::uint64_t, std::set<int>> replica_tids;
+  for (const obs::TraceEvent& ev : trace.events()) {
+    if (ev.flow == obs::TraceFlow::kNone || ev.flow_id == 0) continue;
+    phases[ev.flow_id].insert(ev.flow);
+    if (ev.tid_override >= obs::kReplicaTrackBase) {
+      replica_tids[ev.flow_id].insert(ev.tid_override);
+    }
+  }
+  ASSERT_FALSE(phases.empty()) << "no flow events recorded";
+  bool connected = false;
+  for (const auto& [id, ph] : phases) {
+    if (ph.count(obs::TraceFlow::kStart) && ph.count(obs::TraceFlow::kStep) &&
+        ph.count(obs::TraceFlow::kEnd) && replica_tids[id].size() >= 3) {
+      connected = true;
+    }
+  }
+  EXPECT_TRUE(connected)
+      << "expected a start->step->end flow spanning >= 3 replica tracks";
+}
+
+TEST_F(TraceFlow, ChromeJsonBindsFlowsAndNamesReplicaTracks) {
+  bootstrap_and_acquire();
+  std::string json = trace.chrome_json();
+  // Flow binding events (s = start, t = step, f = finish) and the named
+  // per-replica tracks must survive the export.
+  EXPECT_NE(json.find("\"ph\": \"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"f\""), std::string::npos);
+  EXPECT_NE(json.find("paxos.replica-0"), std::string::npos);
+  EXPECT_NE(json.find("paxos.replica-2"), std::string::npos);
+}
+
+TEST_F(TraceFlow, FlowsAreByteIdenticalAcrossRuns) {
+  bootstrap_and_acquire();
+  std::string first = trace.chrome_json();
+
+  FlowHarness other;
+  other.bootstrap_and_acquire();
+  EXPECT_EQ(first, other.trace.chrome_json());
+}
+
+TEST_F(TraceFlow, NoContextMeansNoFlows) {
+  // Without an installed context the same workload records nothing: the
+  // zero-cost-when-disabled contract.
+  group.bootstrap(5);
+  sim.run_until(sim.now() + 200);
+  lock::LockClient alice(group, sim, "alice", 7200);
+  alice.open_session();
+  alice.acquire("/flow/leader", nullptr);
+  sim.run_until(sim.now() + 240);
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST_F(TraceFlow, CommitSlotLagHistogramPopulated) {
+  bootstrap_and_acquire();
+  obs::MetricsSnapshot snap = reg.snapshot();
+  const obs::MetricsSnapshot::Row* row = snap.find("paxos.commit_slot_lag");
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->kind, obs::MetricKind::kDetHistogram);
+  EXPECT_GT(row->count, 0u);
+}
+
+}  // namespace
+}  // namespace jupiter

@@ -1101,6 +1101,7 @@ int self_test(const fs::path& fixture_dir) {
       {"obs_wall_timer_fail.cpp", "banned-time", true},
       {"par_shared_fail.cpp", "par-shared", true},
       {"par_registry_fail.cpp", "par-registry", true},
+      {"obs_shard_unregistered_fail.cpp", "par-registry", true},
       {"par_ref_capture_fail.cpp", "par-ref-capture", true},
       {"par_order_dep_fail.cpp", "par-order-dep", true},
       {"clean_pass.cpp", "", false},
