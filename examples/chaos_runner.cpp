@@ -33,12 +33,18 @@ const std::uint64_t kCorpus[] = {1,  2,  3,  4,  5,  6,  7,  8,
 // checks market conservation, fleet billing conservation and liveness.
 const std::uint64_t kFleetCorpus[] = {1, 2, 3, 4, 5, 6, 7, 8};
 
+// The data-plane corpus: the same scenario machinery with pipelining,
+// batching, leases and fast catch-up enabled, leaseholder-crash faults in
+// the schedule mix, and the lease-exclusion / apply-once checkers armed.
+// --corpus runs these after the 16 default seeds.
+const std::uint64_t kDataPlaneCorpus[] = {1, 2, 3, 4, 5, 6, 7, 8};
+
 void usage() {
   std::cerr
       << "usage: chaos_runner [--seed N] [--corpus] [--events N]\n"
       << "                    [--horizon SECONDS] [--clients N]\n"
       << "                    [--break-quorum] [--no-minimize] [--quiet]\n"
-      << "                    [--metrics]\n"
+      << "                    [--metrics] [--data-plane]\n"
       << "       chaos_runner --fleet [--seed N] [--quiet]\n";
 }
 
@@ -74,6 +80,7 @@ int main(int argc, char** argv) {
   bool quiet = false;
   bool show_metrics = false;
   bool fleet_mode = false;
+  bool corpus_mode = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> long long {
@@ -86,7 +93,10 @@ int main(int argc, char** argv) {
     if (arg == "--seed") {
       seeds.push_back(static_cast<std::uint64_t>(next()));
     } else if (arg == "--corpus") {
+      corpus_mode = true;
       seeds.insert(seeds.end(), std::begin(kCorpus), std::end(kCorpus));
+    } else if (arg == "--data-plane") {
+      opts.data_plane = true;
     } else if (arg == "--events") {
       opts.fault_events = static_cast<int>(next());
     } else if (arg == "--horizon") {
@@ -115,8 +125,10 @@ int main(int argc, char** argv) {
 
   int clean = 0;
   int violated = 0;
-  for (std::uint64_t seed : seeds) {
-    ChaosRunner runner(seed, opts);
+  std::size_t ran = 0;
+  auto run_one = [&](std::uint64_t seed, const ChaosOptions& run_opts) {
+    ++ran;
+    ChaosRunner runner(seed, run_opts);
     ChaosReport report = runner.run();
     if (report.ok()) {
       ++clean;
@@ -132,8 +144,17 @@ int main(int argc, char** argv) {
       std::cout << "metrics (seed " << seed << "):\n"
                 << report.metrics.to_csv();
     }
+  };
+  for (std::uint64_t seed : seeds) run_one(seed, opts);
+  if (corpus_mode && !opts.data_plane && !opts.break_quorum) {
+    // The corpus covers both protocol shapes: after the seeded per-op
+    // scenarios, re-torture with the high-throughput data plane enabled.
+    ChaosOptions plane_opts = opts;
+    plane_opts.data_plane = true;
+    if (!quiet) std::cout << "-- data-plane corpus --\n";
+    for (std::uint64_t seed : kDataPlaneCorpus) run_one(seed, plane_opts);
   }
-  std::cout << seeds.size() << " scenario(s): " << clean << " clean, "
+  std::cout << ran << " scenario(s): " << clean << " clean, "
             << violated << " violated\n";
 
   if (opts.break_quorum) {

@@ -10,6 +10,7 @@
 #include "lock/lock_service.hpp"
 #include "market/billing.hpp"
 #include "obs/obs.hpp"
+#include "paxos/harness.hpp"
 #include "replay/replay_engine.hpp"
 
 namespace jupiter::chaos {
@@ -120,6 +121,7 @@ ChaosReport ChaosRunner::run() {
   sched_opts.nodes = nodes;
   sched_opts.events = opts_.fault_events;
   sched_opts.outage_regions = {r1, r2};
+  sched_opts.lease_faults = opts_.data_plane;
   std::vector<FaultEvent> schedule =
       generate_fault_schedule(seeds.schedule, sched_opts);
 
@@ -174,28 +176,32 @@ ChaosReport ChaosRunner::run_schedule(const std::vector<FaultEvent>& schedule) {
     zone_of[i] = zone_pool[static_cast<std::size_t>(i) % zone_pool.size()];
   }
 
-  // ---- cluster ----
-  Simulator sim;
-  paxos::SimNetwork::Options net_opts;
-  net_opts.min_latency = 0;
-  net_opts.max_latency = 2;
-  paxos::SimNetwork net(sim, seeds.net, net_opts);
-
-  paxos::Replica::Options rep_opts;
-  if (opts_.break_quorum) rep_opts.policy.quorum_override = 1;
+  // ---- cluster (shared bootstrap scaffolding with the benches) ----
+  paxos::ClusterHarness::Options cluster_opts;
+  cluster_opts.nodes = nodes;
+  cluster_opts.net.min_latency = 0;
+  cluster_opts.net.max_latency = 2;
+  cluster_opts.net_seed = seeds.net;
+  cluster_opts.group_seed = seeds.group;
+  cluster_opts.settle = 120;
+  if (opts_.break_quorum) cluster_opts.replica.policy.quorum_override = 1;
+  if (opts_.data_plane) {
+    cluster_opts.replica.plane = paxos::ClusterHarness::data_plane_preset();
+  }
 
   std::map<paxos::NodeId, const RecordingSm*> recorders;
   std::map<paxos::NodeId, lock::LockServiceState*> lock_states;
-  paxos::Group group(
-      sim, net, rep_opts,
-      [&recorders, &lock_states](paxos::NodeId id) {
+  paxos::ClusterHarness cluster(
+      cluster_opts, [&recorders, &lock_states](paxos::NodeId id) {
         auto inner = std::make_unique<lock::LockServiceState>();
         lock_states[id] = inner.get();
         auto sm = std::make_unique<RecordingSm>(std::move(inner));
         recorders[id] = sm.get();
         return sm;
-      },
-      seeds.group);
+      });
+  Simulator& sim = cluster.sim;
+  paxos::SimNetwork& net = cluster.net;
+  paxos::Group& group = cluster.group;
 
   // ---- invariants ----
   InvariantRegistry registry;
@@ -203,10 +209,12 @@ ChaosReport ChaosRunner::run_schedule(const std::vector<FaultEvent>& schedule) {
   registry.add("paxos-agreement", make_agreement_checker(group));
   registry.add("paxos-validity", make_validity_checker(group, &submitted));
   registry.add("log-prefix", make_log_prefix_checker(&recorders));
+  if (opts_.data_plane) {
+    registry.add("apply-once", make_apply_once_checker(group, &recorders));
+    registry.add("lease-exclusion",
+                 make_lease_exclusion_checker(group, sim));
+  }
   MutualExclusionOracle mutex_oracle(registry, "lock-mutual-exclusion");
-
-  group.bootstrap(nodes);
-  sim.run_until(SimTime(120));
 
   // ---- contending lock workload ----
   auto submit_cmd = [&](lock::LockCommand cmd, paxos::Replica::Callback cb) {

@@ -37,6 +37,12 @@ struct ChaosOptions {
   bool minimize_on_violation = true;
   bool market_checks = true;      // billing conservation on shocked traces
   bool replay_checks = true;      // replay accounting on a shocked book
+  // Extended corpus: run the cluster with the high-throughput data plane
+  // (pipelining + batching + leases + fast catch-up) enabled, mix
+  // leaseholder-crash events into the fault schedule, and register the
+  // lease-exclusion and apply-once checkers.  Off by default — the pinned
+  // 16-seed fingerprints cover the per-op protocol exactly as seeded.
+  bool data_plane = false;
 };
 
 struct ChaosReport {

@@ -15,6 +15,7 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kLatencyBurst: return "latency-burst";
     case FaultKind::kDuplicateWindow: return "duplicate";
     case FaultKind::kAzOutage: return "az-outage";
+    case FaultKind::kLeaseholderCrash: return "leaseholder-crash";
   }
   return "?";
 }
@@ -41,6 +42,10 @@ std::string FaultEvent::str() const {
     case FaultKind::kAzOutage:
       s += " region " + std::to_string(region);
       break;
+    case FaultKind::kLeaseholderCrash:
+      // `a` is the resolved victim after injection, -1 in a fresh schedule.
+      if (a >= 0) s += " node " + std::to_string(a);
+      break;
   }
   s += " for " + std::to_string(duration) + "s";
   return s;
@@ -59,14 +64,18 @@ std::vector<FaultEvent> generate_fault_schedule(
     FaultEvent ev;
     // Weighted kind mix: partitions and crashes dominate (they are what
     // breaks consensus implementations); bursts/duplication season the mix.
-    double kinds[] = {3.0, 2.0, 3.0, 1.0, 1.0, opts.az_outages ? 1.5 : 0.0};
+    // A zero weight keeps the cumulative walk (and so the whole draw
+    // sequence) identical to a schedule generated without the entry.
+    double kinds[] = {3.0, 2.0, 3.0, 1.0, 1.0, opts.az_outages ? 1.5 : 0.0,
+                      opts.lease_faults ? 2.0 : 0.0};
     switch (rng.categorical(kinds)) {
       case 0: ev.kind = FaultKind::kPartitionPair; break;
       case 1: ev.kind = FaultKind::kAsymmetricCut; break;
       case 2: ev.kind = FaultKind::kCrashRestart; break;
       case 3: ev.kind = FaultKind::kLatencyBurst; break;
       case 4: ev.kind = FaultKind::kDuplicateWindow; break;
-      default: ev.kind = FaultKind::kAzOutage; break;
+      case 5: ev.kind = FaultKind::kAzOutage; break;
+      default: ev.kind = FaultKind::kLeaseholderCrash; break;
     }
     ev.duration = rng.range(opts.min_duration,
                             std::max(opts.min_duration, opts.max_duration));
@@ -155,8 +164,14 @@ void FaultInjector::restart_node(paxos::NodeId id) {
   }
 }
 
-void FaultInjector::inject(const FaultEvent& ev) {
+void FaultInjector::inject(FaultEvent& ev) {
   ++injected_;
+  if (ev.kind == FaultKind::kLeaseholderCrash) {
+    // Resolve the victim now, so the crash hits whoever holds the lease at
+    // this instant; the drawn node stands in when no one currently leads.
+    paxos::NodeId lead = group_.leader_id();
+    if (lead >= 0) ev.a = lead;
+  }
   obs::note(sim_.now(), "chaos", "inject " + ev.str());
   if (obs::Registry* reg = obs::metrics()) {
     reg->counter("chaos.faults_injected", {{"kind", fault_kind_name(ev.kind)}})
@@ -174,6 +189,7 @@ void FaultInjector::inject(const FaultEvent& ev) {
       net_.cut_link(ev.a, ev.b);
       break;
     case FaultKind::kCrashRestart:
+    case FaultKind::kLeaseholderCrash:
       crash_node(ev.a);
       break;
     case FaultKind::kLatencyBurst:
@@ -207,6 +223,7 @@ void FaultInjector::heal(const FaultEvent& ev) {
       net_.heal_link(ev.a, ev.b);
       break;
     case FaultKind::kCrashRestart:
+    case FaultKind::kLeaseholderCrash:
       restart_node(ev.a);
       break;
     case FaultKind::kLatencyBurst:

@@ -33,6 +33,7 @@ enum class FaultKind : std::uint8_t {
   kLatencyBurst,    // extra per-message latency on every link for `duration`
   kDuplicateWindow, // duplicate each message with probability `magnitude`
   kAzOutage,        // crash every node mapped to region `region`
+  kLeaseholderCrash, // crash whichever node leads at injection time
 };
 
 const char* fault_kind_name(FaultKind kind);
@@ -60,6 +61,12 @@ struct FaultScheduleOptions {
   // Regions AZ outages draw from; when empty, any EC2 region may fail
   // (outages in regions hosting no replica are harmless no-ops).
   std::vector<int> outage_regions;
+  // Data-plane corpus only: mix in kLeaseholderCrash events that decapitate
+  // whichever node leads (and so may hold the lease) at fire time — the
+  // lease-expiry race the fencing argument must survive.  Default off: the
+  // flag adds a categorical weight, and enabling it would perturb the draw
+  // sequence behind the pinned default-corpus fingerprints.
+  bool lease_faults = false;
 };
 
 /// Draws a schedule as a pure function of (seed, opts): same inputs, same
@@ -94,7 +101,10 @@ class FaultInjector {
   int faults_healed() const { return healed_; }
 
  private:
-  void inject(const FaultEvent& ev);
+  // Non-const: a kLeaseholderCrash resolves its victim (the current leader)
+  // at fire time and records it in the owned event so heal() restarts the
+  // node that was actually crashed.
+  void inject(FaultEvent& ev);
   void heal(const FaultEvent& ev);
   void crash_node(paxos::NodeId id);
   void restart_node(paxos::NodeId id);

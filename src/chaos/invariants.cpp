@@ -129,6 +129,88 @@ InvariantRegistry::Checker make_log_prefix_checker(
   };
 }
 
+InvariantRegistry::Checker make_apply_once_checker(
+    paxos::Group& group,
+    const std::map<paxos::NodeId, const RecordingSm*>* sms) {
+  return [&group, sms]() -> std::optional<std::string> {
+    // Accounting identity, not byte-level dedup: two logically distinct
+    // submissions can legitimately serialize to identical bytes (two
+    // releases of one path stamped at the same sim second), so duplicates
+    // in the applied log prove nothing.  What a batch replayed across a
+    // failover CANNOT fake is the count: every replica's applied-command
+    // total must equal the number of ops carried by the chosen values in
+    // its committed prefix — re-applying a batch overshoots it, silently
+    // dropping one undershoots it.
+    for (const auto& [id, sm] : *sms) {
+      const paxos::Replica& r = group.replica(id);
+      std::size_t expected = 0;
+      bool exact = true;
+      for (paxos::Slot s = 0; s < r.commit_index(); ++s) {
+        const paxos::Value* v = r.chosen_value(s);
+        if (!v) { exact = false; break; }
+        if (v->coded) { exact = false; break; }  // RS chunks: count unknown
+        if (v->kind == paxos::ValueKind::kCommand) {
+          ++expected;
+        } else if (v->kind == paxos::ValueKind::kBatch) {
+          expected += paxos::decode_batch(v->payload).size();
+        }
+      }
+      if (!exact) continue;
+      if (sm->applied().size() != expected) {
+        return "node " + std::to_string(id) + " applied " +
+               std::to_string(sm->applied().size()) +
+               " commands but its chosen prefix (commit index " +
+               std::to_string(r.commit_index()) + ") carries " +
+               std::to_string(expected) +
+               (sm->applied().size() > expected
+                    ? " — a batch was re-applied after failover"
+                    : " — committed ops were lost");
+      }
+    }
+    return std::nullopt;
+  };
+}
+
+InvariantRegistry::Checker make_lease_exclusion_checker(paxos::Group& group,
+                                                        Simulator& sim) {
+  return [&group, &sim]() -> std::optional<std::string> {
+    const std::vector<paxos::NodeId> ids = group.node_ids();
+    SimTime now = sim.now();
+    paxos::NodeId holder = -1;
+    for (paxos::NodeId id : ids) {
+      const paxos::Replica& r = group.replica(id);
+      if (!r.holds_lease()) continue;
+      if (holder >= 0) {
+        return "nodes " + std::to_string(holder) + " and " +
+               std::to_string(id) + " both hold a valid lease at t=" +
+               std::to_string(now.seconds()) + "s";
+      }
+      holder = id;
+      // Independent backing check: the claimed validity window must sit
+      // inside >= quorum unexpired grants naming this node.  Grants are
+      // stable storage, so crashed replicas' fences count too.
+      int backing = 0;
+      for (paxos::NodeId g : ids) {
+        const paxos::Replica& f = group.replica(g);
+        if (f.lease_granted_to() == id &&
+            f.lease_granted_until() >= r.lease_valid_until()) {
+          ++backing;
+        }
+      }
+      int need = r.config().empty()
+                     ? 0
+                     : static_cast<int>(r.config().size()) / 2 + 1;
+      if (backing < need) {
+        return "node " + std::to_string(id) + " claims a lease until t=" +
+               std::to_string(r.lease_valid_until().seconds()) + "s backed by only " +
+               std::to_string(backing) + "/" + std::to_string(need) +
+               " unexpired grants";
+      }
+    }
+    return std::nullopt;
+  };
+}
+
 // ---------------------------------------------- market / replay checkers
 
 std::optional<std::string> check_billing_conservation(const SpotTrace& trace,

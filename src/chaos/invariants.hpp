@@ -78,6 +78,10 @@ class RecordingSm : public paxos::StateMachine {
   void apply_chunk(const paxos::Value& value) override {
     inner_->apply_chunk(value);
   }
+  std::optional<std::vector<std::uint8_t>> read(
+      const std::vector<std::uint8_t>& query) override {
+    return inner_->read(query);
+  }
 
   const std::vector<std::vector<std::uint8_t>>& applied() const {
     return applied_;
@@ -105,6 +109,24 @@ InvariantRegistry::Checker make_validity_checker(
 /// one is a prefix of the other.
 InvariantRegistry::Checker make_log_prefix_checker(
     const std::map<paxos::NodeId, const RecordingSm*>* sms);
+
+/// Apply-once (data-plane batching on): every replica's applied-command
+/// count must equal the number of ops carried by the chosen values in its
+/// committed prefix.  A batch re-applied after failover overshoots the
+/// identity; a silently dropped op undershoots it.  (Byte-level dedup would
+/// be unsound: two distinct releases of one path stamped at the same sim
+/// second serialize identically.)
+InvariantRegistry::Checker make_apply_once_checker(
+    paxos::Group& group,
+    const std::map<paxos::NodeId, const RecordingSm*>* sms);
+
+/// Lease mutual exclusion (data-plane leases on): at any polling instant
+/// (a) at most one replica both leads and holds an unexpired quorum lease,
+/// and (b) each claimed lease is backed by >= quorum unexpired grants
+/// naming the holder and outlasting its validity window — the independent
+/// re-derivation of the fencing argument in docs/paxos.md.
+InvariantRegistry::Checker make_lease_exclusion_checker(paxos::Group& group,
+                                                        Simulator& sim);
 
 // ---- market / replay conservation checks ----
 

@@ -145,6 +145,27 @@ std::vector<std::uint8_t> LockServiceState::apply(
   return handle(LockCommand::decode(command)).encode();
 }
 
+std::optional<std::vector<std::uint8_t>> LockServiceState::read(
+    const std::vector<std::uint8_t>& query) {
+  LockCommand cmd = LockCommand::decode(query);
+  if (cmd.op != LockOp::kGetOwner) return std::nullopt;
+  LockResponse resp;
+  auto lk = locks_.find(names_.lookup(cmd.path));
+  if (lk == locks_.end()) {
+    resp.status = LockStatus::kNotHeld;
+  } else {
+    auto sess = sessions_.find(lk->second);
+    if (sess != sessions_.end() && sess->second.expires <= cmd.now) {
+      // The owner's session has lapsed but no command expired it yet;
+      // answer what apply() would: the lock is free.
+      resp.status = LockStatus::kNotHeld;
+    } else {
+      resp.owner = names_.str(lk->second);
+    }
+  }
+  return resp.encode();
+}
+
 std::optional<std::string> LockServiceState::owner_of(
     const std::string& path) const {
   auto it = locks_.find(names_.lookup(path));
@@ -248,6 +269,14 @@ void LockClient::get_owner(const std::string& path, Callback cb) {
   LockCommand c;
   c.op = LockOp::kGetOwner;
   c.path = path;
+  c.session = session_;
+  c.now = sim_.now().seconds();
+  // Lease fast path: a leaseholding leader answers from its materialized
+  // lock table with no log entry; otherwise go through consensus.
+  if (auto bytes = group_.local_read(c.encode())) {
+    if (cb) cb(LockResponse::decode(*bytes));
+    return;
+  }
   send(std::move(c), std::move(cb));
 }
 

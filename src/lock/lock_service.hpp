@@ -66,6 +66,11 @@ class LockServiceState : public paxos::StateMachine {
  public:
   std::vector<std::uint8_t> apply(
       const std::vector<std::uint8_t>& command) override;
+  /// Lease fast path: answers kGetOwner without a log entry.  Unlike
+  /// apply() it must not mutate, so lapsed sessions are filtered by
+  /// comparison instead of being expired in place.
+  std::optional<std::vector<std::uint8_t>> read(
+      const std::vector<std::uint8_t>& query) override;
 
   // Introspection (tests / monitoring; reads of the local replica state).
   std::optional<std::string> owner_of(const std::string& path) const;

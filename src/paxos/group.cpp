@@ -91,6 +91,13 @@ void Group::submit(std::vector<std::uint8_t> command, Replica::Callback cb,
   (*attempt)();
 }
 
+std::optional<std::vector<std::uint8_t>> Group::local_read(
+    const std::vector<std::uint8_t>& query) {
+  NodeId lead = leader_id();
+  if (lead < 0) return std::nullopt;
+  return replica(lead).local_read(query);
+}
+
 void Group::add_node(NodeId id, Replica::Callback cb) {
   if (replicas_.contains(id)) throw std::invalid_argument("node exists");
   NodeId lead = leader_id();

@@ -35,6 +35,12 @@ class Group {
   void submit(std::vector<std::uint8_t> command, Replica::Callback cb,
               TimeDelta deadline = 600);
 
+  /// Lease fast path: answers the query from the leader's materialized
+  /// state without a log entry, iff leases are enabled and the leader
+  /// currently holds a quorum lease.  nullopt means "go through the log".
+  std::optional<std::vector<std::uint8_t>> local_read(
+      const std::vector<std::uint8_t>& query);
+
   /// Adds a fresh node: builds its replica, installs a snapshot of the
   /// chosen log from the leader, starts it, then proposes the new config.
   void add_node(NodeId id, Replica::Callback cb = nullptr);

@@ -1,0 +1,34 @@
+#include "paxos/harness.hpp"
+
+namespace jupiter::paxos {
+
+DataPlaneOptions ClusterHarness::data_plane_preset() {
+  DataPlaneOptions plane;
+  plane.pipeline = true;
+  plane.window = 32;
+  plane.batching = true;
+  plane.max_batch_ops = 16;
+  plane.leases = true;
+  plane.lease_duration = 10;
+  plane.fast_catchup = true;
+  plane.catchup_chunk = 32;
+  return plane;
+}
+
+ClusterHarness::ClusterHarness(Options opts, Group::SmFactory factory)
+    : net(sim, opts.net_seed, opts.net),
+      group(sim, net, opts.replica, std::move(factory), opts.group_seed) {
+  group.bootstrap(opts.nodes);
+  if (opts.settle > 0) sim.run_until(sim.now() + opts.settle);
+}
+
+NodeId ClusterHarness::wait_for_leader(TimeDelta budget) {
+  SimTime give_up = sim.now() + budget;
+  while (sim.now() < give_up) {
+    if (NodeId lead = group.leader_id(); lead >= 0) return lead;
+    sim.run_until(sim.now() + 5);
+  }
+  return group.leader_id();
+}
+
+}  // namespace jupiter::paxos

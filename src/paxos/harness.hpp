@@ -1,0 +1,43 @@
+// Shared cluster-bootstrap scaffolding: the Simulator + SimNetwork + Group
+// triple that the benches, the chaos runner, and multi-replica tests used
+// to each hand-assemble.  One construction path means one place to wire a
+// policy, a data-plane preset, or per-stream seeds.
+#pragma once
+
+#include "paxos/group.hpp"
+
+namespace jupiter::paxos {
+
+class ClusterHarness {
+ public:
+  struct Options {
+    int nodes = 5;
+    SimNetwork::Options net;
+    Replica::Options replica;
+    // Independent seeds so a driver with split RNG streams (the chaos
+    // runner's SubSeeds) maps onto the harness without re-drawing.
+    std::uint64_t net_seed = 1;
+    std::uint64_t group_seed = 1;
+    /// Sim-time to run immediately after bootstrap so the first election
+    /// settles; 0 leaves the clock to the caller.
+    TimeDelta settle = 0;
+  };
+
+  /// Data-plane preset for throughput drivers and the extended chaos
+  /// corpus: pipelining + batching + leases + fast catch-up, sized so the
+  /// chaos horizon exercises lease expiry and window backpressure.
+  static DataPlaneOptions data_plane_preset();
+
+  ClusterHarness(Options opts, Group::SmFactory factory);
+
+  /// Runs the sim forward until some replica leads (or `budget` sim-seconds
+  /// pass); returns the leader id, -1 on timeout.
+  NodeId wait_for_leader(TimeDelta budget = 600);
+
+  // Public members, deliberately: drivers own the event loop.
+  Simulator sim;
+  SimNetwork net;
+  Group group;
+};
+
+}  // namespace jupiter::paxos

@@ -32,6 +32,8 @@ const char* msg_type_name(MsgType t) {
     case MsgType::kHeartbeat: return "heartbeat";
     case MsgType::kForward: return "forward";
     case MsgType::kCatchup: return "catchup";
+    case MsgType::kLeaseAck: return "lease_ack";
+    case MsgType::kCatchupBatch: return "catchup_batch";
   }
   return "?";
 }

@@ -7,6 +7,17 @@
 
 namespace jupiter::paxos {
 
+namespace {
+// FNV-1a fold of one 64-bit word into a running digest (batch boundaries).
+std::uint64_t fnv_fold(std::uint64_t h, std::uint64_t x) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (x >> (8 * i)) & 0xFF;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+}  // namespace
+
 Replica::Replica(Simulator& sim, SimNetwork& net, NodeId id,
                  std::vector<NodeId> initial_config, StateMachine& sm,
                  Options opts, std::uint64_t seed)
@@ -33,11 +44,21 @@ void Replica::crash() {
   alive_ = false;
   net_.set_up(id_, false);
   // Volatile leader state dies with the process; the acceptor log
-  // (promised_, log_ accepted values) persists as stable storage.
+  // (promised_, log_ accepted values) persists as stable storage.  The
+  // lease *grant* (lease_granted_to_/until_) persists with it: a restarted
+  // node must keep fencing the leaseholder it granted to, or two leaders
+  // could hold overlapping leases across a crash/restart.
   preparing_ = false;
   leader_ = -1;
   pending_.clear();
   callbacks_.clear();
+  batch_queue_.clear();
+  batch_acks_.clear();
+  if (lease_noted_held_) note_lease_state("lost-crash", id_, lease_valid_until_);
+  lease_valid_until_ = SimTime{};
+  lease_acks_from_.clear();
+  lease_stamp_ = 0;
+  lease_noted_held_ = false;
 }
 
 void Replica::restart() {
@@ -55,7 +76,10 @@ void Replica::arm_failure_detector() {
   sim_.schedule_after(delay, [this] {
     if (!alive_) return;
     if (!is_leader() &&
-        sim_.now() - last_heartbeat_ >= opts_.election_timeout) {
+        sim_.now() - last_heartbeat_ >= opts_.election_timeout &&
+        !lease_fenced_against(id_)) {
+      // A node still fencing for another leaseholder defers its election
+      // until that grant expires — the candidate-side half of lease safety.
       start_election();
     }
     arm_failure_detector();
@@ -70,6 +94,18 @@ void Replica::arm_heartbeat() {
     hb.from = id_;
     hb.ballot = ballot_;
     hb.commit_index = commit_index_;
+    if (opts_.plane.leases) {
+      // The heartbeat doubles as a lease offer.  Dating validity from the
+      // *send* stamp (echoed in kLeaseAck) keeps the leader's window a
+      // strict lower bound of every follower's grant window.
+      hb.stamp = sim_.now().seconds();
+      lease_stamp_ = hb.stamp;
+      lease_acks_from_.clear();
+      if (lease_noted_held_ && sim_.now() >= lease_valid_until_) {
+        note_lease_state("expired", id_, lease_valid_until_);
+        lease_noted_held_ = false;
+      }
+    }
     broadcast(hb);
     arm_heartbeat();
   });
@@ -132,6 +168,17 @@ void Replica::start_election() {
 }
 
 void Replica::on_prepare(const Message& m) {
+  if (lease_fenced_against(m.from)) {
+    // Lease fencing: while another node holds our unexpired grant we
+    // refuse every rival prepare, so no rival quorum can form before the
+    // leaseholder's validity window has ended (docs/paxos.md).
+    Message r;
+    r.type = MsgType::kPrepareNack;
+    r.from = id_;
+    r.ballot = promised_ > m.ballot ? promised_ : m.ballot;
+    net_.send(m.from, r);
+    return;
+  }
   if (m.ballot >= promised_) {
     promised_ = m.ballot;
     last_heartbeat_ = sim_.now();  // yield to the candidate
@@ -295,6 +342,10 @@ void Replica::become_leader() {
   while (!pending_.empty()) {
     auto [cmd, cb] = std::move(pending_.front());
     pending_.pop_front();
+    if (opts_.plane.pipeline || opts_.plane.batching) {
+      enqueue_batched(std::move(cmd), std::move(cb));
+      continue;
+    }
     Value v;
     v.kind = ValueKind::kCommand;
     v.value_id = fresh_value_id();
@@ -357,8 +408,9 @@ void Replica::propose(Slot slot, Value full_value, Callback cb,
 
 void Replica::send_accepts(Slot slot) {
   SlotState& st = slot_state(slot);
-  bool code_it =
-      opts_.policy.coded() && st.proposal_full.kind == ValueKind::kCommand;
+  bool code_it = opts_.policy.coded() &&
+                 (st.proposal_full.kind == ValueKind::kCommand ||
+                  st.proposal_full.kind == ValueKind::kBatch);
   for (std::size_t i = 0; i < config_.size(); ++i) {
     Message m;
     m.type = MsgType::kAccept;
@@ -412,8 +464,9 @@ void Replica::on_accepted(const Message& m) {
 
   // Decided.  Tell everyone; RS-Paxos followers get their chunk again so a
   // node that missed the accept still ends up holding its share.
-  bool coded =
-      opts_.policy.coded() && st.proposal_full.kind == ValueKind::kCommand;
+  bool coded = opts_.policy.coded() &&
+               (st.proposal_full.kind == ValueKind::kCommand ||
+                st.proposal_full.kind == ValueKind::kBatch);
   for (std::size_t i = 0; i < config_.size(); ++i) {
     Message c;
     c.type = MsgType::kChosen;
@@ -487,10 +540,37 @@ void Replica::apply_ready() {
       st.applied = true;
       const Value& v = st.chosen_val;
       std::vector<std::uint8_t> response;
+      // Per-op responses for a kBatch slot, index-aligned with the batch.
+      std::vector<std::vector<std::uint8_t>> batch_responses;
       bool ok = true;
       switch (v.kind) {
         case ValueKind::kNoop:
           break;
+        case ValueKind::kBatch: {
+          const std::vector<std::uint8_t>* bytes = nullptr;
+          if (!v.coded) {
+            bytes = &v.payload;
+          } else if (!st.proposal_full.coded &&
+                     st.proposal_full.value_id == v.value_id &&
+                     !st.proposal_full.payload.empty()) {
+            bytes = &st.proposal_full.payload;
+          }
+          if (bytes) {
+            // Decode and apply each sub-op in order: a batch replays
+            // identically on every replica (one log entry, many commands).
+            auto ops = decode_batch(*bytes);
+            batch_responses.reserve(ops.size());
+            for (const auto& op : ops) {
+              batch_responses.push_back(sm_.apply(op));
+              ++applied_commands_;
+            }
+          } else {
+            sm_.apply_chunk(v);
+            st.applied_chunk_only = true;
+            ++applied_commands_;  // per-slot; op count needs the full value
+          }
+          break;
+        }
         case ValueKind::kCommand:
           if (!v.coded) {
             response = sm_.apply(v.payload);
@@ -553,9 +633,40 @@ void Replica::apply_ready() {
         }
         callbacks_.erase(cb);
       }
+      if (auto ba = batch_acks_.find(commit_index_); ba != batch_acks_.end()) {
+        // Fan the slot's outcome back to every op coalesced into it.  The
+        // same value_id rule applies batch-wide: if a rival's value won
+        // the slot, none of these ops committed — each is failed exactly
+        // once and the submit layer retries them (no op acked twice, no
+        // op lost, even across leader failover).
+        const bool ours =
+            st.proposed_id != 0 && st.proposed_id == v.value_id;
+        obs::TraceSink* tr = obs::trace();
+        for (std::size_t i = 0; i < ba->second.size(); ++i) {
+          PendingAck& a = ba->second[i];
+          if (tr != nullptr && a.trace_id != 0) {
+            int tid = obs::kReplicaTrackBase + id_;
+            tr->flow(sim_.now(), tid, "apply", obs::TraceFlow::kEnd,
+                     a.trace_id, "paxos");
+          }
+          if (!a.cb) continue;
+          if (!ours) {
+            a.cb(false, {});
+          } else if (v.kind == ValueKind::kBatch) {
+            a.cb(i < batch_responses.size(),
+                 i < batch_responses.size() ? batch_responses[i]
+                                            : std::vector<std::uint8_t>{});
+          } else {
+            a.cb(ok, response);  // single-op slot from the batch path
+          }
+        }
+        batch_acks_.erase(ba);
+      }
     }
     ++commit_index_;
   }
+  // Commits free pipeline slots: push queued ops into the window.
+  if (leader_ == id_ && alive_ && !batch_queue_.empty()) arm_flush();
 }
 
 // ---------------------------------------------------------------- liveness
@@ -565,6 +676,7 @@ void Replica::on_heartbeat(const Message& m) {
     promised_ = m.ballot;
     leader_ = m.from;
     last_heartbeat_ = sim_.now();
+    if (opts_.plane.leases && m.stamp != 0) maybe_grant_lease(m);
     if (m.commit_index > commit_index_) {
       // We missed decisions (crash, late join): ask the leader to replay
       // its chosen log from our commit point.
@@ -586,40 +698,87 @@ void Replica::on_catchup(const Message& m) {
       if (config_[i] == m.from) chunk_index = static_cast<int>(i);
     }
   }
+  // What to serve the requester for a chosen slot.
+  auto value_for = [&](const SlotState& st) -> Value {
+    if (!coded_mode) {
+      // Classic mode: the chosen value IS the full value.  Never serve
+      // proposal_full here — on slots this node merely learned it is a
+      // default (noop), and on slots it lost it is the losing value.
+      return st.chosen_val;
+    }
+    // Coded mode: chosen_val is our own chunk.  proposal_full holds the
+    // reconstructed command only when it matches the chosen decision.
+    bool payload_kind = st.proposal_full.kind == ValueKind::kCommand ||
+                        st.proposal_full.kind == ValueKind::kBatch;
+    bool have_full = !st.proposal_full.coded &&
+                     st.proposal_full.value_id == st.chosen_val.value_id &&
+                     (!payload_kind || !st.proposal_full.payload.empty());
+    if (have_full && payload_kind && chunk_index >= 0) {
+      return make_chunk_value(st.proposal_full, chunk_index);
+    }
+    if (have_full) return st.proposal_full;
+    // Only our own chunk survives here; better than nothing — the
+    // follower can at least advance past the slot.
+    return st.chosen_val;
+  };
+
+  if (opts_.plane.fast_catchup) {
+    // Fast catch-up: stream the chosen suffix as kCatchupBatch chunks —
+    // install_snapshot over the wire — instead of one kChosen per slot.
+    std::int64_t served = 0;
+    Message batch;
+    batch.type = MsgType::kCatchupBatch;
+    batch.from = id_;
+    batch.ballot = ballot_;
+    batch.commit_index = commit_index_;
+    for (Slot s = m.slot; s < commit_index_; ++s) {
+      auto it = log_.find(s);
+      if (it == log_.end() || !it->second.chosen) continue;
+      batch.promises.push_back(
+          PromiseInfo{s, it->second.acc.accepted, value_for(it->second)});
+      ++served;
+      if (static_cast<int>(batch.promises.size()) >=
+          opts_.plane.catchup_chunk) {
+        net_.send(m.from, batch);
+        batch.promises.clear();
+      }
+    }
+    if (!batch.promises.empty()) net_.send(m.from, batch);
+    catchup_slots_served_ += served;
+    if (obs::Registry* reg = obs::metrics()) {
+      reg->det_histogram("paxos.catchup_slots")
+          .observe(static_cast<std::uint64_t>(served));
+    }
+    return;
+  }
+
   for (Slot s = m.slot; s < commit_index_; ++s) {
     auto it = log_.find(s);
     if (it == log_.end() || !it->second.chosen) continue;
-    const SlotState& st = it->second;
     Message c;
     c.type = MsgType::kChosen;
     c.from = id_;
     c.ballot = ballot_;
     c.slot = s;
-    if (!coded_mode) {
-      // Classic mode: the chosen value IS the full value.  Never serve
-      // proposal_full here — on slots this node merely learned it is a
-      // default (noop), and on slots it lost it is the losing value.
-      c.value = st.chosen_val;
-    } else {
-      // Coded mode: chosen_val is our own chunk.  proposal_full holds the
-      // reconstructed command only when it matches the chosen decision.
-      bool have_full = !st.proposal_full.coded &&
-                       st.proposal_full.value_id == st.chosen_val.value_id &&
-                       (st.proposal_full.kind != ValueKind::kCommand ||
-                        !st.proposal_full.payload.empty());
-      if (have_full && st.proposal_full.kind == ValueKind::kCommand &&
-          chunk_index >= 0) {
-        c.value = make_chunk_value(st.proposal_full, chunk_index);
-      } else if (have_full) {
-        c.value = st.proposal_full;
-      } else {
-        // Only our own chunk survives here; better than nothing — the
-        // follower can at least advance past the slot.
-        c.value = st.chosen_val;
-      }
-    }
+    c.value = value_for(it->second);
     net_.send(m.from, c);
   }
+}
+
+void Replica::on_catchup_batch(const Message& m) {
+  leader_ = m.from;
+  last_heartbeat_ = sim_.now();
+  for (const auto& p : m.promises) {
+    SlotState& st = slot_state(p.slot);
+    if (st.chosen) continue;
+    st.chosen = true;
+    st.chosen_val = p.value;
+    st.acc.has_value = true;
+    st.acc.value = p.value;
+    if (p.accepted.valid()) st.acc.accepted = p.accepted;
+    note_commit_lag(p.slot);
+  }
+  apply_ready();
 }
 
 void Replica::on_forward(const Message& m) {
@@ -629,6 +788,196 @@ void Replica::on_forward(const Message& m) {
     Message fwd = m;
     fwd.from = id_;
     net_.send(leader_, fwd);
+  }
+}
+
+// ---------------------------------------------------------------- leases
+
+bool Replica::lease_fenced_against(NodeId candidate) const {
+  if (!opts_.plane.leases) return false;
+  return lease_granted_to_ != -1 && lease_granted_to_ != candidate &&
+         sim_.now() < lease_granted_until_;
+}
+
+void Replica::maybe_grant_lease(const Message& m) {
+  SimTime now = sim_.now();
+  if (lease_granted_to_ != -1 && lease_granted_to_ != m.from &&
+      now < lease_granted_until_) {
+    return;  // fenced: an unexpired grant to someone else
+  }
+  if (lease_granted_to_ != m.from) {
+    note_lease_state("granted", m.from, now + opts_.plane.lease_duration);
+  }
+  lease_granted_to_ = m.from;
+  lease_granted_until_ = now + opts_.plane.lease_duration;
+  Message r;
+  r.type = MsgType::kLeaseAck;
+  r.from = id_;
+  r.ballot = m.ballot;
+  r.stamp = m.stamp;  // echo so the leader dates the lease from the send
+  net_.send(m.from, r);
+}
+
+void Replica::on_lease_ack(const Message& m) {
+  if (!opts_.plane.leases || !is_leader()) return;
+  if (m.ballot != ballot_ || m.stamp != lease_stamp_) return;
+  if (!in_config(m.from)) return;
+  if (std::find(lease_acks_from_.begin(), lease_acks_from_.end(), m.from) !=
+      lease_acks_from_.end()) {
+    return;
+  }
+  lease_acks_from_.push_back(m.from);
+  if (static_cast<int>(lease_acks_from_.size()) < quorum()) return;
+  // A quorum granted the offer stamped lease_stamp_: validity runs from the
+  // send instant, so it ends no later than any granting follower's fence.
+  SimTime until = SimTime(lease_stamp_) + opts_.plane.lease_duration;
+  if (until > lease_valid_until_) lease_valid_until_ = until;
+  if (!lease_noted_held_) {
+    note_lease_state("acquired", id_, lease_valid_until_);
+    lease_noted_held_ = true;
+  }
+}
+
+bool Replica::holds_lease() const {
+  return opts_.plane.leases && is_leader() && sim_.now() < lease_valid_until_;
+}
+
+std::optional<std::vector<std::uint8_t>> Replica::local_read(
+    const std::vector<std::uint8_t>& query) {
+  if (!holds_lease()) return std::nullopt;
+  auto r = sm_.read(query);
+  if (r) ++lease_reads_served_;
+  return r;
+}
+
+void Replica::note_lease_state(const char* what, NodeId who, SimTime until) {
+  obs::note(sim_.now(), "lease",
+            "node " + std::to_string(id_) + " " + what + " node=" +
+                std::to_string(who) + " until=" +
+                std::to_string(until.seconds()));
+}
+
+// ---------------------------------------------------------------- batching
+
+int Replica::open_slots() const {
+  int n = 0;
+  for (Slot s = commit_index_; s < next_slot_; ++s) {
+    auto it = log_.find(s);
+    if (it != log_.end() && it->second.proposing && !it->second.chosen) ++n;
+  }
+  return n;
+}
+
+void Replica::enqueue_batched(std::vector<std::uint8_t> command, Callback cb) {
+  if (batch_queue_.size() >= opts_.plane.max_queued_ops) {
+    // Backpressure: the leader's queue is full — fail fast so the client
+    // retries later instead of growing an unbounded backlog.
+    if (cb) cb(false, {});
+    return;
+  }
+  std::uint64_t trace_id = 0;
+  if (obs::TraceSink* tr = obs::trace()) {
+    trace_id = tr->next_flow_id();
+    int tid = obs::kReplicaTrackBase + id_;
+    tr->name_track(tid, "paxos.replica-" + std::to_string(id_));
+    tr->flow(sim_.now(), tid, "submit", obs::TraceFlow::kStart, trace_id,
+             "paxos");
+  }
+  batch_queue_.push_back(QueuedOp{std::move(command), std::move(cb), trace_id});
+  arm_flush();
+}
+
+void Replica::arm_flush() {
+  if (flush_armed_) return;
+  flush_armed_ = true;
+  // With batch_delay = 0 this still coalesces: the flush event lands after
+  // every submission already enqueued at the same instant (FIFO ties), so
+  // same-tick arrivals share a slot with zero added latency.
+  sim_.schedule_after(opts_.plane.batch_delay, [this] {
+    flush_armed_ = false;
+    flush_batches();
+  });
+}
+
+void Replica::flush_batches() {
+  if (!alive_ || !is_leader() || preparing_) return;
+  obs::Registry* reg = obs::metrics();
+  obs::TraceSink* tr = obs::trace();
+  while (!batch_queue_.empty()) {
+    if (opts_.plane.pipeline && open_slots() >= opts_.plane.window) {
+      // Window full: leave the rest queued; apply_ready() re-arms the
+      // flush as commits free slots.
+      return;
+    }
+    std::vector<QueuedOp> taken;
+    std::size_t bytes = 0;
+    const int cap = opts_.plane.batching ? opts_.plane.max_batch_ops : 1;
+    while (!batch_queue_.empty() && static_cast<int>(taken.size()) < cap) {
+      QueuedOp& front = batch_queue_.front();
+      if (!taken.empty() &&
+          bytes + front.command.size() > opts_.plane.max_batch_bytes) {
+        break;
+      }
+      bytes += front.command.size();
+      taken.push_back(std::move(front));
+      batch_queue_.pop_front();
+    }
+
+    Value v;
+    v.value_id = fresh_value_id();
+    if (taken.size() == 1) {
+      v.kind = ValueKind::kCommand;
+      v.payload = std::move(taken.front().command);
+    } else {
+      v.kind = ValueKind::kBatch;
+      std::vector<std::vector<std::uint8_t>> ops;
+      ops.reserve(taken.size());
+      for (auto& q : taken) ops.push_back(std::move(q.command));
+      v.payload = encode_batch(ops);
+    }
+
+    if (next_slot_ < commit_index_) next_slot_ = commit_index_;
+    Slot slot = next_slot_++;
+    auto& acks = batch_acks_[slot];
+    acks.reserve(taken.size());
+    std::uint64_t slot_trace = 0;
+    for (auto& q : taken) {
+      if (slot_trace == 0 && q.trace_id != 0) slot_trace = q.trace_id;
+      acks.push_back(PendingAck{std::move(q.cb), q.trace_id});
+    }
+    if (tr != nullptr && slot_trace != 0 && taken.size() > 1) {
+      // Coalesced ops share the lead op's arrow chain through the slot's
+      // accept/chosen hops; each joins with a step at the flush instant.
+      int tid = obs::kReplicaTrackBase + id_;
+      for (const auto& q : taken) {
+        if (q.trace_id != 0 && q.trace_id != slot_trace) {
+          tr->flow(sim_.now(), tid, "coalesce", obs::TraceFlow::kStep,
+                   q.trace_id, "paxos");
+        }
+      }
+    }
+
+    ++batches_proposed_;
+    batched_ops_ += static_cast<std::int64_t>(taken.size());
+    batch_digest_ = fnv_fold(batch_digest_, static_cast<std::uint64_t>(slot));
+    batch_digest_ = fnv_fold(batch_digest_, taken.size());
+    if (reg != nullptr) {
+      if (opts_.plane.batching) {
+        reg->det_histogram("paxos.batch_ops").observe(taken.size());
+      }
+      if (opts_.plane.pipeline) {
+        reg->det_histogram("paxos.inflight_window")
+            .observe(static_cast<std::uint64_t>(open_slots()) + 1);
+      }
+    }
+
+    SlotState& st = slot_state(slot);
+    propose(slot, std::move(v), nullptr, slot_trace);
+    st.proposed_id = st.proposal_full.value_id;
+    if (opts_.plane.pipeline) {
+      int open = open_slots();
+      if (open > max_inflight_observed_) max_inflight_observed_ = open;
+    }
   }
 }
 
@@ -645,6 +994,10 @@ void Replica::submit(std::vector<std::uint8_t> command, Callback cb) {
   }
   if (!is_leader()) {
     if (cb) cb(false, {});
+    return;
+  }
+  if (opts_.plane.pipeline || opts_.plane.batching) {
+    enqueue_batched(std::move(command), std::move(cb));
     return;
   }
   // Allocate the op's causal TraceId at the moment the leader takes it on;
@@ -734,6 +1087,12 @@ void Replica::handle(const Message& m) {
       break;
     case MsgType::kCatchup:
       on_catchup(m);
+      break;
+    case MsgType::kLeaseAck:
+      on_lease_ack(m);
+      break;
+    case MsgType::kCatchupBatch:
+      on_catchup_batch(m);
       break;
   }
 }

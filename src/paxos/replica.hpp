@@ -49,6 +49,13 @@ class StateMachine {
   /// default ignores it, which suits state machines that are only read
   /// through the leader.
   virtual void apply_chunk(const Value& /*value*/) {}
+  /// Read-only query against the materialized state — the lease fast path
+  /// (Replica::local_read) serves these at the leader without a log entry.
+  /// Must not mutate state.  Default: queries unsupported.
+  virtual std::optional<std::vector<std::uint8_t>> read(
+      const std::vector<std::uint8_t>& /*query*/) {
+    return std::nullopt;
+  }
 };
 
 struct QuorumPolicy {
@@ -69,6 +76,49 @@ struct QuorumPolicy {
   bool coded() const { return kind == Kind::kRsPaxos; }
 };
 
+/// High-throughput data-plane features (ISSUE 10 tentpole).  All default
+/// OFF; with every flag off the replica's message/timer/RNG behaviour is
+/// bit-identical to the per-op protocol the chaos goldens pin.
+///
+/// All durations are integer sim-seconds (TimeDelta) — the detlint
+/// float-duration rule bans float timing knobs tree-wide.
+struct DataPlaneOptions {
+  /// Bounded multi-slot pipelining: at most `window` concurrently-proposed
+  /// undecided slots; further client ops queue at the leader (backpressure)
+  /// until a slot commits.
+  bool pipeline = false;
+  int window = 64;
+  /// Op batching: the leader coalesces ops arriving within one flush window
+  /// into a single kBatch value per slot; per-op acks fan back out when the
+  /// slot commits.
+  bool batching = false;
+  int max_batch_ops = 64;
+  std::size_t max_batch_bytes = 256 * 1024;
+  /// Extra sim-time the flush waits to fill a batch.  0 still coalesces:
+  /// the flush event runs after every submission already enqueued at the
+  /// same instant (FIFO ties), adding no latency.
+  TimeDelta batch_delay = 0;
+  /// Leader leases: heartbeats double as lease offers; a quorum of acks
+  /// gives the leader a lease dated from the heartbeat's send instant.
+  /// Granting followers refuse prepares and rival lease offers until their
+  /// grant expires — the fencing that keeps leaseholders mutually exclusive
+  /// (safety argument in docs/paxos.md).
+  bool leases = false;
+  TimeDelta lease_duration = 12;
+  /// Fast catch-up: the leader answers kCatchup with kCatchupBatch chunks
+  /// (up to `catchup_chunk` chosen entries per message) instead of one
+  /// kChosen per slot — install_snapshot over the wire.
+  bool fast_catchup = false;
+  int catchup_chunk = 64;
+  /// Backpressure bound on the leader's queued-but-unproposed ops; submits
+  /// beyond it fail fast so clients retry later.
+  std::size_t max_queued_ops = 1 << 16;
+
+  bool any_enabled() const {
+    return pipeline || batching || leases || fast_catchup;
+  }
+};
+
 class Replica {
  public:
   struct Options {
@@ -76,6 +126,7 @@ class Replica {
     TimeDelta election_timeout = 8;  // + per-node jitter
     TimeDelta retry_period = 4;
     QuorumPolicy policy;
+    DataPlaneOptions plane;
   };
 
   using Callback =
@@ -108,6 +159,16 @@ class Replica {
   const std::vector<NodeId>& config() const { return config_; }
   Slot commit_index() const { return commit_index_; }  // first unchosen slot
 
+  /// Lease-guarded local read (leases on): serves the query from this
+  /// node's state machine without a log entry, but only while this node
+  /// both leads and holds a quorum lease — otherwise nullopt and the
+  /// caller must go through the log.  Linearizable because a rival leader
+  /// cannot commit before every lease grant it needs has expired.
+  std::optional<std::vector<std::uint8_t>> local_read(
+      const std::vector<std::uint8_t>& query);
+  /// True while this node leads and its quorum lease is still valid.
+  bool holds_lease() const;
+
   /// Chosen value at a slot, if known (tests, snapshot transfer).
   const Value* chosen_value(Slot s) const;
   /// Installs a snapshot of chosen entries (bootstrap of a fresh node).
@@ -117,6 +178,19 @@ class Replica {
   // ---- stats ----
   int elections_started() const { return elections_; }
   std::int64_t commands_applied() const { return applied_commands_; }
+  std::int64_t batches_proposed() const { return batches_proposed_; }
+  std::int64_t batched_ops() const { return batched_ops_; }
+  /// FNV-1a fold of every (slot, ops-in-batch) pair this leader flushed —
+  /// equal digests mean identical batch boundaries (determinism test).
+  std::uint64_t batch_digest() const { return batch_digest_; }
+  int max_inflight_observed() const { return max_inflight_observed_; }
+  std::int64_t catchup_slots_served() const { return catchup_slots_served_; }
+  std::int64_t lease_reads_served() const { return lease_reads_served_; }
+  /// Follower-side grant (lease fencing audit): who holds this node's
+  /// grant and until when; granted_to = -1 when none was ever given.
+  NodeId lease_granted_to() const { return lease_granted_to_; }
+  SimTime lease_granted_until() const { return lease_granted_until_; }
+  SimTime lease_valid_until() const { return lease_valid_until_; }
 
  private:
   struct SlotState {
@@ -153,6 +227,8 @@ class Replica {
   void on_heartbeat(const Message& m);
   void on_forward(const Message& m);
   void on_catchup(const Message& m);
+  void on_lease_ack(const Message& m);
+  void on_catchup_batch(const Message& m);
 
   // roles
   void start_election();
@@ -176,6 +252,22 @@ class Replica {
   std::optional<Value> reconstruct_from_chunks(
       const std::vector<Value>& chunks) const;
   std::uint64_t fresh_value_id();
+
+  // ---- data plane (all no-ops unless the matching plane flag is on) ----
+  /// Queues an op on the leader batch path and arms a flush.
+  void enqueue_batched(std::vector<std::uint8_t> command, Callback cb);
+  /// Coalesces queued ops into kBatch/kCommand values, one slot each,
+  /// respecting the pipeline window.  Re-run after every commit.
+  void flush_batches();
+  void arm_flush();
+  /// Currently proposed-but-undecided slots (pipeline occupancy).
+  int open_slots() const;
+  /// Follower side of a lease offer carried on a heartbeat.
+  void maybe_grant_lease(const Message& m);
+  /// True while some *other* node holds this node's unexpired grant —
+  /// the fencing predicate: refuse prepares, defer elections.
+  bool lease_fenced_against(NodeId candidate) const;
+  void note_lease_state(const char* what, NodeId who, SimTime until);
 
   Simulator& sim_;
   SimNetwork& net_;
@@ -205,6 +297,39 @@ class Replica {
   int elections_ = 0;
   std::int64_t applied_commands_ = 0;
   std::uint64_t value_counter_ = 0;
+
+  // ---- data plane state ----
+  struct PendingAck {
+    Callback cb;
+    std::uint64_t trace_id = 0;
+  };
+  struct QueuedOp {
+    std::vector<std::uint8_t> command;
+    Callback cb;
+    std::uint64_t trace_id = 0;
+  };
+  // Leader batch path: ops waiting for a flush, and per-slot fan-out lists
+  // for slots carrying a kBatch (index-aligned with the decoded batch).
+  std::deque<QueuedOp> batch_queue_;
+  std::map<Slot, std::vector<PendingAck>> batch_acks_;
+  bool flush_armed_ = false;
+  // Acceptor-side lease grant.  Survives crash() like promised_ does: a
+  // restarting node must keep fencing the leaseholder it granted to, or
+  // two leaders could hold overlapping leases across a crash/restart.
+  NodeId lease_granted_to_ = -1;
+  SimTime lease_granted_until_{};
+  // Leader-side lease validity (volatile: a restarted leader re-earns it).
+  SimTime lease_valid_until_{};
+  std::int64_t lease_stamp_ = 0;         // stamp of the in-flight offer
+  std::vector<NodeId> lease_acks_from_;  // acks for lease_stamp_
+  bool lease_noted_held_ = false;        // flight-recorder edge detector
+
+  std::int64_t batches_proposed_ = 0;
+  std::int64_t batched_ops_ = 0;
+  std::uint64_t batch_digest_ = 1469598103934665603ULL;  // FNV offset basis
+  int max_inflight_observed_ = 0;
+  std::int64_t catchup_slots_served_ = 0;
+  std::int64_t lease_reads_served_ = 0;
 };
 
 }  // namespace jupiter::paxos

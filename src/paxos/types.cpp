@@ -38,4 +38,48 @@ std::vector<NodeId> decode_config(const std::vector<std::uint8_t>& bytes) {
   return members;
 }
 
+std::vector<std::uint8_t> encode_batch(
+    const std::vector<std::vector<std::uint8_t>>& ops) {
+  std::size_t total = 4;
+  for (const auto& op : ops) total += 4 + op.size();
+  std::vector<std::uint8_t> out;
+  out.reserve(total);
+  auto put32 = [&out](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+    }
+  };
+  put32(static_cast<std::uint32_t>(ops.size()));
+  for (const auto& op : ops) {
+    put32(static_cast<std::uint32_t>(op.size()));
+    out.insert(out.end(), op.begin(), op.end());
+  }
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> decode_batch(
+    const std::vector<std::uint8_t>& bytes) {
+  std::size_t off = 0;
+  auto get32 = [&bytes, &off]() {
+    if (off + 4 > bytes.size()) throw std::invalid_argument("short batch");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(bytes[off++]) << (8 * i);
+    }
+    return v;
+  };
+  std::uint32_t count = get32();
+  std::vector<std::vector<std::uint8_t>> ops;
+  ops.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t len = get32();
+    if (off + len > bytes.size()) throw std::invalid_argument("short batch op");
+    ops.emplace_back(bytes.begin() + static_cast<std::ptrdiff_t>(off),
+                     bytes.begin() + static_cast<std::ptrdiff_t>(off + len));
+    off += len;
+  }
+  if (off != bytes.size()) throw std::invalid_argument("trailing batch bytes");
+  return ops;
+}
+
 }  // namespace jupiter::paxos

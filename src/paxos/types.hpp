@@ -35,6 +35,8 @@ enum class ValueKind : std::uint8_t {
   kNoop = 0,     // filler for holes during recovery
   kCommand = 1,  // state-machine command
   kConfig = 2,   // membership change (serialized member list)
+  kBatch = 3,    // several client commands coalesced into one slot
+                 // (payload framed by encode_batch/decode_batch)
 };
 
 /// A proposed/accepted value.  For RS-Paxos the payload each node stores is
@@ -67,10 +69,15 @@ enum class MsgType : std::uint8_t {
   kAccept,
   kAccepted,
   kAcceptNack,
-  kChosen,     // learner broadcast from the proposer
-  kHeartbeat,  // leader liveness
-  kForward,    // client command forwarded to the leader
-  kCatchup,    // follower asks the leader for chosen slots >= `slot`
+  kChosen,        // learner broadcast from the proposer
+  kHeartbeat,     // leader liveness (+ lease offer when leases are on)
+  kForward,       // client command forwarded to the leader
+  kCatchup,       // follower asks the leader for chosen slots >= `slot`
+  kLeaseAck,      // follower grants the heartbeat's lease offer (leases on);
+                  // echoes the heartbeat's `stamp`
+  kCatchupBatch,  // fast catch-up: a chunk of chosen entries, carried in
+                  // `promises` as (slot, ballot, value) — the wire form of
+                  // install_snapshot
 };
 
 /// Promise payload entry: what an acceptor already accepted for a slot.
@@ -87,8 +94,13 @@ struct Message {
   Slot slot = 0;          // accept/accepted/chosen
   Slot first_open = 0;    // prepare: lowest slot being prepared
   Value value;            // accept/chosen/forward
-  std::vector<PromiseInfo> promises;  // promise
+  std::vector<PromiseInfo> promises;  // promise / catch-up batch entries
   Slot commit_index = 0;  // heartbeat: leader's chosen prefix
+  /// Heartbeat send time in sim-seconds (integer by the detlint float-timeout
+  /// rule).  A kLeaseAck echoes it so the leader can date its lease from the
+  /// *send* instant — strictly earlier than any follower's grant, which is
+  /// what makes the leader's validity window a conservative lower bound.
+  std::int64_t stamp = 0;
   /// Causal TraceId of the client operation this message serves; 0 = none.
   /// Allocated by the submitter (TraceSink::next_flow_id), echoed through
   /// replies and broadcasts, and emitted by SimNetwork as Perfetto flow
@@ -100,5 +112,13 @@ struct Message {
 /// int32 node ids.
 std::vector<std::uint8_t> encode_config(const std::vector<NodeId>& members);
 std::vector<NodeId> decode_config(const std::vector<std::uint8_t>& bytes);
+
+/// Batch framing for kBatch values: little-endian u32 op count, then per op
+/// a u32 length prefix and the command bytes.  Deterministic and
+/// self-delimiting, so a batch replays identically on every replica.
+std::vector<std::uint8_t> encode_batch(
+    const std::vector<std::vector<std::uint8_t>>& ops);
+std::vector<std::vector<std::uint8_t>> decode_batch(
+    const std::vector<std::uint8_t>& bytes);
 
 }  // namespace jupiter::paxos

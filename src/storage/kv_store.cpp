@@ -64,6 +64,13 @@ std::vector<std::uint8_t> KvStoreState::apply(
   return handle(KvCommand::decode(command)).encode();
 }
 
+std::optional<std::vector<std::uint8_t>> KvStoreState::read(
+    const std::vector<std::uint8_t>& query) {
+  KvCommand cmd = KvCommand::decode(query);
+  if (cmd.op != KvOp::kGet) return std::nullopt;
+  return handle(cmd).encode();
+}
+
 void KvStoreState::apply_chunk(const paxos::Value& value) {
   StoredChunk c;
   c.chunk_index = value.chunk_index;
@@ -145,6 +152,13 @@ void KvClient::get(const std::string& key, Callback cb) {
   KvCommand c;
   c.op = KvOp::kGet;
   c.key = key;
+  // Lease fast path first: when the leader holds a quorum lease the read
+  // is served from its materialized map with no log entry and no network
+  // round — the whole point of leader leases.  Falls back to the log.
+  if (auto bytes = group_.local_read(c.encode())) {
+    if (cb) cb(KvResponse::decode(*bytes));
+    return;
+  }
   send(c, std::move(cb));
 }
 

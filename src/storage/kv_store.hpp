@@ -62,6 +62,10 @@ class KvStoreState : public paxos::StateMachine {
   std::vector<std::uint8_t> apply(
       const std::vector<std::uint8_t>& command) override;
   void apply_chunk(const paxos::Value& value) override;
+  /// Lease fast path: answers kGet queries from the materialized map
+  /// without a log entry.  Mutating ops are rejected (nullopt).
+  std::optional<std::vector<std::uint8_t>> read(
+      const std::vector<std::uint8_t>& query) override;
 
   // Leader-side reads.
   std::optional<std::vector<std::uint8_t>> get(const std::string& key) const;

@@ -1,0 +1,13 @@
+// detlint fixture: floating-point timing knobs must trip float-duration and
+// nothing else.  Lease math compares integer sim-second instants for exact
+// mutual exclusion; a float lease duration or election timeout anywhere in
+// the tree reintroduces drift.
+
+struct BadPlaneKnobs {
+  double lease_duration = 12.5;
+  float election_timeout = 8.0f;
+  double heartbeat_period = 2.0;
+  float flush_delay = 0.25f;
+};
+
+inline double bad_window(double batch_window) { return batch_window * 2; }

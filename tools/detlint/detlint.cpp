@@ -22,6 +22,13 @@
 //                     paths (src/market, src/cloud).  Money is integer
 //                     micro-dollars; floating-point drift breaks exact
 //                     billing replay.
+//   float-duration    double/float variables whose names look like timing
+//                     knobs (timeout/lease/duration/window/deadline/period/
+//                     delay/heartbeat/expiry), anywhere in the tree.  The
+//                     data plane's lease math compares validity instants
+//                     for exact mutual exclusion; durations are integer
+//                     sim-seconds (SimTime/TimeDelta), and a float timeout
+//                     reintroduces drift the deterministic clock removed.
 //   ptr-key-ordered   std::map/std::set keyed by a raw pointer: iteration
 //                     order is address order, which varies run to run.
 //   sim-std-function  std::function in the simulator hot paths (src/sim).
@@ -107,9 +114,9 @@ namespace {
 
 const std::vector<std::string> kRuleNames = {
     "banned-time",     "banned-random",   "hash-iteration",
-    "float-money",     "ptr-key-ordered", "sim-std-function",
-    "par-shared",      "par-registry",    "par-ref-capture",
-    "par-order-dep",   "bad-suppression",
+    "float-money",     "float-duration",  "ptr-key-ordered",
+    "sim-std-function", "par-shared",     "par-registry",
+    "par-ref-capture", "par-order-dep",   "bad-suppression",
 };
 
 bool known_rule(const std::string& r) {
@@ -354,6 +361,12 @@ const std::regex kBannedRandom(
 const std::regex kRangeFor(R"(\bfor\s*\(([^;()]|\([^()]*\))*:\s*([A-Za-z_]\w*)\s*\))");
 const std::regex kFloatMoney(
     R"(\b(double|float)\s+(\w*(price|bid|cost|bill|charge|pay|revenue)\w*)\b)",
+    std::regex::icase);
+// Timing knobs are integer sim-seconds everywhere — this one is not path
+// gated: a float lease duration anywhere would leak drift into the lease
+// fencing comparisons.
+const std::regex kFloatDuration(
+    R"(\b(double|float)\s+(\w*(timeout|lease|duration|window|deadline|period|delay|heartbeat|expiry)\w*)\b)",
     std::regex::icase);
 
 // First top-level template argument of std::map</std::set< at `pos` (which
@@ -784,6 +797,12 @@ void scan_file(const fs::path& file, const std::string& display_path,
              "floating-point money variable '" + m[2].str() +
                  "' in a billing path — use Money (integer micro-dollars)");
     }
+    if (std::regex_search(code, m, kFloatDuration)) {
+      report(li, "float-duration",
+             "floating-point duration variable '" + m[2].str() +
+                 "' — lease durations, windows and timeouts are integer "
+                 "sim-seconds (SimTime/TimeDelta); float timing drifts");
+    }
     // ptr-key-ordered: std::map< / std::set< with a pointer first arg.  The
     // key type may wrap onto the next line, so parse from a small window
     // starting at the match.
@@ -1095,6 +1114,7 @@ int self_test(const fs::path& fixture_dir) {
       {"banned_random_fail.cpp", "banned-random", true},
       {"hash_iteration_fail.cpp", "hash-iteration", true},
       {"float_money_fail.cpp", "float-money", true},
+      {"float_duration_fail.cpp", "float-duration", true},
       {"ptr_key_ordered_fail.cpp", "ptr-key-ordered", true},
       {"sim_std_function_fail.cpp", "sim-std-function", true},
       {"suppression_missing_reason.cpp", "bad-suppression", true},
